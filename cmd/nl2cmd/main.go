@@ -1,0 +1,340 @@
+// Command nl2cmd serves the NL2CM web UI: a text field for NL questions
+// (paper Figure 3), highlighted IX verification (Figure 4), significance
+// selection (Figure 5), the final query display (Figure 6), and the
+// administrator-mode monitor showing every module's intermediate output.
+//
+// Usage:
+//
+//	nl2cmd [-addr :8080]
+//
+// Endpoints:
+//
+//	GET  /                the question form
+//	POST /translate       translate a question (form field "q")
+//	POST /execute         translate and run on the simulated crowd
+//	GET  /admin           the admin trace of the last translation
+//	GET  /corpus          the demo question corpus, one-click translation
+//	POST /api/translate   JSON API: {"question": "..."}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"html/template"
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+
+	"nl2cm"
+)
+
+type server struct {
+	mu   sync.Mutex
+	tr   *nl2cm.Translator
+	eng  *nl2cm.Engine
+	last *nl2cm.Result
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+	onto := nl2cm.DemoOntology()
+	s := &server{
+		tr:  nl2cm.NewTranslator(onto),
+		eng: nl2cm.NewDemoEngine(onto),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /", s.home)
+	mux.HandleFunc("POST /translate", s.translate)
+	mux.HandleFunc("POST /execute", s.execute)
+	mux.HandleFunc("GET /admin", s.admin)
+	mux.HandleFunc("GET /corpus", s.corpus)
+	mux.HandleFunc("POST /api/translate", s.apiTranslate)
+	log.Printf("nl2cmd listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+var pageTmpl = template.Must(template.New("page").Parse(`<!doctype html>
+<html><head><title>NL2CM</title><style>
+body{font-family:sans-serif;max-width:56em;margin:2em auto;padding:0 1em}
+textarea{width:100%;height:4em;font-size:1em}
+pre{background:#f4f4f4;padding:1em;overflow-x:auto}
+.ix-lexical{background:#ffe08a}.ix-participant{background:#a8e6a1}
+.ix-syntactic{background:#a9d3ff}.ix-mixed{background:#e2b7f0}
+.tip{color:#a33}.sig{font-weight:bold}
+table{border-collapse:collapse}td,th{border:1px solid #ccc;padding:.3em .6em}
+</style></head><body>
+<h1>NL2CM</h1>
+<p>Ask a question that mixes general knowledge with the habits and
+opinions of people, e.g. <em>What are the most interesting places near
+Forest Hotel, Buffalo, we should visit in the fall?</em></p>
+<form method="post" action="/translate">
+<textarea name="q">{{.Question}}</textarea><br>
+<button type="submit">Translate</button>
+<button type="submit" formaction="/execute">Translate &amp; execute</button>
+<a href="/admin">administrator mode</a> · <a href="/corpus">question corpus</a>
+</form>
+{{if .Unsupported}}
+<h2>Question not supported</h2>
+<p class="tip">{{.Reason}}</p>
+{{range .Tips}}<p class="tip">Tip: {{.}}</p>{{end}}
+{{end}}
+{{if .Highlight}}
+<h2>Detected individual expressions</h2>
+<p>{{.Highlight}}</p>
+<table><tr><th>expression</th><th>individuality</th><th>uncertain</th></tr>
+{{range .IXs}}<tr><td>{{.Text}}</td><td>{{.Types}}</td><td>{{.Uncertain}}</td></tr>{{end}}
+</table>
+{{end}}
+{{if .Query}}
+<h2>Final OASSIS-QL query</h2>
+<pre>{{.Query}}</pre>
+{{end}}
+{{if .Exec}}
+<h2>Execution on the (simulated) crowd</h2>
+<p>{{.Exec.WhereBindings}} ontology bindings, {{.Exec.Tasks}} crowd tasks.</p>
+{{range .Exec.Subclauses}}
+<h3>subclause {{.Index}}</h3>
+<table><tr><th></th><th>support</th><th>crowd question</th></tr>
+{{range .Tasks}}<tr><td>{{if .Significant}}<span class="sig">✓</span>{{end}}</td>
+<td>{{printf "%.2f" .Support}}</td><td>{{.Question}}</td></tr>{{end}}
+</table>
+{{end}}
+<h3>significant bindings</h3>
+<ul>{{range .Exec.Bindings}}<li>{{.}}</li>{{end}}</ul>
+{{end}}
+</body></html>`))
+
+type ixRow struct {
+	Text      string
+	Types     string
+	Uncertain bool
+}
+
+type execView struct {
+	WhereBindings int
+	Tasks         int
+	Subclauses    []subclauseView
+	Bindings      []string
+}
+
+type subclauseView struct {
+	Index int
+	Tasks []nl2cm.Task
+}
+
+type pageData struct {
+	Question    string
+	Unsupported bool
+	Reason      string
+	Tips        []string
+	Highlight   template.HTML
+	IXs         []ixRow
+	Query       string
+	Exec        *execView
+}
+
+func (s *server) home(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	s.render(w, pageData{})
+}
+
+func (s *server) render(w http.ResponseWriter, d pageData) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := pageTmpl.Execute(w, d); err != nil {
+		log.Printf("render: %v", err)
+	}
+}
+
+func (s *server) doTranslate(question string) (*nl2cm.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, err := s.tr.Translate(question, nl2cm.Options{Trace: true})
+	if err == nil {
+		s.last = res
+	}
+	return res, err
+}
+
+func (s *server) buildPage(question string, res *nl2cm.Result) pageData {
+	d := pageData{Question: question}
+	if !res.Verdict.Supported {
+		d.Unsupported = true
+		d.Reason = res.Verdict.Reason
+		d.Tips = res.Verdict.Tips
+		return d
+	}
+	d.Highlight = highlight(res)
+	for _, x := range res.IXs {
+		d.IXs = append(d.IXs, ixRow{
+			Text:      x.Text(res.Graph),
+			Types:     strings.Join(x.Types, "+"),
+			Uncertain: x.Uncertain,
+		})
+	}
+	d.Query = res.Query.String()
+	return d
+}
+
+// highlight renders the question with IX spans wrapped in colored marks
+// (the Figure 4 display).
+func highlight(res *nl2cm.Result) template.HTML {
+	g := res.Graph
+	class := make([]string, g.Len())
+	for _, x := range res.IXs {
+		c := "ix-mixed"
+		if len(x.Types) == 1 {
+			c = "ix-" + x.Types[0]
+		}
+		for _, n := range x.Nodes {
+			class[n] = c
+		}
+	}
+	var b strings.Builder
+	for i := range g.Nodes {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		word := template.HTMLEscapeString(g.Nodes[i].Text)
+		if class[i] != "" {
+			fmt.Fprintf(&b, `<span class=%q>%s</span>`, class[i], word)
+		} else {
+			b.WriteString(word)
+		}
+	}
+	return template.HTML(b.String())
+}
+
+func (s *server) translate(w http.ResponseWriter, r *http.Request) {
+	q := strings.TrimSpace(r.FormValue("q"))
+	res, err := s.doTranslate(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.render(w, s.buildPage(q, res))
+}
+
+func (s *server) execute(w http.ResponseWriter, r *http.Request) {
+	q := strings.TrimSpace(r.FormValue("q"))
+	res, err := s.doTranslate(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	d := s.buildPage(q, res)
+	if res.Verdict.Supported {
+		out, err := s.eng.Execute(res.Query)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		ev := &execView{WhereBindings: out.WhereBindings, Tasks: out.TasksIssued}
+		for _, sc := range out.Subclauses {
+			ev.Subclauses = append(ev.Subclauses, subclauseView{Index: sc.Index + 1, Tasks: sc.Tasks})
+		}
+		for _, b := range out.Bindings {
+			var parts []string
+			for v, t := range b {
+				parts = append(parts, "$"+v+" = "+t.Local())
+			}
+			ev.Bindings = append(ev.Bindings, strings.Join(parts, ", "))
+		}
+		d.Exec = ev
+	}
+	s.render(w, d)
+}
+
+var corpusTmpl = template.Must(template.New("corpus").Parse(`<!doctype html>
+<html><head><title>NL2CM corpus</title><style>
+body{font-family:sans-serif;max-width:64em;margin:2em auto;padding:0 1em}
+table{border-collapse:collapse}td,th{border:1px solid #ccc;padding:.3em .6em}
+</style></head><body>
+<h1>Demo question corpus</h1><p><a href="/">back</a></p>
+<table><tr><th>id</th><th>domain</th><th>question</th><th>expected</th></tr>
+{{range .}}<tr><td>{{.ID}}</td><td>{{.Domain}}</td>
+<td><form method="post" action="/translate" style="margin:0">
+<input type="hidden" name="q" value="{{.Text}}">
+<button type="submit" style="all:unset;cursor:pointer;color:#06c">{{.Text}}</button>
+</form></td>
+<td>{{if .Supported}}translates{{else}}rejected ({{.UnsupportedCategory}}){{end}}</td></tr>{{end}}
+</table></body></html>`))
+
+func (s *server) corpus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := corpusTmpl.Execute(w, nl2cm.Corpus()); err != nil {
+		log.Printf("corpus render: %v", err)
+	}
+}
+
+var adminTmpl = template.Must(template.New("admin").Parse(`<!doctype html>
+<html><head><title>NL2CM admin</title><style>
+body{font-family:sans-serif;max-width:64em;margin:2em auto;padding:0 1em}
+pre{background:#f4f4f4;padding:1em;overflow-x:auto}
+</style></head><body>
+<h1>Administrator mode</h1><p><a href="/">back</a></p>
+{{if .}}
+<p>Last question: <b>{{.Question}}</b></p>
+{{range .Trace}}<h2>{{.Module}}</h2><pre>{{.Output}}</pre>{{end}}
+{{if .Interactions}}<h2>Dialogue transcript</h2>
+<ul>{{range .Interactions}}<li><b>{{.Point}}</b>: {{.Question}} → {{.Answer}}</li>{{end}}</ul>{{end}}
+{{else}}<p>No translation yet.</p>{{end}}
+</body></html>`))
+
+func (s *server) admin(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	last := s.last
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := adminTmpl.Execute(w, last); err != nil {
+		log.Printf("admin render: %v", err)
+	}
+}
+
+type apiRequest struct {
+	Question string `json:"question"`
+}
+
+type apiResponse struct {
+	Supported bool     `json:"supported"`
+	Reason    string   `json:"reason,omitempty"`
+	Tips      []string `json:"tips,omitempty"`
+	Query     string   `json:"query,omitempty"`
+	IXs       []ixRow  `json:"ixs,omitempty"`
+}
+
+func (s *server) apiTranslate(w http.ResponseWriter, r *http.Request) {
+	var req apiRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := s.doTranslate(req.Question)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	resp := apiResponse{Supported: res.Verdict.Supported}
+	if !res.Verdict.Supported {
+		resp.Reason = res.Verdict.Reason
+		resp.Tips = res.Verdict.Tips
+	} else {
+		resp.Query = res.Query.String()
+		for _, x := range res.IXs {
+			resp.IXs = append(resp.IXs, ixRow{
+				Text:      x.Text(res.Graph),
+				Types:     strings.Join(x.Types, "+"),
+				Uncertain: x.Uncertain,
+			})
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		log.Printf("api encode: %v", err)
+	}
+}

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"nl2cm"
+)
+
+func testServer() *server {
+	onto := nl2cm.DemoOntology()
+	return &server{
+		tr:  nl2cm.NewTranslator(onto),
+		eng: nl2cm.NewDemoEngine(onto),
+	}
+}
+
+const question = "What are the most interesting places near Forest Hotel, Buffalo, we should visit in the fall?"
+
+func TestHomePage(t *testing.T) {
+	s := testServer()
+	rec := httptest.NewRecorder()
+	s.home(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "<form") || !strings.Contains(body, "NL2CM") {
+		t.Errorf("home page lacks the question form:\n%s", body)
+	}
+}
+
+func TestHomeNotFoundForOtherPaths(t *testing.T) {
+	s := testServer()
+	rec := httptest.NewRecorder()
+	s.home(rec, httptest.NewRequest("GET", "/nope", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", rec.Code)
+	}
+}
+
+func postForm(t *testing.T, s *server, handler func(http.ResponseWriter, *http.Request), q string) *httptest.ResponseRecorder {
+	t.Helper()
+	form := url.Values{"q": {q}}
+	req := httptest.NewRequest("POST", "/translate", strings.NewReader(form.Encode()))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	rec := httptest.NewRecorder()
+	handler(rec, req)
+	return rec
+}
+
+func TestTranslateEndpoint(t *testing.T) {
+	s := testServer()
+	rec := postForm(t, s, s.translate, question)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"SELECT VARIABLES",
+		"Forest_Hotel,_Buffalo,_NY",
+		"ix-lexical",  // the Figure-4 highlighting
+		"interesting", // the detected IX
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("translate page missing %q", want)
+		}
+	}
+}
+
+func TestTranslateEndpointUnsupported(t *testing.T) {
+	s := testServer()
+	rec := postForm(t, s, s.translate, "How should I store coffee?")
+	body := rec.Body.String()
+	if !strings.Contains(body, "not supported") {
+		t.Errorf("unsupported question page lacks the warning:\n%s", body)
+	}
+	if !strings.Contains(body, "At what container should I store coffee?") {
+		t.Error("rephrasing tip missing")
+	}
+}
+
+func TestExecuteEndpoint(t *testing.T) {
+	s := testServer()
+	rec := postForm(t, s, s.execute, question)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"Delaware Park", "crowd tasks", "significant bindings"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("execute page missing %q", want)
+		}
+	}
+}
+
+func TestAdminPage(t *testing.T) {
+	s := testServer()
+	// Before any translation: empty admin page.
+	rec := httptest.NewRecorder()
+	s.admin(rec, httptest.NewRequest("GET", "/admin", nil))
+	if !strings.Contains(rec.Body.String(), "No translation yet") {
+		t.Error("empty admin page wrong")
+	}
+	// After a translation: module trace visible.
+	postForm(t, s, s.translate, question)
+	rec = httptest.NewRecorder()
+	s.admin(rec, httptest.NewRequest("GET", "/admin", nil))
+	body := rec.Body.String()
+	for _, want := range []string{"NL Parser", "IX Detector", "Query Composition"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("admin page missing module %q", want)
+		}
+	}
+}
+
+func TestAPITranslate(t *testing.T) {
+	s := testServer()
+	payload := `{"question": "Which hotel in Vegas has the best thrill ride?"}`
+	req := httptest.NewRequest("POST", "/api/translate", strings.NewReader(payload))
+	rec := httptest.NewRecorder()
+	s.apiTranslate(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp apiResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Supported || !strings.Contains(resp.Query, "SATISFYING") {
+		t.Errorf("api response = %+v", resp)
+	}
+	if len(resp.IXs) == 0 {
+		t.Error("api response lists no IXs")
+	}
+}
+
+func TestAPITranslateUnsupported(t *testing.T) {
+	s := testServer()
+	req := httptest.NewRequest("POST", "/api/translate", strings.NewReader(`{"question": "Why is the sky blue?"}`))
+	rec := httptest.NewRecorder()
+	s.apiTranslate(rec, req)
+	var resp apiResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Supported || resp.Reason == "" || len(resp.Tips) == 0 {
+		t.Errorf("api response = %+v", resp)
+	}
+}
+
+func TestAPITranslateBadJSON(t *testing.T) {
+	s := testServer()
+	req := httptest.NewRequest("POST", "/api/translate", strings.NewReader("{nope"))
+	rec := httptest.NewRecorder()
+	s.apiTranslate(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", rec.Code)
+	}
+}
+
+func TestHighlightEscapesHTML(t *testing.T) {
+	s := testServer()
+	rec := postForm(t, s, s.translate, `Where do you visit in <Buffalo>?`)
+	body := rec.Body.String()
+	if strings.Contains(body, "<Buffalo>") {
+		t.Error("unescaped user input in page")
+	}
+}
+
+func TestCorpusPage(t *testing.T) {
+	s := testServer()
+	rec := httptest.NewRecorder()
+	s.corpus(rec, httptest.NewRequest("GET", "/corpus", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"travel-01", "Forest Hotel", "rejected (descriptive)"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("corpus page missing %q", want)
+		}
+	}
+}

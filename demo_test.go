@@ -1,0 +1,175 @@
+package nl2cm
+
+// Integration test reproducing the paper's full demonstration scenario
+// (§4.2): stage (i) translates real-life forum questions; stage (ii)
+// lets volunteer users interact with the system and executes the
+// generated queries on the OASSIS engine substitute; stage (iii) shows
+// the feedback for questions that cannot be translated. The third
+// monitor — administrator mode — is checked throughout.
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFullDemonstrationScenario(t *testing.T) {
+	onto := DemoOntology()
+	translator := NewTranslator(onto)
+	engine := NewDemoEngine(onto)
+
+	// ---- Stage (i): translating real-life NL requests collected from
+	// web forums, observing the correspondence between query parts and
+	// sentence parts.
+	t.Run("stage1-forum-questions", func(t *testing.T) {
+		stage1 := []struct {
+			question       string
+			wantWherePart  string // a fragment that must appear in WHERE
+			wantCrowdPart  string // a fragment that must appear in SATISFYING
+			wantIndividual string // surface text that must be detected as IX
+		}{
+			{
+				"Which hotel in Vegas has the best thrill ride?",
+				"instanceOf Hotel", `hasLabel "good"`, "best",
+			},
+			{
+				"What type of digital camera should I buy?",
+				"instanceOf Camera", "[] buy $x", "buy",
+			},
+			{
+				"Is chocolate milk good for kids?",
+				"", `Chocolate_Milk hasLabel "good"`, "good",
+			},
+		}
+		for _, c := range stage1 {
+			res, err := translator.Translate(c.question, Options{})
+			if err != nil {
+				t.Fatalf("Translate(%q): %v", c.question, err)
+			}
+			if !res.Verdict.Supported {
+				t.Fatalf("%q rejected: %s", c.question, res.Verdict.Reason)
+			}
+			text := res.Query.String()
+			if c.wantWherePart != "" && !strings.Contains(text, c.wantWherePart) {
+				t.Errorf("%q: WHERE missing %q:\n%s", c.question, c.wantWherePart, text)
+			}
+			if !strings.Contains(text, c.wantCrowdPart) {
+				t.Errorf("%q: SATISFYING missing %q:\n%s", c.question, c.wantCrowdPart, text)
+			}
+			found := false
+			for _, x := range res.IXs {
+				if strings.Contains(x.Text(res.Graph), c.wantIndividual) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%q: individual part %q not detected", c.question, c.wantIndividual)
+			}
+		}
+	})
+
+	// ---- Stage (ii): a volunteer user writes a question, verifies the
+	// detected IXs, provides the missing significance values, and the
+	// query runs on OASSIS.
+	t.Run("stage2-volunteer-interaction", func(t *testing.T) {
+		volunteer := &ScriptedInteractor{
+			IXAnswers:        [][]bool{{true, true}},
+			TopKAnswers:      []int{5},
+			ThresholdAnswers: []float64{0.1},
+		}
+		res, err := translator.Translate(
+			"What are the most interesting places near Forest Hotel, Buffalo, we should visit in the fall?",
+			Options{Interactor: volunteer, Policy: InteractivePolicy(), Trace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The admin monitor shows every module's output.
+		if len(res.Trace) < 6 {
+			t.Errorf("admin trace has %d stages", len(res.Trace))
+		}
+		// The dialogue transcript covers IX verification, significance
+		// and projection.
+		if len(res.Interactions) < 3 {
+			t.Errorf("dialogue transcript has %d exchanges", len(res.Interactions))
+		}
+		// Execute on the crowd: the paper's expected answers surface.
+		out, err := engine.Execute(res.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		names := map[string]bool{}
+		for _, b := range out.Bindings {
+			names[b["x"].Local()] = true
+		}
+		if !names["Delaware_Park"] || !names["Buffalo_Zoo"] {
+			t.Errorf("crowd answers = %v", names)
+		}
+		// The generated crowd tasks read naturally.
+		q0 := out.Subclauses[0].Tasks[0].Question
+		if !strings.HasPrefix(q0, "Do you agree that") {
+			t.Errorf("crowd task = %q", q0)
+		}
+	})
+
+	// ---- Stage (iii): unsupported questions produce warnings and tips;
+	// the paper's coffee rephrasing works.
+	t.Run("stage3-unsupported-feedback", func(t *testing.T) {
+		res, err := translator.Translate("How should I store coffee?", Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Verdict.Supported {
+			t.Fatal("descriptive question accepted")
+		}
+		tips := strings.Join(res.Verdict.Tips, " ")
+		if !strings.Contains(tips, "At what container should I store coffee?") {
+			t.Errorf("tips = %q", tips)
+		}
+		// The rephrasing is supported and asks the crowd about storage
+		// habits per container.
+		res2, err := translator.Translate("At what container should I store coffee?", Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res2.Verdict.Supported {
+			t.Fatalf("rephrased question rejected: %s", res2.Verdict.Reason)
+		}
+		out, err := engine.Execute(res2.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		top := ""
+		best := -1.0
+		for _, task := range out.Subclauses[0].Tasks {
+			if task.Support > best {
+				best, top = task.Support, task.Question
+			}
+		}
+		if !strings.Contains(top, "airtight jar") {
+			t.Errorf("top storage habit = %q, want the airtight jar", top)
+		}
+	})
+}
+
+// The demonstration uses one translator across all stages, so learned
+// state persists between audience questions.
+func TestDemonstrationStatePersists(t *testing.T) {
+	onto := DemoOntology()
+	translator := NewTranslator(onto)
+	// Audience member 1 disambiguates Buffalo to Wyoming.
+	opt := Options{
+		Interactor: &ScriptedInteractor{DisambiguationAnswers: []int{2}},
+		Policy:     Policy{Ask: map[InteractionPoint]bool{PointDisambiguation: true}},
+	}
+	if _, err := translator.Translate("Where do you visit in Buffalo?", opt); err != nil {
+		t.Fatal(err)
+	}
+	// Audience member 2 asks non-interactively; the learned preference
+	// applies.
+	res, err := translator.Translate("Where do locals eat in Buffalo?", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Query.String(), "Buffalo,_WY") {
+		t.Errorf("learned preference not applied:\n%s", res.Query)
+	}
+}

@@ -1,0 +1,61 @@
+// Dietician scenario: the paper's second motivating example — "a
+// dietician wishing to study the culinary preferences in some population,
+// focusing on food dishes rich in fiber". Nutritional facts come from the
+// general knowledge base; the eating habits come from the crowd.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"nl2cm"
+)
+
+func main() {
+	onto := nl2cm.DemoOntology()
+	translator := nl2cm.NewTranslator(onto)
+	engine := nl2cm.NewDemoEngine(onto)
+
+	questions := []string{
+		"Which dishes rich in fiber do people cook in the winter?",
+		"What do you eat for breakfast?",
+		"Is oatmeal a good breakfast for adults?",
+	}
+	for _, q := range questions {
+		fmt.Printf("==== %q\n", q)
+		res, err := translator.Translate(q, nl2cm.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Verdict.Supported {
+			fmt.Println("not supported:", res.Verdict.Reason)
+			continue
+		}
+		fmt.Println(res.Query)
+		out, err := engine.Execute(res.Query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Rank the crowd's answers: the dietician cares about habit
+		// frequencies across the population.
+		type row struct {
+			question string
+			support  float64
+		}
+		var rows []row
+		for _, sc := range out.Subclauses {
+			for _, t := range sc.Tasks {
+				if t.Significant {
+					rows = append(rows, row{t.Question, t.Support})
+				}
+			}
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].support > rows[j].support })
+		fmt.Println("\ncrowd findings (significant only):")
+		for _, r := range rows {
+			fmt.Printf("  %.0f%%  %s\n", r.support*100, r.question)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,72 @@
+// Forum scenario: the demonstration's first stage — translating
+// real-life NL requests collected from web forums (the Yahoo! Answers
+// substitute corpus) and observing which parts of each sentence became
+// general (WHERE) and which individual (SATISFYING) query parts. Rejected
+// questions are shown with their rephrasing tips.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"nl2cm"
+)
+
+func main() {
+	onto := nl2cm.DemoOntology()
+	translator := nl2cm.NewTranslator(onto)
+
+	byDomain := map[string][]nl2cm.Question{}
+	var domains []string
+	for _, q := range nl2cm.Corpus() {
+		if _, ok := byDomain[q.Domain]; !ok {
+			domains = append(domains, q.Domain)
+		}
+		byDomain[q.Domain] = append(byDomain[q.Domain], q)
+	}
+
+	ok, rejected, failed := 0, 0, 0
+	for _, d := range domains {
+		fmt.Printf("======== domain: %s ========\n", d)
+		for _, q := range byDomain[d] {
+			res, err := translator.Translate(q.Text, nl2cm.Options{})
+			if err != nil {
+				log.Printf("ERROR %s: %v", q.ID, err)
+				failed++
+				continue
+			}
+			if !res.Verdict.Supported {
+				rejected++
+				fmt.Printf("\n[%s] %q\n  REJECTED (%s)\n", q.ID, q.Text, res.Verdict.Category)
+				for _, tip := range res.Verdict.Tips {
+					fmt.Printf("  tip: %s\n", tip)
+				}
+				continue
+			}
+			ok++
+			fmt.Printf("\n[%s] %q\n", q.ID, q.Text)
+			// Show the correspondence between sentence parts and query
+			// parts (the demo's first stage).
+			var individual []string
+			for _, x := range res.IXs {
+				individual = append(individual, fmt.Sprintf("%q (%s)", x.Text(res.Graph), strings.Join(x.Types, "+")))
+			}
+			if len(individual) > 0 {
+				fmt.Printf("  individual parts: %s\n", strings.Join(individual, ", "))
+			} else {
+				fmt.Printf("  individual parts: none (plain ontology query)\n")
+			}
+			fmt.Println(indent(res.Query.String(), "  | "))
+		}
+	}
+	fmt.Printf("\n%d translated, %d rejected with tips, %d errors\n", ok, rejected, failed)
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(s, "\n")
+	for i := range lines {
+		lines[i] = prefix + lines[i]
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,75 @@
+// Travel scenario: a scripted volunteer user interacting with NL2CM, as
+// in the demonstration's second stage. The user asks an ambiguous travel
+// question, verifies the detected individual expressions, resolves the
+// "Buffalo" ambiguity, picks significance values, and finally the query
+// runs on the simulated crowd. The administrator-mode trace is printed
+// alongside, as on the demo's third monitor.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"nl2cm"
+)
+
+func main() {
+	onto := nl2cm.DemoOntology()
+	translator := nl2cm.NewTranslator(onto)
+
+	question := "Where do you visit in Buffalo?"
+	fmt.Printf("User question: %q\n\n", question)
+
+	// The scripted user: accepts all detected IXs, picks the second
+	// "Buffalo" candidate first (Illinois) to see the system learn, and
+	// sets a 0.2 support threshold.
+	user := &nl2cm.ScriptedInteractor{
+		DisambiguationAnswers: []int{1},
+		ThresholdAnswers:      []float64{0.2},
+	}
+	opts := nl2cm.Options{
+		Interactor: user,
+		Policy:     nl2cm.InteractivePolicy(),
+		Trace:      true,
+	}
+	res, err := translator.Translate(question, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== administrator mode (module outputs) ===")
+	for _, stage := range res.Trace {
+		fmt.Printf("--- %s ---\n%s\n", stage.Module, strings.TrimRight(stage.Output, "\n"))
+	}
+	fmt.Println("\n=== dialogue transcript ===")
+	for _, ex := range res.Interactions {
+		fmt.Printf("[%s] %s\n  -> %s\n", ex.Point, ex.Question, ex.Answer)
+	}
+	fmt.Println("\n=== final query (user chose Buffalo, IL) ===")
+	fmt.Println(res.Query)
+
+	// The system recorded the user's choice; asking again non-
+	// interactively now prefers Buffalo, IL thanks to learned feedback.
+	res2, err := translator.Translate(question, nl2cm.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== same question again, no interaction (learned ranking) ===")
+	fmt.Println(res2.Query)
+
+	// Execute the first query with the crowd.
+	engine := nl2cm.NewDemoEngine(onto)
+	out, err := engine.Execute(res.Query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n=== crowd execution: %d tasks ===\n", out.TasksIssued)
+	for _, sc := range out.Subclauses {
+		for _, t := range sc.Tasks {
+			if t.Significant {
+				fmt.Printf("  %.2f  %s\n", t.Support, t.Question)
+			}
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module nl2cm
+
+go 1.22

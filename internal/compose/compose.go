@@ -1,0 +1,287 @@
+// Package compose implements NL2CM's Query Composition module (paper
+// §2.6): it combines the general SPARQL triples from the Query Generator
+// with the individual OASSIS-QL triples from the Individual Triple
+// Creation module into one well-formed OASSIS-QL query.
+//
+// Composition performs, per the paper: (i) deletion of general triples
+// that correspond to detected IXs (FREyA may have wrongly matched
+// individual parts against the ontology); (ii) grouping of individual
+// triples into SATISFYING subclauses, one per semantic event/property;
+// (iii) variable alignment, so each reference to a term in the original
+// sentence uses the same variable; (iv) significance criteria — a support
+// threshold or a top/bottom-k selection per subclause, from defaults or
+// user interaction (Figure 5); and (v) SELECT clause creation, by default
+// projecting nothing out, optionally asking the user which terms to
+// return (§4.1).
+package compose
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nl2cm/internal/individual"
+	"nl2cm/internal/interact"
+	"nl2cm/internal/ix"
+	"nl2cm/internal/nlp"
+	"nl2cm/internal/oassisql"
+	"nl2cm/internal/qgen"
+	"nl2cm/internal/rdf"
+)
+
+// Defaults are the administrator-configured significance values used when
+// the user is not consulted; the shipped values match the paper's
+// Figure 1 (LIMIT 5, THRESHOLD 0.1).
+type Defaults struct {
+	TopK      int
+	Threshold float64
+}
+
+// StandardDefaults returns the Figure 1 values.
+func StandardDefaults() Defaults { return Defaults{TopK: 5, Threshold: 0.1} }
+
+// Composer builds the final query.
+type Composer struct {
+	Defaults Defaults
+}
+
+// New returns a composer with the standard defaults.
+func New() *Composer { return &Composer{Defaults: StandardDefaults()} }
+
+// Input carries everything composition needs.
+type Input struct {
+	Graph      *nlp.DepGraph
+	IXs        []*ix.IX
+	General    *qgen.Result
+	Parts      []individual.Part
+	Interactor interact.Interactor
+	Policy     interact.Policy
+}
+
+func (in *Input) interactor() interact.Interactor {
+	if in.Interactor == nil {
+		return interact.Auto{}
+	}
+	return in.Interactor
+}
+
+// Compose assembles the final OASSIS-QL query. A request with no
+// individual parts yields a query with an empty SATISFYING clause; the
+// caller decides whether to treat it as a plain ontology query.
+func (c *Composer) Compose(in Input) (*oassisql.Query, error) {
+	q := &oassisql.Query{Select: oassisql.SelectClause{All: true}}
+
+	// (i) WHERE: general triples minus those corresponding to IXs, minus
+	// dangling constraints about projected-out participants.
+	q.Where.Triples = c.pruneDangling(c.filterGeneral(in), in)
+
+	// (ii) SATISFYING: one subclause per individual part, each with
+	// (iv) a significance criterion.
+	for _, part := range in.Parts {
+		sc := oassisql.Subclause{Pattern: oassisql.Pattern{Triples: part.Triples}}
+		if err := c.significance(in, part, &sc); err != nil {
+			return nil, err
+		}
+		q.Satisfying = append(q.Satisfying, sc)
+	}
+
+	// (iii) Variable alignment is guaranteed by construction: both the
+	// general and individual modules resolve tokens through
+	// in.General.NodeTerms. Verify the invariant rather than trusting it.
+	if err := c.checkAlignment(q, in); err != nil {
+		return nil, err
+	}
+
+	// (v) SELECT: by default no variable is projected out; the user may
+	// restrict the output (Figure 6 discussion).
+	if err := c.selectClause(q, in); err != nil {
+		return nil, err
+	}
+
+	if len(q.Satisfying) > 0 {
+		if err := q.Validate(); err != nil {
+			return nil, fmt.Errorf("compose: produced invalid query: %w", err)
+		}
+	}
+	return q, nil
+}
+
+// filterGeneral deletes general triples whose origin overlaps a detected
+// IX's predicate content: its anchor or any non-noun node (the verb,
+// adjective or preposition inside the IX). Shared nouns ("places") do not
+// trigger deletion — they are exactly the join points between WHERE and
+// SATISFYING.
+func (c *Composer) filterGeneral(in Input) []rdf.Triple {
+	blocked := map[int]bool{}
+	for _, x := range in.IXs {
+		blocked[x.Anchor] = true
+		for _, n := range x.Nodes {
+			if !strings.HasPrefix(in.Graph.Nodes[n].POS, "NN") {
+				blocked[n] = true
+			}
+		}
+	}
+	var out []rdf.Triple
+	for _, t := range in.General.Triples {
+		overlap := false
+		for _, n := range t.Origin {
+			if blocked[n] {
+				overlap = true
+				break
+			}
+		}
+		if !overlap {
+			out = append(out, t.Triple)
+		}
+	}
+	return out
+}
+
+// pruneDangling removes WHERE triples whose variables are orphans:
+// variables that occur in exactly one WHERE triple, in no individual
+// part, and are not the question focus. They arise when the Query
+// Generator types a participant noun that the Individual Triple Creation
+// later projects out ("do people cook ..." -> {$y instanceOf Person}).
+func (c *Composer) pruneDangling(triples []rdf.Triple, in Input) []rdf.Triple {
+	occur := map[string]int{}
+	for _, t := range triples {
+		for _, v := range t.Vars() {
+			occur[v]++
+		}
+	}
+	keep := map[string]bool{in.General.TargetVar: true}
+	for _, part := range in.Parts {
+		for _, t := range part.Triples {
+			for _, v := range t.Vars() {
+				keep[v] = true
+			}
+		}
+	}
+	var out []rdf.Triple
+	for _, t := range triples {
+		vars := t.Vars()
+		orphan := len(vars) > 0
+		for _, v := range vars {
+			if keep[v] || occur[v] > 1 {
+				orphan = false
+				break
+			}
+		}
+		if !orphan {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// significance fills the subclause's criterion: a top-k for superlative
+// opinions, a support threshold otherwise; values come from defaults or
+// the Figure-5 dialogue.
+func (c *Composer) significance(in Input, part individual.Part, sc *oassisql.Subclause) error {
+	ask := in.Policy.Asks(interact.PointSignificance)
+	if part.Superlative {
+		k := c.Defaults.TopK
+		if ask {
+			var err error
+			k, err = in.interactor().SelectTopK(part.Description, k)
+			if err != nil {
+				return fmt.Errorf("compose: selecting top-k: %w", err)
+			}
+		}
+		if k <= 0 {
+			return fmt.Errorf("compose: non-positive top-k %d", k)
+		}
+		sc.TopK = &oassisql.TopK{K: k, Desc: true}
+		return nil
+	}
+	th := c.Defaults.Threshold
+	if ask {
+		var err error
+		th, err = in.interactor().SelectThreshold(part.Description, th)
+		if err != nil {
+			return fmt.Errorf("compose: selecting threshold: %w", err)
+		}
+	}
+	if th < 0 || th > 1 {
+		return fmt.Errorf("compose: threshold %g outside [0,1]", th)
+	}
+	sc.Threshold = &th
+	return nil
+}
+
+// checkAlignment verifies that every named variable of the SATISFYING
+// clause that is ontology-grounded (appears in any general triple,
+// pre-deletion) uses the same name there — i.e. references to one token
+// share one variable.
+func (c *Composer) checkAlignment(q *oassisql.Query, in Input) error {
+	// Build the set of variables per token from NodeTerms.
+	byVar := map[string][]int{}
+	for node, t := range in.General.NodeTerms {
+		if t.IsVar() {
+			byVar[t.Value()] = append(byVar[t.Value()], node)
+		}
+	}
+	coref := func(a, b int) bool {
+		if in.Graph.Nodes[a].Lemma == in.Graph.Nodes[b].Lemma {
+			return true
+		}
+		// Transparent-noun delegation ("type of camera") is intentional
+		// coreference.
+		return in.General.Delegations[a] == b || in.General.Delegations[b] == a
+	}
+	for v, nodes := range byVar {
+		for _, n := range nodes[1:] {
+			if !coref(nodes[0], n) {
+				return fmt.Errorf("compose: variable $%s bound to distinct terms %q and %q",
+					v, in.Graph.Nodes[nodes[0]].Lemma, in.Graph.Nodes[n].Lemma)
+			}
+		}
+	}
+	return nil
+}
+
+// selectClause builds the SELECT clause, optionally consulting the user
+// about which terms to receive instances for.
+func (c *Composer) selectClause(q *oassisql.Query, in Input) error {
+	if !in.Policy.Asks(interact.PointProjection) {
+		return nil // default: SELECT VARIABLES
+	}
+	vars := q.Vars()
+	if len(vars) == 0 {
+		return nil
+	}
+	choices := make([]interact.VarChoice, len(vars))
+	for i, v := range vars {
+		choices[i] = interact.VarChoice{Var: v, Phrase: c.phraseFor(v, in)}
+	}
+	keep, err := in.interactor().SelectProjection(choices)
+	if err != nil {
+		return fmt.Errorf("compose: selecting projection: %w", err)
+	}
+	var kept []string
+	for i, k := range keep {
+		if k {
+			kept = append(kept, vars[i])
+		}
+	}
+	if len(kept) == len(vars) || len(kept) == 0 {
+		return nil // everything kept: plain SELECT VARIABLES
+	}
+	sort.Strings(kept)
+	q.Select.All = false
+	q.Select.Vars = kept
+	return nil
+}
+
+// phraseFor maps a variable back to the question phrase it stands for.
+func (c *Composer) phraseFor(v string, in Input) string {
+	for node, t := range in.General.NodeTerms {
+		if t.IsVar() && t.Value() == v {
+			if p, ok := in.General.Phrases[node]; ok && p != "" {
+				return p
+			}
+			return in.Graph.Nodes[node].Text
+		}
+	}
+	return ""
+}

@@ -1,0 +1,279 @@
+// Package core wires NL2CM's modules into the translation pipeline of the
+// paper's Figure 2: verification → NL parsing → IX detection (IXFinder +
+// IXCreator, with optional user verification) → General Query Generator
+// (with optional disambiguation dialogues) → Individual Triple Creation →
+// Query Composition (with optional significance and projection
+// dialogues). It also produces the administrator-mode trace: the
+// intermediate output of every module, in pipeline order.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"nl2cm/internal/compose"
+	"nl2cm/internal/individual"
+	"nl2cm/internal/interact"
+	"nl2cm/internal/ix"
+	"nl2cm/internal/nlp"
+	"nl2cm/internal/oassisql"
+	"nl2cm/internal/ontology"
+	"nl2cm/internal/qgen"
+	"nl2cm/internal/verify"
+)
+
+// Stage is one admin-mode trace entry: a module's intermediate output.
+type Stage struct {
+	// Module names the pipeline module ("NL Parser", "IX Detector", ...).
+	Module string
+	// Output is the module's rendered intermediate output.
+	Output string
+}
+
+// Result is the outcome of one translation.
+type Result struct {
+	// Question is the original NL request.
+	Question string
+	// Verdict is the verification outcome; when not Supported, the rest
+	// of the fields are zero except Trace.
+	Verdict verify.Verdict
+	// Graph is the parsed dependency graph.
+	Graph *nlp.DepGraph
+	// IXs are the accepted individual expressions; RejectedIXs those the
+	// user declined during verification.
+	IXs         []*ix.IX
+	RejectedIXs []*ix.IX
+	// General is the Query Generator output.
+	General *qgen.Result
+	// Parts are the individual query parts.
+	Parts []individual.Part
+	// Query is the final OASSIS-QL query.
+	Query *oassisql.Query
+	// PureGeneral marks requests with no individual parts: Query then
+	// has an empty SATISFYING clause and is effectively a plain
+	// ontology (SPARQL) query.
+	PureGeneral bool
+	// Trace holds the admin-mode intermediate outputs.
+	Trace []Stage
+	// Interactions is the recorded dialogue transcript.
+	Interactions []interact.Exchange
+}
+
+// Translator is the NL2CM pipeline. Reuse one instance across requests so
+// that disambiguation feedback accumulates (§4.1).
+type Translator struct {
+	Onto      *ontology.Ontology
+	Detector  *ix.Detector
+	Generator *qgen.Generator
+	Creator   *individual.Creator
+	Composer  *compose.Composer
+}
+
+// New builds a translator over the ontology with default detector,
+// vocabularies, patterns and composition defaults.
+func New(onto *ontology.Ontology) *Translator {
+	return &Translator{
+		Onto:      onto,
+		Detector:  ix.NewDetector(),
+		Generator: qgen.New(onto),
+		Creator:   &individual.Creator{},
+		Composer:  compose.New(),
+	}
+}
+
+// Options configure one translation.
+type Options struct {
+	// Interactor answers dialogue questions; nil means automatic
+	// defaults.
+	Interactor interact.Interactor
+	// Policy selects which interaction points are active.
+	Policy interact.Policy
+	// Trace enables admin-mode intermediate output collection.
+	Trace bool
+}
+
+// Translate runs the full pipeline on one NL question.
+func (t *Translator) Translate(question string, opt Options) (*Result, error) {
+	res := &Result{Question: question}
+	trace := func(module, output string) {
+		if opt.Trace {
+			res.Trace = append(res.Trace, Stage{Module: module, Output: output})
+		}
+	}
+
+	// Record the dialogue when tracing.
+	interactor := opt.Interactor
+	if interactor == nil {
+		interactor = interact.Auto{}
+	}
+	var rec *interact.Recorder
+	if opt.Trace {
+		rec = &interact.Recorder{Inner: interactor}
+		interactor = rec
+	}
+	collectDialogue := func() {
+		if rec != nil {
+			res.Interactions = rec.Log
+		}
+	}
+
+	// 1. Verification.
+	res.Verdict = verify.Check(question)
+	if !res.Verdict.Supported {
+		trace("Verification", fmt.Sprintf("unsupported (%s): %s", res.Verdict.Category, res.Verdict.Reason))
+		collectDialogue()
+		return res, nil
+	}
+	trace("Verification", "supported")
+
+	// 2. NL parsing (POS tags + dependency graph).
+	g, err := nlp.Parse(question)
+	if err != nil {
+		return nil, fmt.Errorf("core: parsing question: %w", err)
+	}
+	res.Graph = g
+	trace("NL Parser", g.String())
+
+	// 3. IX detection: IXFinder + IXCreator.
+	ixs, err := t.Detector.Detect(g)
+	if err != nil {
+		return nil, fmt.Errorf("core: detecting IXs: %w", err)
+	}
+	trace("IX Detector", renderIXs(g, ixs))
+
+	// 3b. Optional user verification of (uncertain) IXs (Figure 4).
+	res.IXs, res.RejectedIXs, err = t.verifyIXs(question, g, ixs, interactor, opt.Policy)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.RejectedIXs) > 0 {
+		trace("IX Verification", renderIXs(g, res.IXs)+"rejected:\n"+renderIXs(g, res.RejectedIXs))
+	}
+
+	// 4. General Query Generator (FREyA role) on the full request.
+	res.General, err = t.Generator.Generate(g, qgen.Options{
+		Interactor: interactor,
+		Policy:     opt.Policy,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: generating general query parts: %w", err)
+	}
+	trace("General Query Generator", renderGeneral(res.General))
+
+	// 5. Individual Triple Creation on the accepted IXs.
+	res.Parts, err = t.Creator.Create(g, res.IXs, res.General)
+	if err != nil {
+		return nil, fmt.Errorf("core: creating individual triples: %w", err)
+	}
+	trace("Individual Triple Creation", renderParts(res.Parts))
+
+	// 6. Query Composition.
+	res.Query, err = t.Composer.Compose(compose.Input{
+		Graph:      g,
+		IXs:        res.IXs,
+		General:    res.General,
+		Parts:      res.Parts,
+		Interactor: interactor,
+		Policy:     opt.Policy,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: composing query: %w", err)
+	}
+	res.PureGeneral = len(res.Query.Satisfying) == 0
+	trace("Query Composition", res.Query.String())
+	collectDialogue()
+	return res, nil
+}
+
+// verifyIXs runs the Figure-4 dialogue: detected IXs are shown for
+// confirmation. Depending on the policy, all IXs or only uncertain ones
+// are asked about; with interaction disabled, all are accepted.
+func (t *Translator) verifyIXs(question string, g *nlp.DepGraph, ixs []*ix.IX,
+	interactor interact.Interactor, policy interact.Policy) (accepted, rejected []*ix.IX, err error) {
+	if !policy.Asks(interact.PointIXVerification) || len(ixs) == 0 {
+		return ixs, nil, nil
+	}
+	var toAsk []*ix.IX
+	for _, x := range ixs {
+		if policy.OnlyWhenUncertain && !x.Uncertain {
+			accepted = append(accepted, x)
+			continue
+		}
+		toAsk = append(toAsk, x)
+	}
+	if len(toAsk) == 0 {
+		return accepted, nil, nil
+	}
+	spans := make([]interact.IXSpan, len(toAsk))
+	for i, x := range toAsk {
+		start, end := x.Span()
+		spans[i] = interact.IXSpan{
+			Text:      x.Text(g),
+			Start:     start,
+			End:       end,
+			Type:      strings.Join(x.Types, "+"),
+			Pattern:   patternNames(x),
+			Uncertain: x.Uncertain,
+		}
+	}
+	answers, err := interactor.VerifyIXs(question, spans)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: verifying IXs: %w", err)
+	}
+	for i, x := range toAsk {
+		if answers[i] {
+			accepted = append(accepted, x)
+		} else {
+			rejected = append(rejected, x)
+		}
+	}
+	return accepted, rejected, nil
+}
+
+func patternNames(x *ix.IX) string {
+	var names []string
+	for _, p := range x.Patterns {
+		names = append(names, p.Name)
+	}
+	return strings.Join(names, ",")
+}
+
+func renderIXs(g *nlp.DepGraph, ixs []*ix.IX) string {
+	if len(ixs) == 0 {
+		return "(none)\n"
+	}
+	var b strings.Builder
+	for _, x := range ixs {
+		fmt.Fprintf(&b, "IX %q type=%s uncertain=%v anchor=%q\n",
+			x.Text(g), strings.Join(x.Types, "+"), x.Uncertain, g.Nodes[x.Anchor].Text)
+	}
+	return b.String()
+}
+
+func renderGeneral(r *qgen.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "target: $%s\n", r.TargetVar)
+	for _, t := range r.Triples {
+		fmt.Fprintf(&b, "%s %s %s .\n",
+			oassisql.TermString(t.S), oassisql.TermString(t.P), oassisql.TermString(t.O))
+	}
+	if len(r.Unmatched) > 0 {
+		fmt.Fprintf(&b, "unmatched: %s\n", strings.Join(r.Unmatched, ", "))
+	}
+	return b.String()
+}
+
+func renderParts(parts []individual.Part) string {
+	if len(parts) == 0 {
+		return "(none)\n"
+	}
+	var b strings.Builder
+	for i, p := range parts {
+		fmt.Fprintf(&b, "part %d (%s):\n", i+1, p.Description)
+		for _, t := range p.Triples {
+			fmt.Fprintf(&b, "  %s %s %s .\n",
+				oassisql.TermString(t.S), oassisql.TermString(t.P), oassisql.TermString(t.O))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,336 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"nl2cm/internal/interact"
+	"nl2cm/internal/oassisql"
+	"nl2cm/internal/ontology"
+)
+
+const runningExample = "What are the most interesting places near Forest Hotel, Buffalo, we should visit in the fall?"
+
+// figure1 is the paper's Figure 1 target text.
+const figure1 = `SELECT VARIABLES
+WHERE
+{$x instanceOf Place.
+$x near Forest_Hotel,_Buffalo,_NY}
+SATISFYING
+{$x hasLabel "interesting"}
+ORDER BY DESC(SUPPORT)
+LIMIT 5
+AND
+{[] visit $x.
+[] in Fall}
+WITH SUPPORT THRESHOLD = 0.1`
+
+func newTranslator() *Translator { return New(ontology.NewDemoOntology()) }
+
+func TestTranslateFigure1Exact(t *testing.T) {
+	res, err := newTranslator().Translate(runningExample, Options{})
+	if err != nil {
+		t.Fatalf("Translate: %v", err)
+	}
+	if got := res.Query.String(); got != figure1 {
+		t.Errorf("translation does not reproduce Figure 1:\n--- got ---\n%s\n--- want ---\n%s", got, figure1)
+	}
+}
+
+func TestTranslateUnsupported(t *testing.T) {
+	res, err := newTranslator().Translate("How should I store coffee?", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict.Supported {
+		t.Fatal("descriptive question accepted")
+	}
+	if res.Query != nil {
+		t.Error("unsupported question produced a query")
+	}
+	if len(res.Verdict.Tips) == 0 {
+		t.Error("no rephrasing tips")
+	}
+}
+
+func TestTranslatePureGeneral(t *testing.T) {
+	res, err := newTranslator().Translate("Which parks are in Buffalo?", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.PureGeneral {
+		t.Errorf("PureGeneral = false; query:\n%s", res.Query)
+	}
+	if len(res.Query.Where.Triples) == 0 {
+		t.Error("pure general query has empty WHERE")
+	}
+}
+
+func TestTranslateTraceStages(t *testing.T) {
+	res, err := newTranslator().Translate(runningExample, Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stages []string
+	for _, s := range res.Trace {
+		stages = append(stages, s.Module)
+	}
+	// The admin monitor shows the pipeline of Figure 2 in order.
+	want := []string{"Verification", "NL Parser", "IX Detector",
+		"General Query Generator", "Individual Triple Creation", "Query Composition"}
+	if len(stages) != len(want) {
+		t.Fatalf("trace stages = %v, want %v", stages, want)
+	}
+	for i := range want {
+		if stages[i] != want[i] {
+			t.Fatalf("trace stages = %v, want %v", stages, want)
+		}
+	}
+	for _, s := range res.Trace {
+		if s.Output == "" {
+			t.Errorf("stage %s has empty output", s.Module)
+		}
+	}
+}
+
+func TestTranslateNoTraceByDefault(t *testing.T) {
+	res, err := newTranslator().Translate(runningExample, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != 0 {
+		t.Errorf("trace collected without Trace option: %d stages", len(res.Trace))
+	}
+}
+
+func TestTranslateIXVerificationRejectsSpan(t *testing.T) {
+	// The user rejects the lexical IX ("interesting" is not to be asked
+	// to the crowd); only the habit subclause remains.
+	opt := Options{
+		Interactor: &interact.Scripted{IXAnswers: [][]bool{{false, true}}},
+		Policy:     interact.Policy{Ask: map[interact.Point]bool{interact.PointIXVerification: true}},
+	}
+	res, err := newTranslator().Translate(runningExample, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IXs) != 1 || len(res.RejectedIXs) != 1 {
+		t.Fatalf("accepted %d rejected %d, want 1/1", len(res.IXs), len(res.RejectedIXs))
+	}
+	if len(res.Query.Satisfying) != 1 {
+		t.Fatalf("subclauses = %d, want 1:\n%s", len(res.Query.Satisfying), res.Query)
+	}
+	if strings.Contains(res.Query.String(), "interesting") {
+		t.Errorf("rejected IX still in query:\n%s", res.Query)
+	}
+}
+
+func TestTranslateOnlyUncertainAsked(t *testing.T) {
+	// With OnlyWhenUncertain, only the lexical (uncertain) IX is shown;
+	// a single-flag answer must match.
+	opt := Options{
+		Interactor: &interact.Scripted{IXAnswers: [][]bool{{true}}},
+		Policy: interact.Policy{
+			Ask:               map[interact.Point]bool{interact.PointIXVerification: true},
+			OnlyWhenUncertain: true,
+		},
+	}
+	res, err := newTranslator().Translate(runningExample, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IXs) != 2 {
+		t.Fatalf("accepted %d IXs, want 2", len(res.IXs))
+	}
+}
+
+func TestTranslateFullInteraction(t *testing.T) {
+	// A volunteer-user script covering all four interaction points
+	// (Figures 3-6): accept both IXs, set k=3 and threshold 0.2.
+	opt := Options{
+		Interactor: &interact.Scripted{
+			IXAnswers:        [][]bool{{true, true}},
+			TopKAnswers:      []int{3},
+			ThresholdAnswers: []float64{0.2},
+		},
+		Policy: interact.Interactive(),
+		Trace:  true,
+	}
+	res, err := newTranslator().Translate(runningExample, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := res.Query.String()
+	if !strings.Contains(q, "LIMIT 3") {
+		t.Errorf("user k not applied:\n%s", q)
+	}
+	if !strings.Contains(q, "THRESHOLD = 0.2") {
+		t.Errorf("user threshold not applied:\n%s", q)
+	}
+	if len(res.Interactions) == 0 {
+		t.Error("no interaction transcript recorded")
+	}
+}
+
+func TestTranslateDialogueTranscript(t *testing.T) {
+	opt := Options{
+		Interactor: &interact.Scripted{},
+		Policy:     interact.Interactive(),
+		Trace:      true,
+	}
+	res, err := newTranslator().Translate(runningExample, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := map[interact.Point]bool{}
+	for _, ex := range res.Interactions {
+		points[ex.Point] = true
+	}
+	for _, want := range []interact.Point{
+		interact.PointIXVerification, interact.PointSignificance, interact.PointProjection,
+	} {
+		if !points[want] {
+			t.Errorf("no transcript entry for %v", want)
+		}
+	}
+}
+
+func TestTranslateFeedbackPersistsAcrossQuestions(t *testing.T) {
+	tr := newTranslator()
+	// First question: the user picks Buffalo, IL explicitly.
+	opt := Options{
+		Interactor: &interact.Scripted{DisambiguationAnswers: []int{1}},
+		Policy:     interact.Policy{Ask: map[interact.Point]bool{interact.PointDisambiguation: true}},
+	}
+	res1, err := tr.Translate("Where do you visit in Buffalo?", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first string
+	for _, tr := range res1.Query.Satisfying[0].Pattern.Triples {
+		if strings.HasPrefix(tr.O.Local(), "Buffalo,_") {
+			first = tr.O.Local()
+		}
+	}
+	if first == "Buffalo,_NY" || first == "" {
+		t.Fatalf("scripted answer ignored: %q", first)
+	}
+	// The feedback store now knows the preference.
+	if tr.Generator.Feedback.Boost("Buffalo", ontology.E(first)) == 0 {
+		t.Error("feedback not recorded through the pipeline")
+	}
+}
+
+func TestTranslateErrorsPropagate(t *testing.T) {
+	opt := Options{
+		Interactor: &interact.Scripted{IXAnswers: [][]bool{{true}}}, // wrong shape: 2 spans
+		Policy:     interact.Policy{Ask: map[interact.Point]bool{interact.PointIXVerification: true}},
+	}
+	if _, err := newTranslator().Translate(runningExample, opt); err == nil {
+		t.Error("shape-mismatched script accepted")
+	}
+}
+
+func TestTranslateDemoQuestions(t *testing.T) {
+	// The paper's named demo questions all translate non-interactively.
+	tr := newTranslator()
+	for _, q := range []string{
+		"Which hotel in Vegas has the best thrill ride?",
+		"What type of digital camera should I buy?",
+		"Is chocolate milk good for kids?",
+	} {
+		res, err := tr.Translate(q, Options{})
+		if err != nil {
+			t.Errorf("Translate(%q): %v", q, err)
+			continue
+		}
+		if !res.Verdict.Supported {
+			t.Errorf("Translate(%q) rejected: %s", q, res.Verdict.Reason)
+			continue
+		}
+		if len(res.Query.Satisfying) == 0 {
+			t.Errorf("Translate(%q) produced no individual parts:\n%s", q, res.Query)
+		}
+	}
+}
+
+// The paper's §4.1 projection variation: "What are the most interesting
+// places we should visit with a tour guide?" — the user can drop the
+// guide variable from the output.
+func TestTranslateTourGuideProjection(t *testing.T) {
+	question := "What are the most interesting places we should visit with a tour guide?"
+	// First, default: both variables returned (SELECT VARIABLES).
+	res, err := newTranslator().Translate(question, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Query.Select.All {
+		t.Fatalf("default SELECT = %+v", res.Query.Select)
+	}
+	vars := res.Query.Vars()
+	if len(vars) != 2 {
+		t.Fatalf("query vars = %v, want places + guide", vars)
+	}
+	// Now the user keeps only the first variable (the places).
+	opt := Options{
+		Interactor: &interact.Scripted{ProjectionAnswers: [][]bool{{true, false}}},
+		Policy:     interact.Policy{Ask: map[interact.Point]bool{interact.PointProjection: true}},
+	}
+	res2, err := newTranslator().Translate(question, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Query.Select.All || len(res2.Query.Select.Vars) != 1 {
+		t.Fatalf("projected SELECT = %+v", res2.Query.Select)
+	}
+	if res2.Query.Select.Vars[0] != "x" {
+		t.Errorf("kept variable = %v, want x", res2.Query.Select.Vars)
+	}
+	if !strings.HasPrefix(res2.Query.String(), "SELECT $x\n") {
+		t.Errorf("query:\n%s", res2.Query)
+	}
+}
+
+// Pipeline fuzz: random word salads from the question vocabulary must
+// never panic, and every produced query must validate and re-parse.
+func TestTranslateFuzzRobustness(t *testing.T) {
+	vocab := []string{
+		"what", "which", "where", "should", "we", "you", "the", "a", "an",
+		"most", "interesting", "good", "best", "places", "hotel", "hotels",
+		"visit", "eat", "buy", "in", "near", "with", "and", "not", "to",
+		"Buffalo", "Vegas", "fall", "kids", "people", "that", "of", "type",
+		"camera", "for", "is", "are", "do", "how", "why", "?", ",", ".",
+	}
+	tr := newTranslator()
+	rng := uint64(12345)
+	next := func(n int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int(rng>>33) % n
+	}
+	for trial := 0; trial < 400; trial++ {
+		length := 1 + next(14)
+		words := make([]string, length)
+		for i := range words {
+			words[i] = vocab[next(len(vocab))]
+		}
+		q := strings.Join(words, " ")
+		res, err := tr.Translate(q, Options{})
+		if err != nil {
+			// Errors are acceptable; panics and invalid output are not.
+			continue
+		}
+		if !res.Verdict.Supported || res.Query == nil {
+			continue
+		}
+		if len(res.Query.Satisfying) > 0 {
+			if err := res.Query.Validate(); err != nil {
+				t.Fatalf("invalid query for %q: %v\n%s", q, err, res.Query)
+			}
+		}
+		reparsed, err := oassisql.Parse(res.Query.String())
+		if err != nil && len(res.Query.Satisfying) > 0 {
+			t.Fatalf("unparseable query for %q: %v\n%s", q, err, res.Query)
+		}
+		_ = reparsed
+	}
+}

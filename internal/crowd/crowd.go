@@ -1,0 +1,201 @@
+// Package crowd simulates the crowd of web users behind the OASSIS query
+// engine and implements the engine itself: WHERE clauses are evaluated
+// against the ontology, SATISFYING clauses are evaluated by asking
+// simulated crowd members about ground data patterns, and the per-pattern
+// support — a habit frequency or a level of agreement aggregated over
+// members (paper §2.1) — drives threshold and top-k significance
+// selection.
+//
+// The simulation is deterministic per seed: each member's answer for a
+// fact-set derives from a latent population mean (curated demo truth or a
+// seed-hashed default) plus member-specific noise, so experiments are
+// reproducible while still exhibiting a realistic answer spread.
+package crowd
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strings"
+
+	"nl2cm/internal/oassisql"
+	"nl2cm/internal/rdf"
+)
+
+// Crowd is a simulated population of web users.
+type Crowd struct {
+	// Size is the population size.
+	Size int
+	// Seed drives all pseudo-random member behaviour.
+	Seed int64
+	// Truth optionally fixes the latent population mean support per
+	// fact-set key (see FactKey); keys not present get a seed-hashed
+	// default in [0.05, 0.65].
+	Truth map[string]float64
+	// Noise is the per-member answer spread around the mean (default
+	// 0.15 when zero).
+	Noise float64
+	// SpamFraction is the share of members who answer uniformly at
+	// random regardless of the question — the low-quality workers real
+	// crowdsourcing platforms must cope with.
+	SpamFraction float64
+	// TrimFraction, when positive, makes Support use a trimmed mean:
+	// that share of the highest and lowest answers is discarded before
+	// averaging, bounding the influence of spam workers.
+	TrimFraction float64
+}
+
+// NewCrowd returns a crowd of the given size and seed with no curated
+// truth.
+func NewCrowd(size int, seed int64) *Crowd {
+	return &Crowd{Size: size, Seed: seed}
+}
+
+func (c *Crowd) noise() float64 {
+	if c.Noise == 0 {
+		return 0.15
+	}
+	return c.Noise
+}
+
+// FactKey canonicalizes a ground fact-set: anonymous variables collapse
+// to "[]", triples are rendered in OASSIS-QL surface syntax and sorted.
+func FactKey(triples []rdf.Triple) string {
+	parts := make([]string, 0, len(triples))
+	for _, t := range triples {
+		parts = append(parts, oassisql.TermString(t.S)+" "+oassisql.TermString(t.P)+" "+oassisql.TermString(t.O))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " & ")
+}
+
+// hash01 maps arbitrary strings to [0,1) deterministically.
+func hash01(seed int64, parts ...string) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|", seed)
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return float64(h.Sum64()%1_000_000) / 1_000_000
+}
+
+// Mean returns the latent population mean support for a fact-set key.
+func (c *Crowd) Mean(key string) float64 {
+	if v, ok := c.Truth[key]; ok {
+		return clamp01(v)
+	}
+	// Default latent truth: most patterns are niche (low support), some
+	// are popular.
+	return 0.05 + 0.6*hash01(c.Seed, "mean", key)
+}
+
+// IsSpammer reports whether member i is a spam worker (answers
+// uniformly at random); membership is deterministic per seed.
+func (c *Crowd) IsSpammer(i int) bool {
+	if c.SpamFraction <= 0 {
+		return false
+	}
+	return hash01(c.Seed, "spam", fmt.Sprint(i)) < c.SpamFraction
+}
+
+// MemberAnswer returns member i's answer for the fact-set key: the
+// frequency with which they engage in the habit, or their agreement with
+// the statement, in [0,1]. Spam workers answer uniformly at random.
+func (c *Crowd) MemberAnswer(i int, key string) float64 {
+	if i < 0 || i >= c.Size {
+		return 0
+	}
+	if c.IsSpammer(i) {
+		return hash01(c.Seed, "spam-answer", key, fmt.Sprint(i))
+	}
+	mean := c.Mean(key)
+	// Symmetric triangular-ish noise from two hashes.
+	n := hash01(c.Seed, "noise", key, fmt.Sprint(i)) - hash01(c.Seed, "noise2", key, fmt.Sprint(i))
+	return clamp01(mean + n*c.noise()*2)
+}
+
+// Support aggregates answers of a sample of members (the first `sample`
+// member indices; the whole population when sample <= 0 or exceeds
+// Size). With TrimFraction set, a trimmed mean bounds spam influence.
+func (c *Crowd) Support(key string, sample int) float64 {
+	if sample <= 0 || sample > c.Size {
+		sample = c.Size
+	}
+	if sample == 0 {
+		return 0
+	}
+	answers := make([]float64, sample)
+	for i := 0; i < sample; i++ {
+		answers[i] = c.MemberAnswer(i, key)
+	}
+	if c.TrimFraction > 0 && sample > 2 {
+		sort.Float64s(answers)
+		k := int(float64(sample) * c.TrimFraction)
+		if 2*k >= sample {
+			k = (sample - 1) / 2
+		}
+		answers = answers[k : sample-k]
+	}
+	sum := 0.0
+	for _, a := range answers {
+		sum += a
+	}
+	return sum / float64(len(answers))
+}
+
+func clamp01(v float64) float64 {
+	return math.Max(0, math.Min(1, v))
+}
+
+// DemoTruth returns the curated latent truth for the demonstration
+// scenarios: the running example's expected answers ("the Delaware Park
+// and Buffalo Zoo may be returned", paper §2.1), the Vegas thrill-ride
+// ranking, food opinions and habits.
+func DemoTruth() map[string]float64 {
+	return map[string]float64{
+		// Interestingness opinions around Forest Hotel, Buffalo.
+		`Delaware_Park hasLabel "interesting"`:         0.82,
+		`Buffalo_Zoo hasLabel "interesting"`:           0.74,
+		`Albright-Knox_Gallery hasLabel "interesting"`: 0.61,
+		`Canalside hasLabel "interesting"`:             0.55,
+		`Anchor_Bar hasLabel "interesting"`:            0.38,
+		`Niagara_Falls hasLabel "interesting"`:         0.93,
+
+		// Fall visiting habits.
+		`[] in Fall & [] visit Delaware_Park`:         0.42,
+		`[] in Fall & [] visit Buffalo_Zoo`:           0.31,
+		`[] in Fall & [] visit Albright-Knox_Gallery`: 0.18,
+		`[] in Fall & [] visit Canalside`:             0.12,
+		`[] in Fall & [] visit Anchor_Bar`:            0.08,
+		`[] in Fall & [] visit Niagara_Falls`:         0.27,
+
+		// Vegas thrill rides ("Which hotel in Vegas has the best thrill
+		// ride?").
+		`Big_Shot hasLabel "good"`:          0.85,
+		`Big_Apple_Coaster hasLabel "good"`: 0.72,
+		`Adventuredome hasLabel "good"`:     0.58,
+
+		// Food opinions and habits.
+		`Chocolate_Milk for Kids & Chocolate_Milk hasLabel "good"`: 0.64,
+		`[] eat Lentil_Soup`:                 0.33,
+		`[] eat Oatmeal`:                     0.51,
+		`[] eat Bean_Chili`:                  0.22,
+		`[] eat Whole_Grain_Bread`:           0.58,
+		`[] eat Quinoa_Salad`:                0.17,
+		`[] in Winter & [] cook Lentil_Soup`: 0.44,
+		`[] in Winter & [] cook Oatmeal`:     0.35,
+
+		// Coffee storage habits.
+		`[] at Airtight_Jar & [] store Coffee`:     0.47,
+		`[] at Ceramic_Canister & [] store Coffee`: 0.21,
+		`[] at Freezer_Bag & [] store Coffee`:      0.11,
+
+		// Camera buying habits.
+		`[] buy Nikon_D3500`:     0.28,
+		`[] buy Canon_EOS_R50`:   0.19,
+		`[] buy Sony_ZV-1`:       0.24,
+		`[] buy Canon_PowerShot`: 0.12,
+	}
+}

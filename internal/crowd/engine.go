@@ -1,0 +1,394 @@
+package crowd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nl2cm/internal/oassisql"
+	"nl2cm/internal/ontology"
+	"nl2cm/internal/rdf"
+	"nl2cm/internal/sparql"
+)
+
+// Engine is the OASSIS query engine substitute: it evaluates OASSIS-QL
+// queries against an ontology (WHERE) and a simulated crowd (SATISFYING).
+type Engine struct {
+	Onto  *ontology.Ontology
+	Crowd *Crowd
+	// SampleSize is the number of crowd members asked per pattern; 0
+	// means the whole population.
+	SampleSize int
+	// OpenVarLimit caps instantiations of variables that the WHERE
+	// clause leaves unbound (open crowd mining); 0 means 50.
+	OpenVarLimit int
+}
+
+// NewEngine builds an engine over the ontology with the given crowd.
+func NewEngine(onto *ontology.Ontology, c *Crowd) *Engine {
+	return &Engine{Onto: onto, Crowd: c}
+}
+
+// Task is one crowd task: a ground data pattern posed to crowd members,
+// with its aggregated support.
+type Task struct {
+	// Binding is the variable assignment that grounded the pattern.
+	Binding sparql.Binding
+	// Triples is the ground fact-set.
+	Triples []rdf.Triple
+	// Key is the canonical fact-set key.
+	Key string
+	// Question is the natural-language form posed to the crowd.
+	Question string
+	// Support is the aggregated answer.
+	Support float64
+	// Significant reports whether the pattern passed its subclause's
+	// criterion.
+	Significant bool
+}
+
+// SubclauseResult is the evaluation of one SATISFYING subclause.
+type SubclauseResult struct {
+	// Index is the subclause position (0-based).
+	Index int
+	// Tasks are all issued crowd tasks, sorted by descending support.
+	Tasks []Task
+}
+
+// Significant returns the tasks that passed the criterion.
+func (r *SubclauseResult) Significant() []Task {
+	var out []Task
+	for _, t := range r.Tasks {
+		if t.Significant {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Result is a full query evaluation.
+type Result struct {
+	// Bindings are the significant variable bindings: assignments that
+	// pass every subclause, projected per the SELECT clause.
+	Bindings []sparql.Binding
+	// Subclauses are the per-subclause evaluations.
+	Subclauses []SubclauseResult
+	// WhereBindings counts ontology matches before crowd filtering.
+	WhereBindings int
+	// TasksIssued counts the crowd tasks generated.
+	TasksIssued int
+}
+
+// Execute evaluates the query.
+func (e *Engine) Execute(q *oassisql.Query) (*Result, error) {
+	if q == nil {
+		return nil, fmt.Errorf("crowd: nil query")
+	}
+	// 1. WHERE against the ontology.
+	whereQ := &sparql.Query{Where: q.Where.Triples, Filters: q.Where.Filters, Limit: -1}
+	bindings, err := sparql.Eval(whereQ, e.Onto.Store, nil)
+	if err != nil {
+		return nil, fmt.Errorf("crowd: evaluating WHERE: %w", err)
+	}
+	res := &Result{WhereBindings: len(bindings)}
+	if len(q.Satisfying) == 0 {
+		res.Bindings = bindings
+		return res, nil
+	}
+
+	// 2. Each subclause filters the bindings by crowd support.
+	surviving := bindings
+	for i, sc := range q.Satisfying {
+		scRes, kept, err := e.evalSubclause(i, sc, surviving)
+		if err != nil {
+			return nil, err
+		}
+		res.Subclauses = append(res.Subclauses, *scRes)
+		res.TasksIssued += len(scRes.Tasks)
+		surviving = kept
+	}
+
+	// 3. Projection.
+	res.Bindings = project(surviving, q.Select)
+	return res, nil
+}
+
+// evalSubclause grounds the subclause pattern under each binding, asks
+// the crowd, applies the significance criterion and returns the
+// surviving bindings.
+func (e *Engine) evalSubclause(idx int, sc oassisql.Subclause, bindings []sparql.Binding) (*SubclauseResult, []sparql.Binding, error) {
+	expanded, err := e.expandOpenVars(sc, bindings)
+	if err != nil {
+		return nil, nil, err
+	}
+	scRes := &SubclauseResult{Index: idx}
+	type entry struct {
+		task    Task
+		binding sparql.Binding
+	}
+	var entries []entry
+	seen := map[string]bool{}
+	for _, b := range expanded {
+		ground := groundPattern(sc.Pattern.Triples, b)
+		key := FactKey(ground)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		t := Task{
+			Binding:  b,
+			Triples:  ground,
+			Key:      key,
+			Question: e.Verbalize(ground),
+			Support:  e.Crowd.Support(key, e.SampleSize),
+		}
+		entries = append(entries, entry{task: t, binding: b})
+	}
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].task.Support > entries[j].task.Support })
+
+	// Significance.
+	switch {
+	case sc.Threshold != nil:
+		for i := range entries {
+			entries[i].task.Significant = entries[i].task.Support >= *sc.Threshold
+		}
+	case sc.TopK != nil:
+		order := make([]int, len(entries))
+		for i := range order {
+			order[i] = i
+		}
+		if !sc.TopK.Desc {
+			// ascending: lowest-support first
+			sort.SliceStable(order, func(a, b int) bool {
+				return entries[order[a]].task.Support < entries[order[b]].task.Support
+			})
+		}
+		for rank, i := range order {
+			if rank < sc.TopK.K {
+				entries[i].task.Significant = true
+			}
+		}
+	default:
+		return nil, nil, fmt.Errorf("crowd: subclause %d has no significance criterion", idx+1)
+	}
+
+	var kept []sparql.Binding
+	for _, en := range entries {
+		scRes.Tasks = append(scRes.Tasks, en.task)
+		if en.task.Significant {
+			kept = append(kept, en.binding)
+		}
+	}
+	return scRes, kept, nil
+}
+
+// verbDomains approximates the semantic domain of the objects the crowd
+// would propose for an open variable of a habit verb: OASSIS lets crowd
+// members suggest terms; the simulation draws suggestions from the class
+// a competent member would pick from.
+var verbDomains = map[string]string{
+	"eat": "Food", "cook": "Dish", "bake": "Dish", "drink": "Beverage",
+	"order": "Dish", "serve": "Dish", "store": "Food",
+	"visit": "Place", "go": "Place", "see": "Place", "stay": "Hotel",
+	"explore": "Place", "hike": "Place", "walk": "Place",
+	"buy": "Product", "shop": "Product", "recommend": "Place",
+	"watch": "Show", "ride": "Ride",
+}
+
+// expandOpenVars instantiates subclause variables that the incoming
+// bindings leave unbound (open crowd mining: "which places do you
+// visit?") over the ontology's entities — restricted to the domain of
+// the pattern's habit verb when one is known — capped at OpenVarLimit.
+func (e *Engine) expandOpenVars(sc oassisql.Subclause, bindings []sparql.Binding) ([]sparql.Binding, error) {
+	open := map[string]bool{}
+	for _, v := range sc.Pattern.Vars() {
+		open[v] = true
+	}
+	if len(bindings) > 0 {
+		for v := range bindings[0] {
+			delete(open, v)
+		}
+	}
+	if len(open) == 0 {
+		return bindings, nil
+	}
+	limit := e.OpenVarLimit
+	if limit <= 0 {
+		limit = 50
+	}
+	// Candidate entities: the verb's domain class when known, otherwise
+	// everything with an instanceOf fact.
+	var entities []rdf.Term
+	if class, ok := e.patternDomain(sc); ok {
+		entities = e.Onto.InstancesOf(class)
+	}
+	if len(entities) == 0 {
+		seen := map[rdf.Term]bool{}
+		e.Onto.Store.MatchFunc(rdf.T(rdf.NewVar("s"), ontology.PredInstanceOf, rdf.NewVar("c")), func(t rdf.Triple) bool {
+			if !seen[t.S] && !e.Onto.IsClass(t.S) {
+				seen[t.S] = true
+				entities = append(entities, t.S)
+			}
+			return true
+		})
+		sort.Slice(entities, func(i, j int) bool { return entities[i].Compare(entities[j]) < 0 })
+	}
+	if len(entities) > limit {
+		entities = entities[:limit]
+	}
+	vars := make([]string, 0, len(open))
+	for v := range open {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	out := bindings
+	if len(out) == 0 {
+		out = []sparql.Binding{{}}
+	}
+	for _, v := range vars {
+		var next []sparql.Binding
+		for _, b := range out {
+			for _, ent := range entities {
+				nb := b.Clone()
+				nb[v] = ent
+				next = append(next, nb)
+			}
+		}
+		out = next
+		if len(out) > limit*limit {
+			return nil, fmt.Errorf("crowd: open-variable expansion too large (%d)", len(out))
+		}
+	}
+	return out, nil
+}
+
+// patternDomain finds the domain class of a subclause's habit verb.
+func (e *Engine) patternDomain(sc oassisql.Subclause) (rdf.Term, bool) {
+	for _, t := range sc.Pattern.Triples {
+		if class, ok := verbDomains[t.P.Local()]; ok {
+			return ontology.E(class), true
+		}
+	}
+	return rdf.Term{}, false
+}
+
+// groundPattern substitutes a binding into the pattern. Anonymous
+// variables remain (they render as [] and aggregate over participants).
+func groundPattern(pattern []rdf.Triple, b sparql.Binding) []rdf.Triple {
+	sub := func(t rdf.Term) rdf.Term {
+		if t.IsVar() && !oassisql.IsAnonVar(t.Value()) {
+			if bt, ok := b[t.Value()]; ok {
+				return bt
+			}
+		}
+		return t
+	}
+	out := make([]rdf.Triple, len(pattern))
+	for i, t := range pattern {
+		out[i] = rdf.T(sub(t.S), sub(t.P), sub(t.O))
+	}
+	return out
+}
+
+// project applies the SELECT clause to the surviving bindings,
+// deduplicating rows.
+func project(bindings []sparql.Binding, sel oassisql.SelectClause) []sparql.Binding {
+	var out []sparql.Binding
+	seen := map[string]bool{}
+	for _, b := range bindings {
+		nb := sparql.Binding{}
+		if sel.All {
+			for k, v := range b {
+				nb[k] = v
+			}
+		} else {
+			for _, v := range sel.Vars {
+				if t, ok := b[v]; ok {
+					nb[v] = t
+				}
+			}
+		}
+		key := bindingKey(nb)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, nb)
+		}
+	}
+	return out
+}
+
+func bindingKey(b sparql.Binding) string {
+	keys := make([]string, 0, len(b))
+	for k := range b {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		sb.WriteString(k + "=" + b[k].String() + ";")
+	}
+	return sb.String()
+}
+
+// Verbalize renders a ground fact-set as the natural-language question
+// posed to crowd members, using ontology labels: habit patterns become
+// frequency questions, label patterns become agreement questions.
+func (e *Engine) Verbalize(ground []rdf.Triple) string {
+	label := func(t rdf.Term) string {
+		if t.IsLiteral() {
+			return t.Value()
+		}
+		if t.IsVar() {
+			// Anonymous subjects are the asked member ("you"); any
+			// variable in object position reads as "something".
+			return "something"
+		}
+		return e.Onto.Label(t)
+	}
+	// Label (opinion) pattern: {X hasLabel "adj"} (+ extra triples).
+	var opinion *rdf.Triple
+	var rest []rdf.Triple
+	for i := range ground {
+		if ground[i].P.Local() == "hasLabel" {
+			opinion = &ground[i]
+		} else {
+			rest = append(rest, ground[i])
+		}
+	}
+	if opinion != nil {
+		q := fmt.Sprintf("Do you agree that %s is %s", label(opinion.S), label(opinion.O))
+		for _, t := range rest {
+			q += fmt.Sprintf(" %s %s", t.P.Local(), label(t.O))
+		}
+		return q + "?"
+	}
+	// Habit pattern: {[] verb X} (+ modifiers {[] prep Y}).
+	var main *rdf.Triple
+	var mods []rdf.Triple
+	for i := range ground {
+		p := ground[i].P.Local()
+		if isPrepLike(p) {
+			mods = append(mods, ground[i])
+		} else if main == nil {
+			main = &ground[i]
+		} else {
+			mods = append(mods, ground[i])
+		}
+	}
+	if main == nil {
+		return "How often does this hold: " + FactKey(ground) + "?"
+	}
+	q := fmt.Sprintf("How often do you %s %s", main.P.Local(), label(main.O))
+	for _, m := range mods {
+		q += fmt.Sprintf(" %s %s", m.P.Local(), label(m.O))
+	}
+	return q + "?"
+}
+
+func isPrepLike(p string) bool {
+	switch p {
+	case "in", "at", "on", "with", "for", "during", "near", "to", "from", "by":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,72 @@
+package eval
+
+import (
+	"testing"
+
+	"nl2cm/internal/corpus"
+	"nl2cm/internal/ix"
+	"nl2cm/internal/ontology"
+)
+
+// A3: the disambiguation ranking improves with user feedback. Before any
+// correction the generator prefers Buffalo, NY (the better-connected
+// entity); after one or two corrections towards Buffalo, IL, the intended
+// entity wins even in non-interactive mode.
+func TestA3FeedbackLearningCurve(t *testing.T) {
+	onto := ontology.NewDemoOntology()
+	intended := ontology.E("Buffalo,_IL")
+	curve, err := FeedbackLearningCurve(onto, "Where do you visit in Buffalo?", "Buffalo", intended, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 5 {
+		t.Fatalf("curve has %d points, want 5", len(curve))
+	}
+	if curve[0].AutoCorrect {
+		t.Error("round 0 already auto-correct; the ambiguity is gone")
+	}
+	if curve[0].Rank <= 1 {
+		t.Errorf("round 0 rank = %d, want > 1", curve[0].Rank)
+	}
+	last := curve[len(curve)-1]
+	if !last.AutoCorrect || last.Rank != 1 {
+		t.Errorf("after %d corrections: rank=%d auto=%v, want rank 1", last.Round, last.Rank, last.AutoCorrect)
+	}
+	// Monotone non-worsening ranks.
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Rank > curve[i-1].Rank {
+			t.Errorf("rank worsened at round %d: %d -> %d", curve[i].Round, curve[i-1].Rank, curve[i].Rank)
+		}
+	}
+}
+
+func TestFeedbackLearningCurveUnknownEntity(t *testing.T) {
+	onto := ontology.NewDemoOntology()
+	_, err := FeedbackLearningCurve(onto, "Where do you visit in Buffalo?", "Buffalo", ontology.E("Nowhere"), 1)
+	if err == nil {
+		t.Error("unknown intended entity accepted")
+	}
+}
+
+// TestCorpusQuality is the named entry point referenced by DESIGN.md's
+// experiment index: detection quality and translation success on the
+// corpus stay above the recorded thresholds.
+func TestCorpusQuality(t *testing.T) {
+	t.Run("detection", TestE7IXDetectionQuality)
+	t.Run("translation", TestE8TranslationSuccess)
+}
+
+// Type accuracy: detected IXs carry the gold individuality types.
+func TestIXTypeAccuracy(t *testing.T) {
+	correct, total, err := ScoreIXTypes(ix.NewDetector(), corpus.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total == 0 {
+		t.Fatal("no matched anchors to type-check")
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.85 {
+		t.Errorf("type accuracy = %.2f (%d/%d), want >= 0.85", acc, correct, total)
+	}
+}

@@ -1,0 +1,345 @@
+// Package individual implements NL2CM's Individual Triple Creation module
+// (paper §2.5): translating completed IXs into OASSIS-QL triples. Unlike
+// the General Query Generator, it cannot align request parts with the
+// ontology (individual data is unrecorded); instead, a mapping from
+// grammatical patterns within the IXs produces query triples:
+//
+//   - a verb with an individual subject maps to {[] <verb> $obj} — the
+//     participant is projected out as "[]" so answers of different crowd
+//     members about the same habit aggregate (paper's "places we should
+//     visit" -> {[] visit $x});
+//   - modal auxiliaries are dropped ("should" does not appear in the
+//     query: the SATISFYING clause already denotes individual data,
+//     paper footnote 2);
+//   - prepositional phrases of the verb map to their own triples with a
+//     fresh anonymous subject ({[] in Fall});
+//   - an opinion adjective maps to a label triple on the noun it
+//     qualifies ({$x hasLabel "interesting"}).
+package individual
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nl2cm/internal/ix"
+	"nl2cm/internal/nlp"
+	"nl2cm/internal/qgen"
+	"nl2cm/internal/rdf"
+)
+
+// HasLabelPred is the OASSIS-QL predicate connecting an entity to a
+// crowd-judged label (Figure 1, line 6).
+var HasLabelPred = rdf.NewIRI("hasLabel")
+
+// Part is the translation of one IX: the triples of one SATISFYING
+// subclause plus the metadata the composer needs.
+type Part struct {
+	// IX is the source expression.
+	IX *ix.IX
+	// Triples form the subclause's data pattern.
+	Triples []rdf.Triple
+	// Description is a short human phrase for significance dialogues
+	// ("visit in the fall", Figure 5).
+	Description string
+	// Superlative marks parts born from superlative opinions ("most
+	// interesting", "best"), which take a top-k selection rather than a
+	// support threshold.
+	Superlative bool
+	// Habit distinguishes habit frequency questions from opinion
+	// agreement questions when generating crowd tasks.
+	Habit bool
+}
+
+// Creator maps IXs to individual query parts. Anonymous "[]" variables
+// are allocated from the shared query result so names never collide.
+type Creator struct{}
+
+// anonCounter allocates fresh anonymous variables per query.
+type anonCounter struct{ n int }
+
+func (a *anonCounter) next() rdf.Term {
+	a.n++
+	return rdf.NewVar(fmt.Sprintf("_anon%d", a.n))
+}
+
+// Create translates the IXs, resolving noun tokens through the general
+// generator's result so that shared terms reuse the same variable.
+func (c *Creator) Create(g *nlp.DepGraph, ixs []*ix.IX, general *qgen.Result) ([]Part, error) {
+	anon := &anonCounter{}
+	var parts []Part
+	// Deterministic order: by anchor position.
+	sorted := append([]*ix.IX(nil), ixs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Anchor < sorted[j].Anchor })
+	for _, x := range sorted {
+		var p Part
+		var err error
+		anchor := &g.Nodes[x.Anchor]
+		// A participial opinion predicate ("is overrated") behaves like
+		// an adjective: lexical-only, with a passive auxiliary.
+		participialOpinion := strings.HasPrefix(anchor.POS, "VB") &&
+			x.HasType(ix.TypeLexical) && len(x.Types) == 1 &&
+			g.FirstDependent(x.Anchor, nlp.RelAuxPass) >= 0
+		switch {
+		case strings.HasPrefix(anchor.POS, "JJ") || participialOpinion:
+			p, err = c.adjectivePart(g, x, general)
+		case strings.HasPrefix(anchor.POS, "VB"):
+			p, err = c.verbPart(g, x, general, anon)
+		default:
+			err = fmt.Errorf("individual: IX anchored at unsupported POS %s (%q)", anchor.POS, anchor.Text)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(p.Triples) > 0 {
+			parts = append(parts, p)
+		}
+	}
+	return parts, nil
+}
+
+// nounTerm resolves a noun node to its query term: the general
+// generator's resolution if present, otherwise a fresh variable recorded
+// back into the result.
+func nounTerm(n int, general *qgen.Result) rdf.Term {
+	if t, ok := general.NodeTerms[n]; ok && t != (rdf.Term{}) {
+		return t
+	}
+	v := rdf.NewVar(general.FreshVar())
+	general.NodeTerms[n] = v
+	return v
+}
+
+// groundedTerm resolves a noun inside an individual pattern. A bare
+// common noun whose variable the ontology could not ground at all
+// ("breakfast", "locals") is downgraded to a crowd-facing term ({[] for
+// breakfast}) rather than an open variable, which would force pointless
+// open mining. Wh-tokens, grounded variables, and determined nouns ("a
+// tour guide" — paper §4.1: the user may want the guide's name, so it
+// must stay projectable) remain variables.
+func groundedTerm(g *nlp.DepGraph, n int, general *qgen.Result) rdf.Term {
+	t := nounTerm(n, general)
+	if !t.IsVar() || t.Value() == general.TargetVar {
+		return t
+	}
+	if strings.HasPrefix(g.Nodes[n].POS, "W") {
+		return t
+	}
+	if g.FirstDependent(n, nlp.RelDet) >= 0 {
+		return t // "a tour guide": an individual, projectable referent
+	}
+	for _, tr := range general.Triples {
+		if tr.S.Equal(t) || tr.O.Equal(t) {
+			return t // the variable is ontology-grounded
+		}
+	}
+	bare := rdf.NewIRI(g.Nodes[n].Lemma)
+	general.NodeTerms[n] = bare
+	return bare
+}
+
+// adjectivePart maps an opinion adjective to {<noun> hasLabel "<lemma>"}
+// plus one triple per prepositional complement of the adjective.
+func (c *Creator) adjectivePart(g *nlp.DepGraph, x *ix.IX, general *qgen.Result) (Part, error) {
+	anchor := &g.Nodes[x.Anchor]
+	noun := adjectiveNoun(g, x.Anchor)
+	if noun < 0 {
+		return Part{}, fmt.Errorf("individual: opinion adjective %q qualifies no noun", anchor.Text)
+	}
+	label := anchor.Lemma
+	if strings.HasPrefix(anchor.POS, "VB") {
+		label = anchor.Lower // participial opinion: "overrated"
+	}
+	prepHost := x.Anchor
+	// Predicate nominal: "Is oatmeal a good breakfast for adults?" — the
+	// opinion is about the copular subject (oatmeal), labeled with the
+	// whole predicate phrase ("good breakfast"); the predicate noun's
+	// PPs join the pattern.
+	if g.FirstDependent(noun, nlp.RelCop) >= 0 {
+		if subj := g.FirstDependent(noun, nlp.RelNSubj); subj >= 0 && subj != noun {
+			label = anchor.Lemma + " " + g.Nodes[noun].Lemma
+			prepHost = noun
+			noun = subj
+		}
+	}
+	nt := nounTerm(noun, general)
+	p := Part{
+		IX:          x,
+		Superlative: isSuperlative(g, x.Anchor),
+		Description: fmt.Sprintf("%s %s", anchor.Text, g.Nodes[noun].Text),
+	}
+	p.Triples = append(p.Triples, rdf.T(nt, HasLabelPred, rdf.NewLiteral(label)))
+	for _, prep := range g.Dependents(prepHost, nlp.RelPrep) {
+		pobj := g.FirstDependent(prep, nlp.RelPObj)
+		if pobj < 0 {
+			continue
+		}
+		ot := groundedTerm(g, pobj, general)
+		p.Triples = append(p.Triples, rdf.T(nt, rdf.NewIRI(g.Nodes[prep].Lemma), ot))
+		p.Description += " " + g.SubtreePhrase(prep)
+	}
+	return p, nil
+}
+
+// adjectiveNoun finds the noun an adjective qualifies: its amod head, its
+// subject, or its attributive wh-complement's antecedent.
+func adjectiveNoun(g *nlp.DepGraph, adj int) int {
+	n := &g.Nodes[adj]
+	if n.Rel == nlp.RelAMod && n.Head >= 0 {
+		return n.Head
+	}
+	if s := g.FirstDependent(adj, nlp.RelNSubj); s >= 0 {
+		return s
+	}
+	if a := g.FirstDependent(adj, nlp.RelAttr); a >= 0 {
+		return a
+	}
+	// post-nominal: "dishes rich in fiber"
+	if adj > 0 && strings.HasPrefix(g.Nodes[adj-1].POS, "NN") {
+		return adj - 1
+	}
+	return -1
+}
+
+// isSuperlative reports whether the adjective carries superlative force:
+// a JJS tag or an RBS modifier ("most interesting", "best").
+func isSuperlative(g *nlp.DepGraph, adj int) bool {
+	if g.Nodes[adj].POS == "JJS" {
+		return true
+	}
+	for _, d := range g.Dependents(adj, nlp.RelAdvMod) {
+		if g.Nodes[d].POS == "RBS" {
+			return true
+		}
+	}
+	return false
+}
+
+// verbPart maps a habit/recommendation verb to {[] <verb> $obj} with one
+// extra triple per prepositional phrase.
+func (c *Creator) verbPart(g *nlp.DepGraph, x *ix.IX, general *qgen.Result, anon *anonCounter) (Part, error) {
+	p := Part{IX: x, Habit: true}
+
+	// Subject: individual participants are projected out as []; named
+	// third parties keep their term ("Obama should visit Buffalo").
+	subj := g.FirstDependent(x.Anchor, nlp.RelNSubj)
+	var subjTerm rdf.Term
+	if subj >= 0 && !isParticipantNode(g, subj) && strings.HasPrefix(g.Nodes[subj].POS, "NN") {
+		subjTerm = nounTerm(subj, general)
+	} else {
+		subjTerm = anon.next()
+	}
+
+	// The verb itself becomes the predicate; an xcomp verb ("want to
+	// buy") contributes the real action.
+	verb := x.Anchor
+	if xc := g.FirstDependent(x.Anchor, nlp.RelXComp); xc >= 0 && x.Contains(xc) {
+		verb = xc
+	}
+	pred := rdf.NewIRI(g.Nodes[verb].Lemma)
+
+	// Object: direct object (tree or gap-filling extra edge), else a
+	// fresh variable when the question asks "where/what" about the verb.
+	obj := g.FirstDependent(verb, nlp.RelDObj)
+	if obj < 0 {
+		for _, d := range g.DependentsAll(verb, nlp.RelDObj) {
+			obj = d
+			break
+		}
+	}
+	if obj < 0 && verb != x.Anchor {
+		// object of the matrix verb ("places we want to visit")
+		for _, d := range g.DependentsAll(x.Anchor, nlp.RelDObj) {
+			obj = d
+			break
+		}
+	}
+	var objTerm rdf.Term
+	switch {
+	case obj >= 0:
+		objTerm = nounTerm(obj, general)
+		// A fronted wh-object ("What do you eat?") is the question's
+		// focus when nothing else claimed it.
+		if strings.HasPrefix(g.Nodes[obj].POS, "W") && general.TargetVar == "" && objTerm.IsVar() {
+			general.TargetVar = objTerm.Value()
+		}
+	case hasWhAdverb(g, x.Anchor):
+		// "Where do you visit?" — the asked-about thing is the answer
+		// variable.
+		v := rdf.NewVar(general.FreshVar())
+		if general.TargetVar == "" {
+			general.TargetVar = v.Value()
+		}
+		objTerm = v
+	default:
+		objTerm = rdf.Term{}
+	}
+
+	if objTerm != (rdf.Term{}) {
+		p.Triples = append(p.Triples, rdf.T(subjTerm, pred, objTerm))
+		// Coordinated objects join the same data pattern: "we visit
+		// parks and museums" asks about the combined habit.
+		if obj >= 0 {
+			for _, conj := range g.Dependents(obj, nlp.RelConj) {
+				ct := groundedTerm(g, conj, general)
+				p.Triples = append(p.Triples, rdf.T(anon.next(), pred, ct))
+			}
+		}
+	} else {
+		// Intransitive habit ("how often do you exercise"): the verb
+		// itself is the pattern, with an anonymous object slot omitted.
+		p.Triples = append(p.Triples, rdf.T(subjTerm, pred, anon.next()))
+	}
+
+	// Prepositional phrases of the verb: {[] in Fall}.
+	for _, prep := range g.Dependents(x.Anchor, nlp.RelPrep) {
+		pobj := g.FirstDependent(prep, nlp.RelPObj)
+		if pobj < 0 {
+			continue
+		}
+		ot := groundedTerm(g, pobj, general)
+		p.Triples = append(p.Triples, rdf.T(anon.next(), rdf.NewIRI(g.Nodes[prep].Lemma), ot))
+	}
+
+	p.Description = describeVerbPart(g, x, verb)
+	return p, nil
+}
+
+// isParticipantNode reports whether the subject token denotes an
+// individual participant (first/second person or generic people), which
+// is projected out of the query.
+func isParticipantNode(g *nlp.DepGraph, n int) bool {
+	node := &g.Nodes[n]
+	if node.POS == "PRP" || node.POS == "PRP$" {
+		return true
+	}
+	switch node.Lemma {
+	case "person", "one", "everyone", "everybody", "anyone", "anybody",
+		"someone", "somebody", "folk", "local", "friend", "family",
+		"parent", "kid", "child", "guy", "visitor", "tourist", "traveler",
+		"resident":
+		return true
+	}
+	return false
+}
+
+// hasWhAdverb reports whether the verb carries a wh-adverb dependent
+// ("where", "when").
+func hasWhAdverb(g *nlp.DepGraph, v int) bool {
+	for _, d := range g.Dependents(v, nlp.RelAdvMod) {
+		if strings.HasPrefix(g.Nodes[d].POS, "W") {
+			return true
+		}
+	}
+	return false
+}
+
+// describeVerbPart phrases the part for the significance dialogue:
+// "visit in the fall".
+func describeVerbPart(g *nlp.DepGraph, x *ix.IX, verb int) string {
+	parts := []string{g.Nodes[verb].Lemma}
+	for _, prep := range g.Dependents(x.Anchor, nlp.RelPrep) {
+		parts = append(parts, g.SubtreePhrase(prep))
+	}
+	return strings.Join(parts, " ")
+}

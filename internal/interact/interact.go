@@ -1,0 +1,448 @@
+// Package interact models NL2CM's optional user-interaction points
+// (paper §4.1, Figures 3–6): verifying detected individual expressions,
+// disambiguating NL terms against the ontology, choosing LIMIT/THRESHOLD
+// significance values, and selecting which variables' bindings to return.
+//
+// Each point can be independently disabled ("the system may be configured
+// to always skip certain interaction points, or skip them when there is
+// no uncertainty"); disabled or unanswered points fall back to defaults.
+package interact
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Point identifies one of the four interaction points.
+type Point int
+
+// Interaction points, in pipeline order.
+const (
+	PointIXVerification Point = iota
+	PointDisambiguation
+	PointSignificance
+	PointProjection
+)
+
+func (p Point) String() string {
+	switch p {
+	case PointIXVerification:
+		return "ix-verification"
+	case PointDisambiguation:
+		return "disambiguation"
+	case PointSignificance:
+		return "significance"
+	case PointProjection:
+		return "projection"
+	default:
+		return fmt.Sprintf("point(%d)", int(p))
+	}
+}
+
+// Policy selects which interaction points are active. The zero value
+// disables all interaction (fully automatic translation, the §4.1
+// "without interacting with the user" mode).
+type Policy struct {
+	// Ask enables each point.
+	Ask map[Point]bool
+	// OnlyWhenUncertain limits IX verification to spans whose detection
+	// pattern is marked uncertain (paper: 'an IX detection pattern can be
+	// marked as "uncertain"').
+	OnlyWhenUncertain bool
+}
+
+// Interactive returns a policy with every interaction point enabled.
+func Interactive() Policy {
+	return Policy{Ask: map[Point]bool{
+		PointIXVerification: true,
+		PointDisambiguation: true,
+		PointSignificance:   true,
+		PointProjection:     true,
+	}}
+}
+
+// Automatic returns the no-interaction policy.
+func Automatic() Policy { return Policy{} }
+
+// Asks reports whether the policy activates the point.
+func (p Policy) Asks(pt Point) bool { return p.Ask != nil && p.Ask[pt] }
+
+// IXSpan is a detected individual expression shown to the user for
+// verification (Figure 4 highlights each in a different color).
+type IXSpan struct {
+	// Text is the surface text of the expression.
+	Text string
+	// Start and End are token indices [Start, End) in the question.
+	Start, End int
+	// Type is the individuality type: "lexical", "participant" or
+	// "syntactic".
+	Type string
+	// Pattern names the detection pattern that fired.
+	Pattern string
+	// Uncertain marks spans from patterns flagged as uncertain.
+	Uncertain bool
+}
+
+// Choice is one option in a disambiguation question.
+type Choice struct {
+	Label       string
+	Description string
+}
+
+// VarChoice is one projectable variable with the question phrase it
+// corresponds to.
+type VarChoice struct {
+	Var    string
+	Phrase string
+}
+
+// Interactor answers the system's questions. Implementations must be
+// safe for sequential use during one translation.
+type Interactor interface {
+	// VerifyIXs asks which detected IXs really are individual; it
+	// returns one accept flag per span.
+	VerifyIXs(question string, spans []IXSpan) ([]bool, error)
+	// Disambiguate picks one of the candidate meanings for a phrase; it
+	// returns the chosen index.
+	Disambiguate(phrase string, options []Choice) (int, error)
+	// SelectTopK asks for the k of a top-k significance selection.
+	SelectTopK(description string, def int) (int, error)
+	// SelectThreshold asks for a minimal support threshold in [0,1].
+	SelectThreshold(description string, def float64) (float64, error)
+	// SelectProjection asks which variables to return bindings for; it
+	// returns one keep flag per choice.
+	SelectProjection(choices []VarChoice) ([]bool, error)
+}
+
+// ---------------------------------------------------------------------
+// Auto: every question answered with its default.
+
+// Auto is the non-interactive Interactor: it accepts all IXs, keeps the
+// top-ranked disambiguation candidate, uses default significance values
+// and projects every variable.
+type Auto struct{}
+
+// VerifyIXs implements Interactor.
+func (Auto) VerifyIXs(_ string, spans []IXSpan) ([]bool, error) {
+	out := make([]bool, len(spans))
+	for i := range out {
+		out[i] = true
+	}
+	return out, nil
+}
+
+// Disambiguate implements Interactor.
+func (Auto) Disambiguate(_ string, options []Choice) (int, error) {
+	if len(options) == 0 {
+		return -1, fmt.Errorf("interact: no options to disambiguate")
+	}
+	return 0, nil
+}
+
+// SelectTopK implements Interactor.
+func (Auto) SelectTopK(_ string, def int) (int, error) { return def, nil }
+
+// SelectThreshold implements Interactor.
+func (Auto) SelectThreshold(_ string, def float64) (float64, error) { return def, nil }
+
+// SelectProjection implements Interactor.
+func (Auto) SelectProjection(choices []VarChoice) ([]bool, error) {
+	out := make([]bool, len(choices))
+	for i := range out {
+		out[i] = true
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Scripted: canned answers for tests and demo scripts.
+
+// Scripted replays pre-recorded answers; when a queue is exhausted it
+// falls back to the Auto defaults. It implements the volunteer-user
+// scripts of the demonstration scenario.
+type Scripted struct {
+	// IXAnswers holds one []bool per VerifyIXs call.
+	IXAnswers [][]bool
+	// DisambiguationAnswers holds chosen indices per Disambiguate call.
+	DisambiguationAnswers []int
+	// TopKAnswers and ThresholdAnswers per corresponding call.
+	TopKAnswers      []int
+	ThresholdAnswers []float64
+	// ProjectionAnswers holds one []bool per SelectProjection call.
+	ProjectionAnswers [][]bool
+
+	ixi, disi, ki, thi, pri int
+}
+
+// VerifyIXs implements Interactor.
+func (s *Scripted) VerifyIXs(q string, spans []IXSpan) ([]bool, error) {
+	if s.ixi < len(s.IXAnswers) {
+		ans := s.IXAnswers[s.ixi]
+		s.ixi++
+		if len(ans) != len(spans) {
+			return nil, fmt.Errorf("interact: scripted IX answer has %d flags for %d spans", len(ans), len(spans))
+		}
+		return ans, nil
+	}
+	return Auto{}.VerifyIXs(q, spans)
+}
+
+// Disambiguate implements Interactor.
+func (s *Scripted) Disambiguate(phrase string, options []Choice) (int, error) {
+	if s.disi < len(s.DisambiguationAnswers) {
+		i := s.DisambiguationAnswers[s.disi]
+		s.disi++
+		if i < 0 || i >= len(options) {
+			return -1, fmt.Errorf("interact: scripted choice %d out of range (%d options for %q)", i, len(options), phrase)
+		}
+		return i, nil
+	}
+	return Auto{}.Disambiguate(phrase, options)
+}
+
+// SelectTopK implements Interactor.
+func (s *Scripted) SelectTopK(desc string, def int) (int, error) {
+	if s.ki < len(s.TopKAnswers) {
+		k := s.TopKAnswers[s.ki]
+		s.ki++
+		return k, nil
+	}
+	return def, nil
+}
+
+// SelectThreshold implements Interactor.
+func (s *Scripted) SelectThreshold(desc string, def float64) (float64, error) {
+	if s.thi < len(s.ThresholdAnswers) {
+		t := s.ThresholdAnswers[s.thi]
+		s.thi++
+		return t, nil
+	}
+	return def, nil
+}
+
+// SelectProjection implements Interactor.
+func (s *Scripted) SelectProjection(choices []VarChoice) ([]bool, error) {
+	if s.pri < len(s.ProjectionAnswers) {
+		ans := s.ProjectionAnswers[s.pri]
+		s.pri++
+		if len(ans) != len(choices) {
+			return nil, fmt.Errorf("interact: scripted projection answer has %d flags for %d vars", len(ans), len(choices))
+		}
+		return ans, nil
+	}
+	return Auto{}.SelectProjection(choices)
+}
+
+// ---------------------------------------------------------------------
+// Console: interactive prompts over an io stream (the CLI front end).
+
+// Console prompts the user on W and reads answers from R, mirroring the
+// web UI dialogues of Figures 3–6 in plain text.
+type Console struct {
+	R io.Reader
+	W io.Writer
+
+	br *bufio.Reader
+}
+
+func (c *Console) reader() *bufio.Reader {
+	if c.br == nil {
+		c.br = bufio.NewReader(c.R)
+	}
+	return c.br
+}
+
+func (c *Console) readLine() (string, error) {
+	line, err := c.reader().ReadString('\n')
+	if err != nil && line == "" {
+		return "", err
+	}
+	return strings.TrimSpace(line), nil
+}
+
+// VerifyIXs implements Interactor.
+func (c *Console) VerifyIXs(question string, spans []IXSpan) ([]bool, error) {
+	fmt.Fprintf(c.W, "Please verify: which parts of your question should be asked to the crowd?\n")
+	out := make([]bool, len(spans))
+	for i, sp := range spans {
+		fmt.Fprintf(c.W, "  [%d] %q (%s individuality) — ask the crowd? [Y/n] ", i+1, sp.Text, sp.Type)
+		line, err := c.readLine()
+		if err != nil {
+			return nil, fmt.Errorf("interact: reading IX answer: %w", err)
+		}
+		out[i] = line == "" || strings.EqualFold(line, "y") || strings.EqualFold(line, "yes")
+	}
+	return out, nil
+}
+
+// Disambiguate implements Interactor.
+func (c *Console) Disambiguate(phrase string, options []Choice) (int, error) {
+	if len(options) == 0 {
+		return -1, fmt.Errorf("interact: no options to disambiguate")
+	}
+	fmt.Fprintf(c.W, "Which %q did you mean?\n", phrase)
+	for i, o := range options {
+		fmt.Fprintf(c.W, "  [%d] %s — %s\n", i+1, o.Label, o.Description)
+	}
+	fmt.Fprintf(c.W, "Enter choice [1]: ")
+	line, err := c.readLine()
+	if err != nil {
+		return -1, fmt.Errorf("interact: reading choice: %w", err)
+	}
+	if line == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(line)
+	if err != nil || n < 1 || n > len(options) {
+		return -1, fmt.Errorf("interact: invalid choice %q", line)
+	}
+	return n - 1, nil
+}
+
+// SelectTopK implements Interactor.
+func (c *Console) SelectTopK(desc string, def int) (int, error) {
+	fmt.Fprintf(c.W, "How many results for %s? [%d]: ", desc, def)
+	line, err := c.readLine()
+	if err != nil {
+		return 0, fmt.Errorf("interact: reading k: %w", err)
+	}
+	if line == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(line)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("interact: invalid k %q", line)
+	}
+	return n, nil
+}
+
+// SelectThreshold implements Interactor.
+func (c *Console) SelectThreshold(desc string, def float64) (float64, error) {
+	fmt.Fprintf(c.W, "Minimal frequency for %s, between 0 and 1? [%g]: ", desc, def)
+	line, err := c.readLine()
+	if err != nil {
+		return 0, fmt.Errorf("interact: reading threshold: %w", err)
+	}
+	if line == "" {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(line, 64)
+	if err != nil || f < 0 || f > 1 {
+		return 0, fmt.Errorf("interact: invalid threshold %q", line)
+	}
+	return f, nil
+}
+
+// SelectProjection implements Interactor.
+func (c *Console) SelectProjection(choices []VarChoice) ([]bool, error) {
+	out := make([]bool, len(choices))
+	fmt.Fprintf(c.W, "For which terms do you want to receive instances?\n")
+	for i, ch := range choices {
+		fmt.Fprintf(c.W, "  $%s (%q) — include? [Y/n] ", ch.Var, ch.Phrase)
+		line, err := c.readLine()
+		if err != nil {
+			return nil, fmt.Errorf("interact: reading projection answer: %w", err)
+		}
+		out[i] = line == "" || strings.EqualFold(line, "y") || strings.EqualFold(line, "yes")
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Recorder: transcripts for the administrator mode.
+
+// Exchange is one recorded question/answer pair.
+type Exchange struct {
+	Point    Point
+	Question string
+	Answer   string
+}
+
+// Recorder wraps an Interactor and records a transcript of every
+// exchange; the admin-mode monitor displays it.
+type Recorder struct {
+	Inner Interactor
+	Log   []Exchange
+}
+
+func (r *Recorder) record(p Point, q, a string) {
+	r.Log = append(r.Log, Exchange{Point: p, Question: q, Answer: a})
+}
+
+// VerifyIXs implements Interactor.
+func (r *Recorder) VerifyIXs(question string, spans []IXSpan) ([]bool, error) {
+	ans, err := r.Inner.VerifyIXs(question, spans)
+	if err != nil {
+		return nil, err
+	}
+	var qs, as []string
+	for i, sp := range spans {
+		qs = append(qs, fmt.Sprintf("%q(%s)", sp.Text, sp.Type))
+		as = append(as, fmt.Sprintf("%v", ans[i]))
+	}
+	r.record(PointIXVerification, "verify IXs: "+strings.Join(qs, ", "), strings.Join(as, ", "))
+	return ans, nil
+}
+
+// Disambiguate implements Interactor.
+func (r *Recorder) Disambiguate(phrase string, options []Choice) (int, error) {
+	i, err := r.Inner.Disambiguate(phrase, options)
+	if err != nil {
+		return i, err
+	}
+	var labels []string
+	for _, o := range options {
+		labels = append(labels, o.Label+" ("+o.Description+")")
+	}
+	r.record(PointDisambiguation,
+		fmt.Sprintf("disambiguate %q among [%s]", phrase, strings.Join(labels, "; ")),
+		options[i].Label+" ("+options[i].Description+")")
+	return i, nil
+}
+
+// SelectTopK implements Interactor.
+func (r *Recorder) SelectTopK(desc string, def int) (int, error) {
+	k, err := r.Inner.SelectTopK(desc, def)
+	if err != nil {
+		return k, err
+	}
+	r.record(PointSignificance, fmt.Sprintf("top-k for %s (default %d)", desc, def), strconv.Itoa(k))
+	return k, nil
+}
+
+// SelectThreshold implements Interactor.
+func (r *Recorder) SelectThreshold(desc string, def float64) (float64, error) {
+	t, err := r.Inner.SelectThreshold(desc, def)
+	if err != nil {
+		return t, err
+	}
+	r.record(PointSignificance, fmt.Sprintf("threshold for %s (default %g)", desc, def),
+		strconv.FormatFloat(t, 'g', -1, 64))
+	return t, nil
+}
+
+// SelectProjection implements Interactor.
+func (r *Recorder) SelectProjection(choices []VarChoice) ([]bool, error) {
+	ans, err := r.Inner.SelectProjection(choices)
+	if err != nil {
+		return nil, err
+	}
+	var qs, as []string
+	for i, ch := range choices {
+		qs = append(qs, "$"+ch.Var)
+		as = append(as, fmt.Sprintf("%v", ans[i]))
+	}
+	r.record(PointProjection, "project "+strings.Join(qs, ", "), strings.Join(as, ", "))
+	return ans, nil
+}
+
+// Interface checks.
+var (
+	_ Interactor = Auto{}
+	_ Interactor = (*Scripted)(nil)
+	_ Interactor = (*Console)(nil)
+	_ Interactor = (*Recorder)(nil)
+)

@@ -1,0 +1,220 @@
+package interact
+
+import (
+	"strings"
+	"testing"
+)
+
+var spans = []IXSpan{
+	{Text: "most interesting places", Type: "lexical", Uncertain: true},
+	{Text: "we should visit in the fall", Type: "participant+syntactic"},
+}
+
+var choices = []Choice{
+	{Label: "Buffalo", Description: "city in New York, USA"},
+	{Label: "Buffalo", Description: "village in Illinois, USA"},
+}
+
+func TestPolicyDefaults(t *testing.T) {
+	auto := Automatic()
+	for _, p := range []Point{PointIXVerification, PointDisambiguation, PointSignificance, PointProjection} {
+		if auto.Asks(p) {
+			t.Errorf("Automatic policy asks %v", p)
+		}
+	}
+	inter := Interactive()
+	for _, p := range []Point{PointIXVerification, PointDisambiguation, PointSignificance, PointProjection} {
+		if !inter.Asks(p) {
+			t.Errorf("Interactive policy does not ask %v", p)
+		}
+	}
+}
+
+func TestPointString(t *testing.T) {
+	names := map[Point]string{
+		PointIXVerification: "ix-verification",
+		PointDisambiguation: "disambiguation",
+		PointSignificance:   "significance",
+		PointProjection:     "projection",
+	}
+	for p, want := range names {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), want)
+		}
+	}
+}
+
+func TestAutoDefaults(t *testing.T) {
+	a := Auto{}
+	ans, err := a.VerifyIXs("q", spans)
+	if err != nil || len(ans) != 2 || !ans[0] || !ans[1] {
+		t.Errorf("VerifyIXs = %v, %v", ans, err)
+	}
+	i, err := a.Disambiguate("Buffalo", choices)
+	if err != nil || i != 0 {
+		t.Errorf("Disambiguate = %d, %v", i, err)
+	}
+	if _, err := a.Disambiguate("x", nil); err == nil {
+		t.Error("Disambiguate with no options succeeded")
+	}
+	if k, _ := a.SelectTopK("d", 5); k != 5 {
+		t.Errorf("SelectTopK = %d", k)
+	}
+	if th, _ := a.SelectThreshold("d", 0.1); th != 0.1 {
+		t.Errorf("SelectThreshold = %g", th)
+	}
+	keep, _ := a.SelectProjection([]VarChoice{{Var: "x"}, {Var: "y"}})
+	if len(keep) != 2 || !keep[0] || !keep[1] {
+		t.Errorf("SelectProjection = %v", keep)
+	}
+}
+
+func TestScriptedAnswersAndFallback(t *testing.T) {
+	s := &Scripted{
+		IXAnswers:             [][]bool{{true, false}},
+		DisambiguationAnswers: []int{1},
+		TopKAnswers:           []int{3},
+		ThresholdAnswers:      []float64{0.25},
+		ProjectionAnswers:     [][]bool{{false, true}},
+	}
+	ans, err := s.VerifyIXs("q", spans)
+	if err != nil || ans[0] != true || ans[1] != false {
+		t.Errorf("VerifyIXs = %v, %v", ans, err)
+	}
+	// Second call falls back to Auto (accept all).
+	ans, err = s.VerifyIXs("q", spans)
+	if err != nil || !ans[0] || !ans[1] {
+		t.Errorf("fallback VerifyIXs = %v, %v", ans, err)
+	}
+	i, err := s.Disambiguate("Buffalo", choices)
+	if err != nil || i != 1 {
+		t.Errorf("Disambiguate = %d, %v", i, err)
+	}
+	if i, _ := s.Disambiguate("Buffalo", choices); i != 0 {
+		t.Errorf("fallback Disambiguate = %d", i)
+	}
+	if k, _ := s.SelectTopK("d", 5); k != 3 {
+		t.Errorf("SelectTopK = %d", k)
+	}
+	if th, _ := s.SelectThreshold("d", 0.1); th != 0.25 {
+		t.Errorf("SelectThreshold = %g", th)
+	}
+	keep, err := s.SelectProjection([]VarChoice{{Var: "x"}, {Var: "y"}})
+	if err != nil || keep[0] || !keep[1] {
+		t.Errorf("SelectProjection = %v, %v", keep, err)
+	}
+}
+
+func TestScriptedShapeMismatch(t *testing.T) {
+	s := &Scripted{IXAnswers: [][]bool{{true}}}
+	if _, err := s.VerifyIXs("q", spans); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	s2 := &Scripted{DisambiguationAnswers: []int{7}}
+	if _, err := s2.Disambiguate("x", choices); err == nil {
+		t.Error("out-of-range choice accepted")
+	}
+	s3 := &Scripted{ProjectionAnswers: [][]bool{{true}}}
+	if _, err := s3.SelectProjection([]VarChoice{{Var: "x"}, {Var: "y"}}); err == nil {
+		t.Error("projection shape mismatch accepted")
+	}
+}
+
+func TestConsoleDialogue(t *testing.T) {
+	in := strings.NewReader("y\nn\n2\n7\n0.4\n\nn\n")
+	var out strings.Builder
+	c := &Console{R: in, W: &out}
+	ans, err := c.VerifyIXs("q", spans)
+	if err != nil || ans[0] != true || ans[1] != false {
+		t.Fatalf("VerifyIXs = %v, %v", ans, err)
+	}
+	i, err := c.Disambiguate("Buffalo", choices)
+	if err != nil || i != 1 {
+		t.Fatalf("Disambiguate = %d, %v", i, err)
+	}
+	k, err := c.SelectTopK("interesting places", 5)
+	if err != nil || k != 7 {
+		t.Fatalf("SelectTopK = %d, %v", k, err)
+	}
+	th, err := c.SelectThreshold("visit in the fall", 0.1)
+	if err != nil || th != 0.4 {
+		t.Fatalf("SelectThreshold = %g, %v", th, err)
+	}
+	keep, err := c.SelectProjection([]VarChoice{{Var: "x", Phrase: "places"}, {Var: "y", Phrase: "guide"}})
+	if err != nil || !keep[0] || keep[1] {
+		t.Fatalf("SelectProjection = %v, %v", keep, err)
+	}
+	text := out.String()
+	for _, want := range []string{"most interesting places", "Buffalo", "interesting places", "visit in the fall", "places"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("console output missing %q", want)
+		}
+	}
+}
+
+func TestConsoleDefaultsOnEmptyLine(t *testing.T) {
+	in := strings.NewReader("\n\n\n")
+	var out strings.Builder
+	c := &Console{R: in, W: &out}
+	if i, err := c.Disambiguate("x", choices); err != nil || i != 0 {
+		t.Errorf("Disambiguate default = %d, %v", i, err)
+	}
+	if k, err := c.SelectTopK("d", 5); err != nil || k != 5 {
+		t.Errorf("SelectTopK default = %d, %v", k, err)
+	}
+	if th, err := c.SelectThreshold("d", 0.1); err != nil || th != 0.1 {
+		t.Errorf("SelectThreshold default = %g, %v", th, err)
+	}
+}
+
+func TestConsoleInvalidInput(t *testing.T) {
+	c := &Console{R: strings.NewReader("nope\n"), W: &strings.Builder{}}
+	if _, err := c.Disambiguate("x", choices); err == nil {
+		t.Error("invalid choice accepted")
+	}
+	c2 := &Console{R: strings.NewReader("-3\n"), W: &strings.Builder{}}
+	if _, err := c2.SelectTopK("d", 5); err == nil {
+		t.Error("negative k accepted")
+	}
+	c3 := &Console{R: strings.NewReader("1.5\n"), W: &strings.Builder{}}
+	if _, err := c3.SelectThreshold("d", 0.1); err == nil {
+		t.Error("threshold > 1 accepted")
+	}
+}
+
+func TestRecorderTranscript(t *testing.T) {
+	r := &Recorder{Inner: Auto{}}
+	if _, err := r.VerifyIXs("q", spans); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Disambiguate("Buffalo", choices); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.SelectTopK("interesting places", 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.SelectThreshold("visit in fall", 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.SelectProjection([]VarChoice{{Var: "x"}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Log) != 5 {
+		t.Fatalf("transcript has %d exchanges, want 5", len(r.Log))
+	}
+	points := []Point{PointIXVerification, PointDisambiguation, PointSignificance, PointSignificance, PointProjection}
+	for i, ex := range r.Log {
+		if ex.Point != points[i] {
+			t.Errorf("exchange %d point = %v, want %v", i, ex.Point, points[i])
+		}
+		if ex.Question == "" || ex.Answer == "" {
+			t.Errorf("exchange %d incomplete: %+v", i, ex)
+		}
+	}
+}
+
+func TestPointStringUnknown(t *testing.T) {
+	if got := Point(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("String = %q", got)
+	}
+}

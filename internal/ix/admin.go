@@ -1,0 +1,83 @@
+package ix
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// LoadPatternsFile reads an administrator pattern file (the
+// DefaultPatternSource format) from disk.
+func LoadPatternsFile(path string) ([]*Pattern, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("ix: reading pattern file: %w", err)
+	}
+	ps, err := ParsePatterns(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("ix: %s: %w", path, err)
+	}
+	return ps, nil
+}
+
+// LoadVocabularyDir loads every "*.txt" file in dir as a vocabulary named
+// after the file (e.g. "V_participant.txt" -> V_participant), one word
+// per line with '#' comments. Loaded vocabularies are registered into vs,
+// replacing same-named defaults — the administrator editing model of
+// paper §2.3.
+func LoadVocabularyDir(vs *Vocabularies, dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("ix: reading vocabulary dir: %w", err)
+	}
+	loaded := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".txt") {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), ".txt")
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return loaded, fmt.Errorf("ix: opening vocabulary %s: %w", e.Name(), err)
+		}
+		v, err := LoadVocabulary(name, f)
+		f.Close()
+		if err != nil {
+			return loaded, err
+		}
+		vs.Register(v)
+		loaded++
+	}
+	return loaded, nil
+}
+
+// WriteDefaultPatterns writes the shipped pattern set to a file so an
+// administrator can start editing from the defaults.
+func WriteDefaultPatterns(path string) error {
+	if err := os.WriteFile(path, []byte(strings.TrimLeft(DefaultPatternSource, "\n")), 0o644); err != nil {
+		return fmt.Errorf("ix: writing default patterns: %w", err)
+	}
+	return nil
+}
+
+// WriteVocabularyDir dumps every vocabulary in vs to "<name>.txt" files
+// under dir, creating it if needed.
+func WriteVocabularyDir(vs *Vocabularies, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("ix: creating vocabulary dir: %w", err)
+	}
+	for _, name := range vs.Names() {
+		v, _ := vs.Get(name)
+		var b strings.Builder
+		fmt.Fprintf(&b, "# vocabulary %s (%d words)\n", name, v.Len())
+		for _, w := range v.Words() {
+			b.WriteString(w)
+			b.WriteByte('\n')
+		}
+		if err := os.WriteFile(filepath.Join(dir, name+".txt"), []byte(b.String()), 0o644); err != nil {
+			return fmt.Errorf("ix: writing vocabulary %s: %w", name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package ix
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteAndLoadDefaultPatterns(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "patterns.ixp")
+	if err := WriteDefaultPatterns(path); err != nil {
+		t.Fatal(err)
+	}
+	ps, err := LoadPatternsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != len(DefaultPatterns()) {
+		t.Errorf("loaded %d patterns, want %d", len(ps), len(DefaultPatterns()))
+	}
+}
+
+func TestLoadPatternsFileErrors(t *testing.T) {
+	if _, err := LoadPatternsFile("/nonexistent/patterns.ixp"); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.ixp")
+	if err := os.WriteFile(bad, []byte("PATTERN broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPatternsFile(bad); err == nil {
+		t.Error("malformed file accepted")
+	}
+}
+
+func TestWriteAndLoadVocabularyDir(t *testing.T) {
+	dir := t.TempDir()
+	defaults := DefaultVocabularies()
+	if err := WriteVocabularyDir(defaults, dir); err != nil {
+		t.Fatal(err)
+	}
+	vs := NewVocabularies()
+	n, err := LoadVocabularyDir(vs, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(defaults.Names()) {
+		t.Errorf("loaded %d vocabularies, want %d", n, len(defaults.Names()))
+	}
+	for _, name := range defaults.Names() {
+		orig, _ := defaults.Get(name)
+		got, ok := vs.Get(name)
+		if !ok || got.Len() != orig.Len() {
+			t.Errorf("vocabulary %s round trip lost words", name)
+		}
+	}
+}
+
+func TestLoadVocabularyDirOverridesDefaults(t *testing.T) {
+	// An administrator shrinking a vocabulary changes detection.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, VocabModal+".txt"), []byte("must\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	vs := DefaultVocabularies()
+	if _, err := LoadVocabularyDir(vs, dir); err != nil {
+		t.Fatal(err)
+	}
+	modal, _ := vs.Get(VocabModal)
+	if modal.Contains("should") || !modal.Contains("must") {
+		t.Errorf("override failed: %v", modal.Words())
+	}
+}
+
+func TestLoadVocabularyDirMissing(t *testing.T) {
+	if _, err := LoadVocabularyDir(NewVocabularies(), "/nonexistent"); err == nil {
+		t.Error("missing dir accepted")
+	}
+}

@@ -1,0 +1,220 @@
+// Package ix implements NL2CM's core contribution: the Individual
+// eXpression (IX) Detector (paper §2.3). It distinguishes the individual
+// parts of a parsed NL request from the general parts using declarative,
+// administrator-editable detection patterns — SPARQL-like selections over
+// the dependency graph — together with dedicated vocabularies.
+//
+// The detector is split, as in the paper's architecture (Figure 2), into
+// the IXFinder, which matches detection patterns, and the IXCreator,
+// which completes each partial IX to its full semantic subgraph.
+package ix
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Vocabulary is a named word set used by detection patterns through the
+// IN operator (e.g. V_participant in the paper's example pattern).
+type Vocabulary struct {
+	Name  string
+	words map[string]bool
+}
+
+// NewVocabulary builds a vocabulary from words (matched lower-cased).
+func NewVocabulary(name string, words ...string) *Vocabulary {
+	v := &Vocabulary{Name: name, words: map[string]bool{}}
+	v.Add(words...)
+	return v
+}
+
+// Add inserts words.
+func (v *Vocabulary) Add(words ...string) {
+	for _, w := range words {
+		w = strings.ToLower(strings.TrimSpace(w))
+		if w != "" {
+			v.words[w] = true
+		}
+	}
+}
+
+// Remove deletes words.
+func (v *Vocabulary) Remove(words ...string) {
+	for _, w := range words {
+		delete(v.words, strings.ToLower(strings.TrimSpace(w)))
+	}
+}
+
+// Contains reports membership of a lower-cased word.
+func (v *Vocabulary) Contains(word string) bool {
+	return v.words[strings.ToLower(word)]
+}
+
+// Len returns the vocabulary size.
+func (v *Vocabulary) Len() int { return len(v.words) }
+
+// Words returns the sorted word list.
+func (v *Vocabulary) Words() []string {
+	out := make([]string, 0, len(v.words))
+	for w := range v.words {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Vocabularies is the registry the IX Detector consults. The paper uses
+// the Opinion Lexicon for lexical individuality and vocabularies "of our
+// own making" for the other types; this registry ships with equivalents
+// of all of them and stays administrator-editable.
+type Vocabularies struct {
+	byName map[string]*Vocabulary
+}
+
+// NewVocabularies returns an empty registry.
+func NewVocabularies() *Vocabularies {
+	return &Vocabularies{byName: map[string]*Vocabulary{}}
+}
+
+// Register adds or replaces a vocabulary.
+func (vs *Vocabularies) Register(v *Vocabulary) { vs.byName[v.Name] = v }
+
+// Get returns a vocabulary by name.
+func (vs *Vocabularies) Get(name string) (*Vocabulary, bool) {
+	v, ok := vs.byName[name]
+	return v, ok
+}
+
+// Names returns the sorted vocabulary names.
+func (vs *Vocabularies) Names() []string {
+	out := make([]string, 0, len(vs.byName))
+	for n := range vs.byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LoadVocabulary reads a vocabulary from a text stream: one word per
+// line, '#' comments and blank lines ignored. This is the administrator
+// file format.
+func LoadVocabulary(name string, r io.Reader) (*Vocabulary, error) {
+	v := NewVocabulary(name)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v.Add(line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ix: loading vocabulary %s: %w", name, err)
+	}
+	return v, nil
+}
+
+// Default vocabulary names.
+const (
+	VocabSentiment    = "V_sentiment"
+	VocabParticipant  = "V_participant"
+	VocabModal        = "V_modal"
+	VocabOpinionVerbs = "V_opinion_verb"
+	VocabHabitVerbs   = "V_habit_verb"
+)
+
+// sentimentWords is the embedded substitute for the Opinion Lexicon
+// (Hu & Liu) the paper plugs in for lexical individuality: words whose
+// presence signals an opinion or subjective judgement.
+var sentimentWords = []string{
+	// positive
+	"good", "great", "best", "better", "nice", "fine", "excellent",
+	"amazing", "awesome", "wonderful", "fantastic", "fabulous", "superb",
+	"outstanding", "brilliant", "perfect", "lovely", "beautiful",
+	"gorgeous", "stunning", "charming", "delightful", "pleasant",
+	"enjoyable", "fun", "exciting", "thrilling", "interesting",
+	"fascinating", "impressive", "remarkable", "memorable", "romantic",
+	"cozy", "comfortable", "convenient", "friendly", "welcoming",
+	"helpful", "tasty", "delicious", "yummy", "flavorful", "fresh",
+	"crisp", "juicy", "savory", "sweet", "satisfying", "hearty",
+	"healthy", "nutritious", "wholesome", "affordable", "cheap",
+	"reasonable", "worthwhile", "valuable", "reliable", "trustworthy",
+	"durable", "sturdy", "solid", "quality", "premium", "stylish",
+	"elegant", "classy", "trendy", "cool", "popular", "famous",
+	"renowned", "iconic", "legendary", "authentic", "unique", "special",
+	"favorite", "ideal", "recommended", "top", "superior", "safe",
+	"clean", "quiet", "peaceful", "relaxing", "scenic", "picturesque",
+	"vibrant", "lively", "happy", "glad", "pleased", "worth",
+	// negative
+	"bad", "worse", "worst", "poor", "awful", "terrible", "horrible",
+	"dreadful", "disappointing", "mediocre", "lousy", "unpleasant",
+	"boring", "dull", "tedious", "annoying", "irritating", "frustrating",
+	"noisy", "crowded", "dirty", "filthy", "smelly", "disgusting",
+	"gross", "bland", "tasteless", "stale", "soggy", "greasy", "salty",
+	"bitter", "overpriced", "expensive", "pricey", "cheaply", "flimsy",
+	"fragile", "unreliable", "defective", "broken", "useless",
+	"worthless", "dangerous", "unsafe", "risky", "scary", "creepy",
+	"shady", "sketchy", "rude", "unfriendly", "slow", "cramped",
+	"uncomfortable", "inconvenient", "ugly", "hideous", "outdated",
+	"rundown", "shabby", "unhealthy", "fattening", "sad", "angry",
+	"upset", "worried", "afraid", "tired", "sick", "painful",
+	// judgement / preference nouns and adjectives
+	"interestingness", "preference", "preferable", "suitable",
+	"appropriate", "proper", "decent", "adequate", "acceptable",
+	"overrated", "underrated", "must-see", "must-visit", "must-try",
+	"kid-friendly", "family-friendly", "dog-friendly",
+}
+
+// participantWords are agents relative to the person addressed by the
+// request (participant individuality, paper §2.3: "you" in "Where do you
+// visit in Buffalo?").
+var participantWords = []string{
+	"i", "me", "my", "mine", "myself",
+	"we", "us", "our", "ours", "ourselves",
+	"you", "your", "yours", "yourself", "yourselves",
+	"people", "one", "everyone", "everybody", "anyone", "anybody",
+	"someone", "somebody", "folks", "family", "friend", "friends",
+	"locals", "local", "resident", "residents", "visitor", "visitors",
+	"tourist", "tourists", "traveler", "travelers", "crowd", "parents",
+	"guys", "person", "kid", "kids", "child", "children", "teenager",
+	"teenagers", "toddler", "toddlers", "families",
+}
+
+// modalWords are verb auxiliaries that denote the speaker's opinion or a
+// recommendation (syntactic individuality, paper §2.3: "should" in
+// "Obama should visit Buffalo").
+var modalWords = []string{
+	"should", "must", "ought", "shall", "need", "better", "would",
+	"recommended", "worth",
+}
+
+// opinionVerbWords are verbs whose meaning is inherently subjective
+// (lexical individuality carried by a verb).
+var opinionVerbWords = []string{
+	"like", "love", "hate", "dislike", "enjoy", "prefer", "recommend",
+	"suggest", "advise", "think", "believe", "feel", "favor", "adore",
+	"appreciate", "mind", "fancy", "rate", "review",
+}
+
+// habitVerbWords are verbs of personal practice; combined with an
+// individual participant they express habits ("where do you eat").
+var habitVerbWords = []string{
+	"visit", "go", "eat", "drink", "cook", "bake", "buy", "shop",
+	"order", "wear", "use", "read", "watch", "play", "travel", "stay",
+	"sleep", "exercise", "run", "walk", "hike", "swim", "store", "keep",
+	"bring", "take", "spend", "celebrate", "avoid",
+}
+
+// DefaultVocabularies builds the registry that ships with NL2CM.
+func DefaultVocabularies() *Vocabularies {
+	vs := NewVocabularies()
+	vs.Register(NewVocabulary(VocabSentiment, sentimentWords...))
+	vs.Register(NewVocabulary(VocabParticipant, participantWords...))
+	vs.Register(NewVocabulary(VocabModal, modalWords...))
+	vs.Register(NewVocabulary(VocabOpinionVerbs, opinionVerbWords...))
+	vs.Register(NewVocabulary(VocabHabitVerbs, habitVerbWords...))
+	return vs
+}

@@ -1,0 +1,259 @@
+package nlp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dependency relation labels emitted by the parser. They follow the
+// Stanford typed-dependency naming used by the paper's NL Parser module.
+const (
+	RelRoot      = "root"
+	RelNSubj     = "nsubj"     // nominal subject
+	RelNSubjPass = "nsubjpass" // passive nominal subject
+	RelDObj      = "dobj"      // direct object
+	RelIObj      = "iobj"      // indirect object
+	RelAttr      = "attr"      // attributive wh-complement of a copula
+	RelDet       = "det"       // determiner
+	RelPredet    = "predet"    // predeterminer ("all the ...")
+	RelAMod      = "amod"      // adjectival modifier
+	RelAdvMod    = "advmod"    // adverbial modifier
+	RelAux       = "aux"       // auxiliary or modal
+	RelAuxPass   = "auxpass"   // passive auxiliary
+	RelCop       = "cop"       // copula
+	RelPrep      = "prep"      // preposition attached to head
+	RelPObj      = "pobj"      // object of a preposition
+	RelNN        = "nn"        // noun compound modifier
+	RelNum       = "num"       // numeric modifier
+	RelPoss      = "poss"      // possessive modifier
+	RelRCMod     = "rcmod"     // relative clause modifier
+	RelInfMod    = "infmod"    // infinitival modifier ("places to visit")
+	RelXComp     = "xcomp"     // open clausal complement ("want to buy")
+	RelConj      = "conj"      // conjunct
+	RelCC        = "cc"        // coordination
+	RelNeg       = "neg"       // negation
+	RelExpl      = "expl"      // expletive "there"
+	RelPrt       = "prt"       // verb particle
+	RelAppos     = "appos"     // apposition
+	RelMark      = "mark"      // clause marker ("that", "if")
+	RelPunct     = "punct"     // punctuation
+	RelDep       = "dep"       // unclassified dependency
+	RelComplm    = "complm"    // complementizer
+	RelRel       = "rel"       // relativizer word inside a relative clause
+)
+
+// Node is a token plus its position in the dependency tree.
+type Node struct {
+	Token
+	// Head is the index of the head token, or -1 for the root.
+	Head int
+	// Rel is the typed relation between this node and its head
+	// (RelRoot for the root).
+	Rel string
+}
+
+// Edge is a labeled dependency edge from a head token to a dependent.
+type Edge struct {
+	Head, Dep int
+	Rel       string
+}
+
+// DepGraph is a typed dependency graph. The Head/Rel fields of Nodes form
+// a tree; Extra holds additional edges (e.g. the object role a relative
+// clause verb assigns to the noun it modifies), which makes the full edge
+// set a DAG, matching the paper's "directed acyclic graph (typically, a
+// tree)".
+type DepGraph struct {
+	Nodes []Node
+	Extra []Edge
+}
+
+// Len returns the number of tokens.
+func (g *DepGraph) Len() int { return len(g.Nodes) }
+
+// Root returns the index of the root node, or -1 if the graph is empty or
+// malformed.
+func (g *DepGraph) Root() int {
+	for i := range g.Nodes {
+		if g.Nodes[i].Head == -1 && g.Nodes[i].Rel == RelRoot {
+			return i
+		}
+	}
+	return -1
+}
+
+// Edges returns every dependency edge: the tree edges (excluding the
+// virtual root edge) followed by the extra edges.
+func (g *DepGraph) Edges() []Edge {
+	var out []Edge
+	for i := range g.Nodes {
+		if g.Nodes[i].Head >= 0 {
+			out = append(out, Edge{Head: g.Nodes[i].Head, Dep: i, Rel: g.Nodes[i].Rel})
+		}
+	}
+	out = append(out, g.Extra...)
+	return out
+}
+
+// Dependents returns the indices of tree dependents of head with any of
+// the given relations; with no relations given it returns all tree
+// dependents. Extra edges are not included.
+func (g *DepGraph) Dependents(head int, rels ...string) []int {
+	var out []int
+	for i := range g.Nodes {
+		if g.Nodes[i].Head != head {
+			continue
+		}
+		if len(rels) == 0 {
+			out = append(out, i)
+			continue
+		}
+		for _, r := range rels {
+			if g.Nodes[i].Rel == r {
+				out = append(out, i)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// DependentsAll is Dependents but also considers Extra edges.
+func (g *DepGraph) DependentsAll(head int, rels ...string) []int {
+	out := g.Dependents(head, rels...)
+	for _, e := range g.Extra {
+		if e.Head != head {
+			continue
+		}
+		if len(rels) == 0 {
+			out = append(out, e.Dep)
+			continue
+		}
+		for _, r := range rels {
+			if e.Rel == r {
+				out = append(out, e.Dep)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// FirstDependent returns the first tree dependent with the relation, or
+// -1.
+func (g *DepGraph) FirstDependent(head int, rel string) int {
+	deps := g.Dependents(head, rel)
+	if len(deps) == 0 {
+		return -1
+	}
+	return deps[0]
+}
+
+// Subtree returns the indices of the node and all its tree descendants in
+// ascending token order.
+func (g *DepGraph) Subtree(i int) []int {
+	marked := make([]bool, len(g.Nodes))
+	g.markSubtree(i, marked)
+	var out []int
+	for j, m := range marked {
+		if m {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+func (g *DepGraph) markSubtree(i int, marked []bool) {
+	if marked[i] {
+		return
+	}
+	marked[i] = true
+	for j := range g.Nodes {
+		if g.Nodes[j].Head == i {
+			g.markSubtree(j, marked)
+		}
+	}
+}
+
+// Path returns the indices from node i to the root, starting with i.
+func (g *DepGraph) Path(i int) []int {
+	var out []int
+	for i >= 0 {
+		out = append(out, i)
+		i = g.Nodes[i].Head
+	}
+	return out
+}
+
+// Phrase renders the tokens at the given indices (sorted ascending by the
+// caller) as a space-joined string.
+func (g *DepGraph) Phrase(indices []int) string {
+	parts := make([]string, 0, len(indices))
+	for _, i := range indices {
+		parts = append(parts, g.Nodes[i].Text)
+	}
+	return strings.Join(parts, " ")
+}
+
+// SubtreePhrase returns the surface text of the subtree rooted at i.
+func (g *DepGraph) SubtreePhrase(i int) string {
+	return g.Phrase(g.Subtree(i))
+}
+
+// String renders the graph in a CoNLL-like tabular format (used by the
+// administrator mode to display the NL Parser's intermediate output).
+func (g *DepGraph) String() string {
+	var b strings.Builder
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		head := n.Head + 1
+		fmt.Fprintf(&b, "%d\t%s\t%s\t%s\t%d\t%s\n",
+			i+1, n.Text, n.Lemma, n.POS, head, n.Rel)
+	}
+	for _, e := range g.Extra {
+		fmt.Fprintf(&b, "#extra\t%s(%s-%d, %s-%d)\n",
+			e.Rel, g.Nodes[e.Head].Text, e.Head+1, g.Nodes[e.Dep].Text, e.Dep+1)
+	}
+	return b.String()
+}
+
+// Validate checks structural invariants: exactly one root, head indices in
+// range, acyclic tree edges, and extra edges referencing valid nodes.
+func (g *DepGraph) Validate() error {
+	roots := 0
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		if n.Head == -1 {
+			if n.Rel != RelRoot {
+				return fmt.Errorf("nlp: node %d has no head but rel %q", i, n.Rel)
+			}
+			roots++
+			continue
+		}
+		if n.Head < 0 || n.Head >= len(g.Nodes) {
+			return fmt.Errorf("nlp: node %d has out-of-range head %d", i, n.Head)
+		}
+		if n.Head == i {
+			return fmt.Errorf("nlp: node %d is its own head", i)
+		}
+	}
+	if len(g.Nodes) > 0 && roots != 1 {
+		return fmt.Errorf("nlp: graph has %d roots, want 1", roots)
+	}
+	// Cycle check: walking up from any node must terminate.
+	for i := range g.Nodes {
+		seen := map[int]bool{}
+		for j := i; j >= 0; j = g.Nodes[j].Head {
+			if seen[j] {
+				return fmt.Errorf("nlp: cycle through node %d", j)
+			}
+			seen[j] = true
+		}
+	}
+	for _, e := range g.Extra {
+		if e.Head < 0 || e.Head >= len(g.Nodes) || e.Dep < 0 || e.Dep >= len(g.Nodes) {
+			return fmt.Errorf("nlp: extra edge %v out of range", e)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package nlp
+
+import "strings"
+
+// irregularVerbs maps inflected forms to their base form.
+var irregularVerbs = map[string]string{
+	"am": "be", "is": "be", "are": "be", "was": "be", "were": "be",
+	"been": "be", "being": "be", "'m": "be", "'re": "be",
+	"has": "have", "had": "have", "having": "have", "'ve": "have",
+	"does": "do", "did": "do", "done": "do", "doing": "do",
+	"went": "go", "gone": "go", "goes": "go", "going": "go",
+	"ate": "eat", "eaten": "eat", "drank": "drink", "drunk": "drink",
+	"bought": "buy", "sold": "sell", "made": "make", "took": "take",
+	"taken": "take", "gave": "give", "given": "give", "got": "get",
+	"gotten": "get", "found": "find", "told": "tell", "said": "say",
+	"saw": "see", "seen": "see", "came": "come", "knew": "know",
+	"known": "know", "thought": "think", "paid": "pay", "kept": "keep",
+	"left": "leave", "met": "meet", "ran": "run", "sat": "sit",
+	"slept": "sleep", "spoke": "speak", "spoken": "speak",
+	"spent": "spend", "stood": "stand", "swam": "swim", "wore": "wear",
+	"wrote": "write", "written": "write", "chose": "choose",
+	"chosen": "choose", "drove": "drive", "driven": "drive",
+	"felt": "feel", "flew": "fly", "flown": "fly", "grew": "grow",
+	"grown": "grow", "heard": "hear", "held": "hold", "lost": "lose",
+	"read": "read", "rode": "ride", "ridden": "ride", "sent": "send",
+	"brought": "bring", "built": "build", "caught": "catch",
+	"taught": "teach", "booked": "book", "ca": "can", "wo": "will",
+	"sha": "shall", "'ll": "will", "'d": "would", "n't": "not",
+}
+
+// irregularNouns maps irregular plurals to singulars.
+var irregularNouns = map[string]string{
+	"children": "child", "people": "person", "men": "man",
+	"women": "woman", "feet": "foot", "teeth": "tooth", "mice": "mouse",
+	"geese": "goose", "oxen": "ox", "dice": "die", "lives": "life",
+	"wives": "wife", "knives": "knife", "leaves": "leaf",
+	"shelves": "shelf", "cities": "city", "countries": "country",
+	"activities": "activity", "families": "family", "parties": "party",
+	"buses": "bus", "dishes": "dish", "beaches": "beach",
+	"sandwiches": "sandwich", "watches": "watch", "boxes": "box",
+	"glasses": "glass", "churches": "church",
+}
+
+// doubledConsonantStems lists verb stems whose final consonant doubles in
+// inflection, so "stopped" lemmatizes to "stop" not "stopp".
+var doubledConsonantStems = map[string]bool{
+	"stop": true, "plan": true, "shop": true, "travel": true,
+	"prefer": true, "swim": true, "run": true, "sit": true, "get": true,
+	"jog": true, "chat": true, "drop": true, "grab": true, "trip": true,
+}
+
+// Lemma returns the dictionary form of a lower-cased word given its POS
+// tag. Unknown regular forms are handled by suffix stripping.
+func Lemma(lower, pos string) string {
+	switch {
+	case strings.HasPrefix(pos, "V") || pos == "MD":
+		if base, ok := irregularVerbs[lower]; ok {
+			return base
+		}
+		return verbLemma(lower, pos)
+	case pos == "NNS" || pos == "NNPS":
+		if base, ok := irregularNouns[lower]; ok {
+			return base
+		}
+		return nounLemma(lower)
+	case pos == "JJR" || pos == "RBR":
+		return stripComparative(lower, "er")
+	case pos == "JJS" || pos == "RBS":
+		return stripComparative(lower, "est")
+	case pos == "RB":
+		if base, ok := irregularVerbs[lower]; ok { // n't -> not
+			return base
+		}
+		return lower
+	default:
+		if base, ok := irregularNouns[lower]; ok {
+			return base
+		}
+		return lower
+	}
+}
+
+func verbLemma(w, pos string) string {
+	switch pos {
+	case "VBZ":
+		return nounLemma(w) // third-person -s strips like plural -s
+	case "VBG":
+		if strings.HasSuffix(w, "ing") && len(w) > 4 {
+			return restoreStem(w[:len(w)-3])
+		}
+	case "VBD", "VBN":
+		if strings.HasSuffix(w, "ied") && len(w) > 4 {
+			return w[:len(w)-3] + "y"
+		}
+		if strings.HasSuffix(w, "ed") && len(w) > 3 {
+			return restoreStem(w[:len(w)-2])
+		}
+	}
+	return w
+}
+
+// restoreStem recovers the base verb from an inflection stem: it prefers
+// lexicon-confirmed forms (stem, stem+"e", undoubled stem) and falls back
+// to a silent-e heuristic.
+func restoreStem(stem string) string {
+	if hasTag(stem, "VB") || hasTag(stem, "VBP") {
+		return stem
+	}
+	if hasTag(stem+"e", "VB") || hasTag(stem+"e", "VBP") {
+		return stem + "e"
+	}
+	if len(stem) > 2 && stem[len(stem)-1] == stem[len(stem)-2] {
+		undoubled := stem[:len(stem)-1]
+		if doubledConsonantStems[undoubled] || hasTag(undoubled, "VB") || hasTag(undoubled, "VBP") {
+			return undoubled
+		}
+	}
+	if needsSilentE(stem) {
+		return stem + "e"
+	}
+	return stem
+}
+
+// needsSilentE guesses whether a stripped stem originally ended in a
+// silent e ("mak" -> "make", "stor" -> "store").
+func needsSilentE(stem string) bool {
+	if len(stem) < 2 {
+		return false
+	}
+	last := stem[len(stem)-1]
+	prev := stem[len(stem)-2]
+	isVowel := func(c byte) bool { return strings.IndexByte("aeiou", c) >= 0 }
+	// consonant preceded by a single vowel preceded by consonant: make,
+	// store, bake, ride...
+	if !isVowel(last) && last != 'w' && last != 'x' && last != 'y' &&
+		isVowel(prev) && len(stem) >= 3 && !isVowel(stem[len(stem)-3]) {
+		return true
+	}
+	// -iv, -at, -iz endings: motivate, organize.
+	for _, suf := range []string{"iv", "at", "iz", "us"} {
+		if strings.HasSuffix(stem, suf) {
+			return true
+		}
+	}
+	return false
+}
+
+func nounLemma(w string) string {
+	switch {
+	case strings.HasSuffix(w, "ies") && len(w) > 4:
+		return w[:len(w)-3] + "y"
+	case strings.HasSuffix(w, "xes") || strings.HasSuffix(w, "ses") ||
+		strings.HasSuffix(w, "zes") || strings.HasSuffix(w, "ches") ||
+		strings.HasSuffix(w, "shes"):
+		return w[:len(w)-2]
+	case strings.HasSuffix(w, "ss"):
+		return w
+	case strings.HasSuffix(w, "s") && len(w) > 2:
+		return w[:len(w)-1]
+	default:
+		return w
+	}
+}
+
+func stripComparative(w, suffix string) string {
+	switch w {
+	case "better", "best":
+		return "good"
+	case "worse", "worst":
+		return "bad"
+	case "more", "most":
+		return "many"
+	case "less", "least":
+		return "little"
+	}
+	if strings.HasSuffix(w, suffix) && len(w) > len(suffix)+2 {
+		stem := w[:len(w)-len(suffix)]
+		if strings.HasSuffix(stem, "i") {
+			return stem[:len(stem)-1] + "y" // easier -> easy
+		}
+		if len(stem) > 2 && stem[len(stem)-1] == stem[len(stem)-2] {
+			return stem[:len(stem)-1] // bigger -> big
+		}
+		return stem
+	}
+	return w
+}

@@ -1,0 +1,228 @@
+package nlp
+
+// lexicon maps lower-case surface forms to their possible Penn Treebank
+// tags, most likely first. Closed classes (pronouns, determiners,
+// prepositions, conjunctions, modals, wh-words) are enumerated
+// exhaustively; open classes carry the vocabulary of the paper's demo
+// domains (travel, food, shopping, health) plus common question English.
+// Words not listed are tagged by the morphological rules in postag.go.
+var lexicon = map[string][]string{
+	// ---- Wh-words ----
+	"what": {"WP", "WDT"}, "who": {"WP"}, "whom": {"WP"},
+	"whose": {"WP$"}, "which": {"WDT"}, "where": {"WRB"},
+	"when": {"WRB"}, "why": {"WRB"}, "how": {"WRB"},
+
+	// ---- Personal pronouns ----
+	"i": {"PRP"}, "you": {"PRP"}, "he": {"PRP"}, "she": {"PRP"},
+	"it": {"PRP"}, "we": {"PRP"}, "they": {"PRP"}, "me": {"PRP"},
+	"him": {"PRP"}, "her": {"PRP$", "PRP"}, "us": {"PRP"}, "them": {"PRP"},
+	"myself": {"PRP"}, "yourself": {"PRP"}, "himself": {"PRP"},
+	"herself": {"PRP"}, "itself": {"PRP"}, "ourselves": {"PRP"},
+	"yourselves": {"PRP"}, "themselves": {"PRP"}, "oneself": {"PRP"},
+	"someone": {"NN"}, "anyone": {"NN"}, "everyone": {"NN"},
+	"somebody": {"NN"}, "anybody": {"NN"}, "everybody": {"NN"},
+	"something": {"NN"}, "anything": {"NN"}, "everything": {"NN"},
+	"nothing": {"NN"}, "one": {"CD", "PRP"},
+
+	// ---- Possessive pronouns ----
+	"my": {"PRP$"}, "your": {"PRP$"}, "his": {"PRP$"}, "its": {"PRP$"},
+	"our": {"PRP$"}, "their": {"PRP$"}, "mine": {"PRP"}, "yours": {"PRP"},
+	"ours": {"PRP"}, "theirs": {"PRP"},
+
+	// ---- Determiners ----
+	"the": {"DT"}, "a": {"DT"}, "an": {"DT"}, "this": {"DT"},
+	"that": {"DT", "IN", "WDT"}, "these": {"DT"}, "those": {"DT"},
+	"each": {"DT"}, "every": {"DT"}, "either": {"DT"}, "neither": {"DT"},
+	"some": {"DT"}, "any": {"DT"}, "no": {"DT"}, "all": {"DT", "PDT"},
+	"both": {"DT"}, "another": {"DT"}, "such": {"JJ", "PDT"},
+	"many": {"JJ"}, "much": {"JJ", "RB"}, "few": {"JJ"}, "several": {"JJ"},
+	"most": {"RBS", "JJS"}, "more": {"RBR", "JJR"}, "less": {"RBR", "JJR"},
+	"least": {"RBS", "JJS"}, "enough": {"JJ", "RB"},
+
+	// ---- Modal auxiliaries ----
+	"can": {"MD"}, "could": {"MD"}, "may": {"MD"}, "might": {"MD"},
+	"must": {"MD"}, "shall": {"MD"}, "should": {"MD"}, "will": {"MD"},
+	"would": {"MD"}, "ought": {"MD"}, "ca": {"MD"}, "wo": {"MD"},
+	"sha": {"MD"}, "'ll": {"MD"}, "'d": {"MD", "VBD"},
+	"wanna": {"MD"}, "gonna": {"MD"},
+	"need": {"VB", "MD", "NN"}, "dare": {"VB", "MD"},
+
+	// ---- Auxiliaries / copulas ----
+	"be": {"VB"}, "am": {"VBP"}, "is": {"VBZ"}, "are": {"VBP"},
+	"was": {"VBD"}, "were": {"VBD"}, "been": {"VBN"}, "being": {"VBG"},
+	"'m": {"VBP"}, "'re": {"VBP"}, "'s": {"POS", "VBZ"},
+	"do": {"VBP", "VB"}, "does": {"VBZ"}, "did": {"VBD"},
+	"done": {"VBN"}, "doing": {"VBG"},
+	"have": {"VBP", "VB"}, "has": {"VBZ"}, "had": {"VBD", "VBN"},
+	"having": {"VBG"}, "'ve": {"VBP"},
+	"not": {"RB"}, "n't": {"RB"}, "never": {"RB"},
+
+	// ---- Prepositions / subordinating conjunctions ----
+	"in": {"IN"}, "on": {"IN"}, "at": {"IN"}, "by": {"IN"}, "for": {"IN"},
+	"with": {"IN"}, "without": {"IN"}, "about": {"IN"}, "against": {"IN"},
+	"between": {"IN"}, "among": {"IN"}, "into": {"IN"}, "onto": {"IN"},
+	"through": {"IN"}, "during": {"IN"}, "before": {"IN"}, "after": {"IN"},
+	"above": {"IN"}, "below": {"IN"}, "under": {"IN"}, "over": {"IN"},
+	"near": {"IN", "JJ"}, "nearby": {"JJ", "RB"}, "around": {"IN", "RB"},
+	"of": {"IN"}, "to": {"TO"}, "from": {"IN"}, "up": {"RP", "IN"},
+	"down": {"RP", "IN"}, "off": {"RP", "IN"}, "out": {"RP", "IN"},
+	"since": {"IN"}, "until": {"IN"}, "till": {"IN"}, "while": {"IN"},
+	"because": {"IN"}, "although": {"IN"}, "though": {"IN"}, "if": {"IN"},
+	"unless": {"IN"}, "whether": {"IN"}, "per": {"IN"}, "via": {"IN"},
+	"like": {"IN", "VB"}, "as": {"IN"}, "than": {"IN"}, "within": {"IN"},
+	"besides": {"IN"}, "except": {"IN"}, "despite": {"IN"},
+	"inside": {"IN"}, "outside": {"IN"}, "beside": {"IN"},
+	"across": {"IN"}, "along": {"IN"}, "behind": {"IN"}, "beyond": {"IN"},
+	"next": {"JJ", "IN"},
+
+	// ---- Coordinating conjunctions ----
+	"and": {"CC"}, "or": {"CC"}, "but": {"CC"}, "nor": {"CC"},
+	"yet": {"CC", "RB"}, "so": {"CC", "RB"}, "plus": {"CC"},
+
+	// ---- Adverbs ----
+	"very": {"RB"}, "too": {"RB"}, "also": {"RB"}, "just": {"RB"},
+	"only": {"RB"}, "even": {"RB"}, "still": {"RB"}, "already": {"RB"},
+	"often": {"RB"}, "usually": {"RB"}, "always": {"RB"},
+	"sometimes": {"RB"}, "rarely": {"RB"}, "seldom": {"RB"},
+	"here": {"RB"}, "there": {"EX", "RB"}, "now": {"RB"}, "then": {"RB"},
+	"today": {"NN"}, "tomorrow": {"NN"}, "yesterday": {"NN"},
+	"well": {"RB"}, "better": {"JJR", "RBR"}, "best": {"JJS", "RBS"},
+	"worse": {"JJR"}, "worst": {"JJS"}, "really": {"RB"}, "quite": {"RB"},
+	"rather": {"RB"}, "pretty": {"RB", "JJ"}, "instead": {"RB"},
+	"together": {"RB"}, "away": {"RB"}, "back": {"RB", "NN"},
+	"please": {"UH", "VB"}, "maybe": {"RB"}, "perhaps": {"RB"},
+	"currently": {"RB"}, "recently": {"RB"}, "soon": {"RB"},
+	"again": {"RB"}, "once": {"RB"}, "twice": {"RB"}, "else": {"RB"},
+	"far": {"RB"}, "early": {"RB", "JJ"}, "late": {"RB", "JJ"},
+
+	// ---- Cardinal words ----
+	"zero": {"CD"}, "two": {"CD"}, "three": {"CD"}, "four": {"CD"},
+	"five": {"CD"}, "six": {"CD"}, "seven": {"CD"}, "eight": {"CD"},
+	"nine": {"CD"}, "ten": {"CD"}, "dozen": {"CD"}, "hundred": {"CD"},
+	"thousand": {"CD"}, "first": {"JJ"}, "second": {"JJ"}, "third": {"JJ"},
+
+	// ---- Question / request verbs ----
+	"recommend": {"VB", "VBP"}, "suggest": {"VB", "VBP"},
+	"advise": {"VB", "VBP"}, "prefer": {"VB", "VBP"},
+	"think": {"VB", "VBP"}, "know": {"VB", "VBP"}, "want": {"VB", "VBP"},
+	"find": {"VB", "VBP"}, "get": {"VB", "VBP"}, "tell": {"VB", "VBP"},
+	"consider": {"VB", "VBP"}, "choose": {"VB", "VBP"},
+	"pick": {"VB", "VBP"}, "look": {"VB", "VBP"}, "go": {"VB", "VBP"},
+	"take": {"VB", "VBP"}, "make": {"VB", "VBP"}, "give": {"VB", "VBP"},
+	"use": {"VB", "VBP", "NN"}, "try": {"VB", "VBP"},
+	"avoid": {"VB", "VBP"}, "enjoy": {"VB", "VBP"},
+	"love": {"VB", "VBP", "NN"}, "hate": {"VB", "VBP"},
+	"watch": {"VB", "VBP", "NN"}, "bring": {"VB", "VBP"},
+	"wear": {"VB", "VBP"}, "keep": {"VB", "VBP"},
+	"play": {"VB", "VBP"}, "spend": {"VB", "VBP"},
+	"listen": {"VB", "VBP"}, "swim": {"VB", "VBP"},
+
+	// ---- Travel domain ----
+	"visit": {"VB", "VBP", "NN"}, "travel": {"VB", "NN"},
+	"stay": {"VB", "NN"}, "tour": {"NN", "VB"}, "trip": {"NN"},
+	"place": {"NN", "VB"}, "places": {"NNS"}, "sight": {"NN"},
+	"sights": {"NNS"}, "attraction": {"NN"}, "attractions": {"NNS"},
+	"hotel": {"NN"}, "hotels": {"NNS"}, "hostel": {"NN"},
+	"museum": {"NN"}, "museums": {"NNS"}, "park": {"NN"},
+	"parks": {"NNS"}, "zoo": {"NN"}, "beach": {"NN"}, "beaches": {"NNS"},
+	"restaurant": {"NN"}, "restaurants": {"NNS"}, "cafe": {"NN"},
+	"bar": {"NN"}, "bars": {"NNS"}, "city": {"NN"}, "cities": {"NNS"},
+	"town": {"NN"}, "country": {"NN"}, "downtown": {"NN", "RB"},
+	"airport": {"NN"}, "station": {"NN"}, "flight": {"NN"},
+	"flights": {"NNS"}, "guide": {"NN", "VB"}, "guides": {"NNS"},
+	"locals": {"NNS"}, "local": {"JJ"}, "tourist": {"NN"},
+	"tourists": {"NNS"}, "traveler": {"NN"}, "travelers": {"NNS"},
+	"vacation": {"NN"}, "holiday": {"NN"}, "fall": {"NN", "VB"},
+	"autumn": {"NN"}, "winter": {"NN"}, "spring": {"NN", "VB"},
+	"summer": {"NN"}, "season": {"NN"}, "weekend": {"NN"},
+	"morning": {"NN"}, "evening": {"NN"}, "night": {"NN"},
+	"ride": {"NN", "VB"}, "rides": {"NNS", "VBZ"}, "thrill": {"NN"},
+	"casino": {"NN"}, "casinos": {"NNS"}, "show": {"NN", "VB"},
+	"shows": {"NNS", "VBZ"}, "area": {"NN"}, "areas": {"NNS"},
+	"neighborhood": {"NN"}, "district": {"NN"}, "landmark": {"NN"},
+	"landmarks": {"NNS"}, "view": {"NN", "VB"}, "views": {"NNS"},
+	"walk": {"VB", "NN"}, "hike": {"VB", "NN"},
+	"explore": {"VB"}, "book": {"VB", "NN"}, "booked": {"VBD", "VBN"},
+
+	// ---- Food / health domain ----
+	"eat": {"VB", "VBP"}, "drink": {"VB", "NN"}, "cook": {"VB", "NN"},
+	"bake": {"VB"}, "store": {"VB", "NN"}, "serve": {"VB", "VBP"},
+	"serves": {"VBZ"},
+	"order":  {"VB", "NN"}, "taste": {"VB", "NN"}, "dish": {"NN"},
+	"dishes": {"NNS"}, "food": {"NN"}, "foods": {"NNS"}, "meal": {"NN"},
+	"meals": {"NNS"}, "breakfast": {"NN"}, "lunch": {"NN"},
+	"dinner": {"NN"}, "snack": {"NN"}, "snacks": {"NNS"},
+	"oatmeal": {"NN"}, "pizza": {"NN"}, "soup": {"NN"}, "salad": {"NN"},
+	"dessert": {"NN"}, "desserts": {"NNS"}, "omelette": {"NN"},
+	"lentil": {"NN"}, "quinoa": {"NN"}, "chili": {"NN"}, "grain": {"NN"},
+	"souvenir": {"NN"}, "souvenirs": {"NNS"}, "pool": {"NN"},
+	"fruit": {"NN"}, "fruits": {"NNS"}, "vegetable": {"NN"},
+	"vegetables": {"NNS"}, "meat": {"NN"}, "fish": {"NN"},
+	"chicken": {"NN"}, "rice": {"NN"}, "pasta": {"NN"}, "bread": {"NN"},
+	"cheese": {"NN"}, "milk": {"NN"}, "chocolate": {"NN"},
+	"coffee": {"NN"}, "tea": {"NN"}, "water": {"NN"}, "juice": {"NN"},
+	"wine": {"NN"}, "beer": {"NN"}, "sugar": {"NN"}, "salt": {"NN"},
+	"fiber": {"NN"}, "protein": {"NN"}, "vitamin": {"NN"},
+	"vitamins": {"NNS"}, "calorie": {"NN"}, "calories": {"NNS"},
+	"diet": {"NN"}, "nutrition": {"NN"}, "healthy": {"JJ"},
+	"unhealthy": {"JJ"}, "organic": {"JJ"}, "fresh": {"JJ"},
+	"rich": {"JJ"}, "container": {"NN"}, "fridge": {"NN"},
+	"kitchen": {"NN"}, "recipe": {"NN"}, "recipes": {"NNS"},
+	"kids": {"NNS"}, "kid": {"NN"}, "children": {"NNS"}, "child": {"NN"},
+	"adults": {"NNS"}, "people": {"NNS"}, "person": {"NN"},
+	"doctor": {"NN"}, "dietician": {"NN"}, "health": {"NN"},
+	"exercise": {"NN", "VB"}, "sleep": {"VB", "NN"},
+
+	// ---- Shopping domain ----
+	"buy": {"VB", "VBP"}, "shop": {"VB", "NN"}, "sell": {"VB"},
+	"pay": {"VB"}, "cost": {"VB", "NN"}, "price": {"NN"},
+	"prices": {"NNS"}, "cheap": {"JJ"}, "expensive": {"JJ"},
+	"affordable": {"JJ"}, "camera": {"NN"}, "cameras": {"NNS"},
+	"digital": {"JJ"}, "phone": {"NN"}, "phones": {"NNS"},
+	"laptop": {"NN"}, "computer": {"NN"}, "brand": {"NN"},
+	"brands": {"NNS"}, "model": {"NN"}, "models": {"NNS"},
+	"type": {"NN", "VB"}, "types": {"NNS"}, "kind": {"NN"},
+	"kinds": {"NNS"}, "product": {"NN"}, "products": {"NNS"},
+	"item": {"NN"}, "items": {"NNS"}, "gift": {"NN"}, "gifts": {"NNS"},
+	"quality": {"NN"}, "battery": {"NN"}, "screen": {"NN"},
+	"warranty": {"NN"}, "deal": {"NN"}, "deals": {"NNS"},
+
+	// ---- General adjectives (incl. opinion words used in examples) ----
+	"good": {"JJ"}, "bad": {"JJ"}, "great": {"JJ"}, "nice": {"JJ"},
+	"interesting": {"JJ"}, "boring": {"JJ"}, "beautiful": {"JJ"},
+	"amazing": {"JJ"}, "wonderful": {"JJ"}, "awful": {"JJ"},
+	"terrible": {"JJ"}, "fun": {"NN", "JJ"}, "popular": {"JJ"},
+	"famous": {"JJ"}, "romantic": {"JJ"}, "quiet": {"JJ"},
+	"safe": {"JJ"}, "dangerous": {"JJ"}, "big": {"JJ"}, "small": {"JJ"},
+	"large": {"JJ"}, "old": {"JJ"}, "new": {"JJ"}, "young": {"JJ"},
+	"tasty": {"JJ"}, "delicious": {"JJ"}, "reliable": {"JJ"},
+	"comfortable": {"JJ"}, "convenient": {"JJ"}, "suitable": {"JJ"},
+	"important": {"JJ"}, "easy": {"JJ"}, "hard": {"JJ", "RB"},
+	"difficult": {"JJ"}, "free": {"JJ"}, "open": {"JJ", "VB"},
+	"closed": {"JJ", "VBN"}, "available": {"JJ"}, "worth": {"JJ", "IN"},
+	"favorite": {"JJ", "NN"}, "main": {"JJ"}, "top": {"JJ", "NN"},
+	"scary": {"JJ"}, "rainy": {"JJ"}, "sunny": {"JJ"}, "windy": {"JJ"},
+	"noisy": {"JJ"}, "crazy": {"JJ"}, "spicy": {"JJ"},
+	"dirty": {"JJ"}, "busy": {"JJ"}, "funny": {"JJ"}, "cozy": {"JJ"},
+	"yummy": {"JJ"}, "pricey": {"JJ"}, "overrated": {"JJ", "VBN"},
+	"underrated": {"JJ", "VBN"}, "crowded": {"JJ", "VBN"},
+
+	// ---- Misc nouns/verbs used in examples ----
+	"purpose": {"NN"}, "reason": {"NN"}, "way": {"NN"}, "ways": {"NNS"},
+	"time": {"NN"}, "times": {"NNS"}, "day": {"NN"}, "days": {"NNS"},
+	"week": {"NN"}, "month": {"NN"}, "year": {"NN"}, "years": {"NNS"},
+	"hour": {"NN"}, "hours": {"NNS"}, "opening": {"NN", "VBG"},
+	"location": {"NN"}, "locations": {"NNS"}, "name": {"NN", "VB"},
+	"names": {"NNS"}, "question": {"NN"}, "answer": {"NN", "VB"},
+	"information": {"NN"}, "opinion": {"NN"}, "opinions": {"NNS"},
+	"habit": {"NN"}, "habits": {"NNS"}, "group": {"NN"},
+	"family": {"NN"}, "friend": {"NN"}, "friends": {"NNS"},
+	"money": {"NN"}, "thing": {"NN"}, "things": {"NNS"},
+	"lot": {"NN"}, "bit": {"NN"}, "number": {"NN"},
+}
+
+// lexiconTags returns the candidate tags for a lower-cased word, or nil
+// when the word is unknown.
+func lexiconTags(lower string) []string {
+	return lexicon[lower]
+}

@@ -1,0 +1,257 @@
+package nlp
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tag assigns a Penn Treebank POS tag to every token in place. The tagger
+// works in three stages, in the spirit of a transformation-based tagger:
+//
+//  1. lexicon lookup (most likely tag first);
+//  2. morphological guessing for unknown words (suffixes, capitalization,
+//     digits);
+//  3. contextual repair rules that fix systematic ambiguities (verb vs
+//     noun after a determiner, base verb after "to"/modal, past participle
+//     after "have", etc.).
+func Tag(tokens []Token) {
+	// Stage 1+2: initial tags.
+	for i := range tokens {
+		tokens[i].POS = initialTag(tokens, i)
+	}
+	// Stage 3: contextual repair.
+	for i := range tokens {
+		repairTag(tokens, i)
+	}
+	// Fill lemmas once tags are stable.
+	for i := range tokens {
+		tokens[i].Lemma = Lemma(tokens[i].Lower, tokens[i].POS)
+	}
+}
+
+// initialTag produces the stage-1/2 tag for tokens[i].
+func initialTag(tokens []Token, i int) string {
+	t := tokens[i]
+	if t.IsPunct() {
+		return punctTag(t.Text)
+	}
+	if isNumber(t.Text) {
+		return "CD"
+	}
+	if tags := lexiconTags(t.Lower); len(tags) > 0 {
+		// A capitalized lexicon word mid-sentence that is listed only as a
+		// common noun is still more likely a proper noun ("Fall Creek").
+		if isCapitalized(t.Text) && i > 0 && tags[0] == "NN" && looksLikeName(tokens, i) {
+			return "NNP"
+		}
+		return tags[0]
+	}
+	// Unknown word: capitalization signals a proper noun anywhere; at the
+	// start of the sentence only when the word is not sentence-initial
+	// common vocabulary (it is unknown, so treat as NNP too).
+	if isCapitalized(t.Text) {
+		return "NNP"
+	}
+	return suffixTag(t.Lower)
+}
+
+// punctTag maps punctuation to its Penn tag.
+func punctTag(s string) string {
+	switch s {
+	case ",":
+		return ","
+	case ".", "?", "!":
+		return "."
+	case ":", ";", "…":
+		return ":"
+	case "(", "[", "{":
+		return "-LRB-"
+	case ")", "]", "}":
+		return "-RRB-"
+	case "\"", "“", "”":
+		return "''"
+	default:
+		return "SYM"
+	}
+}
+
+func isNumber(s string) bool {
+	digits := false
+	for _, r := range s {
+		switch {
+		case unicode.IsDigit(r):
+			digits = true
+		case r == '.' || r == ',' || r == '-' || r == '$' || r == '%' || r == '/':
+			// allowed inside numbers like 1,200.50 or 3/4
+		default:
+			return false
+		}
+	}
+	return digits
+}
+
+func isCapitalized(s string) bool {
+	r := []rune(s)
+	return len(r) > 0 && unicode.IsUpper(r[0])
+}
+
+// looksLikeName reports whether a capitalized mid-sentence token is part
+// of a multiword proper name (neighbors capitalized or followed by a
+// proper noun).
+func looksLikeName(tokens []Token, i int) bool {
+	if i > 0 && isCapitalized(tokens[i-1].Text) && tokens[i-1].IsWord() {
+		return true
+	}
+	if i+1 < len(tokens) && isCapitalized(tokens[i+1].Text) && tokens[i+1].IsWord() {
+		return true
+	}
+	return false
+}
+
+// suffixTag guesses a tag for an unknown lower-case word from its
+// morphology.
+func hasVowel(s string) bool {
+	return strings.ContainsAny(s, "aeiouy")
+}
+
+func suffixTag(w string) string {
+	switch {
+	case strings.HasSuffix(w, "ing") && len(w) > 4 && hasVowel(w[:len(w)-3]):
+		return "VBG"
+	case strings.HasSuffix(w, "ed") && len(w) > 3:
+		return "VBN"
+	case strings.HasSuffix(w, "ly") && len(w) > 3:
+		return "RB"
+	case strings.HasSuffix(w, "ness") || strings.HasSuffix(w, "ment") ||
+		strings.HasSuffix(w, "tion") || strings.HasSuffix(w, "sion") ||
+		strings.HasSuffix(w, "ity") || strings.HasSuffix(w, "ism") ||
+		strings.HasSuffix(w, "ance") || strings.HasSuffix(w, "ence"):
+		return "NN"
+	case strings.HasSuffix(w, "ous") || strings.HasSuffix(w, "ful") ||
+		strings.HasSuffix(w, "able") || strings.HasSuffix(w, "ible") ||
+		strings.HasSuffix(w, "ive") || strings.HasSuffix(w, "al") ||
+		strings.HasSuffix(w, "ic") || strings.HasSuffix(w, "ish"):
+		return "JJ"
+	case strings.HasSuffix(w, "est") && len(w) > 4:
+		return "JJS"
+	case strings.HasSuffix(w, "er") && len(w) > 3:
+		return "NN" // agent nouns (baker) are more common than comparatives here
+	case strings.HasSuffix(w, "s") && !strings.HasSuffix(w, "ss") && len(w) > 2:
+		return "NNS"
+	default:
+		return "NN"
+	}
+}
+
+func isNounPOS(pos string) bool {
+	return strings.HasPrefix(pos, "NN")
+}
+
+// hasTag reports whether the lexicon lists tag among the word's candidates.
+func hasTag(lower, tag string) bool {
+	for _, t := range lexiconTags(lower) {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// repairTag applies contextual transformation rules to tokens[i].
+func repairTag(tokens []Token, i int) {
+	t := &tokens[i]
+	prev := func(k int) *Token {
+		j := i - k
+		if j < 0 {
+			return nil
+		}
+		return &tokens[j]
+	}
+	next := func(k int) *Token {
+		j := i + k
+		if j >= len(tokens) {
+			return nil
+		}
+		return &tokens[j]
+	}
+
+	switch {
+	// Rule: TO or MD directly before an ambiguous verb/noun -> base verb.
+	case (t.POS == "NN" || t.POS == "VBP" || t.POS == "NNS" || t.POS == "VBZ") &&
+		prev(1) != nil && (prev(1).POS == "TO" || prev(1).POS == "MD"):
+		if hasTag(t.Lower, "VB") || t.POS == "VBP" {
+			t.POS = "VB"
+		}
+
+	// Rule: pronoun subject directly before an ambiguous word that can be
+	// a verb -> finite present verb ("we visit", "I buy").
+	case (t.POS == "NN" || t.POS == "VB") && prev(1) != nil && prev(1).POS == "PRP" &&
+		(hasTag(t.Lower, "VBP") || hasTag(t.Lower, "VB") || t.POS == "VB"):
+		// Under subject-auxiliary inversion ("should I store", "do you
+		// exercise") the verb is the base form; otherwise finite present.
+		if prev(2) != nil && (prev(2).POS == "MD" || prev(2).Lower == "do" ||
+			prev(2).Lower == "does" || prev(2).Lower == "did") {
+			t.POS = "VB"
+		} else {
+			t.POS = "VBP"
+		}
+
+	// Rule: determiner/adjective/possessive before a word tagged as a verb
+	// that can be a noun -> noun ("the visit", "a drink", "my store").
+	case (t.POS == "VB" || t.POS == "VBP") && prev(1) != nil &&
+		(prev(1).POS == "DT" || prev(1).POS == "JJ" || prev(1).POS == "PRP$" ||
+			prev(1).POS == "JJS" || prev(1).POS == "JJR") &&
+		hasTag(t.Lower, "NN"):
+		t.POS = "NN"
+
+	// Rule: "have/has/had" before VBD that can be VBN -> VBN.
+	case t.POS == "VBD" && prev(1) != nil &&
+		(prev(1).Lower == "have" || prev(1).Lower == "has" || prev(1).Lower == "had" || prev(1).Lower == "'ve") &&
+		hasTag(t.Lower, "VBN"):
+		t.POS = "VBN"
+
+	// Rule: "that" after a noun and before a verb phrase is a relative
+	// pronoun (WDT); before a noun phrase it is a determiner.
+	case t.Lower == "that" && prev(1) != nil &&
+		(prev(1).POS == "NN" || prev(1).POS == "NNS" || prev(1).POS == "NNP"):
+		if n := next(1); n != nil && (strings.HasPrefix(n.POS, "VB") || n.POS == "MD" || n.POS == "PRP") {
+			t.POS = "WDT"
+		}
+
+	// Rule: sentence-initial "Is/Are/Was/Were/Do/Does/Did/Can/Should..."
+	// already handled by lexicon; but an NN at position 0 followed by a
+	// PRP ("Store it ...") is an imperative verb.
+	case i == 0 && t.POS == "NN" && hasTag(t.Lower, "VB") &&
+		next(1) != nil && (next(1).POS == "PRP" || next(1).POS == "DT"):
+		t.POS = "VB"
+
+	// Rule: "near" tagged IN but used as adjective after "the/most".
+	case t.Lower == "near" && prev(1) != nil && prev(1).POS == "RBS":
+		t.POS = "JJ"
+
+	// Rule: a clause-final "like" after a noun is the verb, not the
+	// preposition ("Which foods do kids like?").
+	case t.POS == "IN" && hasTag(t.Lower, "VB") &&
+		prev(1) != nil && (isNounPOS(prev(1).POS) || prev(1).POS == "PRP") &&
+		(next(1) == nil || next(1).POS == "." || next(1).POS == ","):
+		t.POS = "VBP"
+	}
+
+	// Superlative pattern: "most <JJ>" keeps JJ; "the most" alone -> JJS
+	// handled by lexicon ordering.
+	if t.Lower == "most" && i+1 < len(tokens) && tokens[i+1].POS == "JJ" {
+		t.POS = "RBS"
+	}
+	if t.Lower == "more" && i+1 < len(tokens) && tokens[i+1].POS == "JJ" {
+		t.POS = "RBR"
+	}
+}
+
+// Parse tokenizes, tags, lemmatizes and dependency-parses a sentence,
+// returning the typed dependency graph. It is the package's one-call
+// entry point and mirrors the role of the Stanford Parser in the paper.
+func Parse(sentence string) (*DepGraph, error) {
+	tokens := Tokenize(sentence)
+	Tag(tokens)
+	return ParseDependencies(tokens)
+}

@@ -1,0 +1,209 @@
+package nlp
+
+import (
+	"strings"
+	"testing"
+)
+
+// tagOf tags the sentence and returns the tag of the token with the given
+// surface text (first occurrence).
+func tagOf(t *testing.T, sentence, word string) string {
+	t.Helper()
+	toks := Tokenize(sentence)
+	Tag(toks)
+	for _, tok := range toks {
+		if tok.Text == word {
+			return tok.POS
+		}
+	}
+	t.Fatalf("word %q not found in %q", word, sentence)
+	return ""
+}
+
+func TestTagClosedClasses(t *testing.T) {
+	cases := []struct{ sentence, word, want string }{
+		{"What are the places?", "What", "WP"},
+		{"Which hotel is good?", "Which", "WDT"},
+		{"Where do you visit?", "Where", "WRB"},
+		{"We should visit.", "should", "MD"},
+		{"We should visit.", "We", "PRP"},
+		{"the park", "the", "DT"},
+		{"in the fall", "in", "IN"},
+		{"places and parks", "and", "CC"},
+		{"my friend", "my", "PRP$"},
+		{"to visit", "to", "TO"},
+	}
+	for _, c := range cases {
+		if got := tagOf(t, c.sentence, c.word); got != c.want {
+			t.Errorf("tag(%q in %q) = %s, want %s", c.word, c.sentence, got, c.want)
+		}
+	}
+}
+
+func TestTagOpenClassDisambiguation(t *testing.T) {
+	cases := []struct{ sentence, word, want string }{
+		// visit: verb after modal, noun after determiner
+		{"We should visit Buffalo.", "visit", "VB"},
+		{"The visit was long.", "visit", "NN"},
+		// store: verb after modal, noun after determiner
+		{"How should I store coffee?", "store", "VB"},
+		{"The store is closed.", "store", "NN"},
+		// buy after TO
+		{"I want to buy a camera.", "buy", "VB"},
+		// visit after pronoun subject
+		{"We visit parks.", "visit", "VBP"},
+		// adjectives
+		{"interesting places", "interesting", "JJ"},
+		{"the best ride", "best", "JJS"},
+		// superlative adverb before adjective
+		{"the most interesting places", "most", "RBS"},
+	}
+	for _, c := range cases {
+		if got := tagOf(t, c.sentence, c.word); got != c.want {
+			t.Errorf("tag(%q in %q) = %s, want %s", c.word, c.sentence, got, c.want)
+		}
+	}
+}
+
+func TestTagProperNouns(t *testing.T) {
+	cases := []struct{ sentence, word, want string }{
+		{"We visited Buffalo.", "Buffalo", "NNP"},
+		{"Forest Hotel is nice.", "Forest", "NNP"},
+		{"Forest Hotel is nice.", "Hotel", "NNP"},
+		{"Obama should visit Buffalo.", "Obama", "NNP"},
+	}
+	for _, c := range cases {
+		if got := tagOf(t, c.sentence, c.word); got != c.want {
+			t.Errorf("tag(%q in %q) = %s, want %s", c.word, c.sentence, got, c.want)
+		}
+	}
+}
+
+func TestTagNumbersAndPunct(t *testing.T) {
+	toks := Tokenize("I paid 1,200.50 dollars!")
+	Tag(toks)
+	byText := map[string]string{}
+	for _, tok := range toks {
+		byText[tok.Text] = tok.POS
+	}
+	if byText["1,200.50"] != "CD" {
+		t.Errorf("number tag = %s, want CD", byText["1,200.50"])
+	}
+	if byText["!"] != "." {
+		t.Errorf("punct tag = %s, want .", byText["!"])
+	}
+}
+
+func TestTagUnknownWordSuffixes(t *testing.T) {
+	cases := []struct{ sentence, word, want string }{
+		{"the zorbling machine was zorbed", "zorbed", "VBN"},
+		{"he spoke zorbly", "zorbly", "RB"},
+		{"full of zorbness", "zorbness", "NN"},
+		{"a zorbful day", "zorbful", "JJ"},
+		{"three zorbs", "zorbs", "NNS"},
+	}
+	for _, c := range cases {
+		if got := tagOf(t, c.sentence, c.word); got != c.want {
+			t.Errorf("tag(%q) = %s, want %s", c.word, got, c.want)
+		}
+	}
+}
+
+func TestTagHaveParticiple(t *testing.T) {
+	if got := tagOf(t, "We have booked a hotel.", "booked"); got != "VBN" {
+		t.Errorf("tag(booked after have) = %s, want VBN", got)
+	}
+}
+
+func TestTagRelativizerThat(t *testing.T) {
+	if got := tagOf(t, "The hotel that has a pool.", "that"); got != "WDT" {
+		t.Errorf("tag(that before verb) = %s, want WDT", got)
+	}
+}
+
+func TestTagNegation(t *testing.T) {
+	toks := Tokenize("We don't visit museums.")
+	Tag(toks)
+	var negTag, visitTag string
+	for _, tok := range toks {
+		if tok.Text == "n't" {
+			negTag = tok.POS
+		}
+		if tok.Text == "visit" {
+			visitTag = tok.POS
+		}
+	}
+	if negTag != "RB" {
+		t.Errorf("tag(n't) = %s, want RB", negTag)
+	}
+	if !strings.HasPrefix(visitTag, "VB") {
+		t.Errorf("tag(visit) = %s, want verb", visitTag)
+	}
+}
+
+func TestLemmaVerbs(t *testing.T) {
+	cases := []struct{ word, pos, want string }{
+		{"is", "VBZ", "be"}, {"are", "VBP", "be"}, {"was", "VBD", "be"},
+		{"visits", "VBZ", "visit"}, {"visiting", "VBG", "visit"},
+		{"visited", "VBD", "visit"}, {"making", "VBG", "make"},
+		{"stored", "VBN", "store"}, {"studied", "VBD", "study"},
+		{"stopped", "VBD", "stop"}, {"went", "VBD", "go"},
+		{"bought", "VBD", "buy"}, {"eaten", "VBN", "eat"},
+		{"has", "VBZ", "have"}, {"does", "VBZ", "do"},
+		{"should", "MD", "should"}, {"ca", "MD", "can"},
+		{"wo", "MD", "will"},
+	}
+	for _, c := range cases {
+		if got := Lemma(c.word, c.pos); got != c.want {
+			t.Errorf("Lemma(%q,%s) = %q, want %q", c.word, c.pos, got, c.want)
+		}
+	}
+}
+
+func TestLemmaNouns(t *testing.T) {
+	cases := []struct{ word, pos, want string }{
+		{"places", "NNS", "place"}, {"cities", "NNS", "city"},
+		{"dishes", "NNS", "dish"}, {"children", "NNS", "child"},
+		{"people", "NNS", "person"}, {"glasses", "NNS", "glass"},
+		{"buses", "NNS", "bus"}, {"kids", "NNS", "kid"},
+		{"park", "NN", "park"},
+	}
+	for _, c := range cases {
+		if got := Lemma(c.word, c.pos); got != c.want {
+			t.Errorf("Lemma(%q,%s) = %q, want %q", c.word, c.pos, got, c.want)
+		}
+	}
+}
+
+func TestLemmaComparatives(t *testing.T) {
+	cases := []struct{ word, pos, want string }{
+		{"better", "JJR", "good"}, {"best", "JJS", "good"},
+		{"worse", "JJR", "bad"}, {"worst", "JJS", "bad"},
+		{"bigger", "JJR", "big"}, {"easier", "JJR", "easy"},
+		{"cheapest", "JJS", "cheap"},
+	}
+	for _, c := range cases {
+		if got := Lemma(c.word, c.pos); got != c.want {
+			t.Errorf("Lemma(%q,%s) = %q, want %q", c.word, c.pos, got, c.want)
+		}
+	}
+}
+
+func TestLemmaNegationClitic(t *testing.T) {
+	if got := Lemma("n't", "RB"); got != "not" {
+		t.Errorf("Lemma(n't) = %q, want not", got)
+	}
+}
+
+func TestTagFillsAllFields(t *testing.T) {
+	toks := Tokenize("Which museums in Buffalo should we visit with kids?")
+	Tag(toks)
+	for _, tok := range toks {
+		if tok.POS == "" {
+			t.Errorf("token %q has empty POS", tok.Text)
+		}
+		if tok.Lemma == "" {
+			t.Errorf("token %q has empty lemma", tok.Text)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Package nlp is the natural-language parsing substrate of NL2CM. It
+// substitutes for the Stanford Parser used in the paper: a tokenizer, a
+// lexicon- and rule-based Part-Of-Speech tagger (Penn Treebank tagset), a
+// rule-based lemmatizer, and a deterministic dependency parser that emits
+// Stanford-style typed dependencies (nsubj, dobj, amod, prep, pobj, aux,
+// ...). Downstream modules consume only the POS tags and the typed
+// dependency graph, so the interface matches the paper's.
+package nlp
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is a single meaningful unit of the input text.
+type Token struct {
+	// Index is the 0-based position in the sentence.
+	Index int
+	// Text is the surface form as it appeared (minus splitting).
+	Text string
+	// Lower is the lower-cased surface form.
+	Lower string
+	// Lemma is the dictionary form, filled by the lemmatizer.
+	Lemma string
+	// POS is the Penn Treebank part-of-speech tag, filled by the tagger.
+	POS string
+}
+
+// contractionSplits maps contracted surface forms to their token splits,
+// mirroring Penn Treebank tokenization.
+var contractionSplits = map[string][]string{
+	"n't":    {"n't"},
+	"can't":  {"ca", "n't"},
+	"won't":  {"wo", "n't"},
+	"shan't": {"sha", "n't"},
+	"cannot": {"can", "not"},
+	"i'm":    {"i", "'m"},
+	"let's":  {"let", "'s"},
+	"'s":     {"'s"},
+	"'re":    {"'re"},
+	"'ve":    {"'ve"},
+	"'ll":    {"'ll"},
+	"'d":     {"'d"},
+}
+
+// clitics are suffixes split off a token, longest first.
+var clitics = []string{"n't", "'re", "'ve", "'ll", "'m", "'d", "'s"}
+
+// Tokenize splits a sentence into Penn-Treebank-style tokens: punctuation
+// is separated, standard contractions are split ("don't" -> "do", "n't"),
+// and whitespace is collapsed. Lemma and POS fields are left empty.
+func Tokenize(text string) []Token {
+	var raw []string
+	for _, field := range strings.Fields(text) {
+		raw = append(raw, splitPunct(field)...)
+	}
+	var out []Token
+	for _, w := range raw {
+		for _, piece := range splitContraction(w) {
+			out = append(out, Token{
+				Index: len(out),
+				Text:  piece,
+				Lower: strings.ToLower(piece),
+			})
+		}
+	}
+	return out
+}
+
+// splitPunct separates leading/trailing punctuation from a whitespace
+// field, keeping internal hyphens, apostrophes, and periods in
+// abbreviations.
+func splitPunct(w string) []string {
+	var lead, trail []string
+	// Peel leading punctuation.
+	for len(w) > 0 {
+		r := rune(w[0])
+		if isSplitPunct(r) {
+			lead = append(lead, string(r))
+			w = w[1:]
+			continue
+		}
+		break
+	}
+	// Peel trailing punctuation. Keep a period that is part of an
+	// abbreviation like "N.Y." (token still contains another period).
+	for len(w) > 0 {
+		r := rune(w[len(w)-1])
+		if !isSplitPunct(r) {
+			break
+		}
+		if r == '.' && strings.Count(w, ".") > 1 {
+			break // abbreviation such as U.S. or N.Y.
+		}
+		trail = append([]string{string(r)}, trail...)
+		w = w[:len(w)-1]
+	}
+	var out []string
+	out = append(out, lead...)
+	if w != "" {
+		out = append(out, w)
+	}
+	out = append(out, trail...)
+	return out
+}
+
+func isSplitPunct(r rune) bool {
+	switch r {
+	case '.', ',', '?', '!', ';', ':', '(', ')', '[', ']', '{', '}', '"', '“', '”', '…':
+		return true
+	}
+	return false
+}
+
+// splitContraction splits clitic contractions from a word.
+func splitContraction(w string) []string {
+	lw := strings.ToLower(w)
+	if parts, ok := contractionSplits[lw]; ok {
+		return restoreCase(w, parts)
+	}
+	for _, cl := range clitics {
+		if strings.HasSuffix(lw, cl) && len(lw) > len(cl) {
+			stem := w[:len(w)-len(cl)]
+			suffix := w[len(w)-len(cl):]
+			// "n't" needs the n restored to the suffix.
+			if cl == "n't" {
+				if len(stem) == 0 {
+					break
+				}
+			}
+			if stem == "" {
+				break
+			}
+			return []string{stem, suffix}
+		}
+	}
+	return []string{w}
+}
+
+// restoreCase maps the canonical lower-case split back onto the original
+// casing where lengths allow; it falls back to the canonical pieces.
+func restoreCase(orig string, parts []string) []string {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total != len(orig) {
+		return parts
+	}
+	out := make([]string, len(parts))
+	off := 0
+	for i, p := range parts {
+		out[i] = orig[off : off+len(p)]
+		off += len(p)
+	}
+	return out
+}
+
+// IsWord reports whether the token is alphabetic (contains at least one
+// letter), i.e. not pure punctuation or a number.
+func (t Token) IsWord() bool {
+	for _, r := range t.Text {
+		if unicode.IsLetter(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsPunct reports whether the token consists solely of punctuation.
+func (t Token) IsPunct() bool {
+	if t.Text == "" {
+		return false
+	}
+	for _, r := range t.Text {
+		if !unicode.IsPunct(r) && !unicode.IsSymbol(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// SplitSentences performs a light-weight sentence split on terminal
+// punctuation followed by whitespace and an upper-case letter.
+func SplitSentences(text string) []string {
+	var out []string
+	start := 0
+	runes := []rune(text)
+	for i := 0; i < len(runes); i++ {
+		r := runes[i]
+		if r == '.' || r == '?' || r == '!' {
+			j := i + 1
+			for j < len(runes) && unicode.IsSpace(runes[j]) {
+				j++
+			}
+			if j >= len(runes) || unicode.IsUpper(runes[j]) {
+				s := strings.TrimSpace(string(runes[start : i+1]))
+				if s != "" {
+					out = append(out, s)
+				}
+				start = j
+				i = j - 1
+			}
+		}
+	}
+	if tail := strings.TrimSpace(string(runes[start:])); tail != "" {
+		out = append(out, tail)
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package nlp
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func texts(toks []Token) []string {
+	if len(toks) == 0 {
+		return nil
+	}
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.Text
+	}
+	return out
+}
+
+func TestTokenizeBasic(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Hello world", []string{"Hello", "world"}},
+		{"Hello, world!", []string{"Hello", ",", "world", "!"}},
+		{"What are the most interesting places?",
+			[]string{"What", "are", "the", "most", "interesting", "places", "?"}},
+		{"Forest Hotel, Buffalo, NY", []string{"Forest", "Hotel", ",", "Buffalo", ",", "NY"}},
+		{"(in the fall)", []string{"(", "in", "the", "fall", ")"}},
+		{"", nil},
+		{"   ", nil},
+	}
+	for _, c := range cases {
+		got := texts(Tokenize(c.in))
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokenizeContractions(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"don't", []string{"do", "n't"}},
+		{"Don't", []string{"Do", "n't"}},
+		{"can't", []string{"ca", "n't"}},
+		{"won't", []string{"wo", "n't"}},
+		{"I'm", []string{"I", "'m"}},
+		{"we're", []string{"we", "'re"}},
+		{"they've", []string{"they", "'ve"}},
+		{"she'll", []string{"she", "'ll"}},
+		{"he'd", []string{"he", "'d"}},
+		{"let's", []string{"let", "'s"}},
+		{"cannot", []string{"can", "not"}},
+		{"the hotel's pool", []string{"the", "hotel", "'s", "pool"}},
+	}
+	for _, c := range cases {
+		got := texts(Tokenize(c.in))
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokenizeAbbreviations(t *testing.T) {
+	got := texts(Tokenize("Buffalo, N.Y. is cold."))
+	want := []string{"Buffalo", ",", "N.Y.", "is", "cold", "."}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeIndexesSequential(t *testing.T) {
+	toks := Tokenize("What type of digital camera should I buy?")
+	for i, tok := range toks {
+		if tok.Index != i {
+			t.Fatalf("token %d has Index %d", i, tok.Index)
+		}
+		if tok.Lower != strings.ToLower(tok.Text) {
+			t.Fatalf("token %q Lower = %q", tok.Text, tok.Lower)
+		}
+	}
+}
+
+func TestTokenPredicates(t *testing.T) {
+	if !(Token{Text: "abc"}).IsWord() {
+		t.Error("IsWord(abc) = false")
+	}
+	if (Token{Text: "?"}).IsWord() {
+		t.Error("IsWord(?) = true")
+	}
+	if !(Token{Text: "?"}).IsPunct() {
+		t.Error("IsPunct(?) = false")
+	}
+	if (Token{Text: "abc"}).IsPunct() {
+		t.Error("IsPunct(abc) = true")
+	}
+	if (Token{Text: ""}).IsPunct() {
+		t.Error("IsPunct(empty) = true")
+	}
+	if (Token{Text: "42"}).IsWord() {
+		t.Error("IsWord(42) = true")
+	}
+}
+
+func TestSplitSentences(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"One sentence.", []string{"One sentence."}},
+		{"First one. Second one?", []string{"First one.", "Second one?"}},
+		{"Is it good? Yes! Fine.", []string{"Is it good?", "Yes!", "Fine."}},
+		{"We visited Buffalo. it was cold", []string{"We visited Buffalo. it was cold"}},
+		{"no terminal punctuation", []string{"no terminal punctuation"}},
+		{"", nil},
+	}
+	for _, c := range cases {
+		got := SplitSentences(c.in)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("SplitSentences(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// Property: tokenization never loses non-space characters for plain
+// alphanumeric input.
+func TestTokenizePreservesLetters(t *testing.T) {
+	words := []string{"alpha", "beta", "Gamma", "delta42", "x"}
+	f := func(picks []uint8) bool {
+		var in []string
+		for _, p := range picks {
+			in = append(in, words[int(p)%len(words)])
+		}
+		sentence := strings.Join(in, " ")
+		toks := Tokenize(sentence)
+		var rebuilt []string
+		for _, tok := range toks {
+			rebuilt = append(rebuilt, tok.Text)
+		}
+		return strings.Join(rebuilt, " ") == sentence
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every token index matches its slice position for arbitrary
+// printable input.
+func TestTokenizeIndexInvariant(t *testing.T) {
+	f := func(s string) bool {
+		for i, tok := range Tokenize(s) {
+			if tok.Index != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

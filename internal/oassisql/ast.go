@@ -1,0 +1,153 @@
+// Package oassisql defines the OASSIS-QL crowd-mining query language of
+// Amsterdamer et al. (SIGMOD 2014), which NL2CM targets: the AST, a
+// parser, a printer that reproduces the paper's concrete syntax
+// (Figure 1), and structural validation.
+//
+// An OASSIS-QL query has three parts (paper §2.1):
+//
+//   - SELECT: which variable bindings the query returns;
+//   - WHERE: a SPARQL-like selection over the general-knowledge ontology;
+//   - SATISFYING: data patterns to be mined from the crowd, split into
+//     subclauses, each holding one semantic event/property and carrying
+//     either a support threshold or a top/bottom-k selection.
+package oassisql
+
+import (
+	"fmt"
+	"strings"
+
+	"nl2cm/internal/rdf"
+	"nl2cm/internal/sparql"
+)
+
+// Pattern is a basic graph pattern with optional filters.
+type Pattern struct {
+	Triples []rdf.Triple
+	Filters []sparql.Expr
+}
+
+// Vars returns the named (non-anonymous) variables of the pattern in
+// first-appearance order.
+func (p Pattern) Vars() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, t := range p.Triples {
+		for _, v := range t.Vars() {
+			if !seen[v] && !IsAnonVar(v) {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// Clone deep-copies the pattern's triple slice (filters are immutable).
+func (p Pattern) Clone() Pattern {
+	c := Pattern{Filters: append([]sparql.Expr(nil), p.Filters...)}
+	c.Triples = append([]rdf.Triple(nil), p.Triples...)
+	return c
+}
+
+// IsAnonVar reports whether a variable name denotes an anonymous "[]"
+// term ("anything/anyone"), which the printer renders back as [].
+func IsAnonVar(name string) bool { return strings.HasPrefix(name, "_anon") }
+
+// TopK is the ORDER BY …(SUPPORT) LIMIT k form of significance selection.
+type TopK struct {
+	K int
+	// Desc selects the k highest-support patterns; false selects the
+	// lowest.
+	Desc bool
+}
+
+// Subclause is one crowd-mining data pattern of the SATISFYING clause.
+// Exactly one of TopK and Threshold must be set.
+type Subclause struct {
+	Pattern Pattern
+	// TopK selects the k highest/lowest-support bindings.
+	TopK *TopK
+	// Threshold is the minimal support in [0,1]; nil when TopK is used.
+	Threshold *float64
+}
+
+// SelectClause defines the query output.
+type SelectClause struct {
+	// All corresponds to "SELECT VARIABLES": return bindings of all
+	// variables that yield significant patterns.
+	All bool
+	// Vars lists the projected variables when All is false.
+	Vars []string
+}
+
+// Query is a parsed OASSIS-QL query.
+type Query struct {
+	Select     SelectClause
+	Where      Pattern
+	Satisfying []Subclause
+}
+
+// Vars returns every named variable in the query in first-appearance
+// order (WHERE first, then SATISFYING subclauses).
+func (q *Query) Vars() []string {
+	var out []string
+	seen := map[string]bool{}
+	add := func(vs []string) {
+		for _, v := range vs {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	add(q.Where.Vars())
+	for _, sc := range q.Satisfying {
+		add(sc.Pattern.Vars())
+	}
+	return out
+}
+
+// Validate checks structural well-formedness: a non-empty SATISFYING
+// clause in which every subclause has exactly one significance criterion,
+// thresholds within [0,1], positive k, and projected variables that occur
+// in the query.
+func (q *Query) Validate() error {
+	if len(q.Satisfying) == 0 {
+		return fmt.Errorf("oassisql: query has no SATISFYING clause")
+	}
+	for i, sc := range q.Satisfying {
+		switch {
+		case sc.TopK == nil && sc.Threshold == nil:
+			return fmt.Errorf("oassisql: subclause %d has neither LIMIT nor THRESHOLD", i+1)
+		case sc.TopK != nil && sc.Threshold != nil:
+			return fmt.Errorf("oassisql: subclause %d has both LIMIT and THRESHOLD", i+1)
+		case sc.TopK != nil && sc.TopK.K <= 0:
+			return fmt.Errorf("oassisql: subclause %d has non-positive k %d", i+1, sc.TopK.K)
+		case sc.Threshold != nil && (*sc.Threshold < 0 || *sc.Threshold > 1):
+			return fmt.Errorf("oassisql: subclause %d threshold %g outside [0,1]", i+1, *sc.Threshold)
+		case len(sc.Pattern.Triples) == 0:
+			return fmt.Errorf("oassisql: subclause %d has no triples", i+1)
+		}
+	}
+	if !q.Select.All {
+		if len(q.Select.Vars) == 0 {
+			return fmt.Errorf("oassisql: SELECT projects no variables")
+		}
+		known := map[string]bool{}
+		for _, v := range q.Vars() {
+			known[v] = true
+		}
+		for _, v := range q.Select.Vars {
+			if !known[v] {
+				return fmt.Errorf("oassisql: SELECT variable $%s not used in query", v)
+			}
+		}
+	}
+	return nil
+}
+
+// Equal reports whether two queries are structurally identical up to
+// filter-expression rendering.
+func (q *Query) Equal(o *Query) bool {
+	return q.String() == o.String()
+}

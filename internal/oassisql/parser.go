@@ -1,0 +1,158 @@
+package oassisql
+
+import (
+	"fmt"
+	"strings"
+
+	"nl2cm/internal/sparql"
+)
+
+// Parse parses an OASSIS-QL query in the paper's concrete syntax.
+func Parse(input string) (*Query, error) {
+	lx, err := sparql.NewLexer(input)
+	if err != nil {
+		return nil, fmt.Errorf("oassisql: %w", err)
+	}
+	p := &parser{lx: lx, pat: sparql.NewPatternParser(lx, nil)}
+	q, err := p.query()
+	if err != nil {
+		return nil, fmt.Errorf("oassisql: %w", err)
+	}
+	if t := lx.Peek(); t.Kind != sparql.TokEOF {
+		return nil, fmt.Errorf("oassisql: %v", lx.Errf("trailing input %q", t.Text))
+	}
+	return q, nil
+}
+
+// MustParse parses a query and panics on error; for tests and embedded
+// fixtures.
+func MustParse(input string) *Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	lx  *sparql.Lexer
+	pat *sparql.PatternParser
+}
+
+func (p *parser) keyword(words ...string) bool {
+	t := p.lx.Peek()
+	if t.Kind != sparql.TokIdent {
+		return false
+	}
+	for _, w := range words {
+		if strings.EqualFold(t.Text, w) {
+			p.lx.Next()
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(w string) error {
+	if !p.keyword(w) {
+		return p.lx.Errf("expected %s, found %q", w, p.lx.Peek().Text)
+	}
+	return nil
+}
+
+func (p *parser) query() (*Query, error) {
+	q := &Query{}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	if p.keyword("VARIABLES") {
+		q.Select.All = true
+	} else {
+		for p.lx.Peek().Kind == sparql.TokVar {
+			q.Select.Vars = append(q.Select.Vars, p.lx.Next().Text)
+		}
+		if len(q.Select.Vars) == 0 {
+			return nil, p.lx.Errf("expected VARIABLES or variable list after SELECT")
+		}
+	}
+	if err := p.expectKeyword("WHERE"); err != nil {
+		return nil, err
+	}
+	triples, filters, err := p.pat.GroupPattern()
+	if err != nil {
+		return nil, err
+	}
+	q.Where = Pattern{Triples: triples, Filters: filters}
+	if err := p.expectKeyword("SATISFYING"); err != nil {
+		return nil, err
+	}
+	for {
+		sc, err := p.subclause()
+		if err != nil {
+			return nil, err
+		}
+		q.Satisfying = append(q.Satisfying, sc)
+		if !p.keyword("AND") {
+			break
+		}
+	}
+	return q, nil
+}
+
+func (p *parser) subclause() (Subclause, error) {
+	triples, filters, err := p.pat.GroupPattern()
+	if err != nil {
+		return Subclause{}, err
+	}
+	sc := Subclause{Pattern: Pattern{Triples: triples, Filters: filters}}
+	switch {
+	case p.keyword("ORDER"):
+		if err := p.expectKeyword("BY"); err != nil {
+			return Subclause{}, err
+		}
+		desc := false
+		switch {
+		case p.keyword("DESC"):
+			desc = true
+		case p.keyword("ASC"):
+		default:
+			return Subclause{}, p.lx.Errf("expected ASC or DESC after ORDER BY")
+		}
+		if t := p.lx.Next(); !(t.Kind == sparql.TokPunct && t.Text == "(") {
+			return Subclause{}, p.lx.Errf("expected ( after %s", map[bool]string{true: "DESC", false: "ASC"}[desc])
+		}
+		if err := p.expectKeyword("SUPPORT"); err != nil {
+			return Subclause{}, err
+		}
+		if t := p.lx.Next(); !(t.Kind == sparql.TokPunct && t.Text == ")") {
+			return Subclause{}, p.lx.Errf("expected ) after SUPPORT")
+		}
+		if err := p.expectKeyword("LIMIT"); err != nil {
+			return Subclause{}, err
+		}
+		n := p.lx.Next()
+		if n.Kind != sparql.TokNumber {
+			return Subclause{}, p.lx.Errf("expected number after LIMIT")
+		}
+		sc.TopK = &TopK{K: int(n.Num), Desc: desc}
+	case p.keyword("WITH"):
+		if err := p.expectKeyword("SUPPORT"); err != nil {
+			return Subclause{}, err
+		}
+		if err := p.expectKeyword("THRESHOLD"); err != nil {
+			return Subclause{}, err
+		}
+		if t := p.lx.Next(); !(t.Kind == sparql.TokOp && (t.Text == "=" || t.Text == "==")) {
+			return Subclause{}, p.lx.Errf("expected = after THRESHOLD")
+		}
+		n := p.lx.Next()
+		if n.Kind != sparql.TokNumber {
+			return Subclause{}, p.lx.Errf("expected number after THRESHOLD =")
+		}
+		v := n.Num
+		sc.Threshold = &v
+	default:
+		return Subclause{}, p.lx.Errf("subclause needs ORDER BY ...(SUPPORT) LIMIT k or WITH SUPPORT THRESHOLD = t")
+	}
+	return sc, nil
+}

@@ -1,0 +1,116 @@
+package oassisql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"nl2cm/internal/rdf"
+)
+
+// String renders the query in the paper's concrete syntax. For the
+// running example it reproduces Figure 1 line for line:
+//
+//	SELECT VARIABLES
+//	WHERE
+//	{$x instanceOf Place.
+//	$x near Forest_Hotel,_Buffalo,_NY}
+//	SATISFYING
+//	{$x hasLabel "interesting"}
+//	ORDER BY DESC(SUPPORT)
+//	LIMIT 5
+//	AND
+//	{[] visit $x.
+//	[] in Fall}
+//	WITH SUPPORT THRESHOLD = 0.1
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if q.Select.All {
+		b.WriteString("VARIABLES")
+	} else {
+		for i, v := range q.Select.Vars {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString("$" + v)
+		}
+	}
+	b.WriteString("\nWHERE\n")
+	writePattern(&b, q.Where)
+	if len(q.Satisfying) == 0 {
+		return b.String()
+	}
+	b.WriteString("\nSATISFYING")
+	for i, sc := range q.Satisfying {
+		if i > 0 {
+			b.WriteString("\nAND")
+		}
+		b.WriteByte('\n')
+		writePattern(&b, sc.Pattern)
+		switch {
+		case sc.TopK != nil:
+			dir := "DESC"
+			if !sc.TopK.Desc {
+				dir = "ASC"
+			}
+			fmt.Fprintf(&b, "\nORDER BY %s(SUPPORT)\nLIMIT %d", dir, sc.TopK.K)
+		case sc.Threshold != nil:
+			fmt.Fprintf(&b, "\nWITH SUPPORT THRESHOLD = %s", formatThreshold(*sc.Threshold))
+		}
+	}
+	return b.String()
+}
+
+func formatThreshold(f float64) string {
+	s := strconv.FormatFloat(f, 'g', -1, 64)
+	// The paper writes thresholds with a decimal point (0.1).
+	if !strings.ContainsAny(s, ".e") {
+		s += ".0"
+	}
+	return s
+}
+
+func writePattern(b *strings.Builder, p Pattern) {
+	b.WriteByte('{')
+	for i, t := range p.Triples {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(TermString(t.S))
+		b.WriteByte(' ')
+		b.WriteString(TermString(t.P))
+		b.WriteByte(' ')
+		b.WriteString(TermString(t.O))
+		if i < len(p.Triples)-1 {
+			b.WriteByte('.')
+		}
+	}
+	for _, f := range p.Filters {
+		b.WriteString("\nFILTER(")
+		b.WriteString(f.String())
+		b.WriteByte(')')
+	}
+	b.WriteByte('}')
+}
+
+// TermString renders a term in OASSIS-QL surface syntax: bare local
+// names for IRIs, "$x" for variables, "[]" for anonymous variables and
+// quoted strings for literals.
+func TermString(t rdf.Term) string {
+	switch t.Kind() {
+	case rdf.KindVariable:
+		if IsAnonVar(t.Value()) {
+			return "[]"
+		}
+		return "$" + t.Value()
+	case rdf.KindIRI:
+		return t.Local()
+	case rdf.KindLiteral:
+		return strconv.Quote(t.Value())
+	case rdf.KindBlank:
+		return "[]"
+	default:
+		return t.String()
+	}
+}

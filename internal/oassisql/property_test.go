@@ -1,0 +1,122 @@
+package oassisql
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nl2cm/internal/rdf"
+)
+
+// randomTerm builds a term valid in OASSIS-QL triple position pos
+// (0=subject, 1=predicate, 2=object).
+func randomTerm(r *rand.Rand, pos int, anon *int) rdf.Term {
+	idents := []string{"Place", "Hotel", "visit", "eat", "near", "Fall",
+		"Forest_Hotel,_Buffalo,_NY", "instanceOf", "hasLabel", "Big_Shot"}
+	vars := []string{"x", "y", "z"}
+	switch r.Intn(4) {
+	case 0:
+		return rdf.NewVar(vars[r.Intn(len(vars))])
+	case 1:
+		if pos != 1 { // predicates cannot be []
+			*anon++
+			return rdf.NewVar("_anon" + string(rune('0'+*anon%10)) + "x")
+		}
+		return rdf.NewIRI(idents[r.Intn(len(idents))])
+	case 2:
+		if pos == 2 && r.Intn(2) == 0 {
+			lits := []string{"interesting", "good", "fun", "worth a visit"}
+			return rdf.NewLiteral(lits[r.Intn(len(lits))])
+		}
+		return rdf.NewIRI(idents[r.Intn(len(idents))])
+	default:
+		return rdf.NewIRI(idents[r.Intn(len(idents))])
+	}
+}
+
+// randomQuery builds an arbitrary structurally-valid OASSIS-QL query.
+func randomQuery(r *rand.Rand) *Query {
+	anon := 0
+	pattern := func(n int) Pattern {
+		var p Pattern
+		for i := 0; i < n; i++ {
+			p.Triples = append(p.Triples, rdf.T(
+				randomTerm(r, 0, &anon),
+				randomTerm(r, 1, &anon),
+				randomTerm(r, 2, &anon),
+			))
+		}
+		return p
+	}
+	q := &Query{Select: SelectClause{All: true}}
+	q.Where = pattern(r.Intn(3))
+	for i := 0; i < 1+r.Intn(3); i++ {
+		sc := Subclause{Pattern: pattern(1 + r.Intn(3))}
+		if r.Intn(2) == 0 {
+			sc.TopK = &TopK{K: 1 + r.Intn(9), Desc: r.Intn(2) == 0}
+		} else {
+			th := float64(r.Intn(100)) / 100
+			sc.Threshold = &th
+		}
+		q.Satisfying = append(q.Satisfying, sc)
+	}
+	// Sometimes project a subset of the named variables.
+	if vars := q.Vars(); len(vars) > 0 && r.Intn(3) == 0 {
+		q.Select.All = false
+		q.Select.Vars = vars[:1+r.Intn(len(vars))]
+	}
+	return q
+}
+
+// Property: every structurally valid query print→parse→print round-trips
+// to identical text.
+func TestRandomQueryRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := randomQuery(r)
+		text := q.String()
+		q2, err := Parse(text)
+		if err != nil {
+			t.Logf("unparseable generated query:\n%s\n%v", text, err)
+			return false
+		}
+		if q2.String() != text {
+			t.Logf("round trip mismatch:\n%s\nvs\n%s", text, q2.String())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Validate accepts every randomly generated query (they are
+// constructed to be valid) and parsing preserves subclause count and
+// criteria kinds.
+func TestRandomQueryStructurePreserved(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := randomQuery(r)
+		if err := q.Validate(); err != nil {
+			t.Logf("generated query invalid: %v\n%s", err, q)
+			return false
+		}
+		q2, err := Parse(q.String())
+		if err != nil {
+			return false
+		}
+		if len(q2.Satisfying) != len(q.Satisfying) {
+			return false
+		}
+		for i := range q.Satisfying {
+			if (q.Satisfying[i].TopK == nil) != (q2.Satisfying[i].TopK == nil) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

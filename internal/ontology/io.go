@@ -1,0 +1,118 @@
+package ontology
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"nl2cm/internal/rdf"
+)
+
+// WriteNTriples serializes the ontology's triples in a deterministic
+// order, so administrators can export, diff and edit knowledge bases as
+// plain text.
+func (o *Ontology) WriteNTriples(w io.Writer) error {
+	triples := o.Store.All()
+	rdf.SortTriples(triples)
+	if err := rdf.WriteNTriples(w, triples); err != nil {
+		return fmt.Errorf("ontology: exporting %s: %w", o.Name, err)
+	}
+	return nil
+}
+
+// ReadNTriples builds an ontology from N-Triples data, reconstructing
+// the lookup indexes: labels come from <label> triples, class membership
+// from subClassOf participation and instanceOf objects. Relation lemma
+// mappings are structural knowledge rather than data, so the standard
+// relation set is registered; descriptions are not representable in
+// plain triples and remain empty.
+func ReadNTriples(name string, r io.Reader) (*Ontology, error) {
+	triples, err := rdf.ParseNTriples(r)
+	if err != nil {
+		return nil, fmt.Errorf("ontology: importing %s: %w", name, err)
+	}
+	o := New(name)
+	classes := map[rdf.Term]bool{}
+	for _, t := range triples {
+		o.Store.MustAdd(t)
+		switch t.P {
+		case PredSubClassOf:
+			classes[t.S] = true
+			classes[t.O] = true
+		case PredInstanceOf:
+			classes[t.O] = true
+		}
+	}
+	for c := range classes {
+		o.classes[c] = true
+	}
+	// Rebuild the label index.
+	for _, t := range triples {
+		if t.P == PredLabel && t.O.IsLiteral() {
+			o.index(t.O.Value(), t.S)
+		}
+	}
+	registerStandardRelations(o)
+	return o, nil
+}
+
+// registerStandardRelations installs the NL surface lemmas for the
+// well-known predicates; they apply to any ontology in the namespace.
+func registerStandardRelations(o *Ontology) {
+	o.AddRelation(PredNear, "near", "nearby", "close to", "around")
+	o.AddRelation(PredLocatedIn, "in", "located in", "within", "inside", "at")
+	o.AddRelation(PredHasFeature, "has", "have", "with", "offer")
+	o.AddRelation(PredServes, "serve", "serves")
+	o.AddRelation(PredRichIn, "rich in", "high in", "full of")
+	o.AddRelation(PredContains, "contain", "contains", "made of")
+	o.AddRelation(PredMadeBy, "made by", "by", "from")
+	o.AddRelation(PredGoodFor, "good for")
+	o.AddRelation(PredInstanceOf, "instanceof", "instance of", "type of", "kind of")
+}
+
+// Stats summarizes an ontology for admin displays.
+type Stats struct {
+	Name     string
+	Triples  int
+	Classes  int
+	Entities int
+	Labels   int
+}
+
+// Summary computes ontology statistics.
+func (o *Ontology) Summary() Stats {
+	entities := map[rdf.Term]bool{}
+	o.Store.MatchFunc(rdf.T(rdf.NewVar("s"), PredInstanceOf, rdf.NewVar("c")), func(t rdf.Triple) bool {
+		if !o.classes[t.S] {
+			entities[t.S] = true
+		}
+		return true
+	})
+	labels := 0
+	for range o.labels {
+		labels++
+	}
+	return Stats{
+		Name:     o.Name,
+		Triples:  o.Store.Len(),
+		Classes:  len(o.Classes()),
+		Entities: len(entities),
+		Labels:   labels,
+	}
+}
+
+// Entities returns all non-class subjects with an instanceOf fact,
+// sorted.
+func (o *Ontology) Entities() []rdf.Term {
+	seen := map[rdf.Term]bool{}
+	var out []rdf.Term
+	o.Store.MatchFunc(rdf.T(rdf.NewVar("s"), PredInstanceOf, rdf.NewVar("c")), func(t rdf.Triple) bool {
+		if !o.classes[t.S] && !seen[t.S] {
+			seen[t.S] = true
+			out = append(out, t.S)
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}

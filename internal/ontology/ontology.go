@@ -1,0 +1,336 @@
+// Package ontology provides the general-knowledge substrate of NL2CM. The
+// paper evaluates against the public LinkedGeoData and DBPedia ontologies;
+// this package substitutes embedded synthetic ontologies with the same
+// interface obligations: RDF triples over named entities and classes, a
+// label index for aligning natural-language phrases with entities and
+// relations, and deliberately ambiguous entries (several places named
+// "Buffalo") that exercise the system's disambiguation dialogues.
+package ontology
+
+import (
+	"sort"
+	"strings"
+
+	"nl2cm/internal/rdf"
+)
+
+// NS is the namespace of all ontology IRIs.
+const NS = "http://nl2cm.org/onto/"
+
+// Well-known predicates.
+var (
+	PredInstanceOf = rdf.NewIRI(NS + "instanceOf")
+	PredSubClassOf = rdf.NewIRI(NS + "subClassOf")
+	PredLabel      = rdf.NewIRI(NS + "label")
+	PredNear       = rdf.NewIRI(NS + "near")
+	PredLocatedIn  = rdf.NewIRI(NS + "locatedIn")
+	PredContains   = rdf.NewIRI(NS + "contains")
+	PredRichIn     = rdf.NewIRI(NS + "richIn")
+	PredHasFeature = rdf.NewIRI(NS + "hasFeature")
+	PredMadeBy     = rdf.NewIRI(NS + "madeBy")
+	PredPriceRange = rdf.NewIRI(NS + "priceRange")
+	PredServes     = rdf.NewIRI(NS + "serves")
+	PredGoodFor    = rdf.NewIRI(NS + "goodFor")
+)
+
+// E builds an entity IRI in the ontology namespace.
+func E(local string) rdf.Term { return rdf.NewIRI(NS + local) }
+
+// Candidate is one possible alignment of an NL phrase with an ontology
+// entity or relation.
+type Candidate struct {
+	Term rdf.Term
+	// Label is the entity's primary label.
+	Label string
+	// Description disambiguates homonyms for the user ("city in New
+	// York, USA").
+	Description string
+	// Score ranks candidates; higher is better. Scores combine match
+	// quality with learned user feedback (see qgen).
+	Score float64
+	// IsClass reports whether the candidate is a class rather than an
+	// individual.
+	IsClass bool
+}
+
+// Ontology is a labeled triple store with lookup indexes.
+type Ontology struct {
+	// Name identifies the ontology in admin-mode traces ("GeoOntology").
+	Name  string
+	Store *rdf.Store
+
+	// labels maps normalized full labels to entities (exact matches).
+	labels map[string][]rdf.Term
+	// words maps individual label words to entities (partial matches).
+	words map[string][]rdf.Term
+	// descriptions holds per-entity disambiguation strings.
+	descriptions map[rdf.Term]string
+	// classes records which terms are classes.
+	classes map[rdf.Term]bool
+	// relations maps lower-cased relation lemmas ("near", "located in")
+	// to predicates.
+	relations map[string]rdf.Term
+}
+
+// New returns an empty ontology with the given name.
+func New(name string) *Ontology {
+	return &Ontology{
+		Name:         name,
+		Store:        rdf.NewStore(),
+		labels:       map[string][]rdf.Term{},
+		words:        map[string][]rdf.Term{},
+		descriptions: map[rdf.Term]string{},
+		classes:      map[rdf.Term]bool{},
+		relations:    map[string]rdf.Term{},
+	}
+}
+
+// AddEntity registers an entity with its label, description and class,
+// and indexes the label (and each of its words) for lookup.
+func (o *Ontology) AddEntity(local, label, description string, class rdf.Term) rdf.Term {
+	e := E(local)
+	o.Store.AddTriple(e, PredLabel, rdf.NewLiteral(label))
+	if class.Value() != "" {
+		o.Store.AddTriple(e, PredInstanceOf, class)
+	}
+	o.descriptions[e] = description
+	o.index(label, e)
+	return e
+}
+
+// AddClass registers a class term with a label and optional superclass.
+func (o *Ontology) AddClass(local, label string, super rdf.Term) rdf.Term {
+	c := E(local)
+	o.Store.AddTriple(c, PredLabel, rdf.NewLiteral(label))
+	if super.Value() != "" {
+		o.Store.AddTriple(c, PredSubClassOf, super)
+	}
+	o.classes[c] = true
+	o.index(label, c)
+	return c
+}
+
+// AddRelation registers NL surface lemmas for a predicate.
+func (o *Ontology) AddRelation(pred rdf.Term, lemmas ...string) {
+	for _, l := range lemmas {
+		o.relations[strings.ToLower(l)] = pred
+	}
+}
+
+// Add registers an arbitrary fact triple.
+func (o *Ontology) Add(s, p, oTerm rdf.Term) { o.Store.AddTriple(s, p, oTerm) }
+
+// Alias adds an extra lookup label for an existing term.
+func (o *Ontology) Alias(term rdf.Term, label string) { o.index(label, term) }
+
+func (o *Ontology) index(label string, term rdf.Term) {
+	key := normalize(label)
+	o.labels[key] = appendUnique(o.labels[key], term)
+	// Index individual words separately (weaker matches), so "Buffalo"
+	// finds "Buffalo, NY" without full-label matches being diluted.
+	words := strings.Fields(key)
+	if len(words) > 1 {
+		for _, w := range words {
+			if len(w) > 2 {
+				o.words[w] = appendUnique(o.words[w], term)
+			}
+		}
+	}
+}
+
+func appendUnique(ts []rdf.Term, t rdf.Term) []rdf.Term {
+	for _, x := range ts {
+		if x.Equal(t) {
+			return ts
+		}
+	}
+	return append(ts, t)
+}
+
+func normalize(s string) string {
+	s = strings.ToLower(strings.TrimSpace(s))
+	s = strings.ReplaceAll(s, ",", " ")
+	return strings.Join(strings.Fields(s), " ")
+}
+
+// Description returns the disambiguation string for an entity.
+func (o *Ontology) Description(t rdf.Term) string { return o.descriptions[t] }
+
+// Label returns the primary label of a term, falling back to the IRI
+// local name.
+func (o *Ontology) Label(t rdf.Term) string {
+	objs := o.Store.Objects(t, PredLabel)
+	if len(objs) > 0 {
+		// deterministic choice
+		sort.Slice(objs, func(i, j int) bool { return objs[i].Compare(objs[j]) < 0 })
+		return objs[0].Value()
+	}
+	return t.Local()
+}
+
+// IsClass reports whether the term is a registered class.
+func (o *Ontology) IsClass(t rdf.Term) bool { return o.classes[t] }
+
+// Lookup aligns an NL phrase with ontology terms, returning candidates
+// ranked by match quality: exact normalized label match scores 1.0,
+// full-phrase prefix matches 0.8, head-word matches 0.6. Deterministic
+// order: score desc, then term order.
+func (o *Ontology) Lookup(phrase string) []Candidate {
+	key := normalize(phrase)
+	if key == "" {
+		return nil
+	}
+	scored := map[rdf.Term]float64{}
+	consider := func(ts []rdf.Term, score float64) {
+		for _, t := range ts {
+			if scored[t] < score {
+				scored[t] = score
+			}
+		}
+	}
+	consider(o.labels[key], 1.0)
+	// singular fallback: "places" -> "place"
+	if strings.HasSuffix(key, "s") {
+		consider(o.labels[strings.TrimSuffix(key, "s")], 0.9)
+	}
+	// word-index fallback: the phrase is one word of a longer label
+	consider(o.words[key], 0.6)
+	// word-by-word fallback: some word of the phrase is a known label
+	for _, w := range strings.Fields(key) {
+		if w == key {
+			continue
+		}
+		consider(o.labels[w], 0.6)
+		consider(o.words[w], 0.4)
+	}
+	var out []Candidate
+	for t, s := range scored {
+		out = append(out, Candidate{
+			Term:        t,
+			Label:       o.Label(t),
+			Description: o.descriptions[t],
+			Score:       s,
+			IsClass:     o.classes[t],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Term.Compare(out[j].Term) < 0
+	})
+	return out
+}
+
+// LookupRelation aligns a relation lemma ("near", "in", "visit") with a
+// predicate, if the ontology models it.
+func (o *Ontology) LookupRelation(lemma string) (rdf.Term, bool) {
+	p, ok := o.relations[strings.ToLower(lemma)]
+	return p, ok
+}
+
+// Classes returns all registered classes, sorted.
+func (o *Ontology) Classes() []rdf.Term {
+	var out []rdf.Term
+	for c := range o.classes {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// InstancesOf returns the instances of a class, including instances of
+// its subclasses (one transitive closure over subClassOf).
+func (o *Ontology) InstancesOf(class rdf.Term) []rdf.Term {
+	seen := map[rdf.Term]bool{}
+	var out []rdf.Term
+	var visit func(c rdf.Term)
+	visited := map[rdf.Term]bool{}
+	visit = func(c rdf.Term) {
+		if visited[c] {
+			return
+		}
+		visited[c] = true
+		for _, inst := range o.Store.Subjects(PredInstanceOf, c) {
+			if !seen[inst] {
+				seen[inst] = true
+				out = append(out, inst)
+			}
+		}
+		for _, sub := range o.Store.Subjects(PredSubClassOf, c) {
+			visit(sub)
+		}
+	}
+	visit(class)
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// MaterializeInference adds the subclass closure to the store: for every
+// (s instanceOf C) and superclass S of C, (s instanceOf S) is added, so
+// the plain BGP matcher answers "instanceOf Place" for parks and hotels.
+// Call it once after the ontology data is loaded.
+func (o *Ontology) MaterializeInference() {
+	// superclasses: direct subClassOf edges.
+	super := map[rdf.Term][]rdf.Term{}
+	o.Store.MatchFunc(rdf.T(rdf.NewVar("c"), PredSubClassOf, rdf.NewVar("s")), func(t rdf.Triple) bool {
+		super[t.S] = append(super[t.S], t.O)
+		return true
+	})
+	var allSupers func(c rdf.Term, seen map[rdf.Term]bool) []rdf.Term
+	allSupers = func(c rdf.Term, seen map[rdf.Term]bool) []rdf.Term {
+		var out []rdf.Term
+		for _, s := range super[c] {
+			if seen[s] {
+				continue
+			}
+			seen[s] = true
+			out = append(out, s)
+			out = append(out, allSupers(s, seen)...)
+		}
+		return out
+	}
+	type inst struct{ s, c rdf.Term }
+	var pairs []inst
+	o.Store.MatchFunc(rdf.T(rdf.NewVar("s"), PredInstanceOf, rdf.NewVar("c")), func(t rdf.Triple) bool {
+		pairs = append(pairs, inst{t.S, t.O})
+		return true
+	})
+	for _, p := range pairs {
+		for _, s := range allSupers(p.c, map[rdf.Term]bool{}) {
+			o.Store.AddTriple(p.s, PredInstanceOf, s)
+		}
+	}
+}
+
+// Merge combines several ontologies into one view (the demo uses
+// LinkedGeoData and DBPedia together). Later ontologies win on
+// description conflicts.
+func Merge(name string, parts ...*Ontology) *Ontology {
+	m := New(name)
+	for _, p := range parts {
+		for _, t := range p.Store.All() {
+			m.Store.MustAdd(t)
+		}
+		for k, ts := range p.labels {
+			for _, t := range ts {
+				m.labels[k] = appendUnique(m.labels[k], t)
+			}
+		}
+		for k, ts := range p.words {
+			for _, t := range ts {
+				m.words[k] = appendUnique(m.words[k], t)
+			}
+		}
+		for t, d := range p.descriptions {
+			m.descriptions[t] = d
+		}
+		for c := range p.classes {
+			m.classes[c] = true
+		}
+		for k, v := range p.relations {
+			m.relations[k] = v
+		}
+	}
+	return m
+}

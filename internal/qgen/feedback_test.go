@@ -1,0 +1,93 @@
+package qgen
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nl2cm/internal/ontology"
+)
+
+func TestFeedbackSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "feedback.json")
+	f := NewFeedback()
+	il := ontology.E("Buffalo,_IL")
+	for i := 0; i < 3; i++ {
+		f.Record("Buffalo", il)
+	}
+	f.Record("Vegas", ontology.E("Las_Vegas"))
+	if err := f.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFeedback(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Boost("Buffalo", il) != f.Boost("Buffalo", il) {
+		t.Error("boost lost in round trip")
+	}
+	if loaded.Boost("Vegas", ontology.E("Las_Vegas")) == 0 {
+		t.Error("second phrase lost")
+	}
+}
+
+func TestLoadFeedbackMissingFile(t *testing.T) {
+	f, err := LoadFeedback(filepath.Join(t.TempDir(), "none.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Boost("x", ontology.E("Y")) != 0 {
+		t.Error("fresh store not empty")
+	}
+}
+
+func TestLoadFeedbackCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFeedback(path); err == nil {
+		t.Error("corrupt file accepted")
+	}
+}
+
+// The persisted feedback drives ranking in a new session, completing the
+// §4.1 "subsequent interactions" loop across process restarts.
+func TestPersistedFeedbackAffectsNewGenerator(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "feedback.json")
+	onto := ontology.NewDemoOntology()
+	il := ontology.E("Buffalo,_IL")
+
+	g1 := New(onto)
+	for i := 0; i < 3; i++ {
+		g1.Feedback.Record("Buffalo", il)
+	}
+	if err := g1.Feedback.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	g2 := New(onto)
+	loaded, err := LoadFeedback(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2.Feedback = loaded
+	cands := g2.RankCandidates("Buffalo")
+	if len(cands) == 0 || cands[0].Term != il {
+		t.Errorf("persisted preference not applied: top = %v", cands[0].Term)
+	}
+}
+
+func TestRankCandidatesDegreeTieBreak(t *testing.T) {
+	g := New(ontology.NewDemoOntology())
+	cands := g.RankCandidates("Buffalo")
+	if len(cands) < 3 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	// With no feedback, the best-connected Buffalo (NY) ranks first.
+	if cands[0].Term != ontology.E("Buffalo,_NY") {
+		t.Errorf("top = %v, want Buffalo,_NY", cands[0].Term)
+	}
+}

@@ -1,0 +1,285 @@
+package rdf
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Store is an in-memory, thread-safe triple store with SPO, POS and OSP
+// hash indexes. Lookups with any combination of bound positions run
+// against the most selective index.
+//
+// The zero value is ready to use.
+type Store struct {
+	mu sync.RWMutex
+	// spo maps subject -> predicate -> set of objects.
+	spo map[Term]map[Term]map[Term]struct{}
+	// pos maps predicate -> object -> set of subjects.
+	pos map[Term]map[Term]map[Term]struct{}
+	// osp maps object -> subject -> set of predicates.
+	osp map[Term]map[Term]map[Term]struct{}
+	n   int
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{} }
+
+func (s *Store) init() {
+	if s.spo == nil {
+		s.spo = map[Term]map[Term]map[Term]struct{}{}
+		s.pos = map[Term]map[Term]map[Term]struct{}{}
+		s.osp = map[Term]map[Term]map[Term]struct{}{}
+	}
+}
+
+func idxAdd(m map[Term]map[Term]map[Term]struct{}, a, b, c Term) bool {
+	mb, ok := m[a]
+	if !ok {
+		mb = map[Term]map[Term]struct{}{}
+		m[a] = mb
+	}
+	mc, ok := mb[b]
+	if !ok {
+		mc = map[Term]struct{}{}
+		mb[b] = mc
+	}
+	if _, ok := mc[c]; ok {
+		return false
+	}
+	mc[c] = struct{}{}
+	return true
+}
+
+func idxRemove(m map[Term]map[Term]map[Term]struct{}, a, b, c Term) bool {
+	mb, ok := m[a]
+	if !ok {
+		return false
+	}
+	mc, ok := mb[b]
+	if !ok {
+		return false
+	}
+	if _, ok := mc[c]; !ok {
+		return false
+	}
+	delete(mc, c)
+	if len(mc) == 0 {
+		delete(mb, b)
+	}
+	if len(mb) == 0 {
+		delete(m, a)
+	}
+	return true
+}
+
+// Add inserts a ground triple and reports whether it was newly added.
+// Adding a non-ground triple returns an error.
+func (s *Store) Add(t Triple) (bool, error) {
+	if !t.IsGround() {
+		return false, fmt.Errorf("rdf: cannot store non-ground triple %v", t)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.init()
+	if !idxAdd(s.spo, t.S, t.P, t.O) {
+		return false, nil
+	}
+	idxAdd(s.pos, t.P, t.O, t.S)
+	idxAdd(s.osp, t.O, t.S, t.P)
+	s.n++
+	return true, nil
+}
+
+// MustAdd inserts a ground triple and panics on error; it is intended for
+// building embedded ontologies whose data is known to be well-formed.
+func (s *Store) MustAdd(t Triple) {
+	if _, err := s.Add(t); err != nil {
+		panic(err)
+	}
+}
+
+// AddTriple is a convenience for MustAdd(T(sub, pred, obj)).
+func (s *Store) AddTriple(sub, pred, obj Term) {
+	s.MustAdd(T(sub, pred, obj))
+}
+
+// Remove deletes a triple and reports whether it was present.
+func (s *Store) Remove(t Triple) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.spo == nil {
+		return false
+	}
+	if !idxRemove(s.spo, t.S, t.P, t.O) {
+		return false
+	}
+	idxRemove(s.pos, t.P, t.O, t.S)
+	idxRemove(s.osp, t.O, t.S, t.P)
+	s.n--
+	return true
+}
+
+// Contains reports whether the ground triple is in the store.
+func (s *Store) Contains(t Triple) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	mb, ok := s.spo[t.S]
+	if !ok {
+		return false
+	}
+	mc, ok := mb[t.P]
+	if !ok {
+		return false
+	}
+	_, ok = mc[t.O]
+	return ok
+}
+
+// Len returns the number of stored triples.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n
+}
+
+// Match returns all ground triples matching the pattern, where variables
+// (and only variables) act as wildcards. The result order is unspecified.
+func (s *Store) Match(pattern Triple) []Triple {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.spo == nil {
+		return nil
+	}
+	var out []Triple
+	s.match(pattern, func(t Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// MatchFunc streams all triples matching the pattern to fn; iteration
+// stops early when fn returns false.
+func (s *Store) MatchFunc(pattern Triple, fn func(Triple) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.spo == nil {
+		return
+	}
+	s.match(pattern, fn)
+}
+
+// match dispatches to the best index for the pattern's bound positions.
+// Callers must hold at least a read lock.
+func (s *Store) match(p Triple, fn func(Triple) bool) {
+	sb, pb, ob := p.S.IsConcrete(), p.P.IsConcrete(), p.O.IsConcrete()
+	switch {
+	case sb && pb && ob:
+		if mb, ok := s.spo[p.S]; ok {
+			if mc, ok := mb[p.P]; ok {
+				if _, ok := mc[p.O]; ok {
+					fn(p)
+				}
+			}
+		}
+	case sb && pb:
+		if mb, ok := s.spo[p.S]; ok {
+			for o := range mb[p.P] {
+				if !fn(T(p.S, p.P, o)) {
+					return
+				}
+			}
+		}
+	case pb && ob:
+		if mb, ok := s.pos[p.P]; ok {
+			for sub := range mb[p.O] {
+				if !fn(T(sub, p.P, p.O)) {
+					return
+				}
+			}
+		}
+	case sb && ob:
+		if mb, ok := s.osp[p.O]; ok {
+			for pred := range mb[p.S] {
+				if !fn(T(p.S, pred, p.O)) {
+					return
+				}
+			}
+		}
+	case sb:
+		if mb, ok := s.spo[p.S]; ok {
+			for pred, objs := range mb {
+				for o := range objs {
+					if !fn(T(p.S, pred, o)) {
+						return
+					}
+				}
+			}
+		}
+	case pb:
+		if mb, ok := s.pos[p.P]; ok {
+			for o, subs := range mb {
+				for sub := range subs {
+					if !fn(T(sub, p.P, o)) {
+						return
+					}
+				}
+			}
+		}
+	case ob:
+		if mb, ok := s.osp[p.O]; ok {
+			for sub, preds := range mb {
+				for pred := range preds {
+					if !fn(T(sub, pred, p.O)) {
+						return
+					}
+				}
+			}
+		}
+	default:
+		for sub, mb := range s.spo {
+			for pred, objs := range mb {
+				for o := range objs {
+					if !fn(T(sub, pred, o)) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// CountMatch returns the number of triples matching the pattern without
+// materializing them.
+func (s *Store) CountMatch(pattern Triple) int {
+	n := 0
+	s.MatchFunc(pattern, func(Triple) bool { n++; return true })
+	return n
+}
+
+// Subjects returns the distinct subjects of triples with the given
+// predicate and object.
+func (s *Store) Subjects(pred, obj Term) []Term {
+	var out []Term
+	s.MatchFunc(T(NewVar("s"), pred, obj), func(t Triple) bool {
+		out = append(out, t.S)
+		return true
+	})
+	return out
+}
+
+// Objects returns the distinct objects of triples with the given subject
+// and predicate.
+func (s *Store) Objects(sub, pred Term) []Term {
+	var out []Term
+	s.MatchFunc(T(sub, pred, NewVar("o")), func(t Triple) bool {
+		out = append(out, t.O)
+		return true
+	})
+	return out
+}
+
+// All returns every stored triple in unspecified order.
+func (s *Store) All() []Triple {
+	return s.Match(T(NewVar("s"), NewVar("p"), NewVar("o")))
+}

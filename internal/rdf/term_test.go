@@ -1,0 +1,183 @@
+package rdf
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTermConstructorsAndAccessors(t *testing.T) {
+	cases := []struct {
+		name string
+		term Term
+		kind Kind
+		val  string
+	}{
+		{"iri", NewIRI("http://ex.org/a"), KindIRI, "http://ex.org/a"},
+		{"literal", NewLiteral("hello"), KindLiteral, "hello"},
+		{"blank", NewBlank("b0"), KindBlank, "b0"},
+		{"variable", NewVar("x"), KindVariable, "x"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if c.term.Kind() != c.kind {
+				t.Errorf("Kind() = %v, want %v", c.term.Kind(), c.kind)
+			}
+			if c.term.Value() != c.val {
+				t.Errorf("Value() = %q, want %q", c.term.Value(), c.val)
+			}
+		})
+	}
+}
+
+func TestTermPredicates(t *testing.T) {
+	if !NewIRI("a").IsIRI() || NewIRI("a").IsVar() {
+		t.Error("IRI predicates wrong")
+	}
+	if !NewLiteral("a").IsLiteral() {
+		t.Error("IsLiteral wrong")
+	}
+	if !NewBlank("a").IsBlank() {
+		t.Error("IsBlank wrong")
+	}
+	if !NewVar("a").IsVar() || NewVar("a").IsConcrete() {
+		t.Error("variable predicates wrong")
+	}
+	if !NewIRI("a").IsConcrete() {
+		t.Error("IRI should be concrete")
+	}
+}
+
+func TestTypedLiterals(t *testing.T) {
+	i := NewIntLiteral(42)
+	if v, ok := i.Int(); !ok || v != 42 {
+		t.Errorf("Int() = %d, %v; want 42, true", v, ok)
+	}
+	f := NewFloatLiteral(0.25)
+	if v, ok := f.Float(); !ok || v != 0.25 {
+		t.Errorf("Float() = %g, %v; want 0.25, true", v, ok)
+	}
+	if _, ok := NewLiteral("abc").Int(); ok {
+		t.Error("non-numeric literal should not parse as int")
+	}
+	if _, ok := NewIRI("abc").Float(); ok {
+		t.Error("IRI should not parse as float")
+	}
+	if i.Datatype() != XSDInteger {
+		t.Errorf("Datatype() = %q, want xsd:integer", i.Datatype())
+	}
+}
+
+func TestLangLiteral(t *testing.T) {
+	l := NewLangLiteral("bonjour", "fr")
+	if l.Lang() != "fr" {
+		t.Errorf("Lang() = %q, want fr", l.Lang())
+	}
+	if got := l.String(); got != `"bonjour"@fr` {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestTermString(t *testing.T) {
+	cases := []struct {
+		term Term
+		want string
+	}{
+		{NewIRI("http://ex.org/a"), "<http://ex.org/a>"},
+		{NewLiteral("hi"), `"hi"`},
+		{NewLiteral(`say "hi"`), `"say \"hi\""`},
+		{NewTypedLiteral("5", XSDInteger), `"5"^^<` + XSDInteger + `>`},
+		{NewBlank("n1"), "_:n1"},
+		{NewVar("x"), "$x"},
+	}
+	for _, c := range cases {
+		if got := c.term.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.term.Kind(), got, c.want)
+		}
+	}
+}
+
+func TestTermLocal(t *testing.T) {
+	cases := []struct {
+		term Term
+		want string
+	}{
+		{NewIRI("http://ex.org/ns#Place"), "Place"},
+		{NewIRI("http://ex.org/resource/Buffalo_Zoo"), "Buffalo_Zoo"},
+		{NewIRI("plain"), "plain"},
+		{NewVar("x"), "x"},
+		{NewLiteral("lit"), "lit"},
+	}
+	for _, c := range cases {
+		if got := c.term.Local(); got != c.want {
+			t.Errorf("Local(%v) = %q, want %q", c.term, got, c.want)
+		}
+	}
+}
+
+func TestTermCompareOrdering(t *testing.T) {
+	a := NewIRI("a")
+	b := NewIRI("b")
+	if a.Compare(b) >= 0 || b.Compare(a) <= 0 || a.Compare(a) != 0 {
+		t.Error("Compare ordering on values broken")
+	}
+	if NewIRI("z").Compare(NewLiteral("a")) >= 0 {
+		t.Error("IRIs should sort before literals")
+	}
+	if NewLiteral("x").Compare(NewVar("a")) >= 0 {
+		t.Error("concrete terms should sort before variables")
+	}
+}
+
+// randomTerm builds an arbitrary valid term for property tests.
+func randomTerm(r *rand.Rand) Term {
+	vals := []string{"a", "b", "http://ex.org/x", "42", "Buffalo"}
+	v := vals[r.Intn(len(vals))]
+	switch r.Intn(4) {
+	case 0:
+		return NewIRI(v)
+	case 1:
+		if r.Intn(2) == 0 {
+			return NewLangLiteral(v, "en")
+		}
+		return NewLiteral(v)
+	case 2:
+		return NewBlank(v)
+	default:
+		return NewVar(v)
+	}
+}
+
+// Generate implements quick.Generator for Term.
+func (Term) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(randomTerm(r))
+}
+
+func TestCompareIsAntisymmetricAndConsistent(t *testing.T) {
+	f := func(a, b Term) bool {
+		c1, c2 := a.Compare(b), b.Compare(a)
+		if c1 != -c2 {
+			return false
+		}
+		if (c1 == 0) != (a == b) {
+			return false
+		}
+		return a.Compare(a) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareIsTransitive(t *testing.T) {
+	f := func(a, b, c Term) bool {
+		if a.Compare(b) <= 0 && b.Compare(c) <= 0 {
+			return a.Compare(c) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

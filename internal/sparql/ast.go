@@ -1,0 +1,132 @@
+// Package sparql implements the SPARQL subset that NL2CM depends on: a
+// parser and evaluator for SELECT queries with basic graph patterns,
+// FILTER expressions, DISTINCT, ORDER BY, LIMIT and OFFSET.
+//
+// The engine serves two roles in the system. First, it evaluates the
+// WHERE clause of OASSIS-QL queries against the general-knowledge
+// ontology. Second, it is the execution core of the IX detection pattern
+// language (paper §2.3): detection patterns are SPARQL-like selections
+// over the dependency graph, with dedicated functions (POS, LEMMA, ...)
+// and vocabulary membership tests provided through an Env.
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"nl2cm/internal/rdf"
+)
+
+// Query is a parsed SELECT query.
+type Query struct {
+	// Vars lists the projected variable names; empty means "*" (all).
+	Vars []string
+	// Distinct removes duplicate rows.
+	Distinct bool
+	// Where is the basic graph pattern: triples that may contain
+	// variables.
+	Where []rdf.Triple
+	// Optionals are OPTIONAL groups, each left-joined to the main
+	// pattern: rows keep their bindings even when a group has no match.
+	Optionals [][]rdf.Triple
+	// Unions are union blocks; each block holds alternative basic graph
+	// patterns whose solutions are combined.
+	Unions [][][]rdf.Triple
+	// Filters are the FILTER constraints, all of which must hold.
+	Filters []Expr
+	// OrderBy lists sort keys applied in order.
+	OrderBy []OrderKey
+	// Limit caps the number of rows; negative means unlimited.
+	Limit int
+	// Offset skips rows after ordering.
+	Offset int
+}
+
+// OrderKey is one ORDER BY sort key.
+type OrderKey struct {
+	Var  string
+	Desc bool
+}
+
+// String reconstructs a textual form of the query.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if q.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if len(q.Vars) == 0 {
+		b.WriteString("*")
+	} else {
+		for i, v := range q.Vars {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString("$" + v)
+		}
+	}
+	b.WriteString("\nWHERE {\n")
+	for _, t := range q.Where {
+		fmt.Fprintf(&b, "  %s %s %s .\n", termStr(t.S), termStr(t.P), termStr(t.O))
+	}
+	for _, block := range q.Unions {
+		for i, alt := range block {
+			if i > 0 {
+				b.WriteString("  UNION\n")
+			}
+			b.WriteString("  {\n")
+			for _, t := range alt {
+				fmt.Fprintf(&b, "    %s %s %s .\n", termStr(t.S), termStr(t.P), termStr(t.O))
+			}
+			b.WriteString("  }\n")
+		}
+	}
+	for _, opt := range q.Optionals {
+		b.WriteString("  OPTIONAL {\n")
+		for _, t := range opt {
+			fmt.Fprintf(&b, "    %s %s %s .\n", termStr(t.S), termStr(t.P), termStr(t.O))
+		}
+		b.WriteString("  }\n")
+	}
+	for _, f := range q.Filters {
+		fmt.Fprintf(&b, "  FILTER(%s)\n", f)
+	}
+	b.WriteString("}")
+	for _, k := range q.OrderBy {
+		dir := "ASC"
+		if k.Desc {
+			dir = "DESC"
+		}
+		fmt.Fprintf(&b, "\nORDER BY %s($%s)", dir, k.Var)
+	}
+	if q.Limit >= 0 {
+		fmt.Fprintf(&b, "\nLIMIT %d", q.Limit)
+	}
+	if q.Offset > 0 {
+		fmt.Fprintf(&b, "\nOFFSET %d", q.Offset)
+	}
+	return b.String()
+}
+
+// termStr renders a term in query syntax: bare local names for IRIs in
+// the default namespace would require context, so IRIs print in angle
+// brackets and variables with "$".
+func termStr(t rdf.Term) string { return t.String() }
+
+// Binding is one solution row: variable name to bound term.
+type Binding map[string]rdf.Term
+
+// Clone copies the binding.
+func (b Binding) Clone() Binding {
+	c := make(Binding, len(b))
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}
+
+// Get returns the term bound to the variable, with ok reporting presence.
+func (b Binding) Get(name string) (rdf.Term, bool) {
+	t, ok := b[name]
+	return t, ok
+}

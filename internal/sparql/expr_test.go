@@ -1,0 +1,224 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"nl2cm/internal/rdf"
+)
+
+func evalExpr(t *testing.T, src string, b Binding, env *Env) Value {
+	t.Helper()
+	q, err := Parse(`SELECT * WHERE { $x p $y . FILTER(` + src + `) }`)
+	if err != nil {
+		t.Fatalf("Parse(%s): %v", src, err)
+	}
+	v, err := q.Filters[0].Eval(b, env)
+	if err != nil {
+		t.Fatalf("Eval(%s): %v", src, err)
+	}
+	return v
+}
+
+func TestExprArithmetic(t *testing.T) {
+	b := Binding{}
+	if v := evalExpr(t, "1 + 2 = 3", b, nil); !v.Bool {
+		t.Error("1+2=3 false")
+	}
+	if v := evalExpr(t, "5 - 2 > 2", b, nil); !v.Bool {
+		t.Error("5-2>2 false")
+	}
+	if v := evalExpr(t, `1 + 2 - 1 = 2`, b, nil); !v.Bool {
+		t.Error("chained arithmetic failed")
+	}
+}
+
+func TestExprArithmeticTypeError(t *testing.T) {
+	q, err := Parse(`SELECT * WHERE { $x p $y . FILTER("abc" + 1 = 2) }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Filters[0].Eval(Binding{}, nil); err == nil {
+		t.Error("string arithmetic succeeded")
+	}
+}
+
+func TestExprNot(t *testing.T) {
+	if v := evalExpr(t, "!false", Binding{}, nil); !v.Bool {
+		t.Error("!false = false")
+	}
+	if v := evalExpr(t, "!(1 = 1)", Binding{}, nil); v.Bool {
+		t.Error("!(1=1) = true")
+	}
+}
+
+func TestExprBooleanShortCircuit(t *testing.T) {
+	// The right operand of && is not evaluated when the left is false:
+	// an unbound variable there must not error.
+	q, err := Parse(`SELECT * WHERE { $x p $y . FILTER(false && $nope = 1) }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := q.Filters[0].Eval(Binding{}, nil)
+	if err != nil || v.Bool {
+		t.Errorf("short circuit failed: %v %v", v, err)
+	}
+	q2, err := Parse(`SELECT * WHERE { $x p $y . FILTER(true || $nope = 1) }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := q2.Filters[0].Eval(Binding{}, nil)
+	if err != nil || !v2.Bool {
+		t.Errorf("or short circuit failed: %v %v", v2, err)
+	}
+}
+
+func TestExprUnboundVariableErrors(t *testing.T) {
+	q, err := Parse(`SELECT * WHERE { $x p $y . FILTER($zzz = 1) }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Filters[0].Eval(Binding{}, nil); err == nil {
+		t.Error("unbound variable evaluated")
+	}
+}
+
+func TestExprStringComparisons(t *testing.T) {
+	b := Binding{"x": rdf.NewLiteral("apple"), "y": rdf.NewLiteral("banana")}
+	if v := evalExpr(t, "$x < $y", b, nil); !v.Bool {
+		t.Error("apple < banana false")
+	}
+	if v := evalExpr(t, `$x >= "apple"`, b, nil); !v.Bool {
+		t.Error("apple >= apple false")
+	}
+	if v := evalExpr(t, `$x != $y`, b, nil); !v.Bool {
+		t.Error("apple != banana false")
+	}
+}
+
+func TestExprTermEquality(t *testing.T) {
+	b := Binding{"x": rdf.NewIRI("a"), "y": rdf.NewIRI("a")}
+	if v := evalExpr(t, "$x = $y", b, nil); !v.Bool {
+		t.Error("same IRIs unequal")
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	q, err := Parse(`SELECT * WHERE {
+		$x p $y .
+		FILTER(!($x = 1) && POS($x) IN ("VB", "NN") || $y NOT IN V_set && true)
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.Filters[0].String()
+	for _, want := range []string{"!", "POS(", "IN (", "NOT IN V_set", "&&", "||", "true"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("expression string %q missing %q", s, want)
+		}
+	}
+	// Literal string rendering quotes properly.
+	q2, err := Parse(`SELECT * WHERE { $x p $y . FILTER($x = "a\"b") }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(q2.Filters[0].String(), `"a\"b"`) {
+		t.Errorf("string literal rendering: %s", q2.Filters[0])
+	}
+}
+
+func TestBindingGetAndClone(t *testing.T) {
+	b := Binding{"x": rdf.NewIRI("a")}
+	if v, ok := b.Get("x"); !ok || v != rdf.NewIRI("a") {
+		t.Error("Get(x) wrong")
+	}
+	if _, ok := b.Get("y"); ok {
+		t.Error("Get(y) ok")
+	}
+	c := b.Clone()
+	c["x"] = rdf.NewIRI("b")
+	if b["x"] != rdf.NewIRI("a") {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestValueTextViews(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{StrVal("s"), "s"},
+		{TermVal(rdf.NewIRI("iri")), "iri"},
+		{NumVal(2.5), "2.5"},
+		{BoolVal(true), "true"},
+	}
+	for _, c := range cases {
+		if got := c.v.text(); got != c.want {
+			t.Errorf("text(%+v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	lx, err := NewLexer(`"a\nb\tc\\d\"e"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok := lx.Next()
+	if tok.Kind != TokString || tok.Text != "a\nb\tc\\d\"e" {
+		t.Errorf("lexed %q", tok.Text)
+	}
+	// Bad escapes and unterminated strings error.
+	for _, bad := range []string{`"dangling\`, `"bad\q"`, `"unterminated`} {
+		if _, err := NewLexer(bad); err == nil {
+			t.Errorf("NewLexer(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestLexerPeekAheadAndErrf(t *testing.T) {
+	lx, err := NewLexer("SELECT $x\nWHERE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lx.PeekAhead(2).Kind != TokIdent {
+		t.Error("PeekAhead(2) wrong")
+	}
+	lx.Next()
+	lx.Next()
+	e := lx.Errf("boom")
+	if !strings.Contains(e.Error(), "line 2") {
+		t.Errorf("Errf = %v, want line 2", e)
+	}
+}
+
+func TestParsePatternStandalone(t *testing.T) {
+	triples, filters, err := ParsePattern(`{$x nsubj $y . FILTER($x != $y)}`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triples) != 1 || len(filters) != 1 {
+		t.Errorf("triples=%d filters=%d", len(triples), len(filters))
+	}
+	if _, _, err := ParsePattern(`{$x nsubj $y} extra`, nil); err == nil {
+		t.Error("trailing input accepted")
+	}
+	if _, _, err := ParsePattern(`{$x`, nil); err == nil {
+		t.Error("unterminated pattern accepted")
+	}
+}
+
+func TestParseTermErrors(t *testing.T) {
+	// numbers in subject position
+	if _, err := Parse(`SELECT $x WHERE { 5 p $y }`); err == nil {
+		t.Error("number subject accepted")
+	}
+	// comparison chain rendering
+	q, err := Parse(`SELECT $x WHERE { $x p $y . FILTER($x = 1) } ORDER BY $x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.OrderBy) != 1 || q.OrderBy[0].Desc {
+		t.Errorf("bare order key = %+v", q.OrderBy)
+	}
+}

@@ -1,0 +1,584 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"nl2cm/internal/rdf"
+)
+
+// ParseOptions configures identifier resolution during parsing.
+type ParseOptions struct {
+	// Base is the namespace prefix prepended to bare identifiers to form
+	// IRIs (e.g. "http://nl2cm.org/onto/"). When empty, bare identifiers
+	// become IRIs with the identifier as the full value, which keeps
+	// queries readable in tests and matches the OASSIS-QL surface syntax.
+	Base string
+	// Resolve, when non-nil, overrides Base for bare identifiers.
+	Resolve func(ident string) rdf.Term
+}
+
+func (o *ParseOptions) ident(name string) rdf.Term {
+	if o != nil && o.Resolve != nil {
+		return o.Resolve(name)
+	}
+	base := ""
+	if o != nil {
+		base = o.Base
+	}
+	return rdf.NewIRI(base + name)
+}
+
+// Parse parses a SELECT query.
+func Parse(input string) (*Query, error) { return ParseWith(input, nil) }
+
+// ParseWith parses a SELECT query with explicit options.
+func ParseWith(input string, opts *ParseOptions) (*Query, error) {
+	lx, err := NewLexer(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{lx: lx, opts: opts}
+	q, err := p.query()
+	if err != nil {
+		return nil, fmt.Errorf("sparql: %w", err)
+	}
+	if t := lx.Peek(); t.Kind != TokEOF {
+		return nil, fmt.Errorf("sparql: %v", lx.Errf("trailing input %q", t.Text))
+	}
+	return q, nil
+}
+
+type parser struct {
+	lx   *Lexer
+	opts *ParseOptions
+	anon int
+	// optionals and unions collect OPTIONAL groups and UNION blocks
+	// parsed inside the most recent top-level group pattern. Only the
+	// SELECT grammar consumes them; embedded-pattern hosts (OASSIS-QL,
+	// IX patterns) reject them.
+	optionals [][]rdf.Triple
+	unions    [][][]rdf.Triple
+}
+
+func (p *parser) keyword(words ...string) bool {
+	t := p.lx.Peek()
+	if t.Kind != TokIdent {
+		return false
+	}
+	for _, w := range words {
+		if strings.EqualFold(t.Text, w) {
+			p.lx.Next()
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.lx.Peek()
+	if t.Kind == TokPunct && t.Text == s {
+		p.lx.Next()
+		return nil
+	}
+	return p.lx.Errf("expected %q, found %q", s, t.Text)
+}
+
+func (p *parser) query() (*Query, error) {
+	q := &Query{Limit: -1}
+	if !p.keyword("SELECT") {
+		return nil, p.lx.Errf("expected SELECT")
+	}
+	if p.keyword("DISTINCT") {
+		q.Distinct = true
+	}
+	// projection: * or var list
+	t := p.lx.Peek()
+	if t.Kind == TokOp && t.Text == "*" {
+		p.lx.Next()
+	} else {
+		for p.lx.Peek().Kind == TokVar {
+			q.Vars = append(q.Vars, p.lx.Next().Text)
+		}
+		if len(q.Vars) == 0 {
+			return nil, p.lx.Errf("expected * or variables after SELECT")
+		}
+	}
+	if !p.keyword("WHERE") {
+		return nil, p.lx.Errf("expected WHERE")
+	}
+	where, filters, err := p.GroupPattern()
+	if err != nil {
+		return nil, err
+	}
+	q.Where, q.Filters = where, filters
+	q.Optionals, q.Unions = p.optionals, p.unions
+	// modifiers
+	for {
+		switch {
+		case p.keyword("ORDER"):
+			if !p.keyword("BY") {
+				return nil, p.lx.Errf("expected BY after ORDER")
+			}
+			keys, err := p.orderKeys()
+			if err != nil {
+				return nil, err
+			}
+			q.OrderBy = append(q.OrderBy, keys...)
+		case p.keyword("LIMIT"):
+			n := p.lx.Next()
+			if n.Kind != TokNumber {
+				return nil, p.lx.Errf("expected number after LIMIT")
+			}
+			q.Limit = int(n.Num)
+		case p.keyword("OFFSET"):
+			n := p.lx.Next()
+			if n.Kind != TokNumber {
+				return nil, p.lx.Errf("expected number after OFFSET")
+			}
+			q.Offset = int(n.Num)
+		default:
+			return q, nil
+		}
+	}
+}
+
+func (p *parser) orderKeys() ([]OrderKey, error) {
+	var keys []OrderKey
+	for {
+		t := p.lx.Peek()
+		switch {
+		case t.Kind == TokIdent && (strings.EqualFold(t.Text, "ASC") || strings.EqualFold(t.Text, "DESC")):
+			desc := strings.EqualFold(t.Text, "DESC")
+			p.lx.Next()
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			v := p.lx.Next()
+			if v.Kind != TokVar {
+				return nil, p.lx.Errf("expected variable in ORDER BY")
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			keys = append(keys, OrderKey{Var: v.Text, Desc: desc})
+		case t.Kind == TokVar:
+			p.lx.Next()
+			keys = append(keys, OrderKey{Var: t.Text})
+		default:
+			if len(keys) == 0 {
+				return nil, p.lx.Errf("expected sort key in ORDER BY")
+			}
+			return keys, nil
+		}
+	}
+}
+
+// GroupPattern parses "{ triples and FILTERs }". It is exported for reuse
+// by the OASSIS-QL parser, which embeds the same pattern syntax in its
+// WHERE and SATISFYING clauses.
+func (p *parser) GroupPattern() ([]rdf.Triple, []Expr, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, nil, err
+	}
+	var triples []rdf.Triple
+	var filters []Expr
+	for {
+		t := p.lx.Peek()
+		if t.Kind == TokPunct && t.Text == "}" {
+			p.lx.Next()
+			return triples, filters, nil
+		}
+		if t.Kind == TokEOF {
+			return nil, nil, p.lx.Errf("unterminated group pattern")
+		}
+		if t.Kind == TokIdent && strings.EqualFold(t.Text, "OPTIONAL") {
+			p.lx.Next()
+			optTriples, optFilters, err := p.subGroup()
+			if err != nil {
+				return nil, nil, err
+			}
+			if len(optFilters) > 0 {
+				return nil, nil, p.lx.Errf("FILTER inside OPTIONAL is not supported")
+			}
+			p.optionals = append(p.optionals, optTriples)
+			p.optDot()
+			continue
+		}
+		if t.Kind == TokPunct && t.Text == "{" {
+			// union block: { alt1 } UNION { alt2 } [UNION { alt3 } ...]
+			var block [][]rdf.Triple
+			for {
+				altTriples, altFilters, err := p.subGroup()
+				if err != nil {
+					return nil, nil, err
+				}
+				if len(altFilters) > 0 {
+					return nil, nil, p.lx.Errf("FILTER inside UNION alternatives is not supported")
+				}
+				block = append(block, altTriples)
+				if n := p.lx.Peek(); n.Kind == TokIdent && strings.EqualFold(n.Text, "UNION") {
+					p.lx.Next()
+					continue
+				}
+				break
+			}
+			if len(block) < 2 {
+				return nil, nil, p.lx.Errf("a braced group must be part of a UNION")
+			}
+			p.unions = append(p.unions, block)
+			p.optDot()
+			continue
+		}
+		if t.Kind == TokIdent && strings.EqualFold(t.Text, "FILTER") {
+			p.lx.Next()
+			if err := p.expectPunct("("); err != nil {
+				return nil, nil, err
+			}
+			e, err := p.expr()
+			if err != nil {
+				return nil, nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, nil, err
+			}
+			filters = append(filters, e)
+			p.optDot()
+			continue
+		}
+		tr, err := p.triple()
+		if err != nil {
+			return nil, nil, err
+		}
+		triples = append(triples, tr)
+		p.optDot()
+	}
+}
+
+func (p *parser) optDot() {
+	if t := p.lx.Peek(); t.Kind == TokPunct && t.Text == "." {
+		p.lx.Next()
+	}
+}
+
+func (p *parser) triple() (rdf.Triple, error) {
+	s, err := p.term(false)
+	if err != nil {
+		return rdf.Triple{}, err
+	}
+	pr, err := p.term(false)
+	if err != nil {
+		return rdf.Triple{}, err
+	}
+	o, err := p.term(true)
+	if err != nil {
+		return rdf.Triple{}, err
+	}
+	return rdf.T(s, pr, o), nil
+}
+
+// term parses one triple component. Literals are only allowed in object
+// position.
+func (p *parser) term(object bool) (rdf.Term, error) {
+	t := p.lx.Peek()
+	switch t.Kind {
+	case TokVar:
+		p.lx.Next()
+		return rdf.NewVar(t.Text), nil
+	case TokIRI:
+		p.lx.Next()
+		return rdf.NewIRI(t.Text), nil
+	case TokIdent:
+		p.lx.Next()
+		return p.opts.ident(t.Text), nil
+	case TokAnon:
+		p.lx.Next()
+		p.anon++
+		return rdf.NewVar(fmt.Sprintf("_anon%d", p.anon)), nil
+	case TokString:
+		if !object {
+			return rdf.Term{}, p.lx.Errf("literal %q only allowed in object position", t.Text)
+		}
+		p.lx.Next()
+		return rdf.NewLiteral(t.Text), nil
+	case TokNumber:
+		if !object {
+			return rdf.Term{}, p.lx.Errf("number only allowed in object position")
+		}
+		p.lx.Next()
+		if t.Num == float64(int64(t.Num)) && !strings.Contains(t.Text, ".") {
+			return rdf.NewIntLiteral(int64(t.Num)), nil
+		}
+		return rdf.NewFloatLiteral(t.Num), nil
+	default:
+		return rdf.Term{}, p.lx.Errf("expected term, found %q", t.Text)
+	}
+}
+
+// ---- filter expression parsing (precedence climbing) ----
+
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.lx.Peek()
+		if t.Kind == TokOp && t.Text == "||" {
+			p.lx.Next()
+			r, err := p.andExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinExpr{Op: "||", L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.lx.Peek()
+		if t.Kind == TokOp && t.Text == "&&" {
+			p.lx.Next()
+			r, err := p.cmpExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinExpr{Op: "&&", L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.lx.Peek()
+	if t.Kind == TokOp {
+		switch t.Text {
+		case "=", "==", "!=", "<", "<=", ">", ">=":
+			p.lx.Next()
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &BinExpr{Op: t.Text, L: l, R: r}, nil
+		}
+	}
+	// IN / NOT IN
+	if t.Kind == TokIdent && (strings.EqualFold(t.Text, "IN") || strings.EqualFold(t.Text, "NOT")) {
+		negated := false
+		if strings.EqualFold(t.Text, "NOT") {
+			if n := p.lx.PeekAhead(1); !(n.Kind == TokIdent && strings.EqualFold(n.Text, "IN")) {
+				return l, nil
+			}
+			p.lx.Next()
+			negated = true
+		}
+		p.lx.Next() // IN
+		nt := p.lx.Peek()
+		if nt.Kind == TokIdent {
+			p.lx.Next()
+			return &InExpr{X: l, SetName: nt.Text, Negated: negated}, nil
+		}
+		if nt.Kind == TokPunct && nt.Text == "(" {
+			p.lx.Next()
+			var list []Expr
+			for {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				list = append(list, e)
+				sep := p.lx.Peek()
+				if sep.Kind == TokPunct && sep.Text == "," {
+					p.lx.Next()
+					continue
+				}
+				break
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return &InExpr{X: l, List: list, Negated: negated}, nil
+		}
+		return nil, p.lx.Errf("expected vocabulary name or list after IN")
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.lx.Peek()
+		if t.Kind == TokOp && (t.Text == "+" || t.Text == "-") {
+			p.lx.Next()
+			r, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinExpr{Op: t.Text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.lx.Peek()
+	if t.Kind == TokOp && t.Text == "!" {
+		p.lx.Next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.lx.Peek()
+	switch t.Kind {
+	case TokVar:
+		p.lx.Next()
+		return &VarExpr{Name: t.Text}, nil
+	case TokString:
+		p.lx.Next()
+		return &LitExpr{Val: StrVal(t.Text)}, nil
+	case TokNumber:
+		p.lx.Next()
+		return &LitExpr{Val: NumVal(t.Num)}, nil
+	case TokIRI:
+		p.lx.Next()
+		return &LitExpr{Val: TermVal(rdf.NewIRI(t.Text))}, nil
+	case TokPunct:
+		if t.Text == "(" {
+			p.lx.Next()
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	case TokIdent:
+		switch {
+		case strings.EqualFold(t.Text, "true"):
+			p.lx.Next()
+			return &LitExpr{Val: BoolVal(true)}, nil
+		case strings.EqualFold(t.Text, "false"):
+			p.lx.Next()
+			return &LitExpr{Val: BoolVal(false)}, nil
+		}
+		// function call?
+		if n := p.lx.PeekAhead(1); n.Kind == TokPunct && n.Text == "(" {
+			p.lx.Next()
+			p.lx.Next()
+			var args []Expr
+			if pt := p.lx.Peek(); !(pt.Kind == TokPunct && pt.Text == ")") {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					sep := p.lx.Peek()
+					if sep.Kind == TokPunct && sep.Text == "," {
+						p.lx.Next()
+						continue
+					}
+					break
+				}
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return &CallExpr{Name: t.Text, Args: args}, nil
+		}
+		// bare identifier: a constant term
+		p.lx.Next()
+		return &LitExpr{Val: TermVal(p.opts.ident(t.Text))}, nil
+	}
+	return nil, p.lx.Errf("expected expression, found %q", t.Text)
+}
+
+// PatternParser exposes the group-pattern grammar over a shared lexer so
+// that host languages embedding SPARQL patterns (OASSIS-QL, the IX
+// detection pattern language) can interleave their own keywords with
+// pattern parsing.
+type PatternParser struct{ p *parser }
+
+// NewPatternParser wraps a lexer for embedded pattern parsing.
+func NewPatternParser(lx *Lexer, opts *ParseOptions) *PatternParser {
+	return &PatternParser{p: &parser{lx: lx, opts: opts}}
+}
+
+// GroupPattern parses "{ triples and FILTERs }" at the current lexer
+// position. Host languages embedding the pattern grammar do not support
+// OPTIONAL or UNION; their presence is an error here.
+func (pp *PatternParser) GroupPattern() ([]rdf.Triple, []Expr, error) {
+	pp.p.optionals, pp.p.unions = nil, nil
+	triples, filters, err := pp.p.GroupPattern()
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(pp.p.optionals) > 0 || len(pp.p.unions) > 0 {
+		return nil, nil, fmt.Errorf("sparql: OPTIONAL/UNION not supported in embedded patterns")
+	}
+	return triples, filters, nil
+}
+
+// subGroup parses a nested "{ triples }" group without touching the
+// parser's optional/union collections.
+func (p *parser) subGroup() ([]rdf.Triple, []Expr, error) {
+	savedOpt, savedUni := p.optionals, p.unions
+	p.optionals, p.unions = nil, nil
+	triples, filters, err := p.GroupPattern()
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(p.optionals) > 0 || len(p.unions) > 0 {
+		return nil, nil, p.lx.Errf("nested OPTIONAL/UNION groups are not supported")
+	}
+	p.optionals, p.unions = savedOpt, savedUni
+	return triples, filters, nil
+}
+
+// ParsePattern parses a bare group pattern "{ ... }" (triples plus
+// filters) without the SELECT wrapper. The OASSIS-QL parser and the IX
+// pattern language build on this.
+func ParsePattern(input string, opts *ParseOptions) ([]rdf.Triple, []Expr, error) {
+	lx, err := NewLexer(input)
+	if err != nil {
+		return nil, nil, err
+	}
+	p := &parser{lx: lx, opts: opts}
+	triples, filters, err := p.GroupPattern()
+	if err != nil {
+		return nil, nil, fmt.Errorf("sparql: %w", err)
+	}
+	if len(p.optionals) > 0 || len(p.unions) > 0 {
+		return nil, nil, fmt.Errorf("sparql: OPTIONAL/UNION not supported in embedded patterns")
+	}
+	if t := lx.Peek(); t.Kind != TokEOF {
+		return nil, nil, fmt.Errorf("sparql: %v", lx.Errf("trailing input %q", t.Text))
+	}
+	return triples, filters, nil
+}

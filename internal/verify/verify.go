@@ -1,0 +1,158 @@
+// Package verify implements NL2CM's input verification step (paper §3):
+// before parsing, the question is checked for forms the system does not
+// support — chiefly descriptive questions ("How to…?", "Why…?", "For what
+// purpose…?"), whose answer semantics OASSIS-QL cannot express. Detected
+// unsupported questions produce a warning with rephrasing tips, as in the
+// demonstration's third stage ("How should I store coffee?" is rejected
+// with the tip to ask "At what container should I store coffee?").
+package verify
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Category classifies why a question is unsupported.
+type Category string
+
+// Unsupported-question categories.
+const (
+	CatOK          Category = ""
+	CatEmpty       Category = "empty"
+	CatDescriptive Category = "descriptive" // how-to / manner
+	CatCausal      Category = "causal"      // why / purpose / reason
+	CatAggregate   Category = "aggregate"   // how many / how much
+	CatMultiple    Category = "multiple"    // several questions at once
+)
+
+// Verdict is the verification outcome.
+type Verdict struct {
+	// Supported reports whether translation may proceed.
+	Supported bool
+	// Category explains the rejection.
+	Category Category
+	// Reason is a user-facing explanation.
+	Reason string
+	// Tips suggest how to rephrase the question.
+	Tips []string
+}
+
+// ok is the accepting verdict.
+var ok = Verdict{Supported: true}
+
+// Check verifies one NL question or request.
+func Check(question string) Verdict {
+	trimmed := strings.TrimSpace(question)
+	if !hasLetters(trimmed) {
+		return Verdict{
+			Category: CatEmpty,
+			Reason:   "the request contains no question text",
+			Tips:     []string{"Type a question or request, e.g. \"What are the best places to visit in Buffalo?\""},
+		}
+	}
+	// Multiple sentences that are each questions.
+	if countQuestions(trimmed) > 1 {
+		return Verdict{
+			Category: CatMultiple,
+			Reason:   "the request contains several questions",
+			Tips:     []string{"Ask one question at a time; you can submit the next question afterwards."},
+		}
+	}
+	words := fields(trimmed)
+	if len(words) == 0 {
+		return Verdict{Category: CatEmpty, Reason: "the request contains no words"}
+	}
+	first := words[0]
+	second := ""
+	if len(words) > 1 {
+		second = words[1]
+	}
+	switch first {
+	case "why":
+		return causalVerdict("\"Why...\" questions ask for explanations")
+	case "how":
+		switch second {
+		case "to":
+			return descriptiveVerdict("\"How to...\" questions ask for descriptions of procedures")
+		case "many", "much":
+			return Verdict{
+				Category: CatAggregate,
+				Reason:   "counting questions (\"How many/much...\") are not supported: the crowd is asked about habits and opinions, not totals",
+				Tips: []string{
+					"Ask about the items themselves, e.g. \"Which places should we visit?\" instead of \"How many places should we visit?\"",
+				},
+			}
+		case "often", "frequently":
+			// Frequency questions map directly to support thresholds.
+			return ok
+		case "come":
+			return causalVerdict("\"How come...\" questions ask for explanations")
+		default:
+			return descriptiveVerdict("\"How...\" questions ask for manners or procedures")
+		}
+	case "for":
+		if second == "what" && len(words) > 2 && (words[2] == "purpose" || words[2] == "reason") {
+			return causalVerdict("\"For what purpose...\" questions ask for explanations")
+		}
+	case "what":
+		// "What is the reason/way/purpose ..."
+		rest := strings.Join(words, " ")
+		for _, bad := range []string{"what is the reason", "what is the purpose", "what is the way", "what's the reason", "what's the way"} {
+			if strings.HasPrefix(rest, bad) {
+				return causalVerdict("questions about reasons, purposes or ways ask for explanations")
+			}
+		}
+	case "explain", "describe":
+		return descriptiveVerdict("requests for explanations or descriptions")
+	}
+	return ok
+}
+
+func descriptiveVerdict(what string) Verdict {
+	return Verdict{
+		Category: CatDescriptive,
+		Reason:   what + ", which OASSIS-QL queries cannot express",
+		Tips: []string{
+			"Rephrase the question to ask about a concrete thing, e.g. \"At what container should I store coffee?\" instead of \"How should I store coffee?\"",
+			"Start the question with \"What\", \"Which\" or \"Where\" and name the kind of answer you expect.",
+		},
+	}
+}
+
+func causalVerdict(what string) Verdict {
+	return Verdict{
+		Category: CatCausal,
+		Reason:   what + ", which OASSIS-QL queries cannot express",
+		Tips: []string{
+			"Ask about the things involved instead of the reason, e.g. \"Which foods are good for kids?\" instead of \"Why is this food good for kids?\"",
+		},
+	}
+}
+
+func hasLetters(s string) bool {
+	for _, r := range s {
+		if unicode.IsLetter(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// countQuestions counts sentence-final question marks followed by more
+// content.
+func countQuestions(s string) int {
+	n := strings.Count(s, "?")
+	if n <= 1 {
+		return n
+	}
+	return n
+}
+
+// fields lower-cases and splits the question into words, dropping
+// punctuation.
+func fields(s string) []string {
+	f := strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsNumber(r) && r != '\''
+	})
+	return f
+}

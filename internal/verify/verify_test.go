@@ -1,0 +1,108 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSupportedQuestions(t *testing.T) {
+	supported := []string{
+		"What are the most interesting places near Forest Hotel, Buffalo, we should visit in the fall?",
+		"Which hotel in Vegas has the best thrill ride?",
+		"What type of digital camera should I buy?",
+		"Is chocolate milk good for kids?",
+		"Where do you visit in Buffalo?",
+		"At what container should I store coffee?", // the paper's rephrasing
+		"How often do you exercise?",               // frequency maps to support
+		"Obama should visit Buffalo.",
+		"Which parks are in Buffalo?",
+		"Recommend a good restaurant near the hotel.",
+	}
+	for _, q := range supported {
+		if v := Check(q); !v.Supported {
+			t.Errorf("Check(%q) unsupported (%s: %s), want supported", q, v.Category, v.Reason)
+		}
+	}
+}
+
+func TestUnsupportedQuestions(t *testing.T) {
+	cases := []struct {
+		q   string
+		cat Category
+	}{
+		{"How should I store coffee?", CatDescriptive}, // the paper's example
+		{"How to make good coffee?", CatDescriptive},
+		{"How do I get to the airport?", CatDescriptive},
+		{"How come the hotel is closed?", CatCausal},
+		{"Why is the sky blue?", CatCausal},
+		{"Why...?", CatCausal},
+		{"For what purpose do people travel?", CatCausal},
+		{"For what reason is it closed?", CatCausal},
+		{"What is the reason people like Buffalo?", CatCausal},
+		{"What is the way to cook rice?", CatCausal},
+		{"How many parks are in Buffalo?", CatAggregate},
+		{"How much does the hotel cost?", CatAggregate},
+		{"Explain the rules of chess.", CatDescriptive},
+		{"", CatEmpty},
+		{"   ", CatEmpty},
+		{"?!?", CatEmpty},
+		{"Where should we eat? And what should we order?", CatMultiple},
+	}
+	for _, c := range cases {
+		v := Check(c.q)
+		if v.Supported {
+			t.Errorf("Check(%q) supported, want unsupported (%s)", c.q, c.cat)
+			continue
+		}
+		if v.Category != c.cat {
+			t.Errorf("Check(%q) category = %s, want %s", c.q, v.Category, c.cat)
+		}
+		if v.Reason == "" {
+			t.Errorf("Check(%q) has empty reason", c.q)
+		}
+	}
+}
+
+// Every rejection must come with rephrasing tips, as the demo's third
+// stage shows ("tips on how to rephrase the question").
+func TestRejectionsCarryTips(t *testing.T) {
+	for _, q := range []string{
+		"How should I store coffee?",
+		"Why is the sky blue?",
+		"How many parks are in Buffalo?",
+		"",
+	} {
+		v := Check(q)
+		if v.Supported {
+			t.Fatalf("Check(%q) supported", q)
+		}
+		if len(v.Tips) == 0 {
+			t.Errorf("Check(%q) has no tips", q)
+		}
+	}
+}
+
+// The paper's coffee pair: the "How" form is rejected with a tip pointing
+// at the "At what container" form, which is accepted.
+func TestPaperCoffeePair(t *testing.T) {
+	rejected := Check("How should I store coffee?")
+	if rejected.Supported {
+		t.Fatal("descriptive coffee question accepted")
+	}
+	tipText := strings.Join(rejected.Tips, " ")
+	if !strings.Contains(tipText, "At what container should I store coffee?") {
+		t.Errorf("tips do not suggest the paper's rephrasing: %v", rejected.Tips)
+	}
+	if v := Check("At what container should I store coffee?"); !v.Supported {
+		t.Errorf("rephrased coffee question rejected: %s", v.Reason)
+	}
+}
+
+func TestCaseInsensitive(t *testing.T) {
+	if v := Check("HOW TO STORE COFFEE?"); v.Supported {
+		t.Error("upper-case descriptive question accepted")
+	}
+	if v := Check("why is it so?"); v.Supported {
+		t.Error("lower-case why question accepted")
+	}
+}

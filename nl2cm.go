@@ -1,0 +1,206 @@
+// Package nl2cm is the public API of the NL2CM reproduction: a system
+// that translates natural-language questions mixing general and
+// individual information needs into OASSIS-QL crowd-mining queries
+// (Amsterdamer, Kukliansky and Milo, "NL2CM: A Natural Language Interface
+// to Crowd Mining", SIGMOD 2015).
+//
+// The typical flow is:
+//
+//	onto := nl2cm.DemoOntology()
+//	tr := nl2cm.NewTranslator(onto)
+//	res, err := tr.Translate("What are the most interesting places near "+
+//	    "Forest Hotel, Buffalo, we should visit in the fall?", nl2cm.Options{})
+//	fmt.Println(res.Query) // the OASSIS-QL query of the paper's Figure 1
+//
+//	eng := nl2cm.NewDemoEngine(onto)
+//	out, err := eng.Execute(res.Query) // ontology + simulated crowd
+//
+// The exported names are aliases of the implementation packages so the
+// full documented behaviour lives with the types.
+package nl2cm
+
+import (
+	"io"
+
+	"nl2cm/internal/compose"
+	"nl2cm/internal/core"
+	"nl2cm/internal/corpus"
+	"nl2cm/internal/crowd"
+	"nl2cm/internal/interact"
+	"nl2cm/internal/ix"
+	"nl2cm/internal/nlp"
+	"nl2cm/internal/oassisql"
+	"nl2cm/internal/ontology"
+	"nl2cm/internal/qgen"
+	"nl2cm/internal/verify"
+)
+
+// ---- Translation pipeline ----
+
+// Translator is the NL2CM pipeline (verification, NL parsing, IX
+// detection, general query generation, individual triple creation, query
+// composition). Reuse one instance so disambiguation feedback
+// accumulates.
+type Translator = core.Translator
+
+// Options configure one translation (interactor, policy, admin trace).
+type Options = core.Options
+
+// Result is a translation outcome: verdict, dependency graph, IXs,
+// general parts, individual parts, the final query, the admin trace and
+// the dialogue transcript.
+type Result = core.Result
+
+// Stage is one admin-trace entry.
+type Stage = core.Stage
+
+// NewTranslator builds a translator over an ontology with the default IX
+// patterns, vocabularies and composition defaults.
+func NewTranslator(onto *Ontology) *Translator { return core.New(onto) }
+
+// ---- Query language ----
+
+// Query is a parsed or composed OASSIS-QL query.
+type Query = oassisql.Query
+
+// Subclause is one SATISFYING data pattern with its significance
+// criterion.
+type Subclause = oassisql.Subclause
+
+// ParseQuery parses OASSIS-QL text.
+func ParseQuery(input string) (*Query, error) { return oassisql.Parse(input) }
+
+// ---- Ontologies ----
+
+// Ontology is a general-knowledge base with label and relation indexes.
+type Ontology = ontology.Ontology
+
+// DemoOntology returns the merged LinkedGeoData+DBPedia substitute used
+// by the demonstration.
+func DemoOntology() *Ontology { return ontology.NewDemoOntology() }
+
+// GeoOntology returns the LinkedGeoData substitute alone.
+func GeoOntology() *Ontology { return ontology.NewGeoOntology() }
+
+// EncyclopedicOntology returns the DBPedia substitute alone.
+func EncyclopedicOntology() *Ontology { return ontology.NewEncyclopedicOntology() }
+
+// ReadOntology loads an ontology from N-Triples data, rebuilding the
+// label and class indexes (administrator knowledge-base workflow).
+func ReadOntology(name string, r io.Reader) (*Ontology, error) {
+	return ontology.ReadNTriples(name, r)
+}
+
+// ---- Crowd execution ----
+
+// Engine executes OASSIS-QL queries against an ontology and a simulated
+// crowd.
+type Engine = crowd.Engine
+
+// Crowd is a simulated population of web users.
+type Crowd = crowd.Crowd
+
+// ExecResult is a query execution outcome.
+type ExecResult = crowd.Result
+
+// Task is one crowd task with its aggregated support.
+type Task = crowd.Task
+
+// NewCrowd builds a crowd of the given size and seed.
+func NewCrowd(size int, seed int64) *Crowd { return crowd.NewCrowd(size, seed) }
+
+// NewEngine builds an execution engine.
+func NewEngine(onto *Ontology, c *Crowd) *Engine { return crowd.NewEngine(onto, c) }
+
+// NewDemoEngine builds an engine with the demonstration crowd: 100
+// members, seed 7, curated truth for the paper's example questions.
+func NewDemoEngine(onto *Ontology) *Engine {
+	c := crowd.NewCrowd(100, 7)
+	c.Truth = crowd.DemoTruth()
+	return crowd.NewEngine(onto, c)
+}
+
+// ---- Interaction ----
+
+// Interactor answers the system's dialogue questions.
+type Interactor = interact.Interactor
+
+// Policy selects active interaction points.
+type Policy = interact.Policy
+
+// AutoInteractor answers every dialogue with its default.
+type AutoInteractor = interact.Auto
+
+// ScriptedInteractor replays canned answers (tests, demo scripts).
+type ScriptedInteractor = interact.Scripted
+
+// ConsoleInteractor prompts on an io stream (CLI front end).
+type ConsoleInteractor = interact.Console
+
+// InteractionPoint identifies one of the four dialogue points.
+type InteractionPoint = interact.Point
+
+// The four interaction points, in pipeline order.
+const (
+	PointIXVerification = interact.PointIXVerification
+	PointDisambiguation = interact.PointDisambiguation
+	PointSignificance   = interact.PointSignificance
+	PointProjection     = interact.PointProjection
+)
+
+// InteractivePolicy enables all four interaction points.
+func InteractivePolicy() Policy { return interact.Interactive() }
+
+// AutomaticPolicy disables all interaction (the §4.1 mode).
+func AutomaticPolicy() Policy { return interact.Automatic() }
+
+// ---- IX detection (the paper's core contribution) ----
+
+// IXDetector finds and completes Individual eXpressions in dependency
+// graphs using declarative patterns and vocabularies.
+type IXDetector = ix.Detector
+
+// IXPattern is one declarative detection pattern.
+type IXPattern = ix.Pattern
+
+// IX is a completed individual expression.
+type IX = ix.IX
+
+// NewIXDetector returns the default detector.
+func NewIXDetector() *IXDetector { return ix.NewDetector() }
+
+// ParseIXPatterns parses administrator pattern files.
+func ParseIXPatterns(input string) ([]*IXPattern, error) { return ix.ParsePatterns(input) }
+
+// ---- NL parsing ----
+
+// DepGraph is a typed dependency graph.
+type DepGraph = nlp.DepGraph
+
+// ParseSentence tokenizes, tags and dependency-parses one sentence.
+func ParseSentence(s string) (*DepGraph, error) { return nlp.Parse(s) }
+
+// ---- Verification ----
+
+// Verdict is the question-verification outcome with rephrasing tips.
+type Verdict = verify.Verdict
+
+// CheckQuestion verifies a question without translating it.
+func CheckQuestion(q string) Verdict { return verify.Check(q) }
+
+// ---- Corpus ----
+
+// Question is one corpus entry with gold annotations.
+type Question = corpus.Question
+
+// Corpus returns the embedded forum-style question corpus.
+func Corpus() []Question { return corpus.All() }
+
+// ---- Tuning ----
+
+// ComposerDefaults exposes the significance defaults (LIMIT 5,
+// THRESHOLD 0.1 as in the paper's Figure 1).
+type ComposerDefaults = compose.Defaults
+
+// GeneratorFeedback is the learned disambiguation-ranking store.
+type GeneratorFeedback = qgen.Feedback

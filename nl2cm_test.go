@@ -1,0 +1,132 @@
+package nl2cm
+
+// Facade tests: the public API reproduces the paper's headline artifacts
+// end to end.
+
+import (
+	"strings"
+	"testing"
+)
+
+// figure1 is the paper's Figure 1 query text.
+const figure1 = `SELECT VARIABLES
+WHERE
+{$x instanceOf Place.
+$x near Forest_Hotel,_Buffalo,_NY}
+SATISFYING
+{$x hasLabel "interesting"}
+ORDER BY DESC(SUPPORT)
+LIMIT 5
+AND
+{[] visit $x.
+[] in Fall}
+WITH SUPPORT THRESHOLD = 0.1`
+
+func TestFigure1Exact(t *testing.T) {
+	tr := NewTranslator(DemoOntology())
+	res, err := tr.Translate(runningExample, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Query.String(); got != figure1 {
+		t.Errorf("public API does not reproduce Figure 1:\n%s", got)
+	}
+}
+
+func TestFigure2TraceStages(t *testing.T) {
+	tr := NewTranslator(DemoOntology())
+	res, err := tr.Translate(runningExample, Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) < 5 {
+		t.Errorf("trace has %d stages", len(res.Trace))
+	}
+}
+
+func TestPublicEndToEnd(t *testing.T) {
+	onto := DemoOntology()
+	tr := NewTranslator(onto)
+	eng := NewDemoEngine(onto)
+	res, err := tr.Translate(runningExample, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := eng.Execute(res.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, b := range out.Bindings {
+		found[b["x"].Local()] = true
+	}
+	if !found["Delaware_Park"] || !found["Buffalo_Zoo"] {
+		t.Errorf("paper's expected answers missing: %v", found)
+	}
+}
+
+func TestPublicQueryParsing(t *testing.T) {
+	q, err := ParseQuery(figure1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.String() != figure1 {
+		t.Error("parse/print round trip failed via public API")
+	}
+}
+
+func TestPublicVerification(t *testing.T) {
+	if v := CheckQuestion("How should I store coffee?"); v.Supported {
+		t.Error("descriptive question accepted")
+	}
+	if v := CheckQuestion(runningExample); !v.Supported {
+		t.Error("running example rejected")
+	}
+}
+
+func TestPublicCorpusAccess(t *testing.T) {
+	qs := Corpus()
+	if len(qs) < 40 {
+		t.Errorf("corpus = %d questions", len(qs))
+	}
+}
+
+func TestPublicIXDetector(t *testing.T) {
+	g, err := ParseSentence(runningExample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewIXDetector()
+	ixs, err := d.Detect(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ixs) != 2 {
+		t.Errorf("detected %d IXs, want 2", len(ixs))
+	}
+	// Administrator extension point: parse a custom pattern.
+	ps, err := ParseIXPatterns(`PATTERN p TYPE syntactic ANCHOR $v
+{$v auxiliary $m
+FILTER(LEMMA($m) IN V_modal)}`)
+	if err != nil || len(ps) != 1 {
+		t.Fatalf("ParseIXPatterns: %v", err)
+	}
+}
+
+func TestPublicScriptedInteraction(t *testing.T) {
+	tr := NewTranslator(DemoOntology())
+	opt := Options{
+		Interactor: &ScriptedInteractor{
+			TopKAnswers:      []int{2},
+			ThresholdAnswers: []float64{0.4},
+		},
+		Policy: InteractivePolicy(),
+	}
+	res, err := tr.Translate(runningExample, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Query.String(), "LIMIT 2") {
+		t.Errorf("interaction not honored:\n%s", res.Query)
+	}
+}
