@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all check vet build test race bench fmt
+
+all: check
+
+# check is the CI gate: vet, build everything, run the tests with the
+# race detector (the concurrency stress tests depend on it).
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+fmt:
+	gofmt -l -w .

@@ -9,6 +9,7 @@ package nl2cm
 // paper's figures and claims.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -41,7 +42,7 @@ func BenchmarkE1_Figure1RunningExample(b *testing.B) {
 	_, tr := benchTranslator(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := tr.Translate(runningExample, core.Options{})
+		res, err := tr.Translate(context.Background(), runningExample, core.Options{})
 		if err != nil || len(res.Query.Satisfying) != 2 {
 			b.Fatalf("bad translation: %v", err)
 		}
@@ -54,7 +55,7 @@ func BenchmarkE2_Figure2PipelineTrace(b *testing.B) {
 	_, tr := benchTranslator(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := tr.Translate(runningExample, core.Options{Trace: true})
+		res, err := tr.Translate(context.Background(), runningExample, core.Options{Trace: true})
 		if err != nil || len(res.Trace) < 5 {
 			b.Fatalf("bad trace: %v", err)
 		}
@@ -87,7 +88,7 @@ func BenchmarkE4_Figure4IXVerification(b *testing.B) {
 			Interactor: &interact.Scripted{IXAnswers: [][]bool{{true, true}}},
 			Policy:     policy,
 		}
-		if _, err := tr.Translate(runningExample, opt); err != nil {
+		if _, err := tr.Translate(context.Background(), runningExample, opt); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -103,7 +104,7 @@ func BenchmarkE5_Figure5LimitThreshold(b *testing.B) {
 			Interactor: &interact.Scripted{TopKAnswers: []int{5}, ThresholdAnswers: []float64{0.1}},
 			Policy:     policy,
 		}
-		res, err := tr.Translate(runningExample, opt)
+		res, err := tr.Translate(context.Background(), runningExample, opt)
 		if err != nil || res.Query.Satisfying[0].TopK.K != 5 {
 			b.Fatal("dialogue not applied")
 		}
@@ -114,7 +115,7 @@ func BenchmarkE5_Figure5LimitThreshold(b *testing.B) {
 // manual-edit round trip (print -> parse).
 func BenchmarkE6_Figure6FinalQuery(b *testing.B) {
 	_, tr := benchTranslator(b)
-	res, err := tr.Translate(runningExample, core.Options{})
+	res, err := tr.Translate(context.Background(), runningExample, core.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func BenchmarkE9_EndToEndExecution(b *testing.B) {
 	eng := crowd.NewEngine(onto, c)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := tr.Translate(runningExample, core.Options{})
+		res, err := tr.Translate(context.Background(), runningExample, core.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -212,7 +213,7 @@ filter(POS($x) = "verb" && $y in V_participant)}`)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ixs, err := d.Detect(g)
+		ixs, err := d.Detect(context.Background(), g)
 		if err != nil || len(ixs) != 1 {
 			b.Fatalf("pattern match failed: %v", err)
 		}
@@ -268,7 +269,7 @@ func BenchmarkP2_IXDetector(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := d.Detect(g); err != nil {
+		if _, err := d.Detect(context.Background(), g); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -277,7 +278,7 @@ func BenchmarkP2_IXDetector(b *testing.B) {
 // BenchmarkP3_CrowdEngine measures query execution alone.
 func BenchmarkP3_CrowdEngine(b *testing.B) {
 	onto, tr := benchTranslator(b)
-	res, err := tr.Translate(runningExample, core.Options{})
+	res, err := tr.Translate(context.Background(), runningExample, core.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -371,4 +372,25 @@ func BenchmarkP6_SpamRobustness(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkTranslateParallel measures throughput of one shared
+// Translator under concurrent load (the daemon's serving model after
+// the global lock was dropped), including disambiguation feedback
+// writes so the Feedback lock is on the hot path.
+func BenchmarkTranslateParallel(b *testing.B) {
+	_, tr := benchTranslator(b)
+	opt := core.Options{
+		Interactor: interact.Auto{},
+		Policy:     interact.Policy{Ask: map[interact.Point]bool{interact.PointDisambiguation: true}},
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			res, err := tr.Translate(context.Background(), runningExample, opt)
+			if err != nil || len(res.Query.Satisfying) != 2 {
+				b.Fatalf("bad translation: %v", err)
+			}
+		}
+	})
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -98,7 +99,7 @@ var experiments = []experiment{
 }
 
 func runE1(e *env) string {
-	res, err := e.tr.Translate(runningExample, core.Options{})
+	res, err := e.tr.Translate(context.Background(), runningExample, core.Options{})
 	if err != nil {
 		return "ERROR: " + err.Error()
 	}
@@ -111,7 +112,7 @@ func runE1(e *env) string {
 }
 
 func runE2(e *env) string {
-	res, err := e.tr.Translate(runningExample, core.Options{Trace: true})
+	res, err := e.tr.Translate(context.Background(), runningExample, core.Options{Trace: true})
 	if err != nil {
 		return "ERROR: " + err.Error()
 	}
@@ -152,7 +153,7 @@ func runE4(e *env) string {
 		Interactor: rec,
 		Policy:     interact.Policy{Ask: map[interact.Point]bool{interact.PointIXVerification: true}},
 	}
-	res, err := e.tr.Translate(runningExample, opt)
+	res, err := e.tr.Translate(context.Background(), runningExample, opt)
 	if err != nil {
 		return "ERROR: " + err.Error()
 	}
@@ -181,7 +182,7 @@ func runE5(e *env) string {
 		Interactor: rec,
 		Policy:     interact.Policy{Ask: map[interact.Point]bool{interact.PointSignificance: true}},
 	}
-	res, err := e.tr.Translate(runningExample, opt)
+	res, err := e.tr.Translate(context.Background(), runningExample, opt)
 	if err != nil {
 		return "ERROR: " + err.Error()
 	}
@@ -196,7 +197,7 @@ func runE5(e *env) string {
 }
 
 func runE6(e *env) string {
-	res, err := e.tr.Translate(runningExample, core.Options{})
+	res, err := e.tr.Translate(context.Background(), runningExample, core.Options{})
 	if err != nil {
 		return "ERROR: " + err.Error()
 	}
@@ -256,7 +257,7 @@ func runE8(e *env) string {
 }
 
 func runE9(e *env) string {
-	res, err := e.tr.Translate(runningExample, core.Options{})
+	res, err := e.tr.Translate(context.Background(), runningExample, core.Options{})
 	if err != nil {
 		return "ERROR: " + err.Error()
 	}
@@ -319,7 +320,7 @@ filter(POS($x) = "verb" && $y in V_participant)}`
 	if err != nil {
 		return "ERROR: " + err.Error()
 	}
-	ixs, err := d.Detect(g)
+	ixs, err := d.Detect(context.Background(), g)
 	if err != nil {
 		return "ERROR: " + err.Error()
 	}

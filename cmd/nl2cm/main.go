@@ -26,9 +26,11 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
@@ -118,10 +120,16 @@ func main() {
 		opt.Policy = nl2cm.InteractivePolicy()
 	}
 
+	// Ctrl-C cancels the in-flight translation (dialogues included)
+	// instead of killing the process outright, so deferred state (the
+	// feedback file) is still saved.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	questions := flag.Args()
 	if len(questions) > 0 {
 		q := strings.Join(questions, " ")
-		if err := handle(tr, eng, q, opt); err != nil {
+		if err := handle(ctx, tr, eng, q, opt); err != nil {
 			fmt.Fprintln(os.Stderr, "nl2cm:", err)
 			os.Exit(1)
 		}
@@ -133,8 +141,11 @@ func main() {
 		if q == "" {
 			continue
 		}
-		if err := handle(tr, eng, q, opt); err != nil {
+		if err := handle(ctx, tr, eng, q, opt); err != nil {
 			fmt.Fprintln(os.Stderr, "nl2cm:", err)
+			if ctx.Err() != nil {
+				break
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -143,8 +154,8 @@ func main() {
 	}
 }
 
-func handle(tr *nl2cm.Translator, eng *nl2cm.Engine, question string, opt nl2cm.Options) error {
-	res, err := tr.Translate(question, opt)
+func handle(ctx context.Context, tr *nl2cm.Translator, eng *nl2cm.Engine, question string, opt nl2cm.Options) error {
+	res, err := tr.Translate(ctx, question, opt)
 	if err != nil {
 		return err
 	}

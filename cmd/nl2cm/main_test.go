@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"strings"
 	"testing"
@@ -32,7 +33,7 @@ func TestHandleTranslateOnly(t *testing.T) {
 	onto := nl2cm.DemoOntology()
 	tr := nl2cm.NewTranslator(onto)
 	out, err := captureStdout(t, func() error {
-		return handle(tr, nil, "Which hotel in Vegas has the best thrill ride?", nl2cm.Options{})
+		return handle(context.Background(), tr, nil, "Which hotel in Vegas has the best thrill ride?", nl2cm.Options{})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -46,7 +47,7 @@ func TestHandleUnsupported(t *testing.T) {
 	onto := nl2cm.DemoOntology()
 	tr := nl2cm.NewTranslator(onto)
 	out, err := captureStdout(t, func() error {
-		return handle(tr, nil, "How should I store coffee?", nl2cm.Options{})
+		return handle(context.Background(), tr, nil, "How should I store coffee?", nl2cm.Options{})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -61,7 +62,7 @@ func TestHandleWithExecution(t *testing.T) {
 	tr := nl2cm.NewTranslator(onto)
 	eng := nl2cm.NewDemoEngine(onto)
 	out, err := captureStdout(t, func() error {
-		return handle(tr, eng,
+		return handle(context.Background(), tr, eng,
 			"What are the most interesting places near Forest Hotel, Buffalo, we should visit in the fall?",
 			nl2cm.Options{})
 	})
@@ -79,7 +80,7 @@ func TestHandleWithTrace(t *testing.T) {
 	onto := nl2cm.DemoOntology()
 	tr := nl2cm.NewTranslator(onto)
 	out, err := captureStdout(t, func() error {
-		return handle(tr, nil, "Where do you visit in Buffalo?", nl2cm.Options{Trace: true})
+		return handle(context.Background(), tr, nil, "Where do you visit in Buffalo?", nl2cm.Options{Trace: true})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -109,7 +110,7 @@ func TestApplyAdminConfig(t *testing.T) {
 		t.Error("patterns not loaded")
 	}
 	// The reloaded configuration still reproduces the running example.
-	res, err := tr.Translate("What are the most interesting places near Forest Hotel, Buffalo, we should visit in the fall?", nl2cm.Options{})
+	res, err := tr.Translate(context.Background(), "What are the most interesting places near Forest Hotel, Buffalo, we should visit in the fall?", nl2cm.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestOntologyDumpAndReload(t *testing.T) {
 		t.Fatal(err)
 	}
 	tr := nl2cm.NewTranslator(onto)
-	res, err := tr.Translate("Which parks are in Buffalo?", nl2cm.Options{})
+	res, err := tr.Translate(context.Background(), "Which parks are in Buffalo?", nl2cm.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	nl2cmd [-addr :8080]
+//	nl2cmd [-addr :8080] [-timeout 30s]
+//
+// Requests are served concurrently: the Translator is safe for
+// concurrent use, so no lock is held across a translation. Each request
+// is bounded by its own context (the client's, plus -timeout), and a
+// translation whose client disconnects is cancelled mid-pipeline.
 //
 // Endpoints:
 //
@@ -18,7 +23,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"html/template"
@@ -26,25 +33,45 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"nl2cm"
 )
 
+// server shares one Translator and one Engine across requests. Both are
+// safe for concurrent use; the mutex guards only the admin-mode `last`
+// trace snapshot — it is never held across a translation, so requests
+// proceed in parallel.
 type server struct {
-	mu   sync.Mutex
-	tr   *nl2cm.Translator
-	eng  *nl2cm.Engine
+	tr      *nl2cm.Translator
+	eng     *nl2cm.Engine
+	timeout time.Duration
+
+	mu   sync.Mutex // guards last only
 	last *nl2cm.Result
 }
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request translation timeout (0 = none)")
 	flag.Parse()
 	onto := nl2cm.DemoOntology()
 	s := &server{
-		tr:  nl2cm.NewTranslator(onto),
-		eng: nl2cm.NewDemoEngine(onto),
+		tr:      nl2cm.NewTranslator(onto),
+		eng:     nl2cm.NewDemoEngine(onto),
+		timeout: *timeout,
 	}
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      s.routes(),
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: *timeout + 10*time.Second,
+	}
+	log.Printf("nl2cmd listening on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}
+
+func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /", s.home)
 	mux.HandleFunc("POST /translate", s.translate)
@@ -52,8 +79,7 @@ func main() {
 	mux.HandleFunc("GET /admin", s.admin)
 	mux.HandleFunc("GET /corpus", s.corpus)
 	mux.HandleFunc("POST /api/translate", s.apiTranslate)
-	log.Printf("nl2cmd listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	return mux
 }
 
 var pageTmpl = template.Must(template.New("page").Parse(`<!doctype html>
@@ -151,14 +177,37 @@ func (s *server) render(w http.ResponseWriter, d pageData) {
 	}
 }
 
-func (s *server) doTranslate(question string) (*nl2cm.Result, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	res, err := s.tr.Translate(question, nl2cm.Options{Trace: true})
+// doTranslate runs one translation under the request context (bounded
+// by the server's per-request timeout) and, on success, snapshots the
+// result for the admin page. The lock covers only that snapshot.
+func (s *server) doTranslate(ctx context.Context, question string) (*nl2cm.Result, error) {
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	res, err := s.tr.Translate(ctx, question, nl2cm.Options{Trace: true})
 	if err == nil {
+		s.mu.Lock()
 		s.last = res
+		s.mu.Unlock()
 	}
 	return res, err
+}
+
+// translateError maps a translation failure to an HTTP status: timeouts
+// become 504, client disconnects 499-style aborts (the response is
+// unwritable anyway), everything else 500.
+func translateError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+	case errors.Is(err, context.Canceled):
+		// The client went away; nothing useful can be written.
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }
 
 func (s *server) buildPage(question string, res *nl2cm.Result) pageData {
@@ -212,9 +261,9 @@ func highlight(res *nl2cm.Result) template.HTML {
 
 func (s *server) translate(w http.ResponseWriter, r *http.Request) {
 	q := strings.TrimSpace(r.FormValue("q"))
-	res, err := s.doTranslate(q)
+	res, err := s.doTranslate(r.Context(), q)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		translateError(w, err)
 		return
 	}
 	s.render(w, s.buildPage(q, res))
@@ -222,9 +271,9 @@ func (s *server) translate(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) execute(w http.ResponseWriter, r *http.Request) {
 	q := strings.TrimSpace(r.FormValue("q"))
-	res, err := s.doTranslate(q)
+	res, err := s.doTranslate(r.Context(), q)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		translateError(w, err)
 		return
 	}
 	d := s.buildPage(q, res)
@@ -280,7 +329,7 @@ pre{background:#f4f4f4;padding:1em;overflow-x:auto}
 <h1>Administrator mode</h1><p><a href="/">back</a></p>
 {{if .}}
 <p>Last question: <b>{{.Question}}</b></p>
-{{range .Trace}}<h2>{{.Module}}</h2><pre>{{.Output}}</pre>{{end}}
+{{range .Trace}}<h2>{{.Module}} <small>({{.Duration}})</small></h2><pre>{{.Output}}</pre>{{end}}
 {{if .Interactions}}<h2>Dialogue transcript</h2>
 <ul>{{range .Interactions}}<li><b>{{.Point}}</b>: {{.Question}} → {{.Answer}}</li>{{end}}</ul>{{end}}
 {{else}}<p>No translation yet.</p>{{end}}
@@ -314,9 +363,9 @@ func (s *server) apiTranslate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	res, err := s.doTranslate(req.Question)
+	res, err := s.doTranslate(r.Context(), req.Question)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		translateError(w, err)
 		return
 	}
 	resp := apiResponse{Supported: res.Verdict.Supported}

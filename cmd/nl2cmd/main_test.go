@@ -1,12 +1,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
 	"strings"
 	"testing"
+	"time"
 
 	"nl2cm"
 )
@@ -184,5 +187,76 @@ func TestCorpusPage(t *testing.T) {
 		if !strings.Contains(body, want) {
 			t.Errorf("corpus page missing %q", want)
 		}
+	}
+}
+
+// TestAPITranslateConcurrent drives parallel POST /api/translate
+// requests through the real mux: with the translation lock gone, all of
+// them must complete (under -race this also checks the shared
+// Translator and admin snapshot).
+func TestAPITranslateConcurrent(t *testing.T) {
+	s := testServer()
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+	const workers = 8
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			resp, err := http.Post(ts.URL+"/api/translate", "application/json",
+				strings.NewReader(`{"question": "`+question+`"}`))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			var out apiResponse
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				errs <- err
+				return
+			}
+			if resp.StatusCode != http.StatusOK || !out.Supported {
+				errs <- fmt.Errorf("status %d, supported %v", resp.StatusCode, out.Supported)
+				return
+			}
+			errs <- nil
+		}()
+	}
+	for i := 0; i < workers; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The admin snapshot survived the concurrent updates.
+	rec := httptest.NewRecorder()
+	s.admin(rec, httptest.NewRequest("GET", "/admin", nil))
+	if !strings.Contains(rec.Body.String(), "NL Parser") {
+		t.Error("admin page lost the trace after concurrent requests")
+	}
+}
+
+// TestAPITranslateCancelled verifies that a request whose context is
+// already cancelled (client gone) does not produce a 200 and is mapped
+// by translateError, exercising r.Context() propagation end to end.
+func TestAPITranslateCancelled(t *testing.T) {
+	s := testServer()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("POST", "/api/translate",
+		strings.NewReader(`{"question": "`+question+`"}`)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.apiTranslate(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want %d", rec.Code, http.StatusServiceUnavailable)
+	}
+}
+
+// TestTranslateTimeout bounds a translation with a tiny server timeout;
+// the deadline maps to 504.
+func TestTranslateTimeout(t *testing.T) {
+	s := testServer()
+	s.timeout = time.Nanosecond
+	rec := postForm(t, s, s.translate, question)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want %d", rec.Code, http.StatusGatewayTimeout)
 	}
 }

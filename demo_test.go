@@ -8,6 +8,7 @@ package nl2cm
 // monitor — administrator mode — is checked throughout.
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -41,7 +42,7 @@ func TestFullDemonstrationScenario(t *testing.T) {
 			},
 		}
 		for _, c := range stage1 {
-			res, err := translator.Translate(c.question, Options{})
+			res, err := translator.Translate(context.Background(), c.question, Options{})
 			if err != nil {
 				t.Fatalf("Translate(%q): %v", c.question, err)
 			}
@@ -76,7 +77,7 @@ func TestFullDemonstrationScenario(t *testing.T) {
 			TopKAnswers:      []int{5},
 			ThresholdAnswers: []float64{0.1},
 		}
-		res, err := translator.Translate(
+		res, err := translator.Translate(context.Background(),
 			"What are the most interesting places near Forest Hotel, Buffalo, we should visit in the fall?",
 			Options{Interactor: volunteer, Policy: InteractivePolicy(), Trace: true})
 		if err != nil {
@@ -113,7 +114,7 @@ func TestFullDemonstrationScenario(t *testing.T) {
 	// ---- Stage (iii): unsupported questions produce warnings and tips;
 	// the paper's coffee rephrasing works.
 	t.Run("stage3-unsupported-feedback", func(t *testing.T) {
-		res, err := translator.Translate("How should I store coffee?", Options{})
+		res, err := translator.Translate(context.Background(), "How should I store coffee?", Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -126,7 +127,7 @@ func TestFullDemonstrationScenario(t *testing.T) {
 		}
 		// The rephrasing is supported and asks the crowd about storage
 		// habits per container.
-		res2, err := translator.Translate("At what container should I store coffee?", Options{})
+		res2, err := translator.Translate(context.Background(), "At what container should I store coffee?", Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -160,12 +161,12 @@ func TestDemonstrationStatePersists(t *testing.T) {
 		Interactor: &ScriptedInteractor{DisambiguationAnswers: []int{2}},
 		Policy:     Policy{Ask: map[InteractionPoint]bool{PointDisambiguation: true}},
 	}
-	if _, err := translator.Translate("Where do you visit in Buffalo?", opt); err != nil {
+	if _, err := translator.Translate(context.Background(), "Where do you visit in Buffalo?", opt); err != nil {
 		t.Fatal(err)
 	}
 	// Audience member 2 asks non-interactively; the learned preference
 	// applies.
-	res, err := translator.Translate("Where do locals eat in Buffalo?", Options{})
+	res, err := translator.Translate(context.Background(), "Where do locals eat in Buffalo?", Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -72,7 +73,7 @@ FILTER(WORD($m) IN V_wish)}
 	tr.Detector = detector
 
 	question := "I wanna try the bean chili at Anchor Bar."
-	res, err := tr.Translate(question, nl2cm.Options{})
+	res, err := tr.Translate(context.Background(), question, nl2cm.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -24,7 +25,7 @@ func main() {
 	}
 	for _, q := range questions {
 		fmt.Printf("==== %q\n", q)
-		res, err := translator.Translate(q, nl2cm.Options{})
+		res, err := translator.Translate(context.Background(), q, nl2cm.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}

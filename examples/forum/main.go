@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -30,7 +31,7 @@ func main() {
 	for _, d := range domains {
 		fmt.Printf("======== domain: %s ========\n", d)
 		for _, q := range byDomain[d] {
-			res, err := translator.Translate(q.Text, nl2cm.Options{})
+			res, err := translator.Translate(context.Background(), q.Text, nl2cm.Options{})
 			if err != nil {
 				log.Printf("ERROR %s: %v", q.ID, err)
 				failed++

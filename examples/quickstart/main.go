@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,7 +20,7 @@ func main() {
 	// (places near a hotel) with individual data (interestingness
 	// opinions, visiting habits).
 	question := "What are the most interesting places near Forest Hotel, Buffalo, we should visit in the fall?"
-	res, err := translator.Translate(question, nl2cm.Options{})
+	res, err := translator.Translate(context.Background(), question, nl2cm.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -33,7 +34,7 @@ func main() {
 		Policy:     nl2cm.InteractivePolicy(),
 		Trace:      true,
 	}
-	res, err := translator.Translate(question, opts)
+	res, err := translator.Translate(context.Background(), question, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func main() {
 
 	// The system recorded the user's choice; asking again non-
 	// interactively now prefers Buffalo, IL thanks to learned feedback.
-	res2, err := translator.Translate(question, nl2cm.Options{})
+	res2, err := translator.Translate(context.Background(), question, nl2cm.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -16,6 +16,7 @@
 package compose
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -40,7 +41,8 @@ type Defaults struct {
 // StandardDefaults returns the Figure 1 values.
 func StandardDefaults() Defaults { return Defaults{TopK: 5, Threshold: 0.1} }
 
-// Composer builds the final query.
+// Composer builds the final query. It carries only the read-only
+// significance defaults and is safe for concurrent use.
 type Composer struct {
 	Defaults Defaults
 }
@@ -65,10 +67,12 @@ func (in *Input) interactor() interact.Interactor {
 	return in.Interactor
 }
 
-// Compose assembles the final OASSIS-QL query. A request with no
-// individual parts yields a query with an empty SATISFYING clause; the
-// caller decides whether to treat it as a plain ontology query.
-func (c *Composer) Compose(in Input) (*oassisql.Query, error) {
+// Compose assembles the final OASSIS-QL query, honoring cancellation
+// between subclauses (each may open a significance dialogue). A request
+// with no individual parts yields a query with an empty SATISFYING
+// clause; the caller decides whether to treat it as a plain ontology
+// query.
+func (c *Composer) Compose(ctx context.Context, in Input) (*oassisql.Query, error) {
 	q := &oassisql.Query{Select: oassisql.SelectClause{All: true}}
 
 	// (i) WHERE: general triples minus those corresponding to IXs, minus
@@ -78,8 +82,11 @@ func (c *Composer) Compose(in Input) (*oassisql.Query, error) {
 	// (ii) SATISFYING: one subclause per individual part, each with
 	// (iv) a significance criterion.
 	for _, part := range in.Parts {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sc := oassisql.Subclause{Pattern: oassisql.Pattern{Triples: part.Triples}}
-		if err := c.significance(in, part, &sc); err != nil {
+		if err := c.significance(ctx, in, part, &sc); err != nil {
 			return nil, err
 		}
 		q.Satisfying = append(q.Satisfying, sc)
@@ -94,7 +101,7 @@ func (c *Composer) Compose(in Input) (*oassisql.Query, error) {
 
 	// (v) SELECT: by default no variable is projected out; the user may
 	// restrict the output (Figure 6 discussion).
-	if err := c.selectClause(q, in); err != nil {
+	if err := c.selectClause(ctx, q, in); err != nil {
 		return nil, err
 	}
 
@@ -177,13 +184,13 @@ func (c *Composer) pruneDangling(triples []rdf.Triple, in Input) []rdf.Triple {
 // significance fills the subclause's criterion: a top-k for superlative
 // opinions, a support threshold otherwise; values come from defaults or
 // the Figure-5 dialogue.
-func (c *Composer) significance(in Input, part individual.Part, sc *oassisql.Subclause) error {
+func (c *Composer) significance(ctx context.Context, in Input, part individual.Part, sc *oassisql.Subclause) error {
 	ask := in.Policy.Asks(interact.PointSignificance)
 	if part.Superlative {
 		k := c.Defaults.TopK
 		if ask {
 			var err error
-			k, err = in.interactor().SelectTopK(part.Description, k)
+			k, err = in.interactor().SelectTopK(ctx, part.Description, k)
 			if err != nil {
 				return fmt.Errorf("compose: selecting top-k: %w", err)
 			}
@@ -197,7 +204,7 @@ func (c *Composer) significance(in Input, part individual.Part, sc *oassisql.Sub
 	th := c.Defaults.Threshold
 	if ask {
 		var err error
-		th, err = in.interactor().SelectThreshold(part.Description, th)
+		th, err = in.interactor().SelectThreshold(ctx, part.Description, th)
 		if err != nil {
 			return fmt.Errorf("compose: selecting threshold: %w", err)
 		}
@@ -242,7 +249,7 @@ func (c *Composer) checkAlignment(q *oassisql.Query, in Input) error {
 
 // selectClause builds the SELECT clause, optionally consulting the user
 // about which terms to receive instances for.
-func (c *Composer) selectClause(q *oassisql.Query, in Input) error {
+func (c *Composer) selectClause(ctx context.Context, q *oassisql.Query, in Input) error {
 	if !in.Policy.Asks(interact.PointProjection) {
 		return nil // default: SELECT VARIABLES
 	}
@@ -254,7 +261,7 @@ func (c *Composer) selectClause(q *oassisql.Query, in Input) error {
 	for i, v := range vars {
 		choices[i] = interact.VarChoice{Var: v, Phrase: c.phraseFor(v, in)}
 	}
-	keep, err := in.interactor().SelectProjection(choices)
+	keep, err := in.interactor().SelectProjection(ctx, choices)
 	if err != nil {
 		return fmt.Errorf("compose: selecting projection: %w", err)
 	}

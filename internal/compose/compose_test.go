@@ -1,6 +1,7 @@
 package compose
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -21,16 +22,16 @@ func build(t *testing.T, sentence string) Input {
 		t.Fatalf("Parse: %v", err)
 	}
 	det := ix.NewDetector()
-	ixs, err := det.Detect(g)
+	ixs, err := det.Detect(context.Background(), g)
 	if err != nil {
 		t.Fatalf("Detect: %v", err)
 	}
 	gen := qgen.New(ontology.NewDemoOntology())
-	res, err := gen.Generate(g, qgen.Options{})
+	res, err := gen.Generate(context.Background(), g, qgen.Options{})
 	if err != nil {
 		t.Fatalf("Generate: %v", err)
 	}
-	parts, err := (&individual.Creator{}).Create(g, ixs, res)
+	parts, err := (&individual.Creator{}).Create(context.Background(), g, ixs, res)
 	if err != nil {
 		t.Fatalf("Create: %v", err)
 	}
@@ -40,7 +41,7 @@ func build(t *testing.T, sentence string) Input {
 const runningExample = "What are the most interesting places near Forest Hotel, Buffalo, we should visit in the fall?"
 
 func TestComposeFigure1(t *testing.T) {
-	q, err := New().Compose(build(t, runningExample))
+	q, err := New().Compose(context.Background(), build(t, runningExample))
 	if err != nil {
 		t.Fatalf("Compose: %v", err)
 	}
@@ -62,7 +63,7 @@ WITH SUPPORT THRESHOLD = 0.1`
 }
 
 func TestComposeValidates(t *testing.T) {
-	q, err := New().Compose(build(t, runningExample))
+	q, err := New().Compose(context.Background(), build(t, runningExample))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestComposeDeletesIXOverlappingGeneralTriples(t *testing.T) {
 	if !spurious {
 		t.Fatal("precondition failed: no goodFor triple generated")
 	}
-	q, err := New().Compose(in)
+	q, err := New().Compose(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestComposeDeletesIXOverlappingGeneralTriples(t *testing.T) {
 // Shared nouns between WHERE and SATISFYING must NOT trigger deletion:
 // {$x instanceOf Place} stays although "places" is inside the visit IX.
 func TestComposeKeepsSharedNounTriples(t *testing.T) {
-	q, err := New().Compose(build(t, runningExample))
+	q, err := New().Compose(context.Background(), build(t, runningExample))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestComposeKeepsSharedNounTriples(t *testing.T) {
 }
 
 func TestComposeSignificanceDefaults(t *testing.T) {
-	q, err := New().Compose(build(t, runningExample))
+	q, err := New().Compose(context.Background(), build(t, runningExample))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestComposeSignificanceInteraction(t *testing.T) {
 	in := build(t, runningExample)
 	in.Interactor = &interact.Scripted{TopKAnswers: []int{7}, ThresholdAnswers: []float64{0.3}}
 	in.Policy = interact.Policy{Ask: map[interact.Point]bool{interact.PointSignificance: true}}
-	q, err := New().Compose(in)
+	q, err := New().Compose(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,19 +149,19 @@ func TestComposeBadSignificanceRejected(t *testing.T) {
 	in := build(t, runningExample)
 	in.Interactor = &interact.Scripted{TopKAnswers: []int{0}}
 	in.Policy = interact.Policy{Ask: map[interact.Point]bool{interact.PointSignificance: true}}
-	if _, err := New().Compose(in); err == nil {
+	if _, err := New().Compose(context.Background(), in); err == nil {
 		t.Error("k=0 accepted")
 	}
 	in2 := build(t, runningExample)
 	in2.Interactor = &interact.Scripted{ThresholdAnswers: []float64{1.5}}
 	in2.Policy = interact.Policy{Ask: map[interact.Point]bool{interact.PointSignificance: true}}
-	if _, err := New().Compose(in2); err == nil {
+	if _, err := New().Compose(context.Background(), in2); err == nil {
 		t.Error("threshold 1.5 accepted")
 	}
 }
 
 func TestComposeProjectionDefaultKeepsAll(t *testing.T) {
-	q, err := New().Compose(build(t, runningExample))
+	q, err := New().Compose(context.Background(), build(t, runningExample))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestComposeProjectionInteraction(t *testing.T) {
 	// guide?" — the user keeps the guide but could drop it (paper §4.1).
 	in := build(t, "What are the most interesting places in Buffalo we should visit with a tour guide?")
 	// Determine variable count first.
-	probe, err := New().Compose(in)
+	probe, err := New().Compose(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestComposeProjectionInteraction(t *testing.T) {
 	in2 := build(t, "What are the most interesting places in Buffalo we should visit with a tour guide?")
 	in2.Interactor = &interact.Scripted{ProjectionAnswers: [][]bool{keep}}
 	in2.Policy = interact.Policy{Ask: map[interact.Point]bool{interact.PointProjection: true}}
-	q, err := New().Compose(in2)
+	q, err := New().Compose(context.Background(), in2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func TestComposeProjectionInteraction(t *testing.T) {
 }
 
 func TestComposePureGeneralQuery(t *testing.T) {
-	q, err := New().Compose(build(t, "Which parks are in Buffalo?"))
+	q, err := New().Compose(context.Background(), build(t, "Which parks are in Buffalo?"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +215,7 @@ func TestComposePureGeneralQuery(t *testing.T) {
 }
 
 func TestComposedQueryReparses(t *testing.T) {
-	q, err := New().Compose(build(t, runningExample))
+	q, err := New().Compose(context.Background(), build(t, runningExample))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +246,7 @@ func TestComposeInvariantsOverSentences(t *testing.T) {
 	}
 	for _, s := range sentences {
 		in := build(t, s)
-		q, err := New().Compose(in)
+		q, err := New().Compose(context.Background(), in)
 		if err != nil {
 			t.Errorf("Compose(%q): %v", s, err)
 			continue

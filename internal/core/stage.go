@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Pipeline module names, in Figure-2 order. They identify stages in the
+// admin trace (Stage.Module), in failure attribution (StageError.Stage)
+// and in Observer callbacks, so the three views of one translation line
+// up by name.
+const (
+	StageVerification = "Verification"
+	StageParser       = "NL Parser"
+	StageIXDetector   = "IX Detector"
+	StageIXVerify     = "IX Verification"
+	StageGenerator    = "General Query Generator"
+	StageIndividual   = "Individual Triple Creation"
+	StageComposer     = "Query Composition"
+)
+
+// StageError attributes a pipeline failure to the module that raised it.
+// It wraps the cause, so errors.Is/errors.As see through it (for example
+// errors.Is(err, context.Canceled) after a cancelled translation), and
+// errors.As(err, *StageError) recovers the stage name for traces and
+// monitoring.
+type StageError struct {
+	// Stage is the pipeline module name (one of the Stage* constants).
+	Stage string
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements error.
+func (e *StageError) Error() string {
+	return fmt.Sprintf("nl2cm: %s: %v", e.Stage, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *StageError) Unwrap() error { return e.Err }
+
+// Observer receives stage lifecycle callbacks during one translation:
+// the seed of the observability layer (metrics, tracing, progress UIs).
+// Callbacks run synchronously on the translating goroutine, in pipeline
+// order; a shared Observer used across concurrent translations must be
+// safe for concurrent use.
+type Observer interface {
+	// StageStart fires before the module runs.
+	StageStart(stage string)
+	// StageEnd fires after the module returns, with its wall-clock
+	// duration and error (nil on success).
+	StageEnd(stage string, d time.Duration, err error)
+}
+
+// ObserverFunc adapts a single end-of-stage callback to the Observer
+// interface, for callers that only record timings.
+type ObserverFunc func(stage string, d time.Duration, err error)
+
+// StageStart implements Observer as a no-op.
+func (ObserverFunc) StageStart(string) {}
+
+// StageEnd implements Observer.
+func (f ObserverFunc) StageEnd(stage string, d time.Duration, err error) { f(stage, d, err) }

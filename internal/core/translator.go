@@ -4,12 +4,31 @@
 // (with optional disambiguation dialogues) → Individual Triple Creation →
 // Query Composition (with optional significance and projection
 // dialogues). It also produces the administrator-mode trace: the
-// intermediate output of every module, in pipeline order.
+// intermediate output of every module, with per-stage wall-clock
+// durations, in pipeline order.
+//
+// # Concurrency and cancellation
+//
+// A Translator is safe for concurrent use: the ontology, detector
+// patterns, vocabularies and composition defaults are read-only after
+// construction, and the only cross-request mutable state — the
+// disambiguation feedback store (qgen.Feedback) — locks internally.
+// Administrator reconfiguration (swapping patterns, vocabularies or the
+// feedback store) must be done before serving traffic, not while
+// translations are in flight. Per-request state (Options, the
+// Interactor, the admin trace) is never shared between requests.
+//
+// Translate honors its context between stages and inside interaction
+// points; a cancelled translation returns a *StageError wrapping
+// ctx.Err(), attributed to the stage that observed the cancellation.
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"nl2cm/internal/compose"
 	"nl2cm/internal/individual"
@@ -22,12 +41,15 @@ import (
 	"nl2cm/internal/verify"
 )
 
-// Stage is one admin-mode trace entry: a module's intermediate output.
+// Stage is one admin-mode trace entry: a module's intermediate output
+// and how long the module ran.
 type Stage struct {
 	// Module names the pipeline module ("NL Parser", "IX Detector", ...).
 	Module string
 	// Output is the module's rendered intermediate output.
 	Output string
+	// Duration is the module's wall-clock running time.
+	Duration time.Duration
 }
 
 // Result is the outcome of one translation.
@@ -60,7 +82,8 @@ type Result struct {
 }
 
 // Translator is the NL2CM pipeline. Reuse one instance across requests so
-// that disambiguation feedback accumulates (§4.1).
+// that disambiguation feedback accumulates (§4.1); it is safe for
+// concurrent use (see the package comment for the sharing model).
 type Translator struct {
 	Onto      *ontology.Ontology
 	Detector  *ix.Detector
@@ -84,22 +107,67 @@ func New(onto *ontology.Ontology) *Translator {
 // Options configure one translation.
 type Options struct {
 	// Interactor answers dialogue questions; nil means automatic
-	// defaults.
+	// defaults. It must not be shared with a concurrent translation
+	// unless itself concurrency-safe (interact.Auto is; Scripted and
+	// Recorder are not).
 	Interactor interact.Interactor
 	// Policy selects which interaction points are active.
 	Policy interact.Policy
 	// Trace enables admin-mode intermediate output collection.
 	Trace bool
+	// Observer, when non-nil, receives stage start/finish callbacks with
+	// per-stage durations (the observability hook).
+	Observer Observer
 }
 
-// Translate runs the full pipeline on one NL question.
-func (t *Translator) Translate(question string, opt Options) (*Result, error) {
-	res := &Result{Question: question}
-	trace := func(module, output string) {
-		if opt.Trace {
-			res.Trace = append(res.Trace, Stage{Module: module, Output: output})
-		}
+// stageRunner wraps each pipeline module with the cross-cutting
+// per-stage concerns: cancellation checks, wall-clock timing, observer
+// callbacks, trace collection and StageError attribution.
+type stageRunner struct {
+	ctx context.Context
+	opt Options
+	res *Result
+}
+
+// run executes one module. The body returns the module's rendered trace
+// output (empty to omit the trace entry) and its error; run returns the
+// error attributed to the stage.
+func (s *stageRunner) run(name string, body func() (string, error)) error {
+	if err := s.ctx.Err(); err != nil {
+		return &StageError{Stage: name, Err: err}
 	}
+	if s.opt.Observer != nil {
+		s.opt.Observer.StageStart(name)
+	}
+	start := time.Now()
+	out, err := body()
+	d := time.Since(start)
+	if s.opt.Observer != nil {
+		s.opt.Observer.StageEnd(name, d, err)
+	}
+	if err != nil {
+		var se *StageError
+		if errors.As(err, &se) {
+			return err // already attributed (nested stage)
+		}
+		return &StageError{Stage: name, Err: err}
+	}
+	if s.opt.Trace && out != "" {
+		s.res.Trace = append(s.res.Trace, Stage{Module: name, Output: out, Duration: d})
+	}
+	return nil
+}
+
+// Translate runs the full pipeline on one NL question. The context
+// bounds the whole translation, including user dialogues: cancellation
+// or deadline expiry aborts between stages and inside interaction
+// points, returning a *StageError that wraps ctx.Err().
+func (t *Translator) Translate(ctx context.Context, question string, opt Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res := &Result{Question: question}
+	st := &stageRunner{ctx: ctx, opt: opt, res: res}
 
 	// Record the dialogue when tracing.
 	interactor := opt.Interactor
@@ -118,77 +186,121 @@ func (t *Translator) Translate(question string, opt Options) (*Result, error) {
 	}
 
 	// 1. Verification.
-	res.Verdict = verify.Check(question)
+	if err := st.run(StageVerification, func() (string, error) {
+		res.Verdict = verify.Check(question)
+		if !res.Verdict.Supported {
+			return fmt.Sprintf("unsupported (%s): %s", res.Verdict.Category, res.Verdict.Reason), nil
+		}
+		return "supported", nil
+	}); err != nil {
+		return nil, err
+	}
 	if !res.Verdict.Supported {
-		trace("Verification", fmt.Sprintf("unsupported (%s): %s", res.Verdict.Category, res.Verdict.Reason))
 		collectDialogue()
 		return res, nil
 	}
-	trace("Verification", "supported")
 
 	// 2. NL parsing (POS tags + dependency graph).
-	g, err := nlp.Parse(question)
-	if err != nil {
-		return nil, fmt.Errorf("core: parsing question: %w", err)
-	}
-	res.Graph = g
-	trace("NL Parser", g.String())
-
-	// 3. IX detection: IXFinder + IXCreator.
-	ixs, err := t.Detector.Detect(g)
-	if err != nil {
-		return nil, fmt.Errorf("core: detecting IXs: %w", err)
-	}
-	trace("IX Detector", renderIXs(g, ixs))
-
-	// 3b. Optional user verification of (uncertain) IXs (Figure 4).
-	res.IXs, res.RejectedIXs, err = t.verifyIXs(question, g, ixs, interactor, opt.Policy)
-	if err != nil {
+	if err := st.run(StageParser, func() (string, error) {
+		g, err := nlp.Parse(question)
+		if err != nil {
+			return "", fmt.Errorf("parsing question: %w", err)
+		}
+		res.Graph = g
+		return g.String(), nil
+	}); err != nil {
 		return nil, err
 	}
-	if len(res.RejectedIXs) > 0 {
-		trace("IX Verification", renderIXs(g, res.IXs)+"rejected:\n"+renderIXs(g, res.RejectedIXs))
+	g := res.Graph
+
+	// 3. IX detection: IXFinder + IXCreator.
+	var ixs []*ix.IX
+	if err := st.run(StageIXDetector, func() (string, error) {
+		var err error
+		ixs, err = t.Detector.Detect(ctx, g)
+		if err != nil {
+			return "", fmt.Errorf("detecting IXs: %w", err)
+		}
+		return renderIXs(g, ixs), nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// 3b. Optional user verification of (uncertain) IXs (Figure 4).
+	if err := st.run(StageIXVerify, func() (string, error) {
+		var err error
+		res.IXs, res.RejectedIXs, err = t.verifyIXs(ctx, question, g, ixs, interactor, opt.Policy)
+		if err != nil {
+			return "", err
+		}
+		if len(res.RejectedIXs) == 0 {
+			return "", nil // nothing rejected: no trace entry, as before
+		}
+		return renderIXs(g, res.IXs) + "rejected:\n" + renderIXs(g, res.RejectedIXs), nil
+	}); err != nil {
+		collectDialogue()
+		return nil, err
 	}
 
 	// 4. General Query Generator (FREyA role) on the full request.
-	res.General, err = t.Generator.Generate(g, qgen.Options{
-		Interactor: interactor,
-		Policy:     opt.Policy,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: generating general query parts: %w", err)
+	if err := st.run(StageGenerator, func() (string, error) {
+		var err error
+		res.General, err = t.Generator.Generate(ctx, g, qgen.Options{
+			Interactor: interactor,
+			Policy:     opt.Policy,
+		})
+		if err != nil {
+			return "", fmt.Errorf("generating general query parts: %w", err)
+		}
+		return renderGeneral(res.General), nil
+	}); err != nil {
+		collectDialogue()
+		return nil, err
 	}
-	trace("General Query Generator", renderGeneral(res.General))
 
 	// 5. Individual Triple Creation on the accepted IXs.
-	res.Parts, err = t.Creator.Create(g, res.IXs, res.General)
-	if err != nil {
-		return nil, fmt.Errorf("core: creating individual triples: %w", err)
+	if err := st.run(StageIndividual, func() (string, error) {
+		var err error
+		res.Parts, err = t.Creator.Create(ctx, g, res.IXs, res.General)
+		if err != nil {
+			return "", fmt.Errorf("creating individual triples: %w", err)
+		}
+		return renderParts(res.Parts), nil
+	}); err != nil {
+		collectDialogue()
+		return nil, err
 	}
-	trace("Individual Triple Creation", renderParts(res.Parts))
 
 	// 6. Query Composition.
-	res.Query, err = t.Composer.Compose(compose.Input{
-		Graph:      g,
-		IXs:        res.IXs,
-		General:    res.General,
-		Parts:      res.Parts,
-		Interactor: interactor,
-		Policy:     opt.Policy,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: composing query: %w", err)
+	if err := st.run(StageComposer, func() (string, error) {
+		var err error
+		res.Query, err = t.Composer.Compose(ctx, compose.Input{
+			Graph:      g,
+			IXs:        res.IXs,
+			General:    res.General,
+			Parts:      res.Parts,
+			Interactor: interactor,
+			Policy:     opt.Policy,
+		})
+		if err != nil {
+			return "", fmt.Errorf("composing query: %w", err)
+		}
+		res.PureGeneral = len(res.Query.Satisfying) == 0
+		return res.Query.String(), nil
+	}); err != nil {
+		collectDialogue()
+		return nil, err
 	}
-	res.PureGeneral = len(res.Query.Satisfying) == 0
-	trace("Query Composition", res.Query.String())
 	collectDialogue()
 	return res, nil
 }
 
 // verifyIXs runs the Figure-4 dialogue: detected IXs are shown for
 // confirmation. Depending on the policy, all IXs or only uncertain ones
-// are asked about; with interaction disabled, all are accepted.
-func (t *Translator) verifyIXs(question string, g *nlp.DepGraph, ixs []*ix.IX,
+// are asked about; with interaction disabled, all are accepted. An
+// Interactor returning the wrong number of answers is an error, not a
+// panic.
+func (t *Translator) verifyIXs(ctx context.Context, question string, g *nlp.DepGraph, ixs []*ix.IX,
 	interactor interact.Interactor, policy interact.Policy) (accepted, rejected []*ix.IX, err error) {
 	if !policy.Asks(interact.PointIXVerification) || len(ixs) == 0 {
 		return ixs, nil, nil
@@ -216,9 +328,12 @@ func (t *Translator) verifyIXs(question string, g *nlp.DepGraph, ixs []*ix.IX,
 			Uncertain: x.Uncertain,
 		}
 	}
-	answers, err := interactor.VerifyIXs(question, spans)
+	answers, err := interactor.VerifyIXs(ctx, question, spans)
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: verifying IXs: %w", err)
+		return nil, nil, fmt.Errorf("verifying IXs: %w", err)
+	}
+	if len(answers) != len(toAsk) {
+		return nil, nil, fmt.Errorf("verifying IXs: interactor returned %d answers for %d spans", len(answers), len(toAsk))
 	}
 	for i, x := range toAsk {
 		if answers[i] {

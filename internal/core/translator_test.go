@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -28,7 +29,7 @@ WITH SUPPORT THRESHOLD = 0.1`
 func newTranslator() *Translator { return New(ontology.NewDemoOntology()) }
 
 func TestTranslateFigure1Exact(t *testing.T) {
-	res, err := newTranslator().Translate(runningExample, Options{})
+	res, err := newTranslator().Translate(context.Background(), runningExample, Options{})
 	if err != nil {
 		t.Fatalf("Translate: %v", err)
 	}
@@ -38,7 +39,7 @@ func TestTranslateFigure1Exact(t *testing.T) {
 }
 
 func TestTranslateUnsupported(t *testing.T) {
-	res, err := newTranslator().Translate("How should I store coffee?", Options{})
+	res, err := newTranslator().Translate(context.Background(), "How should I store coffee?", Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestTranslateUnsupported(t *testing.T) {
 }
 
 func TestTranslatePureGeneral(t *testing.T) {
-	res, err := newTranslator().Translate("Which parks are in Buffalo?", Options{})
+	res, err := newTranslator().Translate(context.Background(), "Which parks are in Buffalo?", Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestTranslatePureGeneral(t *testing.T) {
 }
 
 func TestTranslateTraceStages(t *testing.T) {
-	res, err := newTranslator().Translate(runningExample, Options{Trace: true})
+	res, err := newTranslator().Translate(context.Background(), runningExample, Options{Trace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestTranslateTraceStages(t *testing.T) {
 }
 
 func TestTranslateNoTraceByDefault(t *testing.T) {
-	res, err := newTranslator().Translate(runningExample, Options{})
+	res, err := newTranslator().Translate(context.Background(), runningExample, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestTranslateIXVerificationRejectsSpan(t *testing.T) {
 		Interactor: &interact.Scripted{IXAnswers: [][]bool{{false, true}}},
 		Policy:     interact.Policy{Ask: map[interact.Point]bool{interact.PointIXVerification: true}},
 	}
-	res, err := newTranslator().Translate(runningExample, opt)
+	res, err := newTranslator().Translate(context.Background(), runningExample, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestTranslateOnlyUncertainAsked(t *testing.T) {
 			OnlyWhenUncertain: true,
 		},
 	}
-	res, err := newTranslator().Translate(runningExample, opt)
+	res, err := newTranslator().Translate(context.Background(), runningExample, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestTranslateFullInteraction(t *testing.T) {
 		Policy: interact.Interactive(),
 		Trace:  true,
 	}
-	res, err := newTranslator().Translate(runningExample, opt)
+	res, err := newTranslator().Translate(context.Background(), runningExample, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestTranslateDialogueTranscript(t *testing.T) {
 		Policy:     interact.Interactive(),
 		Trace:      true,
 	}
-	res, err := newTranslator().Translate(runningExample, opt)
+	res, err := newTranslator().Translate(context.Background(), runningExample, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestTranslateFeedbackPersistsAcrossQuestions(t *testing.T) {
 		Interactor: &interact.Scripted{DisambiguationAnswers: []int{1}},
 		Policy:     interact.Policy{Ask: map[interact.Point]bool{interact.PointDisambiguation: true}},
 	}
-	res1, err := tr.Translate("Where do you visit in Buffalo?", opt)
+	res1, err := tr.Translate(context.Background(), "Where do you visit in Buffalo?", opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func TestTranslateErrorsPropagate(t *testing.T) {
 		Interactor: &interact.Scripted{IXAnswers: [][]bool{{true}}}, // wrong shape: 2 spans
 		Policy:     interact.Policy{Ask: map[interact.Point]bool{interact.PointIXVerification: true}},
 	}
-	if _, err := newTranslator().Translate(runningExample, opt); err == nil {
+	if _, err := newTranslator().Translate(context.Background(), runningExample, opt); err == nil {
 		t.Error("shape-mismatched script accepted")
 	}
 }
@@ -239,7 +240,7 @@ func TestTranslateDemoQuestions(t *testing.T) {
 		"What type of digital camera should I buy?",
 		"Is chocolate milk good for kids?",
 	} {
-		res, err := tr.Translate(q, Options{})
+		res, err := tr.Translate(context.Background(), q, Options{})
 		if err != nil {
 			t.Errorf("Translate(%q): %v", q, err)
 			continue
@@ -260,7 +261,7 @@ func TestTranslateDemoQuestions(t *testing.T) {
 func TestTranslateTourGuideProjection(t *testing.T) {
 	question := "What are the most interesting places we should visit with a tour guide?"
 	// First, default: both variables returned (SELECT VARIABLES).
-	res, err := newTranslator().Translate(question, Options{})
+	res, err := newTranslator().Translate(context.Background(), question, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +277,7 @@ func TestTranslateTourGuideProjection(t *testing.T) {
 		Interactor: &interact.Scripted{ProjectionAnswers: [][]bool{{true, false}}},
 		Policy:     interact.Policy{Ask: map[interact.Point]bool{interact.PointProjection: true}},
 	}
-	res2, err := newTranslator().Translate(question, opt)
+	res2, err := newTranslator().Translate(context.Background(), question, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +315,7 @@ func TestTranslateFuzzRobustness(t *testing.T) {
 			words[i] = vocab[next(len(vocab))]
 		}
 		q := strings.Join(words, " ")
-		res, err := tr.Translate(q, Options{})
+		res, err := tr.Translate(context.Background(), q, Options{})
 		if err != nil {
 			// Errors are acceptable; panics and invalid output are not.
 			continue

@@ -9,6 +9,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -65,7 +66,7 @@ func detectedAnchors(d *ix.Detector, text string) (map[string]bool, error) {
 	if err != nil {
 		return nil, err
 	}
-	ixs, err := d.Detect(g)
+	ixs, err := d.Detect(context.Background(), g)
 	if err != nil {
 		return nil, err
 	}
@@ -119,7 +120,7 @@ func ScoreIXTypes(d *ix.Detector, questions []corpus.Question) (correct, total i
 		if err != nil {
 			return 0, 0, fmt.Errorf("eval: %s: %w", q.ID, err)
 		}
-		ixs, err := d.Detect(g)
+		ixs, err := d.Detect(context.Background(), g)
 		if err != nil {
 			return 0, 0, fmt.Errorf("eval: %s: %w", q.ID, err)
 		}
@@ -200,7 +201,7 @@ func TranslateAll(tr *core.Translator, questions []corpus.Question) []Translatio
 	var out []TranslationOutcome
 	for _, q := range questions {
 		o := TranslationOutcome{ID: q.ID, Domain: q.Domain, Question: q.Text, GoldParts: len(q.Gold)}
-		res, err := tr.Translate(q.Text, core.Options{})
+		res, err := tr.Translate(context.Background(), q.Text, core.Options{})
 		switch {
 		case err != nil:
 			o.Err = err.Error()
@@ -390,7 +391,7 @@ func FeedbackLearningCurve(onto *ontology.Ontology, question, phrase string,
 			return nil, err
 		}
 		pick := &intendedPicker{intended: intended, onto: onto}
-		_, err = gen.Generate(dg, qgen.Options{
+		_, err = gen.Generate(context.Background(), dg, qgen.Options{
 			Interactor: pick,
 			Policy:     interact.Policy{Ask: map[interact.Point]bool{interact.PointDisambiguation: true}},
 		})
@@ -416,12 +417,12 @@ type intendedPicker struct {
 }
 
 // VerifyIXs implements interact.Interactor.
-func (p *intendedPicker) VerifyIXs(q string, spans []interact.IXSpan) ([]bool, error) {
-	return interact.Auto{}.VerifyIXs(q, spans)
+func (p *intendedPicker) VerifyIXs(ctx context.Context, q string, spans []interact.IXSpan) ([]bool, error) {
+	return interact.Auto{}.VerifyIXs(ctx, q, spans)
 }
 
 // Disambiguate implements interact.Interactor.
-func (p *intendedPicker) Disambiguate(phrase string, options []interact.Choice) (int, error) {
+func (p *intendedPicker) Disambiguate(ctx context.Context, phrase string, options []interact.Choice) (int, error) {
 	p.asked = true
 	want := p.onto.Description(p.intended)
 	for i, o := range options {
@@ -433,14 +434,18 @@ func (p *intendedPicker) Disambiguate(phrase string, options []interact.Choice) 
 }
 
 // SelectTopK implements interact.Interactor.
-func (p *intendedPicker) SelectTopK(d string, def int) (int, error) { return def, nil }
+func (p *intendedPicker) SelectTopK(ctx context.Context, d string, def int) (int, error) {
+	return def, nil
+}
 
 // SelectThreshold implements interact.Interactor.
-func (p *intendedPicker) SelectThreshold(d string, def float64) (float64, error) { return def, nil }
+func (p *intendedPicker) SelectThreshold(ctx context.Context, d string, def float64) (float64, error) {
+	return def, nil
+}
 
 // SelectProjection implements interact.Interactor.
-func (p *intendedPicker) SelectProjection(cs []interact.VarChoice) ([]bool, error) {
-	return interact.Auto{}.SelectProjection(cs)
+func (p *intendedPicker) SelectProjection(ctx context.Context, cs []interact.VarChoice) ([]bool, error) {
+	return interact.Auto{}.SelectProjection(ctx, cs)
 }
 
 // DomainBreakdown groups outcomes per domain, sorted by domain name.

@@ -18,6 +18,7 @@
 package individual
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -65,13 +66,17 @@ func (a *anonCounter) next() rdf.Term {
 
 // Create translates the IXs, resolving noun tokens through the general
 // generator's result so that shared terms reuse the same variable.
-func (c *Creator) Create(g *nlp.DepGraph, ixs []*ix.IX, general *qgen.Result) ([]Part, error) {
+// Cancellation is honored between IXs.
+func (c *Creator) Create(ctx context.Context, g *nlp.DepGraph, ixs []*ix.IX, general *qgen.Result) ([]Part, error) {
 	anon := &anonCounter{}
 	var parts []Part
 	// Deterministic order: by anchor position.
 	sorted := append([]*ix.IX(nil), ixs...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Anchor < sorted[j].Anchor })
 	for _, x := range sorted {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var p Part
 		var err error
 		anchor := &g.Nodes[x.Anchor]

@@ -1,6 +1,7 @@
 package individual
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -20,16 +21,16 @@ func pipeline(t *testing.T, sentence string) (*nlp.DepGraph, []Part) {
 		t.Fatalf("Parse: %v", err)
 	}
 	det := ix.NewDetector()
-	ixs, err := det.Detect(g)
+	ixs, err := det.Detect(context.Background(), g)
 	if err != nil {
 		t.Fatalf("Detect: %v", err)
 	}
 	gen := qgen.New(ontology.NewDemoOntology())
-	res, err := gen.Generate(g, qgen.Options{})
+	res, err := gen.Generate(context.Background(), g, qgen.Options{})
 	if err != nil {
 		t.Fatalf("Generate: %v", err)
 	}
-	parts, err := (&Creator{}).Create(g, ixs, res)
+	parts, err := (&Creator{}).Create(context.Background(), g, ixs, res)
 	if err != nil {
 		t.Fatalf("Create: %v", err)
 	}
@@ -213,10 +214,10 @@ func TestVariableAlignmentWithGeneralPart(t *testing.T) {
 		t.Fatal(err)
 	}
 	det := ix.NewDetector()
-	ixs, _ := det.Detect(g)
+	ixs, _ := det.Detect(context.Background(), g)
 	gen := qgen.New(ontology.NewDemoOntology())
-	res, _ := gen.Generate(g, qgen.Options{})
-	parts, err := (&Creator{}).Create(g, ixs, res)
+	res, _ := gen.Generate(context.Background(), g, qgen.Options{})
+	parts, err := (&Creator{}).Create(context.Background(), g, ixs, res)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,8 +240,8 @@ func TestEmptyIXListYieldsNoParts(t *testing.T) {
 		t.Fatal(err)
 	}
 	gen := qgen.New(ontology.NewDemoOntology())
-	res, _ := gen.Generate(g, qgen.Options{})
-	parts, err := (&Creator{}).Create(g, nil, res)
+	res, _ := gen.Generate(context.Background(), g, qgen.Options{})
+	parts, err := (&Creator{}).Create(context.Background(), g, nil, res)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,10 +307,10 @@ func TestWhObjectBecomesTarget(t *testing.T) {
 		t.Fatal(err)
 	}
 	det := ix.NewDetector()
-	ixs, _ := det.Detect(g)
+	ixs, _ := det.Detect(context.Background(), g)
 	gen := qgen.New(ontology.NewDemoOntology())
-	res, _ := gen.Generate(g, qgen.Options{})
-	if _, err := (&Creator{}).Create(g, ixs, res); err != nil {
+	res, _ := gen.Generate(context.Background(), g, qgen.Options{})
+	if _, err := (&Creator{}).Create(context.Background(), g, ixs, res); err != nil {
 		t.Fatal(err)
 	}
 	if res.TargetVar == "" {

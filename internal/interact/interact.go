@@ -6,10 +6,15 @@
 // Each point can be independently disabled ("the system may be configured
 // to always skip certain interaction points, or skip them when there is
 // no uncertainty"); disabled or unanswered points fall back to defaults.
+//
+// Every Interactor method receives the translation's context.Context and
+// must return promptly (with ctx.Err()) once the context is cancelled, so
+// a slow or abandoned dialogue cannot hold a pipeline stage forever.
 package interact
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"strconv"
@@ -100,21 +105,24 @@ type VarChoice struct {
 }
 
 // Interactor answers the system's questions. Implementations must be
-// safe for sequential use during one translation.
+// safe for sequential use during one translation; an Interactor with
+// mutable answer state (e.g. Scripted) must not be shared between
+// concurrent translations. Each method receives the translation's
+// context and should abort with ctx.Err() when it is cancelled.
 type Interactor interface {
 	// VerifyIXs asks which detected IXs really are individual; it
 	// returns one accept flag per span.
-	VerifyIXs(question string, spans []IXSpan) ([]bool, error)
+	VerifyIXs(ctx context.Context, question string, spans []IXSpan) ([]bool, error)
 	// Disambiguate picks one of the candidate meanings for a phrase; it
 	// returns the chosen index.
-	Disambiguate(phrase string, options []Choice) (int, error)
+	Disambiguate(ctx context.Context, phrase string, options []Choice) (int, error)
 	// SelectTopK asks for the k of a top-k significance selection.
-	SelectTopK(description string, def int) (int, error)
+	SelectTopK(ctx context.Context, description string, def int) (int, error)
 	// SelectThreshold asks for a minimal support threshold in [0,1].
-	SelectThreshold(description string, def float64) (float64, error)
+	SelectThreshold(ctx context.Context, description string, def float64) (float64, error)
 	// SelectProjection asks which variables to return bindings for; it
 	// returns one keep flag per choice.
-	SelectProjection(choices []VarChoice) ([]bool, error)
+	SelectProjection(ctx context.Context, choices []VarChoice) ([]bool, error)
 }
 
 // ---------------------------------------------------------------------
@@ -122,11 +130,15 @@ type Interactor interface {
 
 // Auto is the non-interactive Interactor: it accepts all IXs, keeps the
 // top-ranked disambiguation candidate, uses default significance values
-// and projects every variable.
+// and projects every variable. It is stateless and safe for concurrent
+// use.
 type Auto struct{}
 
 // VerifyIXs implements Interactor.
-func (Auto) VerifyIXs(_ string, spans []IXSpan) ([]bool, error) {
+func (Auto) VerifyIXs(ctx context.Context, _ string, spans []IXSpan) ([]bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	out := make([]bool, len(spans))
 	for i := range out {
 		out[i] = true
@@ -135,7 +147,10 @@ func (Auto) VerifyIXs(_ string, spans []IXSpan) ([]bool, error) {
 }
 
 // Disambiguate implements Interactor.
-func (Auto) Disambiguate(_ string, options []Choice) (int, error) {
+func (Auto) Disambiguate(ctx context.Context, _ string, options []Choice) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return -1, err
+	}
 	if len(options) == 0 {
 		return -1, fmt.Errorf("interact: no options to disambiguate")
 	}
@@ -143,13 +158,26 @@ func (Auto) Disambiguate(_ string, options []Choice) (int, error) {
 }
 
 // SelectTopK implements Interactor.
-func (Auto) SelectTopK(_ string, def int) (int, error) { return def, nil }
+func (Auto) SelectTopK(ctx context.Context, _ string, def int) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return def, nil
+}
 
 // SelectThreshold implements Interactor.
-func (Auto) SelectThreshold(_ string, def float64) (float64, error) { return def, nil }
+func (Auto) SelectThreshold(ctx context.Context, _ string, def float64) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return def, nil
+}
 
 // SelectProjection implements Interactor.
-func (Auto) SelectProjection(choices []VarChoice) ([]bool, error) {
+func (Auto) SelectProjection(ctx context.Context, choices []VarChoice) ([]bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	out := make([]bool, len(choices))
 	for i := range out {
 		out[i] = true
@@ -162,7 +190,9 @@ func (Auto) SelectProjection(choices []VarChoice) ([]bool, error) {
 
 // Scripted replays pre-recorded answers; when a queue is exhausted it
 // falls back to the Auto defaults. It implements the volunteer-user
-// scripts of the demonstration scenario.
+// scripts of the demonstration scenario. A Scripted interactor carries
+// per-dialogue cursors and therefore serves exactly one translation at a
+// time; build a fresh one per request under concurrency.
 type Scripted struct {
 	// IXAnswers holds one []bool per VerifyIXs call.
 	IXAnswers [][]bool
@@ -178,7 +208,10 @@ type Scripted struct {
 }
 
 // VerifyIXs implements Interactor.
-func (s *Scripted) VerifyIXs(q string, spans []IXSpan) ([]bool, error) {
+func (s *Scripted) VerifyIXs(ctx context.Context, q string, spans []IXSpan) ([]bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if s.ixi < len(s.IXAnswers) {
 		ans := s.IXAnswers[s.ixi]
 		s.ixi++
@@ -187,11 +220,14 @@ func (s *Scripted) VerifyIXs(q string, spans []IXSpan) ([]bool, error) {
 		}
 		return ans, nil
 	}
-	return Auto{}.VerifyIXs(q, spans)
+	return Auto{}.VerifyIXs(ctx, q, spans)
 }
 
 // Disambiguate implements Interactor.
-func (s *Scripted) Disambiguate(phrase string, options []Choice) (int, error) {
+func (s *Scripted) Disambiguate(ctx context.Context, phrase string, options []Choice) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return -1, err
+	}
 	if s.disi < len(s.DisambiguationAnswers) {
 		i := s.DisambiguationAnswers[s.disi]
 		s.disi++
@@ -200,11 +236,14 @@ func (s *Scripted) Disambiguate(phrase string, options []Choice) (int, error) {
 		}
 		return i, nil
 	}
-	return Auto{}.Disambiguate(phrase, options)
+	return Auto{}.Disambiguate(ctx, phrase, options)
 }
 
 // SelectTopK implements Interactor.
-func (s *Scripted) SelectTopK(desc string, def int) (int, error) {
+func (s *Scripted) SelectTopK(ctx context.Context, desc string, def int) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	if s.ki < len(s.TopKAnswers) {
 		k := s.TopKAnswers[s.ki]
 		s.ki++
@@ -214,7 +253,10 @@ func (s *Scripted) SelectTopK(desc string, def int) (int, error) {
 }
 
 // SelectThreshold implements Interactor.
-func (s *Scripted) SelectThreshold(desc string, def float64) (float64, error) {
+func (s *Scripted) SelectThreshold(ctx context.Context, desc string, def float64) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	if s.thi < len(s.ThresholdAnswers) {
 		t := s.ThresholdAnswers[s.thi]
 		s.thi++
@@ -224,7 +266,10 @@ func (s *Scripted) SelectThreshold(desc string, def float64) (float64, error) {
 }
 
 // SelectProjection implements Interactor.
-func (s *Scripted) SelectProjection(choices []VarChoice) ([]bool, error) {
+func (s *Scripted) SelectProjection(ctx context.Context, choices []VarChoice) ([]bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if s.pri < len(s.ProjectionAnswers) {
 		ans := s.ProjectionAnswers[s.pri]
 		s.pri++
@@ -233,14 +278,16 @@ func (s *Scripted) SelectProjection(choices []VarChoice) ([]bool, error) {
 		}
 		return ans, nil
 	}
-	return Auto{}.SelectProjection(choices)
+	return Auto{}.SelectProjection(ctx, choices)
 }
 
 // ---------------------------------------------------------------------
 // Console: interactive prompts over an io stream (the CLI front end).
 
 // Console prompts the user on W and reads answers from R, mirroring the
-// web UI dialogues of Figures 3–6 in plain text.
+// web UI dialogues of Figures 3–6 in plain text. Cancellation is checked
+// before each prompt; a read already in progress finishes first (the
+// underlying reader is not interruptible).
 type Console struct {
 	R io.Reader
 	W io.Writer
@@ -264,10 +311,13 @@ func (c *Console) readLine() (string, error) {
 }
 
 // VerifyIXs implements Interactor.
-func (c *Console) VerifyIXs(question string, spans []IXSpan) ([]bool, error) {
+func (c *Console) VerifyIXs(ctx context.Context, question string, spans []IXSpan) ([]bool, error) {
 	fmt.Fprintf(c.W, "Please verify: which parts of your question should be asked to the crowd?\n")
 	out := make([]bool, len(spans))
 	for i, sp := range spans {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		fmt.Fprintf(c.W, "  [%d] %q (%s individuality) — ask the crowd? [Y/n] ", i+1, sp.Text, sp.Type)
 		line, err := c.readLine()
 		if err != nil {
@@ -279,7 +329,10 @@ func (c *Console) VerifyIXs(question string, spans []IXSpan) ([]bool, error) {
 }
 
 // Disambiguate implements Interactor.
-func (c *Console) Disambiguate(phrase string, options []Choice) (int, error) {
+func (c *Console) Disambiguate(ctx context.Context, phrase string, options []Choice) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return -1, err
+	}
 	if len(options) == 0 {
 		return -1, fmt.Errorf("interact: no options to disambiguate")
 	}
@@ -303,7 +356,10 @@ func (c *Console) Disambiguate(phrase string, options []Choice) (int, error) {
 }
 
 // SelectTopK implements Interactor.
-func (c *Console) SelectTopK(desc string, def int) (int, error) {
+func (c *Console) SelectTopK(ctx context.Context, desc string, def int) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	fmt.Fprintf(c.W, "How many results for %s? [%d]: ", desc, def)
 	line, err := c.readLine()
 	if err != nil {
@@ -320,7 +376,10 @@ func (c *Console) SelectTopK(desc string, def int) (int, error) {
 }
 
 // SelectThreshold implements Interactor.
-func (c *Console) SelectThreshold(desc string, def float64) (float64, error) {
+func (c *Console) SelectThreshold(ctx context.Context, desc string, def float64) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	fmt.Fprintf(c.W, "Minimal frequency for %s, between 0 and 1? [%g]: ", desc, def)
 	line, err := c.readLine()
 	if err != nil {
@@ -337,10 +396,13 @@ func (c *Console) SelectThreshold(desc string, def float64) (float64, error) {
 }
 
 // SelectProjection implements Interactor.
-func (c *Console) SelectProjection(choices []VarChoice) ([]bool, error) {
+func (c *Console) SelectProjection(ctx context.Context, choices []VarChoice) ([]bool, error) {
 	out := make([]bool, len(choices))
 	fmt.Fprintf(c.W, "For which terms do you want to receive instances?\n")
 	for i, ch := range choices {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		fmt.Fprintf(c.W, "  $%s (%q) — include? [Y/n] ", ch.Var, ch.Phrase)
 		line, err := c.readLine()
 		if err != nil {
@@ -362,7 +424,8 @@ type Exchange struct {
 }
 
 // Recorder wraps an Interactor and records a transcript of every
-// exchange; the admin-mode monitor displays it.
+// exchange; the admin-mode monitor displays it. A Recorder accumulates
+// its log without locking and belongs to exactly one translation.
 type Recorder struct {
 	Inner Interactor
 	Log   []Exchange
@@ -373,23 +436,25 @@ func (r *Recorder) record(p Point, q, a string) {
 }
 
 // VerifyIXs implements Interactor.
-func (r *Recorder) VerifyIXs(question string, spans []IXSpan) ([]bool, error) {
-	ans, err := r.Inner.VerifyIXs(question, spans)
+func (r *Recorder) VerifyIXs(ctx context.Context, question string, spans []IXSpan) ([]bool, error) {
+	ans, err := r.Inner.VerifyIXs(ctx, question, spans)
 	if err != nil {
 		return nil, err
 	}
 	var qs, as []string
 	for i, sp := range spans {
 		qs = append(qs, fmt.Sprintf("%q(%s)", sp.Text, sp.Type))
-		as = append(as, fmt.Sprintf("%v", ans[i]))
+		if i < len(ans) {
+			as = append(as, fmt.Sprintf("%v", ans[i]))
+		}
 	}
 	r.record(PointIXVerification, "verify IXs: "+strings.Join(qs, ", "), strings.Join(as, ", "))
 	return ans, nil
 }
 
 // Disambiguate implements Interactor.
-func (r *Recorder) Disambiguate(phrase string, options []Choice) (int, error) {
-	i, err := r.Inner.Disambiguate(phrase, options)
+func (r *Recorder) Disambiguate(ctx context.Context, phrase string, options []Choice) (int, error) {
+	i, err := r.Inner.Disambiguate(ctx, phrase, options)
 	if err != nil {
 		return i, err
 	}
@@ -404,8 +469,8 @@ func (r *Recorder) Disambiguate(phrase string, options []Choice) (int, error) {
 }
 
 // SelectTopK implements Interactor.
-func (r *Recorder) SelectTopK(desc string, def int) (int, error) {
-	k, err := r.Inner.SelectTopK(desc, def)
+func (r *Recorder) SelectTopK(ctx context.Context, desc string, def int) (int, error) {
+	k, err := r.Inner.SelectTopK(ctx, desc, def)
 	if err != nil {
 		return k, err
 	}
@@ -414,8 +479,8 @@ func (r *Recorder) SelectTopK(desc string, def int) (int, error) {
 }
 
 // SelectThreshold implements Interactor.
-func (r *Recorder) SelectThreshold(desc string, def float64) (float64, error) {
-	t, err := r.Inner.SelectThreshold(desc, def)
+func (r *Recorder) SelectThreshold(ctx context.Context, desc string, def float64) (float64, error) {
+	t, err := r.Inner.SelectThreshold(ctx, desc, def)
 	if err != nil {
 		return t, err
 	}
@@ -425,15 +490,17 @@ func (r *Recorder) SelectThreshold(desc string, def float64) (float64, error) {
 }
 
 // SelectProjection implements Interactor.
-func (r *Recorder) SelectProjection(choices []VarChoice) ([]bool, error) {
-	ans, err := r.Inner.SelectProjection(choices)
+func (r *Recorder) SelectProjection(ctx context.Context, choices []VarChoice) ([]bool, error) {
+	ans, err := r.Inner.SelectProjection(ctx, choices)
 	if err != nil {
 		return nil, err
 	}
 	var qs, as []string
 	for i, ch := range choices {
 		qs = append(qs, "$"+ch.Var)
-		as = append(as, fmt.Sprintf("%v", ans[i]))
+		if i < len(ans) {
+			as = append(as, fmt.Sprintf("%v", ans[i]))
+		}
 	}
 	r.record(PointProjection, "project "+strings.Join(qs, ", "), strings.Join(as, ", "))
 	return ans, nil

@@ -1,6 +1,7 @@
 package interact
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -46,24 +47,24 @@ func TestPointString(t *testing.T) {
 
 func TestAutoDefaults(t *testing.T) {
 	a := Auto{}
-	ans, err := a.VerifyIXs("q", spans)
+	ans, err := a.VerifyIXs(context.Background(), "q", spans)
 	if err != nil || len(ans) != 2 || !ans[0] || !ans[1] {
 		t.Errorf("VerifyIXs = %v, %v", ans, err)
 	}
-	i, err := a.Disambiguate("Buffalo", choices)
+	i, err := a.Disambiguate(context.Background(), "Buffalo", choices)
 	if err != nil || i != 0 {
 		t.Errorf("Disambiguate = %d, %v", i, err)
 	}
-	if _, err := a.Disambiguate("x", nil); err == nil {
+	if _, err := a.Disambiguate(context.Background(), "x", nil); err == nil {
 		t.Error("Disambiguate with no options succeeded")
 	}
-	if k, _ := a.SelectTopK("d", 5); k != 5 {
+	if k, _ := a.SelectTopK(context.Background(), "d", 5); k != 5 {
 		t.Errorf("SelectTopK = %d", k)
 	}
-	if th, _ := a.SelectThreshold("d", 0.1); th != 0.1 {
+	if th, _ := a.SelectThreshold(context.Background(), "d", 0.1); th != 0.1 {
 		t.Errorf("SelectThreshold = %g", th)
 	}
-	keep, _ := a.SelectProjection([]VarChoice{{Var: "x"}, {Var: "y"}})
+	keep, _ := a.SelectProjection(context.Background(), []VarChoice{{Var: "x"}, {Var: "y"}})
 	if len(keep) != 2 || !keep[0] || !keep[1] {
 		t.Errorf("SelectProjection = %v", keep)
 	}
@@ -77,29 +78,29 @@ func TestScriptedAnswersAndFallback(t *testing.T) {
 		ThresholdAnswers:      []float64{0.25},
 		ProjectionAnswers:     [][]bool{{false, true}},
 	}
-	ans, err := s.VerifyIXs("q", spans)
+	ans, err := s.VerifyIXs(context.Background(), "q", spans)
 	if err != nil || ans[0] != true || ans[1] != false {
 		t.Errorf("VerifyIXs = %v, %v", ans, err)
 	}
 	// Second call falls back to Auto (accept all).
-	ans, err = s.VerifyIXs("q", spans)
+	ans, err = s.VerifyIXs(context.Background(), "q", spans)
 	if err != nil || !ans[0] || !ans[1] {
 		t.Errorf("fallback VerifyIXs = %v, %v", ans, err)
 	}
-	i, err := s.Disambiguate("Buffalo", choices)
+	i, err := s.Disambiguate(context.Background(), "Buffalo", choices)
 	if err != nil || i != 1 {
 		t.Errorf("Disambiguate = %d, %v", i, err)
 	}
-	if i, _ := s.Disambiguate("Buffalo", choices); i != 0 {
+	if i, _ := s.Disambiguate(context.Background(), "Buffalo", choices); i != 0 {
 		t.Errorf("fallback Disambiguate = %d", i)
 	}
-	if k, _ := s.SelectTopK("d", 5); k != 3 {
+	if k, _ := s.SelectTopK(context.Background(), "d", 5); k != 3 {
 		t.Errorf("SelectTopK = %d", k)
 	}
-	if th, _ := s.SelectThreshold("d", 0.1); th != 0.25 {
+	if th, _ := s.SelectThreshold(context.Background(), "d", 0.1); th != 0.25 {
 		t.Errorf("SelectThreshold = %g", th)
 	}
-	keep, err := s.SelectProjection([]VarChoice{{Var: "x"}, {Var: "y"}})
+	keep, err := s.SelectProjection(context.Background(), []VarChoice{{Var: "x"}, {Var: "y"}})
 	if err != nil || keep[0] || !keep[1] {
 		t.Errorf("SelectProjection = %v, %v", keep, err)
 	}
@@ -107,15 +108,15 @@ func TestScriptedAnswersAndFallback(t *testing.T) {
 
 func TestScriptedShapeMismatch(t *testing.T) {
 	s := &Scripted{IXAnswers: [][]bool{{true}}}
-	if _, err := s.VerifyIXs("q", spans); err == nil {
+	if _, err := s.VerifyIXs(context.Background(), "q", spans); err == nil {
 		t.Error("shape mismatch accepted")
 	}
 	s2 := &Scripted{DisambiguationAnswers: []int{7}}
-	if _, err := s2.Disambiguate("x", choices); err == nil {
+	if _, err := s2.Disambiguate(context.Background(), "x", choices); err == nil {
 		t.Error("out-of-range choice accepted")
 	}
 	s3 := &Scripted{ProjectionAnswers: [][]bool{{true}}}
-	if _, err := s3.SelectProjection([]VarChoice{{Var: "x"}, {Var: "y"}}); err == nil {
+	if _, err := s3.SelectProjection(context.Background(), []VarChoice{{Var: "x"}, {Var: "y"}}); err == nil {
 		t.Error("projection shape mismatch accepted")
 	}
 }
@@ -124,23 +125,23 @@ func TestConsoleDialogue(t *testing.T) {
 	in := strings.NewReader("y\nn\n2\n7\n0.4\n\nn\n")
 	var out strings.Builder
 	c := &Console{R: in, W: &out}
-	ans, err := c.VerifyIXs("q", spans)
+	ans, err := c.VerifyIXs(context.Background(), "q", spans)
 	if err != nil || ans[0] != true || ans[1] != false {
 		t.Fatalf("VerifyIXs = %v, %v", ans, err)
 	}
-	i, err := c.Disambiguate("Buffalo", choices)
+	i, err := c.Disambiguate(context.Background(), "Buffalo", choices)
 	if err != nil || i != 1 {
 		t.Fatalf("Disambiguate = %d, %v", i, err)
 	}
-	k, err := c.SelectTopK("interesting places", 5)
+	k, err := c.SelectTopK(context.Background(), "interesting places", 5)
 	if err != nil || k != 7 {
 		t.Fatalf("SelectTopK = %d, %v", k, err)
 	}
-	th, err := c.SelectThreshold("visit in the fall", 0.1)
+	th, err := c.SelectThreshold(context.Background(), "visit in the fall", 0.1)
 	if err != nil || th != 0.4 {
 		t.Fatalf("SelectThreshold = %g, %v", th, err)
 	}
-	keep, err := c.SelectProjection([]VarChoice{{Var: "x", Phrase: "places"}, {Var: "y", Phrase: "guide"}})
+	keep, err := c.SelectProjection(context.Background(), []VarChoice{{Var: "x", Phrase: "places"}, {Var: "y", Phrase: "guide"}})
 	if err != nil || !keep[0] || keep[1] {
 		t.Fatalf("SelectProjection = %v, %v", keep, err)
 	}
@@ -156,47 +157,47 @@ func TestConsoleDefaultsOnEmptyLine(t *testing.T) {
 	in := strings.NewReader("\n\n\n")
 	var out strings.Builder
 	c := &Console{R: in, W: &out}
-	if i, err := c.Disambiguate("x", choices); err != nil || i != 0 {
+	if i, err := c.Disambiguate(context.Background(), "x", choices); err != nil || i != 0 {
 		t.Errorf("Disambiguate default = %d, %v", i, err)
 	}
-	if k, err := c.SelectTopK("d", 5); err != nil || k != 5 {
+	if k, err := c.SelectTopK(context.Background(), "d", 5); err != nil || k != 5 {
 		t.Errorf("SelectTopK default = %d, %v", k, err)
 	}
-	if th, err := c.SelectThreshold("d", 0.1); err != nil || th != 0.1 {
+	if th, err := c.SelectThreshold(context.Background(), "d", 0.1); err != nil || th != 0.1 {
 		t.Errorf("SelectThreshold default = %g, %v", th, err)
 	}
 }
 
 func TestConsoleInvalidInput(t *testing.T) {
 	c := &Console{R: strings.NewReader("nope\n"), W: &strings.Builder{}}
-	if _, err := c.Disambiguate("x", choices); err == nil {
+	if _, err := c.Disambiguate(context.Background(), "x", choices); err == nil {
 		t.Error("invalid choice accepted")
 	}
 	c2 := &Console{R: strings.NewReader("-3\n"), W: &strings.Builder{}}
-	if _, err := c2.SelectTopK("d", 5); err == nil {
+	if _, err := c2.SelectTopK(context.Background(), "d", 5); err == nil {
 		t.Error("negative k accepted")
 	}
 	c3 := &Console{R: strings.NewReader("1.5\n"), W: &strings.Builder{}}
-	if _, err := c3.SelectThreshold("d", 0.1); err == nil {
+	if _, err := c3.SelectThreshold(context.Background(), "d", 0.1); err == nil {
 		t.Error("threshold > 1 accepted")
 	}
 }
 
 func TestRecorderTranscript(t *testing.T) {
 	r := &Recorder{Inner: Auto{}}
-	if _, err := r.VerifyIXs("q", spans); err != nil {
+	if _, err := r.VerifyIXs(context.Background(), "q", spans); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Disambiguate("Buffalo", choices); err != nil {
+	if _, err := r.Disambiguate(context.Background(), "Buffalo", choices); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.SelectTopK("interesting places", 5); err != nil {
+	if _, err := r.SelectTopK(context.Background(), "interesting places", 5); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.SelectThreshold("visit in fall", 0.1); err != nil {
+	if _, err := r.SelectThreshold(context.Background(), "visit in fall", 0.1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.SelectProjection([]VarChoice{{Var: "x"}}); err != nil {
+	if _, err := r.SelectProjection(context.Background(), []VarChoice{{Var: "x"}}); err != nil {
 		t.Fatal(err)
 	}
 	if len(r.Log) != 5 {

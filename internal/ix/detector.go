@@ -1,6 +1,7 @@
 package ix
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -78,6 +79,10 @@ func (x *IX) Text(g *nlp.DepGraph) string {
 
 // Detector is the IX Detector of the paper's architecture: the IXFinder
 // (pattern matching) plus the IXCreator (subgraph completion).
+//
+// A Detector is safe for concurrent use once built: Detect only reads
+// Patterns and Vocabs. Administrator reconfiguration (swapping pattern or
+// vocabulary sets) must not race with in-flight detections.
 type Detector struct {
 	Patterns []*Pattern
 	Vocabs   *Vocabularies
@@ -93,11 +98,14 @@ func NewDetector() *Detector {
 // dependency graph, yielding partial IXs (paper: "uses vocabularies and a
 // set of predefined patterns in order to find IXs within the dependency
 // graph").
-func (d *Detector) Find(g *nlp.DepGraph) ([]Match, error) {
+func (d *Detector) Find(ctx context.Context, g *nlp.DepGraph) ([]Match, error) {
 	src := NewGraphSource(g)
 	env := src.Env(d.Vocabs)
 	var out []Match
 	for _, p := range d.Patterns {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		rows, err := sparql.EvalPattern(p.Triples, p.Filters, src, env)
 		if err != nil {
 			return nil, fmt.Errorf("ix: matching pattern %s: %w", p.Name, err)
@@ -170,9 +178,9 @@ func (d *Detector) Create(g *nlp.DepGraph, matches []Match) []*IX {
 	return out
 }
 
-// Detect runs Find then Create.
-func (d *Detector) Detect(g *nlp.DepGraph) ([]*IX, error) {
-	matches, err := d.Find(g)
+// Detect runs Find then Create, honoring cancellation between patterns.
+func (d *Detector) Detect(ctx context.Context, g *nlp.DepGraph) ([]*IX, error) {
+	matches, err := d.Find(ctx, g)
 	if err != nil {
 		return nil, err
 	}

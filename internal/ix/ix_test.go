@@ -1,6 +1,7 @@
 package ix
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -22,7 +23,7 @@ func detect(t *testing.T, sentence string) (*nlp.DepGraph, []*IX) {
 	t.Helper()
 	g := parse(t, sentence)
 	d := NewDetector()
-	ixs, err := d.Detect(g)
+	ixs, err := d.Detect(context.Background(), g)
 	if err != nil {
 		t.Fatalf("Detect(%q): %v", sentence, err)
 	}
@@ -326,7 +327,7 @@ FILTER(WORD($m) IN V_wish)}`)
 	d.Patterns = append(d.Patterns, ps...)
 	d.Vocabs.Register(NewVocabulary("V_wish", "wanna"))
 	g := parse(t, "Trips I wanna take.")
-	_, err = d.Detect(g)
+	_, err = d.Detect(context.Background(), g)
 	if err != nil {
 		t.Fatalf("Detect with custom pattern: %v", err)
 	}

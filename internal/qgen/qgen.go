@@ -16,11 +16,13 @@
 package qgen
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
+	"sync"
 
 	"nl2cm/internal/interact"
 	"nl2cm/internal/nlp"
@@ -98,7 +100,12 @@ func (r *Result) VarTerm(node int) (rdf.Term, bool) {
 // later lookups ("The response of the user is recorded and serves to
 // improve the ranking of optional entities in subsequent user
 // interactions", paper §4.1).
+//
+// Feedback is the only mutable state shared between translations, so it
+// guards its counts with an RWMutex: concurrent Record and Boost calls
+// from parallel translations are safe.
 type Feedback struct {
+	mu     sync.RWMutex
 	counts map[string]map[string]int
 }
 
@@ -110,6 +117,8 @@ func NewFeedback() *Feedback {
 // Record notes that the user chose the entity for the phrase.
 func (f *Feedback) Record(phrase string, entity rdf.Term) {
 	key := strings.ToLower(strings.TrimSpace(phrase))
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	m, ok := f.counts[key]
 	if !ok {
 		m = map[string]int{}
@@ -121,13 +130,21 @@ func (f *Feedback) Record(phrase string, entity rdf.Term) {
 // MarshalJSON serializes the learned counts so feedback can persist
 // across sessions ("subsequent user interactions with the system").
 func (f *Feedback) MarshalJSON() ([]byte, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	return json.Marshal(f.counts)
 }
 
 // UnmarshalJSON restores persisted feedback.
 func (f *Feedback) UnmarshalJSON(data []byte) error {
-	f.counts = map[string]map[string]int{}
-	return json.Unmarshal(data, &f.counts)
+	counts := map[string]map[string]int{}
+	if err := json.Unmarshal(data, &counts); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.counts = counts
+	return nil
 }
 
 // Save writes the feedback store to a JSON file.
@@ -162,7 +179,9 @@ func LoadFeedback(path string) (*Feedback, error) {
 // Boost returns the ranking bonus for a candidate entity of the phrase.
 func (f *Feedback) Boost(phrase string, entity rdf.Term) float64 {
 	key := strings.ToLower(strings.TrimSpace(phrase))
+	f.mu.RLock()
 	n := f.counts[key][entity.Value()]
+	f.mu.RUnlock()
 	if n > 10 {
 		n = 10
 	}
@@ -170,7 +189,10 @@ func (f *Feedback) Boost(phrase string, entity rdf.Term) float64 {
 }
 
 // Generator holds the ontology and learned state; it is reused across
-// translations so that feedback accumulates.
+// translations so that feedback accumulates. Generate is safe for
+// concurrent use: the ontology and AmbiguityGap are read-only after
+// construction and Feedback locks internally. Replacing the Feedback
+// pointer (administrator reload) must not race with in-flight runs.
 type Generator struct {
 	Onto     *ontology.Ontology
 	Feedback *Feedback
@@ -207,15 +229,16 @@ var transparentNouns = map[string]bool{
 }
 
 // Generate translates the general parts of the dependency graph into
-// SPARQL triples.
-func (g *Generator) Generate(dg *nlp.DepGraph, opt Options) (*Result, error) {
+// SPARQL triples, honoring cancellation between noun resolutions (each
+// of which may open a disambiguation dialogue).
+func (g *Generator) Generate(ctx context.Context, dg *nlp.DepGraph, opt Options) (*Result, error) {
 	res := &Result{
 		NodeTerms: map[int]rdf.Term{},
 		Phrases:   map[int]string{},
 	}
 	res.usedVars = map[string]bool{}
 	res.Delegations = map[int]int{}
-	gen := &run{g: g, dg: dg, opt: opt, res: res}
+	gen := &run{ctx: ctx, g: g, dg: dg, opt: opt, res: res}
 	if err := gen.run(); err != nil {
 		return nil, err
 	}
@@ -224,6 +247,7 @@ func (g *Generator) Generate(dg *nlp.DepGraph, opt Options) (*Result, error) {
 
 // run carries one generation pass.
 type run struct {
+	ctx         context.Context
 	g           *Generator
 	dg          *nlp.DepGraph
 	opt         Options
@@ -244,6 +268,9 @@ func (r *run) run() error {
 		}
 	}
 	for _, n := range heads {
+		if err := r.ctx.Err(); err != nil {
+			return err
+		}
 		if n == target || r.consumed[n] {
 			continue
 		}
@@ -460,7 +487,7 @@ func (r *run) resolveEntity(n int) error {
 			options[i] = interact.Choice{Label: c.Label, Description: c.Description}
 		}
 		var err error
-		choice, err = r.opt.interactor().Disambiguate(phrase, options)
+		choice, err = r.opt.interactor().Disambiguate(r.ctx, phrase, options)
 		if err != nil {
 			return fmt.Errorf("qgen: disambiguating %q: %w", phrase, err)
 		}

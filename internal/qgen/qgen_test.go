@@ -1,6 +1,7 @@
 package qgen
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -23,7 +24,7 @@ func genWith(t *testing.T, g *Generator, sentence string, opt Options) *Result {
 	if err != nil {
 		t.Fatalf("Parse: %v", err)
 	}
-	res, err := g.Generate(dg, opt)
+	res, err := g.Generate(context.Background(), dg, opt)
 	if err != nil {
 		t.Fatalf("Generate(%q): %v", sentence, err)
 	}
@@ -228,7 +229,7 @@ func TestDisambiguationErrorPropagates(t *testing.T) {
 		t.Fatal(err)
 	}
 	bad := &interact.Scripted{DisambiguationAnswers: []int{99}}
-	_, err = g.Generate(dg, Options{
+	_, err = g.Generate(context.Background(), dg, Options{
 		Interactor: bad,
 		Policy:     interact.Policy{Ask: map[interact.Point]bool{interact.PointDisambiguation: true}},
 	})

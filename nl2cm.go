@@ -8,7 +8,7 @@
 //
 //	onto := nl2cm.DemoOntology()
 //	tr := nl2cm.NewTranslator(onto)
-//	res, err := tr.Translate("What are the most interesting places near "+
+//	res, err := tr.Translate(ctx, "What are the most interesting places near "+
 //	    "Forest Hotel, Buffalo, we should visit in the fall?", nl2cm.Options{})
 //	fmt.Println(res.Query) // the OASSIS-QL query of the paper's Figure 1
 //
@@ -40,10 +40,12 @@ import (
 // Translator is the NL2CM pipeline (verification, NL parsing, IX
 // detection, general query generation, individual triple creation, query
 // composition). Reuse one instance so disambiguation feedback
-// accumulates.
+// accumulates; it is safe for concurrent use — see the core package
+// comment for the sharing model.
 type Translator = core.Translator
 
-// Options configure one translation (interactor, policy, admin trace).
+// Options configure one translation (interactor, policy, admin trace,
+// observer).
 type Options = core.Options
 
 // Result is a translation outcome: verdict, dependency graph, IXs,
@@ -51,8 +53,32 @@ type Options = core.Options
 // the dialogue transcript.
 type Result = core.Result
 
-// Stage is one admin-trace entry.
+// Stage is one admin-trace entry, including the module's wall-clock
+// duration.
 type Stage = core.Stage
+
+// StageError attributes a translation failure to the pipeline module
+// that raised it; it wraps the cause for errors.Is/As.
+type StageError = core.StageError
+
+// Observer receives per-stage start/finish callbacks during a
+// translation.
+type Observer = core.Observer
+
+// ObserverFunc adapts an end-of-stage callback to Observer.
+type ObserverFunc = core.ObserverFunc
+
+// Pipeline stage names, as used in Stage.Module, StageError.Stage and
+// Observer callbacks.
+const (
+	StageVerification = core.StageVerification
+	StageParser       = core.StageParser
+	StageIXDetector   = core.StageIXDetector
+	StageIXVerify     = core.StageIXVerify
+	StageGenerator    = core.StageGenerator
+	StageIndividual   = core.StageIndividual
+	StageComposer     = core.StageComposer
+)
 
 // NewTranslator builds a translator over an ontology with the default IX
 // patterns, vocabularies and composition defaults.

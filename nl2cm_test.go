@@ -4,6 +4,7 @@ package nl2cm
 // end to end.
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -24,7 +25,7 @@ WITH SUPPORT THRESHOLD = 0.1`
 
 func TestFigure1Exact(t *testing.T) {
 	tr := NewTranslator(DemoOntology())
-	res, err := tr.Translate(runningExample, Options{})
+	res, err := tr.Translate(context.Background(), runningExample, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func TestFigure1Exact(t *testing.T) {
 
 func TestFigure2TraceStages(t *testing.T) {
 	tr := NewTranslator(DemoOntology())
-	res, err := tr.Translate(runningExample, Options{Trace: true})
+	res, err := tr.Translate(context.Background(), runningExample, Options{Trace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestPublicEndToEnd(t *testing.T) {
 	onto := DemoOntology()
 	tr := NewTranslator(onto)
 	eng := NewDemoEngine(onto)
-	res, err := tr.Translate(runningExample, Options{})
+	res, err := tr.Translate(context.Background(), runningExample, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestPublicIXDetector(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := NewIXDetector()
-	ixs, err := d.Detect(g)
+	ixs, err := d.Detect(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestPublicScriptedInteraction(t *testing.T) {
 		},
 		Policy: InteractivePolicy(),
 	}
-	res, err := tr.Translate(runningExample, opt)
+	res, err := tr.Translate(context.Background(), runningExample, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
