@@ -174,7 +174,7 @@ func BenchmarkE9_EndToEndExecution(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		out, err := eng.Execute(res.Query)
+		out, err := eng.Execute(context.Background(), res.Query)
 		if err != nil || len(out.Bindings) == 0 {
 			b.Fatalf("execution failed: %v", err)
 		}
@@ -288,7 +288,7 @@ func BenchmarkP3_CrowdEngine(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eng.Execute(res.Query); err != nil {
+		if _, err := eng.Execute(context.Background(), res.Query); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -393,4 +393,69 @@ func BenchmarkTranslateParallel(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkE9_EndToEndExecutionParallel is E9 under concurrent load: one
+// shared engine serving translate-and-execute rounds from all procs, the
+// daemon's serving model. The shared support cache turns repeat crowd
+// questions into lookups.
+func BenchmarkE9_EndToEndExecutionParallel(b *testing.B) {
+	onto, tr := benchTranslator(b)
+	c := crowd.NewCrowd(100, 7)
+	c.Truth = crowd.DemoTruth()
+	eng := crowd.NewEngine(onto, c)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			res, err := tr.Translate(context.Background(), runningExample, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			out, err := eng.Execute(context.Background(), res.Query)
+			if err != nil || len(out.Bindings) == 0 {
+				b.Fatalf("execution failed: %v", err)
+			}
+		}
+	})
+}
+
+// BenchmarkP7_CrowdEngineWorkers compares sequential and pooled crowd
+// task evaluation on a support-heavy workload: an open-variable query
+// fanning out over the ontology's places, each task polling a large
+// crowd. The cache is reset every iteration so each measures cold
+// executions.
+func BenchmarkP7_CrowdEngineWorkers(b *testing.B) {
+	thr := 0.3
+	q := &oassisql.Query{
+		Select: oassisql.SelectClause{All: true},
+		Satisfying: []oassisql.Subclause{{
+			Pattern: oassisql.Pattern{Triples: []rdf.Triple{
+				rdf.T(rdf.NewVar("_anon1"), rdf.NewIRI("visit"), rdf.NewVar("x")),
+			}},
+			Threshold: &thr,
+		}},
+	}
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{
+		{"workers=1", 1},
+		{"workers=all", 0},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			onto := ontology.NewDemoOntology()
+			c := crowd.NewCrowd(4000, 7)
+			c.Truth = crowd.DemoTruth()
+			eng := crowd.NewEngine(onto, c)
+			eng.Workers = cfg.workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.ResetCache()
+				out, err := eng.Execute(context.Background(), q)
+				if err != nil || out.TasksIssued == 0 {
+					b.Fatalf("execution failed: %v (tasks=%d)", err, out.TasksIssued)
+				}
+			}
+		})
+	}
 }

@@ -93,6 +93,7 @@ var experiments = []experiment{
 	{"E9", "Demo stage (ii): executing queries on the OASSIS substitute", runE9},
 	{"E10", "Demo stage (iii): unsupported questions and tips", runE10},
 	{"E11", "§2.3: the example IX detection pattern", runE11},
+	{"E12", "Corpus-wide execution: engine workload and support cache", runE12},
 	{"A1", "Ablation: pattern matching vs naive KB-mismatch detection", runA1},
 	{"A2", "Ablation: contribution of each IX pattern type", runA2},
 	{"A3", "Disambiguation feedback learning (§4.1)", runA3},
@@ -261,13 +262,15 @@ func runE9(e *env) string {
 	if err != nil {
 		return "ERROR: " + err.Error()
 	}
-	out, err := e.eng.Execute(res.Query)
+	out, err := e.eng.Execute(context.Background(), res.Query)
 	if err != nil {
 		return "ERROR: " + err.Error()
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "WHERE matched %d places near Forest Hotel; %d crowd tasks issued.\n\n",
 		out.WhereBindings, out.TasksIssued)
+	fmt.Fprintf(&b, "Engine metrics: %d support-cache hits, %d misses this run.\n\n",
+		out.CacheHits, out.CacheMisses)
 	for _, sc := range out.Subclauses {
 		fmt.Fprintf(&b, "Subclause %d tasks:\n\n| support | significant | crowd question |\n|---|---|---|\n", sc.Index+1)
 		for _, t := range sc.Tasks {
@@ -284,6 +287,22 @@ func runE9(e *env) string {
 	for _, n := range names {
 		fmt.Fprintf(&b, "- %s\n", n)
 	}
+	return b.String()
+}
+
+func runE12(e *env) string {
+	e.eng.ResetCache()
+	stats, err := eval.ExecuteCorpus(context.Background(), e.tr, e.eng, corpus.All())
+	if err != nil {
+		return "ERROR: " + err.Error()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Translated and executed %d of %d executable corpus queries.\n\n", stats.Executed, stats.Queries)
+	fmt.Fprintf(&b, "- crowd tasks issued: %d\n", stats.Tasks)
+	fmt.Fprintf(&b, "- support-cache hits / misses: %d / %d (hit rate %.0f%%)\n",
+		stats.CacheHits, stats.CacheMisses, 100*stats.HitRate())
+	b.WriteString("\nQueries over the same domain re-ask overlapping crowd questions; the\n" +
+		"memoized support cache answers those without re-sampling the crowd.\n")
 	return b.String()
 }
 

@@ -176,7 +176,7 @@ func handle(ctx context.Context, tr *nl2cm.Translator, eng *nl2cm.Engine, questi
 	if eng == nil {
 		return nil
 	}
-	out, err := eng.Execute(res.Query)
+	out, err := eng.Execute(ctx, res.Query)
 	if err != nil {
 		return fmt.Errorf("executing query: %w", err)
 	}

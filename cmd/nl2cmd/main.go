@@ -7,10 +7,14 @@
 //
 //	nl2cmd [-addr :8080] [-timeout 30s]
 //
-// Requests are served concurrently: the Translator is safe for
-// concurrent use, so no lock is held across a translation. Each request
-// is bounded by its own context (the client's, plus -timeout), and a
-// translation whose client disconnects is cancelled mid-pipeline.
+// Requests are served concurrently: the Translator and the crowd Engine
+// are safe for concurrent use, so no lock is held across a translation
+// or an execution. Each request is bounded by its own context (the
+// client's, plus -timeout); a translation whose client disconnects is
+// cancelled mid-pipeline, and a crowd evaluation is cancelled between
+// task batches. The admin page shows the last translation's trace plus
+// the crowd engine's metrics (tasks, per-subclause wall-clock,
+// support-cache hits).
 //
 // Endpoints:
 //
@@ -47,8 +51,26 @@ type server struct {
 	eng     *nl2cm.Engine
 	timeout time.Duration
 
-	mu   sync.Mutex // guards last only
-	last *nl2cm.Result
+	mu       sync.Mutex // guards last and lastExec only
+	last     *nl2cm.Result
+	lastExec *engineStats
+}
+
+// engineStats is the admin-page snapshot of the last crowd execution:
+// per-subclause wall-clock, tasks issued, and support-cache outcomes.
+type engineStats struct {
+	Question    string
+	Tasks       int
+	CacheHits   int
+	CacheMisses int
+	Elapsed     time.Duration
+	Subclauses  []subclauseStat
+}
+
+type subclauseStat struct {
+	Index    int
+	Tasks    int
+	Duration time.Duration
 }
 
 func main() {
@@ -177,15 +199,20 @@ func (s *server) render(w http.ResponseWriter, d pageData) {
 	}
 }
 
-// doTranslate runs one translation under the request context (bounded
-// by the server's per-request timeout) and, on success, snapshots the
-// result for the admin page. The lock covers only that snapshot.
-func (s *server) doTranslate(ctx context.Context, question string) (*nl2cm.Result, error) {
+// reqCtx bounds one request's work (translation, and for /execute the
+// crowd evaluation too) by the client's context plus the per-request
+// timeout.
+func (s *server) reqCtx(r *http.Request) (context.Context, context.CancelFunc) {
 	if s.timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.timeout)
-		defer cancel()
+		return context.WithTimeout(r.Context(), s.timeout)
 	}
+	return context.WithCancel(r.Context())
+}
+
+// doTranslate runs one translation under the given context and, on
+// success, snapshots the result for the admin page. The lock covers
+// only that snapshot.
+func (s *server) doTranslate(ctx context.Context, question string) (*nl2cm.Result, error) {
 	res, err := s.tr.Translate(ctx, question, nl2cm.Options{Trace: true})
 	if err == nil {
 		s.mu.Lock()
@@ -261,7 +288,9 @@ func highlight(res *nl2cm.Result) template.HTML {
 
 func (s *server) translate(w http.ResponseWriter, r *http.Request) {
 	q := strings.TrimSpace(r.FormValue("q"))
-	res, err := s.doTranslate(r.Context(), q)
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	res, err := s.doTranslate(ctx, q)
 	if err != nil {
 		translateError(w, err)
 		return
@@ -271,18 +300,35 @@ func (s *server) translate(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) execute(w http.ResponseWriter, r *http.Request) {
 	q := strings.TrimSpace(r.FormValue("q"))
-	res, err := s.doTranslate(r.Context(), q)
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	res, err := s.doTranslate(ctx, q)
 	if err != nil {
 		translateError(w, err)
 		return
 	}
 	d := s.buildPage(q, res)
 	if res.Verdict.Supported {
-		out, err := s.eng.Execute(res.Query)
+		out, err := s.eng.Execute(ctx, res.Query)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			// A hung or slow crowd evaluation surfaces exactly like a
+			// slow translation: deadline expiry maps to 504.
+			translateError(w, err)
 			return
 		}
+		st := &engineStats{
+			Question:    q,
+			Tasks:       out.TasksIssued,
+			CacheHits:   out.CacheHits,
+			CacheMisses: out.CacheMisses,
+			Elapsed:     out.Elapsed,
+		}
+		for _, sc := range out.Subclauses {
+			st.Subclauses = append(st.Subclauses, subclauseStat{Index: sc.Index + 1, Tasks: len(sc.Tasks), Duration: sc.Duration})
+		}
+		s.mu.Lock()
+		s.lastExec = st
+		s.mu.Unlock()
 		ev := &execView{WhereBindings: out.WhereBindings, Tasks: out.TasksIssued}
 		for _, sc := range out.Subclauses {
 			ev.Subclauses = append(ev.Subclauses, subclauseView{Index: sc.Index + 1, Tasks: sc.Tasks})
@@ -327,20 +373,40 @@ body{font-family:sans-serif;max-width:64em;margin:2em auto;padding:0 1em}
 pre{background:#f4f4f4;padding:1em;overflow-x:auto}
 </style></head><body>
 <h1>Administrator mode</h1><p><a href="/">back</a></p>
-{{if .}}
-<p>Last question: <b>{{.Question}}</b></p>
-{{range .Trace}}<h2>{{.Module}} <small>({{.Duration}})</small></h2><pre>{{.Output}}</pre>{{end}}
-{{if .Interactions}}<h2>Dialogue transcript</h2>
-<ul>{{range .Interactions}}<li><b>{{.Point}}</b>: {{.Question}} → {{.Answer}}</li>{{end}}</ul>{{end}}
+{{if .Last}}
+<p>Last question: <b>{{.Last.Question}}</b></p>
+{{range .Last.Trace}}<h2>{{.Module}} <small>({{.Duration}})</small></h2><pre>{{.Output}}</pre>{{end}}
+{{if .Last.Interactions}}<h2>Dialogue transcript</h2>
+<ul>{{range .Last.Interactions}}<li><b>{{.Point}}</b>: {{.Question}} → {{.Answer}}</li>{{end}}</ul>{{end}}
 {{else}}<p>No translation yet.</p>{{end}}
+{{if .Exec}}
+<h2>Crowd Execution <small>({{.Exec.Elapsed}})</small></h2>
+<p>Last executed: <b>{{.Exec.Question}}</b></p>
+<p>{{.Exec.Tasks}} crowd tasks; support cache: {{.Exec.CacheHits}} hits,
+{{.Exec.CacheMisses}} misses this run ({{.CacheHits}} / {{.CacheMisses}} engine lifetime).</p>
+<table><tr><th>subclause</th><th>tasks</th><th>wall-clock</th></tr>
+{{range .Exec.Subclauses}}<tr><td>SATISFYING {{.Index}}</td><td>{{.Tasks}}</td><td>{{.Duration}}</td></tr>{{end}}
+</table>
+{{end}}
 </body></html>`))
+
+// adminData feeds the admin template: the last translation trace, the
+// last execution's engine metrics, and the engine-lifetime cache
+// counters.
+type adminData struct {
+	Last        *nl2cm.Result
+	Exec        *engineStats
+	CacheHits   uint64
+	CacheMisses uint64
+}
 
 func (s *server) admin(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	last := s.last
+	d := adminData{Last: s.last, Exec: s.lastExec}
 	s.mu.Unlock()
+	d.CacheHits, d.CacheMisses = s.eng.CacheStats()
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	if err := adminTmpl.Execute(w, last); err != nil {
+	if err := adminTmpl.Execute(w, d); err != nil {
 		log.Printf("admin render: %v", err)
 	}
 }
@@ -363,7 +429,9 @@ func (s *server) apiTranslate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	res, err := s.doTranslate(r.Context(), req.Question)
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	res, err := s.doTranslate(ctx, req.Question)
 	if err != nil {
 		translateError(w, err)
 		return

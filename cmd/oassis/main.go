@@ -12,10 +12,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	"nl2cm"
@@ -72,7 +74,11 @@ func main() {
 	eng := nl2cm.NewEngine(onto, c)
 	eng.SampleSize = *sample
 
-	out, err := eng.Execute(q)
+	// Ctrl-C cancels the in-flight crowd evaluation instead of killing
+	// the process outright.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	out, err := eng.Execute(ctx, q)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "oassis:", err)
 		os.Exit(1)

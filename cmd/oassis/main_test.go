@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"testing"
 
 	"nl2cm"
@@ -55,7 +56,7 @@ func TestRebasedQueryExecutes(t *testing.T) {
 	rebase(q)
 	onto := nl2cm.DemoOntology()
 	eng := nl2cm.NewDemoEngine(onto)
-	out, err := eng.Execute(q)
+	out, err := eng.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -93,7 +93,7 @@ func TestFullDemonstrationScenario(t *testing.T) {
 			t.Errorf("dialogue transcript has %d exchanges", len(res.Interactions))
 		}
 		// Execute on the crowd: the paper's expected answers surface.
-		out, err := engine.Execute(res.Query)
+		out, err := engine.Execute(context.Background(), res.Query)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -134,7 +134,7 @@ func TestFullDemonstrationScenario(t *testing.T) {
 		if !res2.Verdict.Supported {
 			t.Fatalf("rephrased question rejected: %s", res2.Verdict.Reason)
 		}
-		out, err := engine.Execute(res2.Query)
+		out, err := engine.Execute(context.Background(), res2.Query)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -34,7 +34,7 @@ func main() {
 			continue
 		}
 		fmt.Println(res.Query)
-		out, err := engine.Execute(res.Query)
+		out, err := engine.Execute(context.Background(), res.Query)
 		if err != nil {
 			log.Fatal(err)
 		}

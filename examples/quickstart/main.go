@@ -33,7 +33,7 @@ func main() {
 	// 3. Execute the query: the WHERE clause runs on the ontology, the
 	// SATISFYING clause on a simulated crowd of 100 members.
 	engine := nl2cm.NewDemoEngine(onto)
-	out, err := engine.Execute(res.Query)
+	out, err := engine.Execute(context.Background(), res.Query)
 	if err != nil {
 		log.Fatal(err)
 	}

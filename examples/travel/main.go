@@ -61,7 +61,7 @@ func main() {
 
 	// Execute the first query with the crowd.
 	engine := nl2cm.NewDemoEngine(onto)
-	out, err := engine.Execute(res.Query)
+	out, err := engine.Execute(context.Background(), res.Query)
 	if err != nil {
 		log.Fatal(err)
 	}

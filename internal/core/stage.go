@@ -17,6 +17,11 @@ const (
 	StageGenerator    = "General Query Generator"
 	StageIndividual   = "Individual Triple Creation"
 	StageComposer     = "Query Composition"
+	// StageCrowd is the execution side (the OASSIS engine substitute,
+	// crowd.Engine): not a translation module, but it shares the
+	// StageError / Observer vocabulary so execution failures and timings
+	// are attributed the same way as pipeline ones.
+	StageCrowd = "Crowd Execution"
 )
 
 // StageError attributes a pipeline failure to the module that raised it.

@@ -1,8 +1,10 @@
 package crowd
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -113,7 +115,7 @@ WITH SUPPORT THRESHOLD = 0.1`)
 	// ontology namespace.
 	rebase(q)
 	eng := demoEngine()
-	res, err := eng.Execute(q)
+	res, err := eng.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatalf("Execute: %v", err)
 	}
@@ -173,7 +175,7 @@ ORDER BY ASC(SUPPORT)
 LIMIT 2`)
 	rebase(q)
 	eng := demoEngine()
-	res, err := eng.Execute(q)
+	res, err := eng.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +207,7 @@ SATISFYING
 WITH SUPPORT THRESHOLD = 0.3`)
 	rebase(q)
 	eng := demoEngine()
-	res, err := eng.Execute(q)
+	res, err := eng.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +241,7 @@ LIMIT 1`)
 		}
 	}
 	eng := demoEngine()
-	res, err := eng.Execute(q)
+	res, err := eng.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +265,7 @@ func TestExecutePureGeneralQuery(t *testing.T) {
 		}},
 	}
 	eng := demoEngine()
-	res, err := eng.Execute(q)
+	res, err := eng.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +275,7 @@ func TestExecutePureGeneralQuery(t *testing.T) {
 }
 
 func TestExecuteNilQuery(t *testing.T) {
-	if _, err := demoEngine().Execute(nil); err == nil {
+	if _, err := demoEngine().Execute(context.Background(), nil); err == nil {
 		t.Error("nil query accepted")
 	}
 }
@@ -316,11 +318,11 @@ ORDER BY DESC(SUPPORT)
 LIMIT 3`)
 	rebase(q)
 	eng := demoEngine()
-	r1, err := eng.Execute(q)
+	r1, err := eng.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := eng.Execute(q)
+	r2, err := eng.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -375,7 +377,7 @@ SATISFYING
 ORDER BY DESC(SUPPORT)
 LIMIT 5`)
 	rebase(q)
-	res, err := eng.Execute(q)
+	res, err := eng.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -383,7 +385,7 @@ LIMIT 5`)
 		t.Fatal("no tasks")
 	}
 	// Results remain deterministic under sampling.
-	res2, err := eng.Execute(q)
+	res2, err := eng.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -477,5 +479,48 @@ func TestSubclauseResultSignificant(t *testing.T) {
 	sig := r.Significant()
 	if len(sig) != 2 || sig[0].Key != "a" || sig[1].Key != "c" {
 		t.Errorf("Significant = %v", sig)
+	}
+}
+
+// Trimmed-mean edge cases, including the 2*k >= sample clamp: a trim
+// fraction that would discard every answer is reduced so at least one
+// (odd sample) or two (even sample) central answers remain.
+func TestTrimmedMeanEdges(t *testing.T) {
+	expect := func(c *Crowd, key string, sample, trim int) float64 {
+		answers := make([]float64, sample)
+		for i := 0; i < sample; i++ {
+			answers[i] = c.MemberAnswer(i, key)
+		}
+		sort.Float64s(answers)
+		answers = answers[trim : sample-trim]
+		sum := 0.0
+		for _, a := range answers {
+			sum += a
+		}
+		return sum / float64(len(answers))
+	}
+	cases := []struct {
+		name   string
+		size   int
+		frac   float64
+		sample int
+		trim   int // expected per-side trim after clamping
+	}{
+		{"even-clamped", 4, 0.5, 4, 1},    // k=2, 2k>=4 -> (4-1)/2 = 1
+		{"odd-median", 3, 0.4, 3, 1},      // k=1, 2k<3 -> keep median
+		{"odd-clamped", 5, 0.6, 5, 2},     // k=3, 2k>=5 -> (5-1)/2 = 2
+		{"untrimmed-small", 2, 0.5, 2, 0}, // sample <= 2: no trimming
+		{"regular", 10, 0.2, 10, 2},       // k=2, 2k<10: plain trim
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cr := NewCrowd(c.size, 17)
+			cr.TrimFraction = c.frac
+			got := cr.Support("edge", 0)
+			want := expect(cr, "edge", c.sample, c.trim)
+			if math.Abs(got-want) > 1e-12 {
+				t.Errorf("Support = %.6f, want %.6f (trim %d per side)", got, want, c.trim)
+			}
+		})
 	}
 }

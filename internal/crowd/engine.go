@@ -1,10 +1,16 @@
 package crowd
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
+	"nl2cm/internal/core"
 	"nl2cm/internal/oassisql"
 	"nl2cm/internal/ontology"
 	"nl2cm/internal/rdf"
@@ -13,6 +19,11 @@ import (
 
 // Engine is the OASSIS query engine substitute: it evaluates OASSIS-QL
 // queries against an ontology (WHERE) and a simulated crowd (SATISFYING).
+//
+// Execute is safe for concurrent use once the engine is configured;
+// reconfiguration (Crowd, SampleSize, Truth, …) must happen before
+// serving traffic, and must be followed by ResetCache, since memoized
+// supports are keyed only on (fact key, sample size).
 type Engine struct {
 	Onto  *ontology.Ontology
 	Crowd *Crowd
@@ -22,6 +33,30 @@ type Engine struct {
 	// OpenVarLimit caps instantiations of variables that the WHERE
 	// clause leaves unbound (open crowd mining); 0 means 50.
 	OpenVarLimit int
+	// Workers caps how many crowd tasks of one subclause are evaluated
+	// concurrently; 0 means runtime.GOMAXPROCS(0), 1 restores fully
+	// sequential evaluation. Task and binding order is deterministic
+	// either way.
+	Workers int
+	// Observer, when non-nil, receives core.StageCrowd start/end
+	// callbacks around the whole execution and one "SATISFYING n" stage
+	// per subclause. An Observer shared across concurrent executions
+	// must be safe for concurrent use.
+	Observer core.Observer
+
+	// The support cache memoizes Crowd.Support per (fact key, effective
+	// sample size): repeated keys across subclauses and requests would
+	// otherwise pay the full O(population) aggregation each time.
+	cacheMu sync.Mutex
+	cache   map[supportKey]float64
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+}
+
+// supportKey keys one memoized support value.
+type supportKey struct {
+	key    string
+	sample int
 }
 
 // NewEngine builds an engine over the ontology with the given crowd.
@@ -29,10 +64,28 @@ func NewEngine(onto *ontology.Ontology, c *Crowd) *Engine {
 	return &Engine{Onto: onto, Crowd: c}
 }
 
+// CacheStats returns the engine-lifetime support-cache hit and miss
+// counts (across all executions since construction or ResetCache).
+func (e *Engine) CacheStats() (hits, misses uint64) {
+	return e.hits.Load(), e.misses.Load()
+}
+
+// ResetCache drops all memoized supports and zeroes the cache counters.
+// Call it after changing the crowd, its Truth, or SampleSize.
+func (e *Engine) ResetCache() {
+	e.cacheMu.Lock()
+	e.cache = nil
+	e.cacheMu.Unlock()
+	e.hits.Store(0)
+	e.misses.Store(0)
+}
+
 // Task is one crowd task: a ground data pattern posed to crowd members,
 // with its aggregated support.
 type Task struct {
-	// Binding is the variable assignment that grounded the pattern.
+	// Binding is the first variable assignment that grounded the
+	// pattern; distinct bindings grounding to the same fact-set share
+	// one task (and all survive when it is significant).
 	Binding sparql.Binding
 	// Triples is the ground fact-set.
 	Triples []rdf.Triple
@@ -53,6 +106,8 @@ type SubclauseResult struct {
 	Index int
 	// Tasks are all issued crowd tasks, sorted by descending support.
 	Tasks []Task
+	// Duration is the subclause's wall-clock evaluation time.
+	Duration time.Duration
 }
 
 // Significant returns the tasks that passed the criterion.
@@ -77,13 +132,47 @@ type Result struct {
 	WhereBindings int
 	// TasksIssued counts the crowd tasks generated.
 	TasksIssued int
+	// CacheHits and CacheMisses count support-cache outcomes during
+	// this execution (TasksIssued == CacheHits + CacheMisses).
+	CacheHits   int
+	CacheMisses int
+	// Elapsed is the execution's wall-clock time.
+	Elapsed time.Duration
 }
 
-// Execute evaluates the query.
-func (e *Engine) Execute(q *oassisql.Query) (*Result, error) {
+// execCounters collects per-execution cache metrics; workers increment
+// them concurrently.
+type execCounters struct {
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// Execute evaluates the query. The context bounds the whole execution:
+// cancellation or deadline expiry aborts between subclauses and between
+// crowd-task batches, returning a *core.StageError (stage
+// core.StageCrowd) that wraps ctx.Err().
+func (e *Engine) Execute(ctx context.Context, q *oassisql.Query) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if q == nil {
 		return nil, fmt.Errorf("crowd: nil query")
 	}
+	start := time.Now()
+	if e.Observer != nil {
+		e.Observer.StageStart(core.StageCrowd)
+	}
+	res, err := e.execute(ctx, q)
+	if e.Observer != nil {
+		e.Observer.StageEnd(core.StageCrowd, time.Since(start), err)
+	}
+	if res != nil {
+		res.Elapsed = time.Since(start)
+	}
+	return res, err
+}
+
+func (e *Engine) execute(ctx context.Context, q *oassisql.Query) (*Result, error) {
 	// 1. WHERE against the ontology.
 	whereQ := &sparql.Query{Where: q.Where.Triples, Filters: q.Where.Filters, Limit: -1}
 	bindings, err := sparql.Eval(whereQ, e.Onto.Store, nil)
@@ -97,89 +186,218 @@ func (e *Engine) Execute(q *oassisql.Query) (*Result, error) {
 	}
 
 	// 2. Each subclause filters the bindings by crowd support.
+	cnt := &execCounters{}
 	surviving := bindings
 	for i, sc := range q.Satisfying {
-		scRes, kept, err := e.evalSubclause(i, sc, surviving)
+		if err := ctx.Err(); err != nil {
+			return nil, &core.StageError{Stage: core.StageCrowd, Err: err}
+		}
+		stage := fmt.Sprintf("SATISFYING %d", i+1)
+		if e.Observer != nil {
+			e.Observer.StageStart(stage)
+		}
+		scStart := time.Now()
+		scRes, kept, err := e.evalSubclause(ctx, i, sc, surviving, cnt)
+		d := time.Since(scStart)
+		if e.Observer != nil {
+			e.Observer.StageEnd(stage, d, err)
+		}
 		if err != nil {
 			return nil, err
 		}
+		scRes.Duration = d
 		res.Subclauses = append(res.Subclauses, *scRes)
 		res.TasksIssued += len(scRes.Tasks)
 		surviving = kept
 	}
+	res.CacheHits = int(cnt.hits.Load())
+	res.CacheMisses = int(cnt.misses.Load())
 
 	// 3. Projection.
 	res.Bindings = project(surviving, q.Select)
 	return res, nil
 }
 
+// taskGroup is one crowd task together with every binding that grounds
+// to its fact-set.
+type taskGroup struct {
+	task     Task
+	bindings []sparql.Binding
+}
+
 // evalSubclause grounds the subclause pattern under each binding, asks
-// the crowd, applies the significance criterion and returns the
+// the crowd (one task per distinct ground fact-set, evaluated on the
+// worker pool), applies the significance criterion and returns the
 // surviving bindings.
-func (e *Engine) evalSubclause(idx int, sc oassisql.Subclause, bindings []sparql.Binding) (*SubclauseResult, []sparql.Binding, error) {
+func (e *Engine) evalSubclause(ctx context.Context, idx int, sc oassisql.Subclause, bindings []sparql.Binding, cnt *execCounters) (*SubclauseResult, []sparql.Binding, error) {
 	expanded, err := e.expandOpenVars(sc, bindings)
 	if err != nil {
 		return nil, nil, err
 	}
 	scRes := &SubclauseResult{Index: idx}
-	type entry struct {
-		task    Task
-		binding sparql.Binding
-	}
-	var entries []entry
-	seen := map[string]bool{}
+	// Group bindings by the fact key of their grounded pattern: the
+	// crowd is asked once per distinct ground fact-set, but every
+	// binding of a significant group survives — distinct bindings may
+	// ground to the same fact-set when the pattern uses only a subset
+	// of the bound variables.
+	var groups []*taskGroup
+	byKey := map[string]*taskGroup{}
 	for _, b := range expanded {
 		ground := groundPattern(sc.Pattern.Triples, b)
 		key := FactKey(ground)
-		if seen[key] {
-			continue
+		g, ok := byKey[key]
+		if !ok {
+			g = &taskGroup{task: Task{
+				Binding:  b,
+				Triples:  ground,
+				Key:      key,
+				Question: e.Verbalize(ground),
+			}}
+			byKey[key] = g
+			groups = append(groups, g)
 		}
-		seen[key] = true
-		t := Task{
-			Binding:  b,
-			Triples:  ground,
-			Key:      key,
-			Question: e.Verbalize(ground),
-			Support:  e.Crowd.Support(key, e.SampleSize),
-		}
-		entries = append(entries, entry{task: t, binding: b})
+		g.bindings = append(g.bindings, b)
 	}
-	sort.SliceStable(entries, func(i, j int) bool { return entries[i].task.Support > entries[j].task.Support })
+
+	if err := e.askCrowd(ctx, groups, cnt); err != nil {
+		return nil, nil, err
+	}
+	sort.SliceStable(groups, func(i, j int) bool { return groups[i].task.Support > groups[j].task.Support })
 
 	// Significance.
+	supports := make([]float64, len(groups))
+	for i, g := range groups {
+		supports[i] = g.task.Support
+	}
+	sig, err := applySignificance(idx, sc, supports)
+	if err != nil {
+		return nil, nil, err
+	}
+	var kept []sparql.Binding
+	for i, g := range groups {
+		g.task.Significant = sig[i]
+		scRes.Tasks = append(scRes.Tasks, g.task)
+		if g.task.Significant {
+			kept = append(kept, g.bindings...)
+		}
+	}
+	return scRes, kept, nil
+}
+
+// askCrowd fills in each group's support, fanning the tasks out over a
+// bounded worker pool. Results are written by index, so output order is
+// deterministic regardless of scheduling; cancellation stops feeding
+// new tasks and returns once in-flight ones finish.
+func (e *Engine) askCrowd(ctx context.Context, groups []*taskGroup, cnt *execCounters) error {
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	if workers <= 1 {
+		for _, g := range groups {
+			if err := ctx.Err(); err != nil {
+				return &core.StageError{Stage: core.StageCrowd, Err: err}
+			}
+			g.task.Support = e.support(g.task.Key, cnt)
+		}
+		return nil
+	}
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				groups[i].task.Support = e.support(groups[i].task.Key, cnt)
+			}
+		}()
+	}
+feed:
+	for i := range groups {
+		select {
+		case idxCh <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idxCh)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return &core.StageError{Stage: core.StageCrowd, Err: err}
+	}
+	return nil
+}
+
+// support returns the (memoized) aggregated crowd support for a fact
+// key under the engine's sample size. Concurrent misses for the same
+// key may compute it twice; the value is deterministic, so the cache
+// stays consistent.
+func (e *Engine) support(key string, cnt *execCounters) float64 {
+	sample := e.SampleSize
+	if sample <= 0 || sample > e.Crowd.Size {
+		sample = e.Crowd.Size
+	}
+	ck := supportKey{key: key, sample: sample}
+	e.cacheMu.Lock()
+	v, ok := e.cache[ck]
+	e.cacheMu.Unlock()
+	if ok {
+		e.hits.Add(1)
+		if cnt != nil {
+			cnt.hits.Add(1)
+		}
+		return v
+	}
+	v = e.Crowd.Support(key, sample)
+	e.cacheMu.Lock()
+	if e.cache == nil {
+		e.cache = map[supportKey]float64{}
+	}
+	e.cache[ck] = v
+	e.cacheMu.Unlock()
+	e.misses.Add(1)
+	if cnt != nil {
+		cnt.misses.Add(1)
+	}
+	return v
+}
+
+// applySignificance marks which of the support values (sorted
+// descending, as evalSubclause produces them) pass the subclause's
+// criterion: support >= threshold, or membership in the top k (bottom k
+// when the ORDER is ascending). Ties at the k boundary resolve by the
+// incoming (stable, first-appearance) order.
+func applySignificance(idx int, sc oassisql.Subclause, supports []float64) ([]bool, error) {
+	sig := make([]bool, len(supports))
 	switch {
 	case sc.Threshold != nil:
-		for i := range entries {
-			entries[i].task.Significant = entries[i].task.Support >= *sc.Threshold
+		for i, s := range supports {
+			sig[i] = s >= *sc.Threshold
 		}
 	case sc.TopK != nil:
-		order := make([]int, len(entries))
+		order := make([]int, len(supports))
 		for i := range order {
 			order[i] = i
 		}
 		if !sc.TopK.Desc {
 			// ascending: lowest-support first
 			sort.SliceStable(order, func(a, b int) bool {
-				return entries[order[a]].task.Support < entries[order[b]].task.Support
+				return supports[order[a]] < supports[order[b]]
 			})
 		}
 		for rank, i := range order {
 			if rank < sc.TopK.K {
-				entries[i].task.Significant = true
+				sig[i] = true
 			}
 		}
 	default:
-		return nil, nil, fmt.Errorf("crowd: subclause %d has no significance criterion", idx+1)
+		return nil, fmt.Errorf("crowd: subclause %d has no significance criterion", idx+1)
 	}
-
-	var kept []sparql.Binding
-	for _, en := range entries {
-		scRes.Tasks = append(scRes.Tasks, en.task)
-		if en.task.Significant {
-			kept = append(kept, en.binding)
-		}
-	}
-	return scRes, kept, nil
+	return sig, nil
 }
 
 // verbDomains approximates the semantic domain of the objects the crowd
@@ -199,25 +417,69 @@ var verbDomains = map[string]string{
 // bindings leave unbound (open crowd mining: "which places do you
 // visit?") over the ontology's entities — restricted to the domain of
 // the pattern's habit verb when one is known — capped at OpenVarLimit.
+// Boundness is decided per binding: after OPTIONAL/UNION upstream, some
+// rows may bind a pattern variable while others leave it open.
 func (e *Engine) expandOpenVars(sc oassisql.Subclause, bindings []sparql.Binding) ([]sparql.Binding, error) {
-	open := map[string]bool{}
-	for _, v := range sc.Pattern.Vars() {
-		open[v] = true
+	pvars := sc.Pattern.Vars()
+	if len(bindings) == 0 {
+		bindings = []sparql.Binding{{}}
 	}
-	if len(bindings) > 0 {
-		for v := range bindings[0] {
-			delete(open, v)
+	anyOpen := false
+	for _, b := range bindings {
+		for _, v := range pvars {
+			if _, ok := b[v]; !ok {
+				anyOpen = true
+				break
+			}
+		}
+		if anyOpen {
+			break
 		}
 	}
-	if len(open) == 0 {
+	if !anyOpen {
 		return bindings, nil
 	}
 	limit := e.OpenVarLimit
 	if limit <= 0 {
 		limit = 50
 	}
-	// Candidate entities: the verb's domain class when known, otherwise
-	// everything with an instanceOf fact.
+	entities := e.candidateEntities(sc, limit)
+	var out []sparql.Binding
+	for _, b := range bindings {
+		var open []string
+		for _, v := range pvars {
+			if _, ok := b[v]; !ok {
+				open = append(open, v)
+			}
+		}
+		if len(open) == 0 {
+			out = append(out, b)
+			continue
+		}
+		rows := []sparql.Binding{b}
+		for _, v := range open {
+			var next []sparql.Binding
+			for _, rb := range rows {
+				for _, ent := range entities {
+					nb := rb.Clone()
+					nb[v] = ent
+					next = append(next, nb)
+				}
+			}
+			rows = next
+		}
+		out = append(out, rows...)
+		if len(out) > limit*limit {
+			return nil, fmt.Errorf("crowd: open-variable expansion too large (%d)", len(out))
+		}
+	}
+	return out, nil
+}
+
+// candidateEntities returns the entities an open variable ranges over:
+// the verb's domain class when known, otherwise everything with an
+// instanceOf fact, capped at limit.
+func (e *Engine) candidateEntities(sc oassisql.Subclause, limit int) []rdf.Term {
 	var entities []rdf.Term
 	if class, ok := e.patternDomain(sc); ok {
 		entities = e.Onto.InstancesOf(class)
@@ -236,30 +498,7 @@ func (e *Engine) expandOpenVars(sc oassisql.Subclause, bindings []sparql.Binding
 	if len(entities) > limit {
 		entities = entities[:limit]
 	}
-	vars := make([]string, 0, len(open))
-	for v := range open {
-		vars = append(vars, v)
-	}
-	sort.Strings(vars)
-	out := bindings
-	if len(out) == 0 {
-		out = []sparql.Binding{{}}
-	}
-	for _, v := range vars {
-		var next []sparql.Binding
-		for _, b := range out {
-			for _, ent := range entities {
-				nb := b.Clone()
-				nb[v] = ent
-				next = append(next, nb)
-			}
-		}
-		out = next
-		if len(out) > limit*limit {
-			return nil, fmt.Errorf("crowd: open-variable expansion too large (%d)", len(out))
-		}
-	}
-	return out, nil
+	return entities
 }
 
 // patternDomain finds the domain class of a subclause's habit verb.

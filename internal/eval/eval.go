@@ -13,9 +13,11 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"nl2cm/internal/core"
 	"nl2cm/internal/corpus"
+	"nl2cm/internal/crowd"
 	"nl2cm/internal/interact"
 	"nl2cm/internal/ix"
 	"nl2cm/internal/nlp"
@@ -446,6 +448,59 @@ func (p *intendedPicker) SelectThreshold(ctx context.Context, d string, def floa
 // SelectProjection implements interact.Interactor.
 func (p *intendedPicker) SelectProjection(ctx context.Context, cs []interact.VarChoice) ([]bool, error) {
 	return interact.Auto{}.SelectProjection(ctx, cs)
+}
+
+// ExecutionStats summarizes an end-to-end translate-and-execute run
+// over the corpus (experiment E12): crowd-side workload and support-cache
+// effectiveness across queries that share fact patterns.
+type ExecutionStats struct {
+	// Queries is the number of corpus questions that translated into an
+	// executable query; Executed counts those that ran without error.
+	Queries, Executed int
+	// Tasks, CacheHits and CacheMisses aggregate the engine metrics over
+	// all executions.
+	Tasks, CacheHits, CacheMisses int
+	// Elapsed is the total engine wall-clock time.
+	Elapsed time.Duration
+}
+
+// HitRate returns the fraction of support lookups served from cache.
+func (s ExecutionStats) HitRate() float64 {
+	if s.CacheHits+s.CacheMisses == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(s.CacheHits+s.CacheMisses)
+}
+
+// ExecuteCorpus translates every supported corpus question and executes
+// the resulting queries on the engine, aggregating the engine metrics.
+// Questions that do not translate are skipped (translation quality is
+// E8's concern); a context cancellation aborts the run.
+func ExecuteCorpus(ctx context.Context, tr *core.Translator, eng *crowd.Engine, questions []corpus.Question) (ExecutionStats, error) {
+	var stats ExecutionStats
+	for _, q := range questions {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
+		res, err := tr.Translate(ctx, q.Text, core.Options{})
+		if err != nil || !res.Verdict.Supported || res.Query == nil {
+			continue
+		}
+		stats.Queries++
+		out, err := eng.Execute(ctx, res.Query)
+		if err != nil {
+			if ctx.Err() != nil {
+				return stats, err
+			}
+			continue
+		}
+		stats.Executed++
+		stats.Tasks += out.TasksIssued
+		stats.CacheHits += out.CacheHits
+		stats.CacheMisses += out.CacheMisses
+		stats.Elapsed += out.Elapsed
+	}
+	return stats, nil
 }
 
 // DomainBreakdown groups outcomes per domain, sorted by domain name.

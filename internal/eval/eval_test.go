@@ -1,10 +1,13 @@
 package eval
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"nl2cm/internal/core"
 	"nl2cm/internal/corpus"
+	"nl2cm/internal/crowd"
 	"nl2cm/internal/ix"
 	"nl2cm/internal/ontology"
 )
@@ -160,5 +163,37 @@ func TestNaiveDetectorBehaviour(t *testing.T) {
 	}
 	if anchors["good"] {
 		t.Error("naive baseline detected 'good' although it matches the KB")
+	}
+}
+
+func TestExecuteCorpus(t *testing.T) {
+	onto := ontology.NewDemoOntology()
+	tr := core.New(onto)
+	c := crowd.NewCrowd(40, 7)
+	c.Truth = crowd.DemoTruth()
+	eng := crowd.NewEngine(onto, c)
+	qs := corpus.All()[:6]
+	stats, err := ExecuteCorpus(context.Background(), tr, eng, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Queries == 0 || stats.Executed == 0 {
+		t.Fatalf("nothing executed: %+v", stats)
+	}
+	if stats.Executed > stats.Queries || stats.Queries > len(qs) {
+		t.Errorf("inconsistent counts: %+v", stats)
+	}
+	if stats.Tasks > 0 && stats.CacheMisses == 0 {
+		t.Errorf("tasks issued but no cache misses: %+v", stats)
+	}
+	if hr := stats.HitRate(); hr < 0 || hr > 1 {
+		t.Errorf("hit rate = %g", hr)
+	}
+
+	// Cancellation aborts the run.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ExecuteCorpus(ctx, tr, eng, qs); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled run returned %v", err)
 	}
 }

@@ -78,14 +78,23 @@ func Eval(q *Query, src Source, env *Env) ([]Binding, error) {
 		}
 		rows = kept
 	}
-	// Order.
+	// Order. Per SPARQL ordering semantics, an unbound sort variable
+	// sorts before any bound value (so under DESC it sorts last); two
+	// unbound values compare equal and fall through to the next key.
 	if len(q.OrderBy) > 0 {
 		sort.SliceStable(rows, func(i, j int) bool {
 			for _, k := range q.OrderBy {
 				ti, iok := rows[i][k.Var]
 				tj, jok := rows[j][k.Var]
 				if !iok || !jok {
-					continue
+					if iok == jok {
+						continue
+					}
+					less := !iok // unbound before bound
+					if k.Desc {
+						return !less
+					}
+					return less
 				}
 				c := ti.Compare(tj)
 				if c == 0 {

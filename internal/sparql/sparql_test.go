@@ -463,3 +463,47 @@ func TestEvalLimitPrefix(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// SPARQL ordering semantics: an unbound sort variable sorts before any
+// bound value (and therefore after every bound value under DESC).
+// Previously unbound compared equal to everything, leaving such rows
+// wherever the join happened to produce them.
+func TestOrderByUnboundSortsFirst(t *testing.T) {
+	s := rdf.NewStore()
+	add := func(sub, p, o string) { s.AddTriple(iri(sub), iri(p), iri(o)) }
+	add("a1", "p", "b1")
+	add("a2", "p", "b2")
+	add("a3", "p", "b3")
+	add("b2", "q", "c2")
+	q := &Query{
+		Where:     []rdf.Triple{rdf.T(rdf.NewVar("x"), iri("p"), rdf.NewVar("y"))},
+		Optionals: [][]rdf.Triple{{rdf.T(rdf.NewVar("y"), iri("q"), rdf.NewVar("z"))}},
+		OrderBy:   []OrderKey{{Var: "z"}},
+		Limit:     -1,
+	}
+	rows, err := Eval(q, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	// Ascending: the single bound row (x=a2, z=c2) must come last.
+	if _, ok := rows[2]["z"]; !ok || !rows[2]["x"].Equal(iri("a2")) {
+		t.Errorf("ascending: bound row not last: %v", rows)
+	}
+	for _, r := range rows[:2] {
+		if _, ok := r["z"]; ok {
+			t.Errorf("ascending: bound row among leading unbound rows: %v", rows)
+		}
+	}
+	// Descending: the bound row must come first.
+	q.OrderBy = []OrderKey{{Var: "z", Desc: true}}
+	rows, err = Eval(q, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rows[0]["z"]; !ok || !rows[0]["x"].Equal(iri("a2")) {
+		t.Errorf("descending: bound row not first: %v", rows)
+	}
+}

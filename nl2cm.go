@@ -13,7 +13,7 @@
 //	fmt.Println(res.Query) // the OASSIS-QL query of the paper's Figure 1
 //
 //	eng := nl2cm.NewDemoEngine(onto)
-//	out, err := eng.Execute(res.Query) // ontology + simulated crowd
+//	out, err := eng.Execute(ctx, res.Query) // ontology + simulated crowd
 //
 // The exported names are aliases of the implementation packages so the
 // full documented behaviour lives with the types.
@@ -78,6 +78,9 @@ const (
 	StageGenerator    = core.StageGenerator
 	StageIndividual   = core.StageIndividual
 	StageComposer     = core.StageComposer
+	// StageCrowd attributes execution-side (crowd.Engine) failures and
+	// observer callbacks.
+	StageCrowd = core.StageCrowd
 )
 
 // NewTranslator builds a translator over an ontology with the default IX
@@ -120,14 +123,21 @@ func ReadOntology(name string, r io.Reader) (*Ontology, error) {
 // ---- Crowd execution ----
 
 // Engine executes OASSIS-QL queries against an ontology and a simulated
-// crowd.
+// crowd. Execute takes a context (cancellation between subclauses and
+// task batches), fans crowd tasks out over a bounded worker pool, and
+// memoizes per-(fact key, sample size) supports in a concurrency-safe
+// cache — see Engine.CacheStats and ExecResult's metric fields.
 type Engine = crowd.Engine
 
 // Crowd is a simulated population of web users.
 type Crowd = crowd.Crowd
 
-// ExecResult is a query execution outcome.
+// ExecResult is a query execution outcome, including engine metrics
+// (tasks issued, cache hits/misses, per-subclause wall-clock).
 type ExecResult = crowd.Result
+
+// SubclauseResult is one SATISFYING subclause's evaluation.
+type SubclauseResult = crowd.SubclauseResult
 
 // Task is one crowd task with its aggregated support.
 type Task = crowd.Task

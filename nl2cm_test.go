@@ -53,7 +53,7 @@ func TestPublicEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := eng.Execute(res.Query)
+	out, err := eng.Execute(context.Background(), res.Query)
 	if err != nil {
 		t.Fatal(err)
 	}
