@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check vet build test race bench fmt
+.PHONY: all check vet build test race bench bench-smoke fmt
 
 all: check
 
@@ -22,6 +22,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# bench-smoke runs every benchmark once so bench code cannot silently
+# rot; it measures nothing.
+bench-smoke:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x .
 
 fmt:
 	gofmt -l -w .

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -547,26 +546,13 @@ func project(bindings []sparql.Binding, sel oassisql.SelectClause) []sparql.Bind
 				}
 			}
 		}
-		key := bindingKey(nb)
+		key := sparql.BindingKey(nb)
 		if !seen[key] {
 			seen[key] = true
 			out = append(out, nb)
 		}
 	}
 	return out
-}
-
-func bindingKey(b sparql.Binding) string {
-	keys := make([]string, 0, len(b))
-	for k := range b {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	var sb strings.Builder
-	for _, k := range keys {
-		sb.WriteString(k + "=" + b[k].String() + ";")
-	}
-	return sb.String()
 }
 
 // Verbalize renders a ground fact-set as the natural-language question

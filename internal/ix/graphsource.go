@@ -32,32 +32,62 @@ func NodeIndex(t rdf.Term) (int, bool) {
 
 // GraphSource exposes a dependency graph as a triple source for the
 // SPARQL pattern matcher: one triple (head, relation, dependent) per
-// dependency edge, including the Extra gap-filling edges.
+// dependency edge, including the Extra gap-filling edges. Detection
+// patterns almost always fix the relation, so edges are also indexed by
+// predicate.
 type GraphSource struct {
 	G     *nlp.DepGraph
 	edges []rdf.Triple
+	byRel map[rdf.Term][]rdf.Triple
 }
 
 // NewGraphSource builds the adapter.
 func NewGraphSource(g *nlp.DepGraph) *GraphSource {
-	src := &GraphSource{G: g}
+	src := &GraphSource{G: g, byRel: map[rdf.Term][]rdf.Triple{}}
 	for _, e := range g.Edges() {
-		src.edges = append(src.edges, rdf.T(NodeTerm(e.Head), rdf.NewIRI(e.Rel), NodeTerm(e.Dep)))
+		t := rdf.T(NodeTerm(e.Head), rdf.NewIRI(e.Rel), NodeTerm(e.Dep))
+		src.edges = append(src.edges, t)
+		src.byRel[t.P] = append(src.byRel[t.P], t)
 	}
 	return src
 }
 
-// MatchFunc implements sparql.Source by scanning the edge list; the
-// graphs are sentence-sized, so a linear scan is appropriate.
+// candidates returns the narrowest edge list for the pattern: the
+// per-relation bucket when the predicate is concrete, else every edge.
+func (s *GraphSource) candidates(pattern rdf.Triple) []rdf.Triple {
+	if pattern.P.IsConcrete() {
+		return s.byRel[pattern.P]
+	}
+	return s.edges
+}
+
+// MatchFunc implements sparql.Source. Graphs are sentence-sized, so a
+// scan of the relation bucket (or, for variable predicates, the whole
+// edge list) is appropriate.
 func (s *GraphSource) MatchFunc(pattern rdf.Triple, fn func(rdf.Triple) bool) {
 	match := func(p, g rdf.Term) bool { return p.IsVar() || p.Equal(g) }
-	for _, e := range s.edges {
+	for _, e := range s.candidates(pattern) {
 		if match(pattern.S, e.S) && match(pattern.P, e.P) && match(pattern.O, e.O) {
 			if !fn(e) {
 				return
 			}
 		}
 	}
+}
+
+// CountMatch implements sparql.Counter with exact counts, so pattern
+// joins over the graph are ordered most-selective-first. Exact counting
+// is affordable here because a dependency graph has at most a few dozen
+// edges.
+func (s *GraphSource) CountMatch(pattern rdf.Triple) int {
+	match := func(p, g rdf.Term) bool { return p.IsVar() || p.Equal(g) }
+	n := 0
+	for _, e := range s.candidates(pattern) {
+		if match(pattern.S, e.S) && match(pattern.P, e.P) && match(pattern.O, e.O) {
+			n++
+		}
+	}
+	return n
 }
 
 // coarsePOS maps a Penn tag to the coarse category names the paper's

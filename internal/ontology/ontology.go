@@ -65,6 +65,11 @@ type Ontology struct {
 	words map[string][]rdf.Term
 	// descriptions holds per-entity disambiguation strings.
 	descriptions map[rdf.Term]string
+	// primary caches each registered term's primary label (the
+	// lexicographically smallest, matching Label's sorted-first pick), so
+	// candidate construction during Lookup does not scan the store per
+	// term.
+	primary map[rdf.Term]string
 	// classes records which terms are classes.
 	classes map[rdf.Term]bool
 	// relations maps lower-cased relation lemmas ("near", "located in")
@@ -80,6 +85,7 @@ func New(name string) *Ontology {
 		labels:       map[string][]rdf.Term{},
 		words:        map[string][]rdf.Term{},
 		descriptions: map[rdf.Term]string{},
+		primary:      map[rdf.Term]string{},
 		classes:      map[rdf.Term]bool{},
 		relations:    map[string]rdf.Term{},
 	}
@@ -94,6 +100,7 @@ func (o *Ontology) AddEntity(local, label, description string, class rdf.Term) r
 		o.Store.AddTriple(e, PredInstanceOf, class)
 	}
 	o.descriptions[e] = description
+	o.cachePrimary(e, label)
 	o.index(label, e)
 	return e
 }
@@ -106,8 +113,18 @@ func (o *Ontology) AddClass(local, label string, super rdf.Term) rdf.Term {
 		o.Store.AddTriple(c, PredSubClassOf, super)
 	}
 	o.classes[c] = true
+	o.cachePrimary(c, label)
 	o.index(label, c)
 	return c
+}
+
+// cachePrimary records the term's primary label, keeping the smallest
+// when a term is registered under several labels — the same pick Label
+// makes when it sorts the store's label triples.
+func (o *Ontology) cachePrimary(t rdf.Term, label string) {
+	if prev, ok := o.primary[t]; !ok || label < prev {
+		o.primary[t] = label
+	}
 }
 
 // AddRelation registers NL surface lemmas for a predicate.
@@ -157,8 +174,12 @@ func normalize(s string) string {
 func (o *Ontology) Description(t rdf.Term) string { return o.descriptions[t] }
 
 // Label returns the primary label of a term, falling back to the IRI
-// local name.
+// local name. Registered terms answer from the primary-label cache;
+// label triples added directly to the store are found by scanning it.
 func (o *Ontology) Label(t rdf.Term) string {
+	if l, ok := o.primary[t]; ok {
+		return l
+	}
 	objs := o.Store.Objects(t, PredLabel)
 	if len(objs) > 0 {
 		// deterministic choice
@@ -203,7 +224,7 @@ func (o *Ontology) Lookup(phrase string) []Candidate {
 		consider(o.labels[w], 0.6)
 		consider(o.words[w], 0.4)
 	}
-	var out []Candidate
+	out := make([]Candidate, 0, len(scored))
 	for t, s := range scored {
 		out = append(out, Candidate{
 			Term:        t,
@@ -324,6 +345,9 @@ func Merge(name string, parts ...*Ontology) *Ontology {
 		}
 		for t, d := range p.descriptions {
 			m.descriptions[t] = d
+		}
+		for t, l := range p.primary {
+			m.cachePrimary(t, l)
 		}
 		for c := range p.classes {
 			m.classes[c] = true

@@ -516,20 +516,31 @@ func (r *run) lookup(lemma, lower string) []ontology.Candidate {
 // ranking: the default reading of "Buffalo" is the well-known city.
 func (g *Generator) RankCandidates(phrase string) []ontology.Candidate {
 	cands := g.Onto.Lookup(phrase)
+	// Degrees are precomputed once per candidate: the comparator runs
+	// O(n log n) times, and each degree probe takes the store's read lock.
+	degrees := make([]int, len(cands))
 	for i := range cands {
 		cands[i].Score += g.Feedback.Boost(phrase, cands[i].Term)
-	}
-	degree := func(t rdf.Term) int {
-		return g.Onto.Store.CountMatch(rdf.T(t, rdf.NewVar("p"), rdf.NewVar("o"))) +
+		t := cands[i].Term
+		degrees[i] = g.Onto.Store.CountMatch(rdf.T(t, rdf.NewVar("p"), rdf.NewVar("o"))) +
 			g.Onto.Store.CountMatch(rdf.T(rdf.NewVar("s"), rdf.NewVar("p"), t))
 	}
-	sort.SliceStable(cands, func(i, j int) bool {
-		if cands[i].Score != cands[j].Score {
-			return cands[i].Score > cands[j].Score
+	idx := make([]int, len(cands))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool {
+		a, b := idx[i], idx[j]
+		if cands[a].Score != cands[b].Score {
+			return cands[a].Score > cands[b].Score
 		}
-		return degree(cands[i].Term) > degree(cands[j].Term)
+		return degrees[a] > degrees[b]
 	})
-	return cands
+	out := make([]ontology.Candidate, len(cands))
+	for i, k := range idx {
+		out[i] = cands[k]
+	}
+	return out
 }
 
 func (r *run) lookupCandidates(phrase string) []ontology.Candidate {

@@ -1,0 +1,80 @@
+package rdf
+
+import "sync"
+
+// Dict is a concurrency-safe symbol table mapping Terms to dense uint32
+// IDs and back. Interning lets the store index triples as fixed-size
+// integer keys (one hash over a machine word instead of a four-field
+// struct with three strings) and lets posting lists hold packed integers
+// instead of Term values.
+//
+// IDs are allocated contiguously from 0 in first-intern order and are
+// never reused; a Dict only grows. The zero value is not usable — create
+// one with NewDict.
+type Dict struct {
+	mu  sync.RWMutex
+	ids map[Term]uint32
+	// list[id] is the interned term. Entries are immutable once written,
+	// and the slice is append-only, so a snapshot of the header taken
+	// under the read lock can be indexed without further locking.
+	list []Term
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{ids: map[Term]uint32{}}
+}
+
+// Intern returns the ID for the term, allocating the next dense ID on
+// first sight.
+func (d *Dict) Intern(t Term) uint32 {
+	d.mu.RLock()
+	id, ok := d.ids[t]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.ids[t]; ok {
+		return id
+	}
+	id = uint32(len(d.list))
+	d.ids[t] = id
+	d.list = append(d.list, t)
+	return id
+}
+
+// Lookup returns the term's ID without allocating one; ok is false when
+// the term has never been interned.
+func (d *Dict) Lookup(t Term) (uint32, bool) {
+	d.mu.RLock()
+	id, ok := d.ids[t]
+	d.mu.RUnlock()
+	return id, ok
+}
+
+// TermOf returns the term for an interned ID. It panics when the ID was
+// never allocated, mirroring slice indexing.
+func (d *Dict) TermOf(id uint32) Term {
+	return d.snapshot()[id]
+}
+
+// Len returns the number of interned terms.
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	n := len(d.list)
+	d.mu.RUnlock()
+	return n
+}
+
+// snapshot returns the current id->Term table. The returned slice is
+// safe to index concurrently with further interning: existing entries
+// are never rewritten, and appends beyond the snapshot's length touch
+// memory the snapshot cannot reach.
+func (d *Dict) snapshot() []Term {
+	d.mu.RLock()
+	s := d.list
+	d.mu.RUnlock()
+	return s
+}

@@ -5,71 +5,69 @@ import (
 	"sync"
 )
 
-// Store is an in-memory, thread-safe triple store with SPO, POS and OSP
-// hash indexes. Lookups with any combination of bound positions run
-// against the most selective index.
+// Store is an in-memory, thread-safe triple store. Terms are interned to
+// dense uint32 IDs through a per-store Dict, and the six access paths
+// (S, P, O, SP, PO, OS) are flat posting lists of packed integer keys
+// rather than nested maps of Term structs: one hash over a machine word
+// replaces three hashes over four-field structs, and enumeration walks a
+// contiguous slice instead of chasing map buckets. Lookups with any
+// combination of bound positions run against the most selective index,
+// and CountMatch answers from posting-list lengths in O(1).
 //
 // The zero value is ready to use.
 type Store struct {
-	mu sync.RWMutex
-	// spo maps subject -> predicate -> set of objects.
-	spo map[Term]map[Term]map[Term]struct{}
-	// pos maps predicate -> object -> set of subjects.
-	pos map[Term]map[Term]map[Term]struct{}
-	// osp maps object -> subject -> set of predicates.
-	osp map[Term]map[Term]map[Term]struct{}
-	n   int
+	mu   sync.RWMutex
+	dict *Dict
+	// pos maps a triple to its position in trips, for O(1) membership
+	// and swap-delete removal.
+	pos   map[ids3]int
+	trips []ids3
+	// Single-position indexes: subject -> packed (p,o), predicate ->
+	// packed (o,s), object -> packed (s,p).
+	bySubj map[uint32][]uint64
+	byPred map[uint32][]uint64
+	byObj  map[uint32][]uint64
+	// Pair indexes: packed (s,p) -> o, packed (p,o) -> s, packed (o,s)
+	// -> p.
+	bySP map[uint64][]uint32
+	byPO map[uint64][]uint32
+	byOS map[uint64][]uint32
 }
+
+// ids3 is a triple of interned term IDs.
+type ids3 struct{ s, p, o uint32 }
+
+// pack combines two interned IDs into one 64-bit index key.
+func pack(a, b uint32) uint64 { return uint64(a)<<32 | uint64(b) }
+
+func unpackHi(k uint64) uint32 { return uint32(k >> 32) }
+func unpackLo(k uint64) uint32 { return uint32(k) }
 
 // NewStore returns an empty store.
 func NewStore() *Store { return &Store{} }
 
 func (s *Store) init() {
-	if s.spo == nil {
-		s.spo = map[Term]map[Term]map[Term]struct{}{}
-		s.pos = map[Term]map[Term]map[Term]struct{}{}
-		s.osp = map[Term]map[Term]map[Term]struct{}{}
+	if s.dict == nil {
+		s.dict = NewDict()
+		s.pos = map[ids3]int{}
+		s.bySubj = map[uint32][]uint64{}
+		s.byPred = map[uint32][]uint64{}
+		s.byObj = map[uint32][]uint64{}
+		s.bySP = map[uint64][]uint32{}
+		s.byPO = map[uint64][]uint32{}
+		s.byOS = map[uint64][]uint32{}
 	}
 }
 
-func idxAdd(m map[Term]map[Term]map[Term]struct{}, a, b, c Term) bool {
-	mb, ok := m[a]
-	if !ok {
-		mb = map[Term]map[Term]struct{}{}
-		m[a] = mb
-	}
-	mc, ok := mb[b]
-	if !ok {
-		mc = map[Term]struct{}{}
-		mb[b] = mc
-	}
-	if _, ok := mc[c]; ok {
-		return false
-	}
-	mc[c] = struct{}{}
-	return true
-}
-
-func idxRemove(m map[Term]map[Term]map[Term]struct{}, a, b, c Term) bool {
-	mb, ok := m[a]
-	if !ok {
-		return false
-	}
-	mc, ok := mb[b]
-	if !ok {
-		return false
-	}
-	if _, ok := mc[c]; !ok {
-		return false
-	}
-	delete(mc, c)
-	if len(mc) == 0 {
-		delete(mb, b)
-	}
-	if len(mb) == 0 {
-		delete(m, a)
-	}
-	return true
+// Dict exposes the store's symbol table. Interning through it is safe
+// concurrently with store reads; IDs it allocates are only referenced by
+// the store once the corresponding triple is added.
+func (s *Store) Dict() *Dict {
+	s.mu.Lock()
+	s.init()
+	d := s.dict
+	s.mu.Unlock()
+	return d
 }
 
 // Add inserts a ground triple and reports whether it was newly added.
@@ -81,12 +79,18 @@ func (s *Store) Add(t Triple) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.init()
-	if !idxAdd(s.spo, t.S, t.P, t.O) {
+	k := ids3{s.dict.Intern(t.S), s.dict.Intern(t.P), s.dict.Intern(t.O)}
+	if _, ok := s.pos[k]; ok {
 		return false, nil
 	}
-	idxAdd(s.pos, t.P, t.O, t.S)
-	idxAdd(s.osp, t.O, t.S, t.P)
-	s.n++
+	s.pos[k] = len(s.trips)
+	s.trips = append(s.trips, k)
+	s.bySubj[k.s] = append(s.bySubj[k.s], pack(k.p, k.o))
+	s.byPred[k.p] = append(s.byPred[k.p], pack(k.o, k.s))
+	s.byObj[k.o] = append(s.byObj[k.o], pack(k.s, k.p))
+	s.bySP[pack(k.s, k.p)] = append(s.bySP[pack(k.s, k.p)], k.o)
+	s.byPO[pack(k.p, k.o)] = append(s.byPO[pack(k.p, k.o)], k.s)
+	s.byOS[pack(k.o, k.s)] = append(s.byOS[pack(k.o, k.s)], k.p)
 	return true, nil
 }
 
@@ -103,35 +107,101 @@ func (s *Store) AddTriple(sub, pred, obj Term) {
 	s.MustAdd(T(sub, pred, obj))
 }
 
-// Remove deletes a triple and reports whether it was present.
+// dropPacked removes one occurrence of v from m[key] by swap-delete,
+// deleting the empty list.
+func dropPacked(m map[uint32][]uint64, key uint32, v uint64) {
+	l := m[key]
+	for i, x := range l {
+		if x == v {
+			l[i] = l[len(l)-1]
+			l = l[:len(l)-1]
+			break
+		}
+	}
+	if len(l) == 0 {
+		delete(m, key)
+	} else {
+		m[key] = l
+	}
+}
+
+// dropID removes one occurrence of v from m[key] by swap-delete.
+func dropID(m map[uint64][]uint32, key uint64, v uint32) {
+	l := m[key]
+	for i, x := range l {
+		if x == v {
+			l[i] = l[len(l)-1]
+			l = l[:len(l)-1]
+			break
+		}
+	}
+	if len(l) == 0 {
+		delete(m, key)
+	} else {
+		m[key] = l
+	}
+}
+
+// Remove deletes a triple and reports whether it was present. Interned
+// term IDs are retained; only the posting lists shrink.
 func (s *Store) Remove(t Triple) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.spo == nil {
+	if s.dict == nil {
 		return false
 	}
-	if !idxRemove(s.spo, t.S, t.P, t.O) {
+	k, ok := s.lookupIDs(t)
+	if !ok {
 		return false
 	}
-	idxRemove(s.pos, t.P, t.O, t.S)
-	idxRemove(s.osp, t.O, t.S, t.P)
-	s.n--
+	i, ok := s.pos[k]
+	if !ok {
+		return false
+	}
+	last := len(s.trips) - 1
+	s.trips[i] = s.trips[last]
+	s.pos[s.trips[i]] = i
+	s.trips = s.trips[:last]
+	delete(s.pos, k)
+	dropPacked(s.bySubj, k.s, pack(k.p, k.o))
+	dropPacked(s.byPred, k.p, pack(k.o, k.s))
+	dropPacked(s.byObj, k.o, pack(k.s, k.p))
+	dropID(s.bySP, pack(k.s, k.p), k.o)
+	dropID(s.byPO, pack(k.p, k.o), k.s)
+	dropID(s.byOS, pack(k.o, k.s), k.p)
 	return true
+}
+
+// lookupIDs resolves a ground triple to interned IDs without interning;
+// ok is false when any term was never seen. Callers hold a lock.
+func (s *Store) lookupIDs(t Triple) (ids3, bool) {
+	sid, ok := s.dict.Lookup(t.S)
+	if !ok {
+		return ids3{}, false
+	}
+	pid, ok := s.dict.Lookup(t.P)
+	if !ok {
+		return ids3{}, false
+	}
+	oid, ok := s.dict.Lookup(t.O)
+	if !ok {
+		return ids3{}, false
+	}
+	return ids3{sid, pid, oid}, true
 }
 
 // Contains reports whether the ground triple is in the store.
 func (s *Store) Contains(t Triple) bool {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	mb, ok := s.spo[t.S]
+	if s.dict == nil {
+		return false
+	}
+	k, ok := s.lookupIDs(t)
 	if !ok {
 		return false
 	}
-	mc, ok := mb[t.P]
-	if !ok {
-		return false
-	}
-	_, ok = mc[t.O]
+	_, ok = s.pos[k]
 	return ok
 }
 
@@ -139,19 +209,14 @@ func (s *Store) Contains(t Triple) bool {
 func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.n
+	return len(s.trips)
 }
 
 // Match returns all ground triples matching the pattern, where variables
 // (and only variables) act as wildcards. The result order is unspecified.
 func (s *Store) Match(pattern Triple) []Triple {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.spo == nil {
-		return nil
-	}
 	var out []Triple
-	s.match(pattern, func(t Triple) bool {
+	s.MatchFunc(pattern, func(t Triple) bool {
 		out = append(out, t)
 		return true
 	})
@@ -163,98 +228,125 @@ func (s *Store) Match(pattern Triple) []Triple {
 func (s *Store) MatchFunc(pattern Triple, fn func(Triple) bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if s.spo == nil {
+	if s.dict == nil {
 		return
 	}
 	s.match(pattern, fn)
 }
 
+// resolve interns nothing: each concrete pattern position is looked up in
+// the dictionary, and a miss means the pattern cannot match anything.
+func (s *Store) resolve(p Triple) (k ids3, sb, pb, ob, possible bool) {
+	possible = true
+	if sb = p.S.IsConcrete(); sb {
+		if k.s, possible = s.dict.Lookup(p.S); !possible {
+			return
+		}
+	}
+	if pb = p.P.IsConcrete(); pb {
+		if k.p, possible = s.dict.Lookup(p.P); !possible {
+			return
+		}
+	}
+	if ob = p.O.IsConcrete(); ob {
+		k.o, possible = s.dict.Lookup(p.O)
+	}
+	return
+}
+
 // match dispatches to the best index for the pattern's bound positions.
 // Callers must hold at least a read lock.
 func (s *Store) match(p Triple, fn func(Triple) bool) {
-	sb, pb, ob := p.S.IsConcrete(), p.P.IsConcrete(), p.O.IsConcrete()
+	k, sb, pb, ob, possible := s.resolve(p)
+	if !possible {
+		return
+	}
+	terms := s.dict.snapshot()
 	switch {
 	case sb && pb && ob:
-		if mb, ok := s.spo[p.S]; ok {
-			if mc, ok := mb[p.P]; ok {
-				if _, ok := mc[p.O]; ok {
-					fn(p)
-				}
-			}
+		if _, ok := s.pos[k]; ok {
+			fn(p)
 		}
 	case sb && pb:
-		if mb, ok := s.spo[p.S]; ok {
-			for o := range mb[p.P] {
-				if !fn(T(p.S, p.P, o)) {
-					return
-				}
+		for _, o := range s.bySP[pack(k.s, k.p)] {
+			if !fn(T(p.S, p.P, terms[o])) {
+				return
 			}
 		}
 	case pb && ob:
-		if mb, ok := s.pos[p.P]; ok {
-			for sub := range mb[p.O] {
-				if !fn(T(sub, p.P, p.O)) {
-					return
-				}
+		for _, sub := range s.byPO[pack(k.p, k.o)] {
+			if !fn(T(terms[sub], p.P, p.O)) {
+				return
 			}
 		}
 	case sb && ob:
-		if mb, ok := s.osp[p.O]; ok {
-			for pred := range mb[p.S] {
-				if !fn(T(p.S, pred, p.O)) {
-					return
-				}
+		for _, pred := range s.byOS[pack(k.o, k.s)] {
+			if !fn(T(p.S, terms[pred], p.O)) {
+				return
 			}
 		}
 	case sb:
-		if mb, ok := s.spo[p.S]; ok {
-			for pred, objs := range mb {
-				for o := range objs {
-					if !fn(T(p.S, pred, o)) {
-						return
-					}
-				}
+		for _, po := range s.bySubj[k.s] {
+			if !fn(T(p.S, terms[unpackHi(po)], terms[unpackLo(po)])) {
+				return
 			}
 		}
 	case pb:
-		if mb, ok := s.pos[p.P]; ok {
-			for o, subs := range mb {
-				for sub := range subs {
-					if !fn(T(sub, p.P, o)) {
-						return
-					}
-				}
+		for _, os := range s.byPred[k.p] {
+			if !fn(T(terms[unpackLo(os)], p.P, terms[unpackHi(os)])) {
+				return
 			}
 		}
 	case ob:
-		if mb, ok := s.osp[p.O]; ok {
-			for sub, preds := range mb {
-				for pred := range preds {
-					if !fn(T(sub, pred, p.O)) {
-						return
-					}
-				}
+		for _, sp := range s.byObj[k.o] {
+			if !fn(T(terms[unpackHi(sp)], terms[unpackLo(sp)], p.O)) {
+				return
 			}
 		}
 	default:
-		for sub, mb := range s.spo {
-			for pred, objs := range mb {
-				for o := range objs {
-					if !fn(T(sub, pred, o)) {
-						return
-					}
-				}
+		for _, t := range s.trips {
+			if !fn(T(terms[t.s], terms[t.p], terms[t.o])) {
+				return
 			}
 		}
 	}
 }
 
 // CountMatch returns the number of triples matching the pattern without
-// materializing them.
+// materializing them. Every bound-position combination answers from a
+// posting-list length in O(1), which is what the query planner's
+// cardinality estimates rely on.
 func (s *Store) CountMatch(pattern Triple) int {
-	n := 0
-	s.MatchFunc(pattern, func(Triple) bool { n++; return true })
-	return n
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.dict == nil {
+		return 0
+	}
+	k, sb, pb, ob, possible := s.resolve(pattern)
+	if !possible {
+		return 0
+	}
+	switch {
+	case sb && pb && ob:
+		if _, ok := s.pos[k]; ok {
+			return 1
+		}
+		return 0
+	case sb && pb:
+		return len(s.bySP[pack(k.s, k.p)])
+	case pb && ob:
+		return len(s.byPO[pack(k.p, k.o)])
+	case sb && ob:
+		return len(s.byOS[pack(k.o, k.s)])
+	case sb:
+		return len(s.bySubj[k.s])
+	case pb:
+		return len(s.byPred[k.p])
+	case ob:
+		return len(s.byObj[k.o])
+	default:
+		return len(s.trips)
+	}
 }
 
 // Subjects returns the distinct subjects of triples with the given

@@ -25,14 +25,28 @@ func (t Triple) IsGround() bool {
 // subject-predicate-object order, without duplicates.
 func (t Triple) Vars() []string {
 	var out []string
-	seen := map[string]bool{}
-	for _, term := range []Term{t.S, t.P, t.O} {
-		if term.IsVar() && !seen[term.Value()] {
-			seen[term.Value()] = true
-			out = append(out, term.Value())
-		}
-	}
+	t.EachVar(func(v string) { out = append(out, v) })
 	return out
+}
+
+// EachVar calls fn for each distinct variable name in the triple, in
+// subject-predicate-object order, without allocating. Query planning and
+// compilation walk pattern variables in inner loops, where the slice
+// Vars builds per call is measurable.
+func (t Triple) EachVar(fn func(string)) {
+	sv := t.S.IsVar()
+	pv := t.P.IsVar()
+	if sv {
+		fn(t.S.Value())
+	}
+	if pv && !(sv && t.P.Value() == t.S.Value()) {
+		fn(t.P.Value())
+	}
+	if t.O.IsVar() &&
+		!(sv && t.O.Value() == t.S.Value()) &&
+		!(pv && t.O.Value() == t.P.Value()) {
+		fn(t.O.Value())
+	}
 }
 
 // Equal reports componentwise equality.

@@ -1,0 +1,228 @@
+package sparql
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"nl2cm/internal/rdf"
+)
+
+// The differential property test pins the optimized evaluator's
+// semantics to the retained naive evaluator: for randomized stores and
+// randomized queries mixing BGPs, OPTIONAL, UNION, FILTER, DISTINCT,
+// ORDER BY, projection and OFFSET/LIMIT, Eval and EvalReference must
+// produce the same solution multiset.
+
+var diffVarPool = []string{"a", "b", "c", "d", "e"}
+
+func diffEntity(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("e%d", i)) }
+func diffPred(i int) rdf.Term   { return rdf.NewIRI(fmt.Sprintf("p%d", i)) }
+
+const (
+	diffEntities = 8
+	diffPreds    = 4
+)
+
+func randomStore(r *rand.Rand) *rdf.Store {
+	st := rdf.NewStore()
+	n := 20 + r.Intn(30)
+	for i := 0; i < n; i++ {
+		st.MustAdd(rdf.T(
+			diffEntity(r.Intn(diffEntities)),
+			diffPred(r.Intn(diffPreds)),
+			diffEntity(r.Intn(diffEntities)),
+		))
+	}
+	return st
+}
+
+// randomPosition yields a variable (biased) or a concrete term for one
+// triple-pattern position.
+func randomPosition(r *rand.Rand, pred bool) rdf.Term {
+	if r.Intn(3) > 0 {
+		return rdf.NewVar(diffVarPool[r.Intn(len(diffVarPool))])
+	}
+	if pred {
+		return diffPred(r.Intn(diffPreds))
+	}
+	return diffEntity(r.Intn(diffEntities))
+}
+
+func randomPatterns(r *rand.Rand, n int) []rdf.Triple {
+	out := make([]rdf.Triple, n)
+	for i := range out {
+		out[i] = rdf.T(
+			randomPosition(r, false),
+			randomPosition(r, true),
+			randomPosition(r, false),
+		)
+	}
+	return out
+}
+
+func randomFilter(r *rand.Rand) Expr {
+	x := &VarExpr{Name: diffVarPool[r.Intn(len(diffVarPool))]}
+	switch r.Intn(3) {
+	case 0:
+		return &BinExpr{Op: "!=", L: x, R: &VarExpr{Name: diffVarPool[r.Intn(len(diffVarPool))]}}
+	case 1:
+		return &BinExpr{Op: "=", L: x, R: &LitExpr{Val: TermVal(diffEntity(r.Intn(diffEntities)))}}
+	default:
+		return &NotExpr{X: &BinExpr{Op: "=", L: x, R: &LitExpr{Val: TermVal(diffEntity(r.Intn(diffEntities)))}}}
+	}
+}
+
+func randomQuery(r *rand.Rand) *Query {
+	q := &Query{Limit: -1}
+	q.Where = randomPatterns(r, 1+r.Intn(3))
+	if r.Intn(10) < 3 {
+		q.Unions = [][][]rdf.Triple{{randomPatterns(r, 1), randomPatterns(r, 1)}}
+	}
+	for i := r.Intn(3); i > 0; i-- {
+		q.Optionals = append(q.Optionals, randomPatterns(r, 1+r.Intn(2)))
+	}
+	for i := r.Intn(3); i > 0; i-- {
+		q.Filters = append(q.Filters, randomFilter(r))
+	}
+	if r.Intn(2) == 0 {
+		for _, v := range diffVarPool {
+			if r.Intn(2) == 0 {
+				q.Vars = append(q.Vars, v)
+			}
+		}
+	}
+	q.Distinct = r.Intn(10) < 3
+	if r.Intn(10) < 3 {
+		// OFFSET/LIMIT cut rows by position, which is only comparable
+		// across evaluators under a total order: sort by every variable,
+		// so tied rows are identical and any cut yields the same multiset.
+		for _, v := range diffVarPool {
+			q.OrderBy = append(q.OrderBy, OrderKey{Var: v, Desc: r.Intn(2) == 0})
+		}
+		q.Offset = r.Intn(4)
+		if r.Intn(2) == 0 {
+			q.Limit = r.Intn(6)
+		}
+	} else if r.Intn(10) < 3 {
+		q.OrderBy = append(q.OrderBy, OrderKey{Var: diffVarPool[r.Intn(len(diffVarPool))], Desc: r.Intn(2) == 0})
+	}
+	return q
+}
+
+func multiset(bs []Binding) []string {
+	keys := make([]string, len(bs))
+	for i, b := range bs {
+		keys[i] = BindingKey(b)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func TestDifferentialEvalMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 400; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		st := randomStore(r)
+		q := randomQuery(r)
+		got, gerr := Eval(q, st, nil)
+		want, werr := EvalReference(q, st, nil)
+		if (gerr == nil) != (werr == nil) {
+			t.Fatalf("seed %d: error mismatch: Eval=%v EvalReference=%v\nquery: %+v", seed, gerr, werr, q)
+		}
+		if gerr != nil {
+			continue
+		}
+		gm, wm := multiset(got), multiset(want)
+		if len(gm) != len(wm) {
+			t.Fatalf("seed %d: row count mismatch: Eval=%d EvalReference=%d\nquery: %+v", seed, len(gm), len(wm), q)
+		}
+		for i := range gm {
+			if gm[i] != wm[i] {
+				t.Fatalf("seed %d: multiset mismatch at %d:\n  eval: %s\n  ref:  %s\nquery: %+v", seed, i, gm[i], wm[i], q)
+			}
+		}
+		// Under a total order (every variable a sort key) the sequences
+		// must agree exactly, not just as multisets.
+		if len(q.OrderBy) == len(diffVarPool) {
+			for i := range got {
+				if BindingKey(got[i]) != BindingKey(want[i]) {
+					t.Fatalf("seed %d: ordered row %d differs:\n  eval: %v\n  ref:  %v", seed, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialFallbackWideQuery forces the >64-variable fallback
+// path and checks it degrades to the reference evaluator, not an error.
+func TestDifferentialFallbackWideQuery(t *testing.T) {
+	st := rdf.NewStore()
+	st.MustAdd(rdf.T(diffEntity(0), diffPred(0), diffEntity(1)))
+	q := &Query{Limit: -1}
+	for i := 0; i < maxSlots+2; i++ {
+		q.Where = append(q.Where, rdf.T(
+			rdf.NewVar(fmt.Sprintf("v%d", i)), diffPred(0), diffEntity(1)))
+	}
+	if _, ok := compileQuery(q); ok {
+		t.Fatalf("expected compileQuery to report too many slots")
+	}
+	got, err := Eval(q, st, nil)
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("want 1 row from wide query, got %d", len(got))
+	}
+}
+
+func TestBindingKeyCollisionFree(t *testing.T) {
+	// Under the old "name=value;" concatenation both bindings encoded to
+	// `x=<a>;y=<b>;`: the first value smuggles the delimiter characters.
+	b1 := Binding{"x": rdf.NewIRI("a>;y=<b")}
+	b2 := Binding{"x": rdf.NewIRI("a"), "y": rdf.NewIRI("b")}
+	if BindingKey(b1) == BindingKey(b2) {
+		t.Fatalf("BindingKey collision: %q", BindingKey(b1))
+	}
+	// Literal vs IRI with the same text must also stay distinct, as must
+	// language-tagged vs plain literals.
+	if BindingKey(Binding{"x": rdf.NewIRI("v")}) == BindingKey(Binding{"x": rdf.NewLiteral("v")}) {
+		t.Fatalf("BindingKey conflates IRI and literal")
+	}
+	if BindingKey(Binding{"x": rdf.NewLangLiteral("v", "en")}) == BindingKey(Binding{"x": rdf.NewLiteral("v")}) {
+		t.Fatalf("BindingKey conflates language-tagged and plain literal")
+	}
+	if BindingKey(b1) != BindingKey(Binding{"x": rdf.NewIRI("a>;y=<b")}) {
+		t.Fatalf("BindingKey not deterministic")
+	}
+}
+
+// TestOffsetLimitWindowIsCopied pins the fix for the slice-aliasing bug:
+// the returned window must not retain capacity into (and thereby pin or
+// expose) the full pre-OFFSET result.
+func TestOffsetLimitWindowIsCopied(t *testing.T) {
+	st := rdf.NewStore()
+	for i := 0; i < 6; i++ {
+		st.MustAdd(rdf.T(diffEntity(i), diffPred(0), diffEntity(0)))
+	}
+	q := &Query{
+		Where:   []rdf.Triple{rdf.T(rdf.NewVar("x"), diffPred(0), diffEntity(0))},
+		OrderBy: []OrderKey{{Var: "x"}},
+		Offset:  1,
+		Limit:   2,
+	}
+	for name, eval := range map[string]func(*Query, Source, *Env) ([]Binding, error){
+		"Eval": Eval, "EvalReference": EvalReference,
+	} {
+		rows, err := eval(q, st, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(rows) != 2 {
+			t.Fatalf("%s: want 2 rows, got %d", name, len(rows))
+		}
+		if cap(rows) != len(rows) {
+			t.Fatalf("%s: window aliases a larger backing array: len=%d cap=%d", name, len(rows), cap(rows))
+		}
+	}
+}

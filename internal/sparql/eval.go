@@ -3,95 +3,138 @@ package sparql
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 
 	"nl2cm/internal/rdf"
 )
 
 // Source is any triple collection that can enumerate matches for a
 // pattern. *rdf.Store implements it; the IX detector provides an adapter
-// that exposes a dependency graph as triples.
+// that exposes a dependency graph as triples. Sources that additionally
+// implement Counter get cardinality-driven join planning.
 type Source interface {
 	MatchFunc(pattern rdf.Triple, fn func(rdf.Triple) bool)
 }
 
 // Eval evaluates the query against the source and returns the solution
 // bindings, projected, filtered, ordered and limited per the query.
+//
+// Internally rows are slot-indexed term slices that share storage with
+// their parent row until a join step binds a new variable; the map-form
+// Binding is only materialized at this API boundary. Basic graph
+// patterns stream depth-first through the planned join order without
+// materializing per-pattern intermediate row sets, and filters whose
+// variables are all bound by the main pattern run inside the join,
+// pruning rows before they fan out. The result multiset is identical to
+// EvalReference's (assuming pure Env functions and sets); row order
+// before ORDER BY is unspecified in both.
 func Eval(q *Query, src Source, env *Env) ([]Binding, error) {
-	rows, err := evalBGP(q.Where, src)
-	if err != nil {
-		return nil, err
+	if src == nil {
+		return nil, fmt.Errorf("sparql: nil source")
 	}
+	c, ok := compileQuery(q)
+	if !ok {
+		// Wider than the slotted row's 64-variable bound mask.
+		return EvalReference(q, src, env)
+	}
+	e := &exec{c: c, src: src, env: env, view: &rowView{c: c}}
+
+	// Main basic graph pattern: plan once, attach every filter whose
+	// variables are certainly bound by it, stream the join.
+	plan := planBGP(q.Where, nil, src)
+	steps, postFilters := attachFilters(plan, q.Filters, c)
+	rows := e.extendAll(nil, steps)
+	if len(q.Where) == 0 {
+		rows = []row{{}} // one empty row, as the empty BGP's solution
+	}
+
 	// Union blocks: each block extends the rows through any of its
-	// alternative patterns.
+	// alternative patterns (bag semantics: a row reached through two
+	// alternatives appears twice). mayBind tracks which variables earlier
+	// parts may have bound, informing the planner; it is only needed when
+	// there is anything beyond the main pattern to plan.
+	var mayBind map[string]bool
+	markVars := func(patterns []rdf.Triple) {
+		for _, p := range patterns {
+			p.EachVar(func(v string) { mayBind[v] = true })
+		}
+	}
+	if len(q.Unions) > 0 || len(q.Optionals) > 0 {
+		mayBind = map[string]bool{}
+		markVars(q.Where)
+	}
 	for _, block := range q.Unions {
-		var merged []Binding
+		var merged []row
 		for _, alt := range block {
-			ext, err := extendBGP(rows, alt, src)
-			if err != nil {
-				return nil, err
+			altSteps := toSteps(planBGP(alt, mayBind, src))
+			for _, r := range rows {
+				merged = e.extend(r, altSteps, 0, merged)
 			}
-			merged = append(merged, ext...)
+		}
+		for _, alt := range block {
+			markVars(alt)
 		}
 		rows = merged
 		if len(rows) == 0 {
 			break
 		}
 	}
+
 	// Optional groups: left join — a row without a match survives
-	// unchanged.
+	// unchanged. Each group is planned once, not once per row.
 	for _, opt := range q.Optionals {
-		var joined []Binding
-		for _, b := range rows {
-			ext, err := extendBGP([]Binding{b}, opt, src)
-			if err != nil {
-				return nil, err
-			}
-			if len(ext) == 0 {
-				joined = append(joined, b)
-			} else {
-				joined = append(joined, ext...)
+		optSteps := toSteps(planBGP(opt, mayBind, src))
+		joined := make([]row, 0, len(rows))
+		for _, r := range rows {
+			n := len(joined)
+			joined = e.extend(r, optSteps, 0, joined)
+			if len(joined) == n {
+				joined = append(joined, r)
 			}
 		}
+		markVars(opt)
 		rows = joined
 	}
-	// Filters.
-	if len(q.Filters) > 0 {
-		var kept []Binding
-		for _, b := range rows {
-			ok := true
-			for _, f := range q.Filters {
-				v, err := f.Eval(b, env)
-				if err != nil {
-					// An erroring filter removes the row, per SPARQL
-					// semantics for type errors.
-					ok = false
-					break
-				}
-				if !v.Truthy() {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				kept = append(kept, b)
+
+	// Filters that could not run inside the main join (variables bound
+	// only by OPTIONAL/UNION parts, or not at all).
+	if len(postFilters) > 0 {
+		kept := rows[:0]
+		for _, r := range rows {
+			if e.filtersPass(postFilters, r) {
+				kept = append(kept, r)
 			}
 		}
 		rows = kept
 	}
+
 	// Order. Per SPARQL ordering semantics, an unbound sort variable
 	// sorts before any bound value (so under DESC it sorts last); two
 	// unbound values compare equal and fall through to the next key.
 	if len(q.OrderBy) > 0 {
+		keys := make([]struct {
+			slot int
+			has  bool
+			desc bool
+		}, len(q.OrderBy))
+		for i, k := range q.OrderBy {
+			keys[i].slot, keys[i].has = c.slots[k.Var]
+			keys[i].desc = k.Desc
+		}
 		sort.SliceStable(rows, func(i, j int) bool {
-			for _, k := range q.OrderBy {
-				ti, iok := rows[i][k.Var]
-				tj, jok := rows[j][k.Var]
+			for _, k := range keys {
+				if !k.has {
+					continue // variable no pattern can bind: all equal
+				}
+				ti, iok := rows[i].get(k.slot)
+				tj, jok := rows[j].get(k.slot)
 				if !iok || !jok {
 					if iok == jok {
 						continue
 					}
 					less := !iok // unbound before bound
-					if k.Desc {
+					if k.desc {
 						return !less
 					}
 					return less
@@ -100,7 +143,7 @@ func Eval(q *Query, src Source, env *Env) ([]Binding, error) {
 				if c == 0 {
 					continue
 				}
-				if k.Desc {
+				if k.desc {
 					return c > 0
 				}
 				return c < 0
@@ -108,33 +151,38 @@ func Eval(q *Query, src Source, env *Env) ([]Binding, error) {
 			return false
 		})
 	}
-	// Projection.
+
+	// Projection: narrowing the bound mask is enough — dropped slots are
+	// invisible to DISTINCT and to materialization.
 	if len(q.Vars) > 0 {
-		proj := make([]Binding, len(rows))
-		for i, b := range rows {
-			nb := make(Binding, len(q.Vars))
-			for _, v := range q.Vars {
-				if t, ok := b[v]; ok {
-					nb[v] = t
-				}
+		var projMask uint64
+		for _, v := range q.Vars {
+			if slot, ok := c.slots[v]; ok {
+				projMask |= 1 << slot
 			}
-			proj[i] = nb
 		}
-		rows = proj
+		for i := range rows {
+			rows[i].mask &= projMask
+		}
 	}
+
 	// Distinct.
 	if q.Distinct {
 		seen := map[string]bool{}
-		var kept []Binding
-		for _, b := range rows {
-			key := bindingKey(b)
+		kept := rows[:0]
+		var sb strings.Builder
+		for _, r := range rows {
+			sb.Reset()
+			writeRowKey(&sb, r, c)
+			key := sb.String()
 			if !seen[key] {
 				seen[key] = true
-				kept = append(kept, b)
+				kept = append(kept, r)
 			}
 		}
 		rows = kept
 	}
+
 	// Offset / limit.
 	if q.Offset > 0 {
 		if q.Offset >= len(rows) {
@@ -146,7 +194,21 @@ func Eval(q *Query, src Source, env *Env) ([]Binding, error) {
 	if q.Limit >= 0 && q.Limit < len(rows) {
 		rows = rows[:q.Limit]
 	}
-	return rows, nil
+
+	// Materialize map-form bindings at the API boundary. The output is
+	// freshly allocated, so OFFSET/LIMIT windows never pin a larger
+	// backing array.
+	out := make([]Binding, len(rows))
+	for i, r := range rows {
+		b := make(Binding)
+		for slot, name := range c.names {
+			if r.mask&(1<<slot) != 0 {
+				b[name] = r.vals[slot]
+			}
+		}
+		out[i] = b
+	}
+	return out, nil
 }
 
 // EvalPattern evaluates a bare graph pattern (triples + filters) and
@@ -156,86 +218,144 @@ func EvalPattern(where []rdf.Triple, filters []Expr, src Source, env *Env) ([]Bi
 	return Eval(q, src, env)
 }
 
-func bindingKey(b Binding) string {
-	keys := make([]string, 0, len(b))
-	for k := range b {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	s := ""
-	for _, k := range keys {
-		s += k + "=" + b[k].String() + ";"
-	}
-	return s
+// row is one solution during evaluation: terms indexed by compiled slot,
+// with a bitmask of bound slots. Extending a row copies the term slice
+// once (copy-on-write); rows that bind nothing new share their parent's
+// storage.
+type row struct {
+	vals []rdf.Term
+	mask uint64
 }
 
-// evalBGP joins the triple patterns left-to-right, at each step choosing
-// the most selective remaining pattern (fewest unbound variables).
-func evalBGP(patterns []rdf.Triple, src Source) ([]Binding, error) {
-	return extendBGP([]Binding{{}}, patterns, src)
+func (r row) get(slot int) (rdf.Term, bool) {
+	if r.mask&(1<<slot) == 0 {
+		return rdf.Term{}, false
+	}
+	return r.vals[slot], true
 }
 
-// extendBGP extends existing solution rows with the triple patterns,
-// joining on shared variables.
-func extendBGP(seed []Binding, patterns []rdf.Triple, src Source) ([]Binding, error) {
-	if src == nil {
-		return nil, fmt.Errorf("sparql: nil source")
+// rowView adapts a row to the Vars interface for filter evaluation; one
+// view per execution is re-pointed between rows to avoid allocating an
+// adapter per filter call.
+type rowView struct {
+	c *compiled
+	r row
+}
+
+// Get implements Vars.
+func (v *rowView) Get(name string) (rdf.Term, bool) {
+	slot, ok := v.c.slots[name]
+	if !ok {
+		return rdf.Term{}, false
 	}
-	if len(patterns) == 0 {
-		return seed, nil
+	return v.r.get(slot)
+}
+
+// planStep is one joined pattern plus the filters that become decidable
+// once its variables are bound.
+type planStep struct {
+	pat     rdf.Triple
+	filters []Expr
+}
+
+func toSteps(plan []rdf.Triple) []planStep {
+	steps := make([]planStep, len(plan))
+	for i, p := range plan {
+		steps[i].pat = p
 	}
-	remaining := make([]rdf.Triple, len(patterns))
-	copy(remaining, patterns)
-	rows := seed
-	bound := map[string]bool{}
-	for _, b := range seed {
-		for v := range b {
-			bound[v] = true
+	return steps
+}
+
+// attachFilters assigns each filter to the earliest step of the main
+// plan at which all its variables are bound. Filters referencing
+// variables outside the plan (or expression types the variable walker
+// does not know) are returned for post-join evaluation. Pushing a filter
+// into the join is sound because variables bind exactly once — later
+// OPTIONAL/UNION extensions cannot change a slot the main pattern bound
+// — and Env functions and sets are assumed pure.
+func attachFilters(plan []rdf.Triple, filters []Expr, c *compiled) ([]planStep, []Expr) {
+	steps := toSteps(plan)
+	var post []Expr
+	for _, f := range filters {
+		vars := map[string]bool{}
+		if !exprVars(f, vars) {
+			post = append(post, f)
+			continue
 		}
-	}
-	for len(remaining) > 0 {
-		// Pick the pattern with the fewest unbound variables.
-		best, bestScore := 0, -1
-		for i, p := range remaining {
-			score := 0
-			for _, v := range p.Vars() {
-				if !bound[v] {
-					score++
+		at := -1
+		if len(steps) > 0 {
+			need := len(vars)
+			have := map[string]bool{}
+			for i, st := range steps {
+				st.pat.EachVar(func(v string) {
+					if vars[v] {
+						have[v] = true
+					}
+				})
+				if len(have) == need {
+					at = i
+					break
 				}
 			}
-			if bestScore == -1 || score < bestScore {
-				best, bestScore = i, score
-			}
 		}
-		p := remaining[best]
-		remaining = append(remaining[:best], remaining[best+1:]...)
-		for _, v := range p.Vars() {
-			bound[v] = true
+		if at < 0 {
+			post = append(post, f)
+			continue
 		}
-		var next []Binding
-		for _, b := range rows {
-			concrete := substitute(p, b)
-			src.MatchFunc(concrete, func(t rdf.Triple) bool {
-				nb, ok := unify(concrete, t, b)
-				if ok {
-					next = append(next, nb)
-				}
-				return true
-			})
-		}
-		rows = next
-		if len(rows) == 0 {
-			return nil, nil
-		}
+		steps[at].filters = append(steps[at].filters, f)
 	}
-	return rows, nil
+	return steps, post
 }
 
-// substitute replaces bound variables in the pattern with their terms.
-func substitute(p rdf.Triple, b Binding) rdf.Triple {
+// exec carries the per-Eval state shared by the join recursion.
+type exec struct {
+	c    *compiled
+	src  Source
+	env  *Env
+	view *rowView
+}
+
+// extendAll runs every seed row (nil means the single empty row) through
+// the join steps and returns the produced rows.
+func (e *exec) extendAll(seed []row, steps []planStep) []row {
+	var out []row
+	if seed == nil {
+		return e.extend(row{}, steps, 0, out)
+	}
+	for _, r := range seed {
+		out = e.extend(r, steps, 0, out)
+	}
+	return out
+}
+
+// extend streams r depth-first through steps[depth:], appending every
+// complete solution to out. Pattern matches flow straight into the next
+// join level; no per-level row set is materialized.
+func (e *exec) extend(r row, steps []planStep, depth int, out []row) []row {
+	if depth == len(steps) {
+		return append(out, r)
+	}
+	st := steps[depth]
+	concrete := e.substituteRow(st.pat, r)
+	e.src.MatchFunc(concrete, func(t rdf.Triple) bool {
+		nr, ok := e.unifyRow(concrete, t, r)
+		if !ok {
+			return true
+		}
+		if len(st.filters) > 0 && !e.filtersPass(st.filters, nr) {
+			return true
+		}
+		out = e.extend(nr, steps, depth+1, out)
+		return true
+	})
+	return out
+}
+
+// substituteRow replaces variables the row binds with their terms.
+func (e *exec) substituteRow(p rdf.Triple, r row) rdf.Triple {
 	sub := func(t rdf.Term) rdf.Term {
 		if t.IsVar() {
-			if bt, ok := b[t.Value()]; ok {
+			if bt, ok := r.get(e.c.slots[t.Value()]); ok {
 				return bt
 			}
 		}
@@ -244,23 +364,89 @@ func substitute(p rdf.Triple, b Binding) rdf.Triple {
 	return rdf.T(sub(p.S), sub(p.P), sub(p.O))
 }
 
-// unify extends binding b with the variable assignments implied by
-// matching pattern p against ground triple t. A repeated variable must
-// take the same value in all positions.
-func unify(p rdf.Triple, t rdf.Triple, b Binding) (Binding, bool) {
-	nb := b.Clone()
+// unifyRow extends r with the variable assignments implied by matching
+// pattern p against ground triple t. The term slice is copied at most
+// once, on the first new binding; a repeated variable must take the same
+// value in all positions.
+func (e *exec) unifyRow(p rdf.Triple, t rdf.Triple, r row) (row, bool) {
+	nr := r
+	copied := false
 	bind := func(pt, gt rdf.Term) bool {
 		if !pt.IsVar() {
 			return pt.Equal(gt)
 		}
-		if prev, ok := nb[pt.Value()]; ok {
+		slot := e.c.slots[pt.Value()]
+		if prev, ok := nr.get(slot); ok {
 			return prev.Equal(gt)
 		}
-		nb[pt.Value()] = gt
+		if !copied {
+			nv := make([]rdf.Term, len(e.c.names))
+			copy(nv, nr.vals)
+			nr.vals = nv
+			copied = true
+		}
+		nr.vals[slot] = gt
+		nr.mask |= 1 << slot
 		return true
 	}
 	if !bind(p.S, t.S) || !bind(p.P, t.P) || !bind(p.O, t.O) {
-		return nil, false
+		return row{}, false
 	}
-	return nb, true
+	return nr, true
+}
+
+// filtersPass reports whether the row satisfies every filter; an
+// erroring filter removes the row, per SPARQL semantics for type errors.
+func (e *exec) filtersPass(filters []Expr, r row) bool {
+	e.view.r = r
+	for _, f := range filters {
+		v, err := f.Eval(e.view, e.env)
+		if err != nil || !v.Truthy() {
+			return false
+		}
+	}
+	return true
+}
+
+// BindingKey returns a canonical, collision-free key for a binding's
+// (variable, term) set, suitable for DISTINCT-style deduplication. Every
+// variable-length component is length-prefixed, so no choice of variable
+// names or term contents can make two distinct bindings collide.
+func BindingKey(b Binding) string {
+	keys := make([]string, 0, len(b))
+	for k := range b {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		sb.WriteString(strconv.Itoa(len(k)))
+		sb.WriteByte(':')
+		sb.WriteString(k)
+		writeTermKey(&sb, b[k])
+	}
+	return sb.String()
+}
+
+// writeRowKey writes the collision-free key of a row's bound slots. The
+// slot table is fixed for the whole query, so the slot index substitutes
+// for the variable name.
+func writeRowKey(sb *strings.Builder, r row, c *compiled) {
+	for slot := range c.names {
+		if r.mask&(1<<slot) == 0 {
+			continue
+		}
+		sb.WriteString(strconv.Itoa(slot))
+		writeTermKey(sb, r.vals[slot])
+	}
+}
+
+// writeTermKey writes a length-prefixed encoding of every term field.
+func writeTermKey(sb *strings.Builder, t rdf.Term) {
+	sb.WriteByte(byte('0' + t.Kind()))
+	for _, part := range [3]string{t.Value(), t.Datatype(), t.Lang()} {
+		sb.WriteString(strconv.Itoa(len(part)))
+		sb.WriteByte(':')
+		sb.WriteString(part)
+	}
 }

@@ -88,10 +88,18 @@ type Env struct {
 	Sets map[string]func(Value) bool
 }
 
+// Vars is the read-only variable environment a filter expression
+// evaluates against. Binding satisfies it through its Get method, and
+// the optimized evaluator passes a view over its slot-indexed rows
+// without building a map.
+type Vars interface {
+	Get(name string) (rdf.Term, bool)
+}
+
 // Expr is a filter expression.
 type Expr interface {
-	// Eval evaluates the expression under a binding and environment.
-	Eval(b Binding, env *Env) (Value, error)
+	// Eval evaluates the expression under a variable environment.
+	Eval(b Vars, env *Env) (Value, error)
 	fmt.Stringer
 }
 
@@ -99,8 +107,8 @@ type Expr interface {
 type VarExpr struct{ Name string }
 
 // Eval implements Expr.
-func (e *VarExpr) Eval(b Binding, _ *Env) (Value, error) {
-	t, ok := b[e.Name]
+func (e *VarExpr) Eval(b Vars, _ *Env) (Value, error) {
+	t, ok := b.Get(e.Name)
 	if !ok {
 		return Value{}, fmt.Errorf("sparql: unbound variable $%s in filter", e.Name)
 	}
@@ -113,7 +121,7 @@ func (e *VarExpr) String() string { return "$" + e.Name }
 type LitExpr struct{ Val Value }
 
 // Eval implements Expr.
-func (e *LitExpr) Eval(Binding, *Env) (Value, error) { return e.Val, nil }
+func (e *LitExpr) Eval(Vars, *Env) (Value, error) { return e.Val, nil }
 
 func (e *LitExpr) String() string {
 	switch e.Val.Kind {
@@ -135,7 +143,7 @@ type CallExpr struct {
 }
 
 // Eval implements Expr.
-func (e *CallExpr) Eval(b Binding, env *Env) (Value, error) {
+func (e *CallExpr) Eval(b Vars, env *Env) (Value, error) {
 	if env == nil || env.Funcs == nil {
 		return Value{}, fmt.Errorf("sparql: no function environment for %s()", e.Name)
 	}
@@ -166,7 +174,7 @@ func (e *CallExpr) String() string {
 type NotExpr struct{ X Expr }
 
 // Eval implements Expr.
-func (e *NotExpr) Eval(b Binding, env *Env) (Value, error) {
+func (e *NotExpr) Eval(b Vars, env *Env) (Value, error) {
 	v, err := e.X.Eval(b, env)
 	if err != nil {
 		return Value{}, err
@@ -183,7 +191,7 @@ type BinExpr struct {
 }
 
 // Eval implements Expr.
-func (e *BinExpr) Eval(b Binding, env *Env) (Value, error) {
+func (e *BinExpr) Eval(b Vars, env *Env) (Value, error) {
 	switch e.Op {
 	case "&&":
 		l, err := e.L.Eval(b, env)
@@ -269,7 +277,7 @@ type InExpr struct {
 }
 
 // Eval implements Expr.
-func (e *InExpr) Eval(b Binding, env *Env) (Value, error) {
+func (e *InExpr) Eval(b Vars, env *Env) (Value, error) {
 	v, err := e.X.Eval(b, env)
 	if err != nil {
 		return Value{}, err
