@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: all check vet build test race bench bench-smoke fmt
+.PHONY: all check vet build test race session-stress session-smoke bench bench-smoke fmt
 
 all: check
 
 # check is the CI gate: vet, build everything, run the tests with the
-# race detector (the concurrency stress tests depend on it).
-check: vet build race
+# race detector (the concurrency stress tests depend on it), then hammer
+# the dialogue-session subsystem a few extra rounds.
+check: vet build race session-stress
 
 vet:
 	$(GO) vet ./...
@@ -19,6 +20,17 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# session-stress repeats the dialogue-session concurrency and
+# goroutine-leak tests under the race detector: interleaved answers,
+# expiry, eviction and 100 abandoned sessions.
+session-stress:
+	$(GO) test -race -count=3 -run 'TestSessionStress|TestAbandonedSessionsLeakNoGoroutines|TestConcurrentAnswersOneSession' ./internal/session/
+
+# session-smoke curls a live daemon through one scripted dialogue
+# (requires curl and jq).
+session-smoke:
+	./scripts/session_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem .

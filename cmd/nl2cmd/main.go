@@ -16,14 +16,26 @@
 // the crowd engine's metrics (tasks, per-subclause wall-clock,
 // support-cache hits).
 //
+// Interactive dialogue sessions (paper Figures 3–6 as a protocol) are
+// served by the session endpoints: a translation parks at each
+// interaction point and a remote client drives it by polling and
+// posting answers. Accepted disambiguation answers accumulate in the
+// shared feedback store, which -feedback persists across restarts
+// (periodic flush plus an atomic write on shutdown).
+//
 // Endpoints:
 //
-//	GET  /                the question form
-//	POST /translate       translate a question (form field "q")
-//	POST /execute         translate and run on the simulated crowd
-//	GET  /admin           the admin trace of the last translation
-//	GET  /corpus          the demo question corpus, one-click translation
-//	POST /api/translate   JSON API: {"question": "..."}
+//	GET    /                      the question form
+//	POST   /translate             translate a question (form field "q")
+//	POST   /execute               translate and run on the simulated crowd
+//	GET    /admin                 admin trace, engine and session metrics
+//	GET    /corpus                the demo question corpus, one-click translation
+//	POST   /api/translate         JSON API: {"question": "..."}
+//	POST   /api/session           start a dialogue session
+//	GET    /api/session/{id}      poll a session
+//	POST   /api/session/{id}/answer  answer its pending question
+//	DELETE /api/session/{id}      abort a session
+//	GET    /dialogue              the clickable dialogue page
 package main
 
 import (
@@ -35,11 +47,16 @@ import (
 	"html/template"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"nl2cm"
+	"nl2cm/internal/qgen"
+	"nl2cm/internal/session"
 )
 
 // server shares one Translator and one Engine across requests. Both are
@@ -51,9 +68,82 @@ type server struct {
 	eng     *nl2cm.Engine
 	timeout time.Duration
 
+	// sess owns the interactive dialogue sessions; answerWait bounds how
+	// long a start/answer request blocks waiting for the next question,
+	// and feedbackPath (when set) is where the disambiguation feedback
+	// store persists.
+	sess         *session.Manager
+	answerWait   time.Duration
+	feedbackPath string
+
 	mu       sync.Mutex // guards last and lastExec only
 	last     *nl2cm.Result
 	lastExec *engineStats
+}
+
+// serverConfig collects the daemon's tunables (one field per flag).
+type serverConfig struct {
+	timeout         time.Duration
+	feedback        string
+	sessions        int
+	sessionTTL      time.Duration
+	questionTimeout time.Duration
+	answerWait      time.Duration
+}
+
+// newServer builds the shared translator, engine and session manager,
+// loading the persisted feedback store when configured.
+func newServer(cfg serverConfig) (*server, error) {
+	onto := nl2cm.DemoOntology()
+	tr := nl2cm.NewTranslator(onto)
+	if cfg.feedback != "" {
+		f, err := qgen.LoadFeedback(cfg.feedback)
+		if err != nil {
+			return nil, err
+		}
+		tr.Generator.Feedback = f
+	}
+	if cfg.answerWait <= 0 {
+		cfg.answerWait = 2 * time.Second
+	}
+	s := &server{
+		tr:           tr,
+		eng:          nl2cm.NewDemoEngine(onto),
+		timeout:      cfg.timeout,
+		answerWait:   cfg.answerWait,
+		feedbackPath: cfg.feedback,
+	}
+	s.sess = session.NewManager(session.Config{
+		Translator:      tr,
+		Capacity:        cfg.sessions,
+		TTL:             cfg.sessionTTL,
+		QuestionTimeout: cfg.questionTimeout,
+		Trace:           true,
+		OnDone:          s.sessionDone,
+	})
+	return s, nil
+}
+
+// sessionDone snapshots a finished dialogue's result for the admin
+// trace, like single-shot translations do.
+func (s *server) sessionDone(sess *session.Session) {
+	snap := sess.Snapshot()
+	if snap.Result != nil {
+		s.mu.Lock()
+		s.last = snap.Result
+		s.mu.Unlock()
+	}
+}
+
+// saveFeedback persists the learned disambiguation feedback; Save is an
+// atomic replace, so readers of the file never see a truncated store.
+func (s *server) saveFeedback() {
+	if s.feedbackPath == "" {
+		return
+	}
+	if err := s.tr.Generator.Feedback.Save(s.feedbackPath); err != nil {
+		log.Printf("feedback save: %v", err)
+	}
 }
 
 // engineStats is the admin-page snapshot of the last crowd execution:
@@ -76,12 +166,21 @@ type subclauseStat struct {
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request translation timeout (0 = none)")
+	feedback := flag.String("feedback", "", "disambiguation feedback store path (loaded at start, persisted on shutdown and each -feedback-flush)")
+	flush := flag.Duration("feedback-flush", 30*time.Second, "feedback persistence interval (0 = shutdown only)")
+	sessions := flag.Int("sessions", session.DefaultCapacity, "max live dialogue sessions (oldest-idle evicted beyond)")
+	sessionTTL := flag.Duration("session-ttl", session.DefaultTTL, "dialogue session lifetime")
+	questionTimeout := flag.Duration("question-timeout", session.DefaultQuestionTimeout, "per-question deadline before the automatic answer applies")
 	flag.Parse()
-	onto := nl2cm.DemoOntology()
-	s := &server{
-		tr:      nl2cm.NewTranslator(onto),
-		eng:     nl2cm.NewDemoEngine(onto),
-		timeout: *timeout,
+	s, err := newServer(serverConfig{
+		timeout:         *timeout,
+		feedback:        *feedback,
+		sessions:        *sessions,
+		sessionTTL:      *sessionTTL,
+		questionTimeout: *questionTimeout,
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
 	srv := &http.Server{
 		Addr:         *addr,
@@ -89,8 +188,40 @@ func main() {
 		ReadTimeout:  10 * time.Second,
 		WriteTimeout: *timeout + 10*time.Second,
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	if *feedback != "" && *flush > 0 {
+		go func() {
+			t := time.NewTicker(*flush)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					s.saveFeedback()
+				}
+			}
+		}()
+	}
 	log.Printf("nl2cmd listening on %s", *addr)
-	log.Fatal(srv.ListenAndServe())
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("nl2cmd shutting down")
+	shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	s.sess.Close()
+	s.saveFeedback()
 }
 
 func (s *server) routes() http.Handler {
@@ -101,6 +232,14 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /admin", s.admin)
 	mux.HandleFunc("GET /corpus", s.corpus)
 	mux.HandleFunc("POST /api/translate", s.apiTranslate)
+	mux.HandleFunc("POST /api/session", s.apiSessionStart)
+	mux.HandleFunc("GET /api/session/{id}", s.apiSessionGet)
+	mux.HandleFunc("POST /api/session/{id}/answer", s.apiSessionAnswer)
+	mux.HandleFunc("DELETE /api/session/{id}", s.apiSessionDelete)
+	mux.HandleFunc("GET /dialogue", s.dialoguePage)
+	mux.HandleFunc("POST /dialogue", s.dialogueStart)
+	mux.HandleFunc("POST /dialogue/answer", s.dialogueAnswer)
+	mux.HandleFunc("POST /dialogue/delete", s.dialogueDelete)
 	return mux
 }
 
@@ -122,7 +261,7 @@ Forest Hotel, Buffalo, we should visit in the fall?</em></p>
 <textarea name="q">{{.Question}}</textarea><br>
 <button type="submit">Translate</button>
 <button type="submit" formaction="/execute">Translate &amp; execute</button>
-<a href="/admin">administrator mode</a> · <a href="/corpus">question corpus</a>
+<a href="/dialogue">interactive dialogue</a> · <a href="/admin">administrator mode</a> · <a href="/corpus">question corpus</a>
 </form>
 {{if .Unsupported}}
 <h2>Question not supported</h2>
@@ -388,6 +527,16 @@ pre{background:#f4f4f4;padding:1em;overflow-x:auto}
 {{range .Exec.Subclauses}}<tr><td>SATISFYING {{.Index}}</td><td>{{.Tasks}}</td><td>{{.Duration}}</td></tr>{{end}}
 </table>
 {{end}}
+<h2>Dialogue sessions</h2>
+{{with .Sessions}}
+<p>{{.Live}} live · {{.Started}} started — {{.Completed}} completed,
+{{.Failed}} failed, {{.Expired}} expired, {{.Evicted}} evicted.</p>
+<table><tr><th>interaction point</th><th>asked</th><th>answered</th>
+<th>timed out</th><th>aborted</th><th>avg wait</th></tr>
+{{range .Points}}<tr><td>{{.Point}}</td><td>{{.Asked}}</td><td>{{.Answered}}</td>
+<td>{{.TimedOut}}</td><td>{{.Aborted}}</td><td>{{.AvgWait}}</td></tr>{{end}}
+</table>
+{{end}}
 </body></html>`))
 
 // adminData feeds the admin template: the last translation trace, the
@@ -398,6 +547,7 @@ type adminData struct {
 	Exec        *engineStats
 	CacheHits   uint64
 	CacheMisses uint64
+	Sessions    session.Metrics
 }
 
 func (s *server) admin(w http.ResponseWriter, r *http.Request) {
@@ -405,6 +555,7 @@ func (s *server) admin(w http.ResponseWriter, r *http.Request) {
 	d := adminData{Last: s.last, Exec: s.lastExec}
 	s.mu.Unlock()
 	d.CacheHits, d.CacheMisses = s.eng.CacheStats()
+	d.Sessions = s.sess.Metrics()
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	if err := adminTmpl.Execute(w, d); err != nil {
 		log.Printf("admin render: %v", err)

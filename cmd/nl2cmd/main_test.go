@@ -10,22 +10,23 @@ import (
 	"strings"
 	"testing"
 	"time"
-
-	"nl2cm"
 )
 
-func testServer() *server {
-	onto := nl2cm.DemoOntology()
-	return &server{
-		tr:  nl2cm.NewTranslator(onto),
-		eng: nl2cm.NewDemoEngine(onto),
+func testServer(t *testing.T) *server {
+	t.Helper()
+	s, err := newServer(serverConfig{})
+	if err != nil {
+		t.Fatal(err)
 	}
+	s.timeout = 0
+	t.Cleanup(s.sess.Close)
+	return s
 }
 
 const question = "What are the most interesting places near Forest Hotel, Buffalo, we should visit in the fall?"
 
 func TestHomePage(t *testing.T) {
-	s := testServer()
+	s := testServer(t)
 	rec := httptest.NewRecorder()
 	s.home(rec, httptest.NewRequest("GET", "/", nil))
 	if rec.Code != http.StatusOK {
@@ -38,7 +39,7 @@ func TestHomePage(t *testing.T) {
 }
 
 func TestHomeNotFoundForOtherPaths(t *testing.T) {
-	s := testServer()
+	s := testServer(t)
 	rec := httptest.NewRecorder()
 	s.home(rec, httptest.NewRequest("GET", "/nope", nil))
 	if rec.Code != http.StatusNotFound {
@@ -57,7 +58,7 @@ func postForm(t *testing.T, s *server, handler func(http.ResponseWriter, *http.R
 }
 
 func TestTranslateEndpoint(t *testing.T) {
-	s := testServer()
+	s := testServer(t)
 	rec := postForm(t, s, s.translate, question)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status = %d", rec.Code)
@@ -76,7 +77,7 @@ func TestTranslateEndpoint(t *testing.T) {
 }
 
 func TestTranslateEndpointUnsupported(t *testing.T) {
-	s := testServer()
+	s := testServer(t)
 	rec := postForm(t, s, s.translate, "How should I store coffee?")
 	body := rec.Body.String()
 	if !strings.Contains(body, "not supported") {
@@ -88,7 +89,7 @@ func TestTranslateEndpointUnsupported(t *testing.T) {
 }
 
 func TestExecuteEndpoint(t *testing.T) {
-	s := testServer()
+	s := testServer(t)
 	rec := postForm(t, s, s.execute, question)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status = %d", rec.Code)
@@ -102,7 +103,7 @@ func TestExecuteEndpoint(t *testing.T) {
 }
 
 func TestAdminPage(t *testing.T) {
-	s := testServer()
+	s := testServer(t)
 	// Before any translation: empty admin page.
 	rec := httptest.NewRecorder()
 	s.admin(rec, httptest.NewRequest("GET", "/admin", nil))
@@ -122,7 +123,7 @@ func TestAdminPage(t *testing.T) {
 }
 
 func TestAPITranslate(t *testing.T) {
-	s := testServer()
+	s := testServer(t)
 	payload := `{"question": "Which hotel in Vegas has the best thrill ride?"}`
 	req := httptest.NewRequest("POST", "/api/translate", strings.NewReader(payload))
 	rec := httptest.NewRecorder()
@@ -143,7 +144,7 @@ func TestAPITranslate(t *testing.T) {
 }
 
 func TestAPITranslateUnsupported(t *testing.T) {
-	s := testServer()
+	s := testServer(t)
 	req := httptest.NewRequest("POST", "/api/translate", strings.NewReader(`{"question": "Why is the sky blue?"}`))
 	rec := httptest.NewRecorder()
 	s.apiTranslate(rec, req)
@@ -157,7 +158,7 @@ func TestAPITranslateUnsupported(t *testing.T) {
 }
 
 func TestAPITranslateBadJSON(t *testing.T) {
-	s := testServer()
+	s := testServer(t)
 	req := httptest.NewRequest("POST", "/api/translate", strings.NewReader("{nope"))
 	rec := httptest.NewRecorder()
 	s.apiTranslate(rec, req)
@@ -167,7 +168,7 @@ func TestAPITranslateBadJSON(t *testing.T) {
 }
 
 func TestHighlightEscapesHTML(t *testing.T) {
-	s := testServer()
+	s := testServer(t)
 	rec := postForm(t, s, s.translate, `Where do you visit in <Buffalo>?`)
 	body := rec.Body.String()
 	if strings.Contains(body, "<Buffalo>") {
@@ -176,7 +177,7 @@ func TestHighlightEscapesHTML(t *testing.T) {
 }
 
 func TestCorpusPage(t *testing.T) {
-	s := testServer()
+	s := testServer(t)
 	rec := httptest.NewRecorder()
 	s.corpus(rec, httptest.NewRequest("GET", "/corpus", nil))
 	if rec.Code != http.StatusOK {
@@ -195,7 +196,7 @@ func TestCorpusPage(t *testing.T) {
 // them must complete (under -race this also checks the shared
 // Translator and admin snapshot).
 func TestAPITranslateConcurrent(t *testing.T) {
-	s := testServer()
+	s := testServer(t)
 	ts := httptest.NewServer(s.routes())
 	defer ts.Close()
 	const workers = 8
@@ -238,7 +239,7 @@ func TestAPITranslateConcurrent(t *testing.T) {
 // already cancelled (client gone) does not produce a 200 and is mapped
 // by translateError, exercising r.Context() propagation end to end.
 func TestAPITranslateCancelled(t *testing.T) {
-	s := testServer()
+	s := testServer(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	req := httptest.NewRequest("POST", "/api/translate",
@@ -253,7 +254,7 @@ func TestAPITranslateCancelled(t *testing.T) {
 // TestTranslateTimeout bounds a translation with a tiny server timeout;
 // the deadline maps to 504.
 func TestTranslateTimeout(t *testing.T) {
-	s := testServer()
+	s := testServer(t)
 	s.timeout = time.Nanosecond
 	rec := postForm(t, s, s.translate, question)
 	if rec.Code != http.StatusGatewayTimeout {

@@ -181,7 +181,7 @@ func (t *Translator) Translate(ctx context.Context, question string, opt Options
 	}
 	collectDialogue := func() {
 		if rec != nil {
-			res.Interactions = rec.Log
+			res.Interactions = rec.Transcript()
 		}
 	}
 

@@ -15,10 +15,12 @@ package interact
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Point identifies one of the four interaction points.
@@ -188,11 +190,18 @@ func (Auto) SelectProjection(ctx context.Context, choices []VarChoice) ([]bool, 
 // ---------------------------------------------------------------------
 // Scripted: canned answers for tests and demo scripts.
 
+// ErrScriptExhausted reports that a Scripted interactor in Strict mode
+// was asked more questions than its script answers. Tests match it with
+// errors.Is.
+var ErrScriptExhausted = errors.New("interact: script exhausted")
+
 // Scripted replays pre-recorded answers; when a queue is exhausted it
-// falls back to the Auto defaults. It implements the volunteer-user
-// scripts of the demonstration scenario. A Scripted interactor carries
-// per-dialogue cursors and therefore serves exactly one translation at a
-// time; build a fresh one per request under concurrency.
+// falls back to the Auto defaults, unless Strict is set, in which case
+// the exhausted call fails with ErrScriptExhausted. It implements the
+// volunteer-user scripts of the demonstration scenario. A Scripted
+// interactor carries per-dialogue cursors and therefore serves exactly
+// one translation at a time; build a fresh one per request under
+// concurrency.
 type Scripted struct {
 	// IXAnswers holds one []bool per VerifyIXs call.
 	IXAnswers [][]bool
@@ -203,6 +212,11 @@ type Scripted struct {
 	ThresholdAnswers []float64
 	// ProjectionAnswers holds one []bool per SelectProjection call.
 	ProjectionAnswers [][]bool
+	// Strict turns silent fallback-to-default on an exhausted answer
+	// queue into an ErrScriptExhausted failure, so a test whose dialogue
+	// asks more questions than scripted fails loudly instead of passing
+	// on defaults.
+	Strict bool
 
 	ixi, disi, ki, thi, pri int
 }
@@ -220,6 +234,9 @@ func (s *Scripted) VerifyIXs(ctx context.Context, q string, spans []IXSpan) ([]b
 		}
 		return ans, nil
 	}
+	if s.Strict {
+		return nil, fmt.Errorf("%w: no IX answer for call %d", ErrScriptExhausted, s.ixi+1)
+	}
 	return Auto{}.VerifyIXs(ctx, q, spans)
 }
 
@@ -236,6 +253,9 @@ func (s *Scripted) Disambiguate(ctx context.Context, phrase string, options []Ch
 		}
 		return i, nil
 	}
+	if s.Strict {
+		return -1, fmt.Errorf("%w: no disambiguation answer for %q (call %d)", ErrScriptExhausted, phrase, s.disi+1)
+	}
 	return Auto{}.Disambiguate(ctx, phrase, options)
 }
 
@@ -249,6 +269,9 @@ func (s *Scripted) SelectTopK(ctx context.Context, desc string, def int) (int, e
 		s.ki++
 		return k, nil
 	}
+	if s.Strict {
+		return 0, fmt.Errorf("%w: no top-k answer for call %d", ErrScriptExhausted, s.ki+1)
+	}
 	return def, nil
 }
 
@@ -261,6 +284,9 @@ func (s *Scripted) SelectThreshold(ctx context.Context, desc string, def float64
 		t := s.ThresholdAnswers[s.thi]
 		s.thi++
 		return t, nil
+	}
+	if s.Strict {
+		return 0, fmt.Errorf("%w: no threshold answer for call %d", ErrScriptExhausted, s.thi+1)
 	}
 	return def, nil
 }
@@ -278,6 +304,9 @@ func (s *Scripted) SelectProjection(ctx context.Context, choices []VarChoice) ([
 		}
 		return ans, nil
 	}
+	if s.Strict {
+		return nil, fmt.Errorf("%w: no projection answer for call %d", ErrScriptExhausted, s.pri+1)
+	}
 	return Auto{}.SelectProjection(ctx, choices)
 }
 
@@ -285,29 +314,56 @@ func (s *Scripted) SelectProjection(ctx context.Context, choices []VarChoice) ([
 // Console: interactive prompts over an io stream (the CLI front end).
 
 // Console prompts the user on W and reads answers from R, mirroring the
-// web UI dialogues of Figures 3–6 in plain text. Cancellation is checked
-// before each prompt; a read already in progress finishes first (the
-// underlying reader is not interruptible).
+// web UI dialogues of Figures 3–6 in plain text. Reads run on a
+// dedicated goroutine so every prompt honors its context: cancelling
+// (Ctrl-C, timeout) unblocks the dialogue immediately with ctx.Err().
+// The underlying read itself is not interruptible — an abandoned read
+// keeps running until the next line or EOF arrives on R, and its line is
+// discarded; for stdin this is moot because the process is exiting.
 type Console struct {
 	R io.Reader
 	W io.Writer
 
-	br *bufio.Reader
+	once  sync.Once
+	lines chan lineRead
 }
 
-func (c *Console) reader() *bufio.Reader {
-	if c.br == nil {
-		c.br = bufio.NewReader(c.R)
-	}
-	return c.br
+// lineRead is one reader-goroutine result.
+type lineRead struct {
+	line string
+	err  error
 }
 
-func (c *Console) readLine() (string, error) {
-	line, err := c.reader().ReadString('\n')
-	if err != nil && line == "" {
-		return "", err
+// start launches the reader goroutine on first use. It reads at most one
+// line ahead (the channel is unbuffered) and exits on read error/EOF.
+func (c *Console) start() {
+	c.once.Do(func() {
+		c.lines = make(chan lineRead)
+		go func() {
+			br := bufio.NewReader(c.R)
+			for {
+				line, err := br.ReadString('\n')
+				if err != nil && line == "" {
+					c.lines <- lineRead{"", err}
+					return
+				}
+				c.lines <- lineRead{strings.TrimSpace(line), nil}
+				if err != nil {
+					return
+				}
+			}
+		}()
+	})
+}
+
+func (c *Console) readLine(ctx context.Context) (string, error) {
+	c.start()
+	select {
+	case r := <-c.lines:
+		return r.line, r.err
+	case <-ctx.Done():
+		return "", ctx.Err()
 	}
-	return strings.TrimSpace(line), nil
 }
 
 // VerifyIXs implements Interactor.
@@ -319,7 +375,7 @@ func (c *Console) VerifyIXs(ctx context.Context, question string, spans []IXSpan
 			return nil, err
 		}
 		fmt.Fprintf(c.W, "  [%d] %q (%s individuality) — ask the crowd? [Y/n] ", i+1, sp.Text, sp.Type)
-		line, err := c.readLine()
+		line, err := c.readLine(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("interact: reading IX answer: %w", err)
 		}
@@ -341,7 +397,7 @@ func (c *Console) Disambiguate(ctx context.Context, phrase string, options []Cho
 		fmt.Fprintf(c.W, "  [%d] %s — %s\n", i+1, o.Label, o.Description)
 	}
 	fmt.Fprintf(c.W, "Enter choice [1]: ")
-	line, err := c.readLine()
+	line, err := c.readLine(ctx)
 	if err != nil {
 		return -1, fmt.Errorf("interact: reading choice: %w", err)
 	}
@@ -361,7 +417,7 @@ func (c *Console) SelectTopK(ctx context.Context, desc string, def int) (int, er
 		return 0, err
 	}
 	fmt.Fprintf(c.W, "How many results for %s? [%d]: ", desc, def)
-	line, err := c.readLine()
+	line, err := c.readLine(ctx)
 	if err != nil {
 		return 0, fmt.Errorf("interact: reading k: %w", err)
 	}
@@ -381,7 +437,7 @@ func (c *Console) SelectThreshold(ctx context.Context, desc string, def float64)
 		return 0, err
 	}
 	fmt.Fprintf(c.W, "Minimal frequency for %s, between 0 and 1? [%g]: ", desc, def)
-	line, err := c.readLine()
+	line, err := c.readLine(ctx)
 	if err != nil {
 		return 0, fmt.Errorf("interact: reading threshold: %w", err)
 	}
@@ -404,7 +460,7 @@ func (c *Console) SelectProjection(ctx context.Context, choices []VarChoice) ([]
 			return nil, err
 		}
 		fmt.Fprintf(c.W, "  $%s (%q) — include? [Y/n] ", ch.Var, ch.Phrase)
-		line, err := c.readLine()
+		line, err := c.readLine(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("interact: reading projection answer: %w", err)
 		}
@@ -424,15 +480,34 @@ type Exchange struct {
 }
 
 // Recorder wraps an Interactor and records a transcript of every
-// exchange; the admin-mode monitor displays it. A Recorder accumulates
-// its log without locking and belongs to exactly one translation.
+// exchange; the admin-mode monitor displays it. Recording is
+// mutex-guarded, so one Recorder may be shared by concurrent
+// translations (provided Inner itself is concurrency-safe): exchanges
+// from different dialogues interleave in arrival order, each appended
+// atomically. Read the transcript with Transcript, which copies under
+// the same lock; the exported Log field may only be accessed directly
+// once every translation using the Recorder has returned.
 type Recorder struct {
 	Inner Interactor
 	Log   []Exchange
+
+	mu sync.Mutex
 }
 
 func (r *Recorder) record(p Point, q, a string) {
+	r.mu.Lock()
 	r.Log = append(r.Log, Exchange{Point: p, Question: q, Answer: a})
+	r.mu.Unlock()
+}
+
+// Transcript returns a copy of the exchanges recorded so far. It is safe
+// to call while translations using this Recorder are still running.
+func (r *Recorder) Transcript() []Exchange {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Exchange, len(r.Log))
+	copy(out, r.Log)
+	return out
 }
 
 // VerifyIXs implements Interactor.

@@ -2,8 +2,12 @@ package interact
 
 import (
 	"context"
+	"errors"
+	"io"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 var spans = []IXSpan{
@@ -217,5 +221,100 @@ func TestRecorderTranscript(t *testing.T) {
 func TestPointStringUnknown(t *testing.T) {
 	if got := Point(99).String(); !strings.Contains(got, "99") {
 		t.Errorf("String = %q", got)
+	}
+}
+
+func TestScriptedStrictExhausted(t *testing.T) {
+	s := &Scripted{
+		IXAnswers:             [][]bool{{true, false}},
+		DisambiguationAnswers: []int{1},
+		Strict:                true,
+	}
+	if _, err := s.VerifyIXs(context.Background(), "q", spans); err != nil {
+		t.Fatalf("scripted answer failed: %v", err)
+	}
+	if _, err := s.VerifyIXs(context.Background(), "q", spans); !errors.Is(err, ErrScriptExhausted) {
+		t.Errorf("exhausted VerifyIXs err = %v, want ErrScriptExhausted", err)
+	}
+	if _, err := s.Disambiguate(context.Background(), "Buffalo", choices); err != nil {
+		t.Fatalf("scripted answer failed: %v", err)
+	}
+	if _, err := s.Disambiguate(context.Background(), "Buffalo", choices); !errors.Is(err, ErrScriptExhausted) {
+		t.Errorf("exhausted Disambiguate err = %v, want ErrScriptExhausted", err)
+	}
+	if _, err := s.SelectTopK(context.Background(), "d", 5); !errors.Is(err, ErrScriptExhausted) {
+		t.Errorf("exhausted SelectTopK err = %v, want ErrScriptExhausted", err)
+	}
+	if _, err := s.SelectThreshold(context.Background(), "d", 0.1); !errors.Is(err, ErrScriptExhausted) {
+		t.Errorf("exhausted SelectThreshold err = %v, want ErrScriptExhausted", err)
+	}
+	if _, err := s.SelectProjection(context.Background(), []VarChoice{{Var: "x"}}); !errors.Is(err, ErrScriptExhausted) {
+		t.Errorf("exhausted SelectProjection err = %v, want ErrScriptExhausted", err)
+	}
+}
+
+// TestScriptedNonStrictStillFallsBack pins the backward-compatible
+// default: without Strict, exhausted queues keep answering with Auto.
+func TestScriptedNonStrictStillFallsBack(t *testing.T) {
+	s := &Scripted{}
+	if ans, err := s.VerifyIXs(context.Background(), "q", spans); err != nil || !ans[0] || !ans[1] {
+		t.Errorf("fallback VerifyIXs = %v, %v", ans, err)
+	}
+}
+
+// TestConsoleReadHonorsContext verifies the -interactive Ctrl-C path: a
+// prompt whose reader never delivers a line unblocks as soon as the
+// context is cancelled.
+func TestConsoleReadHonorsContext(t *testing.T) {
+	pr, pw := io.Pipe() // a read that never completes
+	defer pw.Close()
+	c := &Console{R: pr, W: &strings.Builder{}}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Disambiguate(ctx, "Buffalo", choices)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Disambiguate still blocked after cancellation")
+	}
+}
+
+// TestRecorderConcurrent hammers one Recorder from parallel translations
+// (the session subsystem shares a Recorder-wrapped bridge per session,
+// and the daemon runs sessions concurrently); -race verifies the locking.
+func TestRecorderConcurrent(t *testing.T) {
+	r := &Recorder{Inner: Auto{}}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if _, err := r.VerifyIXs(context.Background(), "q", spans); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := r.Disambiguate(context.Background(), "Buffalo", choices); err != nil {
+					t.Error(err)
+					return
+				}
+				if len(r.Transcript()) == 0 {
+					t.Error("empty transcript during recording")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(r.Transcript()); got != 8*50*2 {
+		t.Errorf("transcript has %d exchanges, want %d", got, 8*50*2)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -147,14 +148,31 @@ func (f *Feedback) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
-// Save writes the feedback store to a JSON file.
+// Save writes the feedback store to a JSON file. The write is atomic
+// (temp file + rename in the destination directory), so a crash or a
+// concurrent reader never observes a truncated store — the daemon flushes
+// periodically while continuing to serve.
 func (f *Feedback) Save(path string) error {
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		return fmt.Errorf("qgen: encoding feedback: %w", err)
 	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".feedback-*.json")
+	if err != nil {
 		return fmt.Errorf("qgen: writing feedback: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), path)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("qgen: writing feedback: %w", werr)
 	}
 	return nil
 }

@@ -1,0 +1,585 @@
+// Package session is the stateful layer between the HTTP edge and the
+// translation pipeline: it makes the paper's multi-turn dialogues
+// (Figures 3–6 — IX verification, disambiguation, significance
+// selection, projection) drivable by a remote client that can only poll
+// and post.
+//
+// Each translation runs in its own goroutine behind a channel-bridged
+// interact.Interactor: when the pipeline reaches an interaction point,
+// the goroutine parks and the question becomes visible as the session's
+// pending Question; a client answer (Session.Answer) resumes it. A
+// question left unanswered past its deadline falls back to the Auto
+// answer, so an abandoned dialogue degrades to the §4.1 automatic mode
+// instead of leaking a parked goroutine; a session past its TTL (or
+// evicted, or deleted) has its context cancelled, which unwinds the
+// pipeline with a *core.StageError wrapping ctx.Err().
+//
+// The Manager owns the lifecycle: bounded capacity with oldest-idle
+// eviction, per-session TTL, per-question deadlines, and per-point
+// metrics (questions asked/answered/timed out, wait durations) that are
+// also emitted through the configured core.Observer.
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"nl2cm/internal/core"
+	"nl2cm/internal/interact"
+)
+
+// State is a session's lifecycle state. Transitions:
+//
+//	running → waiting   the pipeline asked a question (bridge parked)
+//	waiting → running   the client answered, or the question deadline
+//	                    passed and the Auto answer was substituted
+//	running → done      translation finished; Result is available
+//	running → failed    the pipeline returned a non-cancellation error
+//	any     → expired   TTL expiry, eviction or deletion cancelled the
+//	                    session's context and unwound the pipeline
+type State string
+
+// Session states.
+const (
+	StateRunning State = "running"
+	StateWaiting State = "waiting"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+	StateExpired State = "expired"
+)
+
+// Terminal reports whether no further transition can occur.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateExpired
+}
+
+// Kind is the shape of a pending question, which determines the Answer
+// fields that apply.
+type Kind string
+
+// Question kinds.
+const (
+	// KindIXVerify asks one accept flag per Question.Spans entry
+	// (Answer.Accept), the Figure-4 verification.
+	KindIXVerify Kind = "ix-verify"
+	// KindChoice asks for the index of one of Question.Choices
+	// (Answer.Choice), the "Buffalo, NY vs Buffalo, IL" disambiguation.
+	KindChoice Kind = "choice"
+	// KindNumber asks for a numeric value (Answer.Number) with a default
+	// and bounds: LIMIT/SUPPORT selection, Figure 5.
+	KindNumber Kind = "number"
+	// KindProjection asks one keep flag per Question.Vars entry
+	// (Answer.Accept), the Figure-6 projection dialogue.
+	KindProjection Kind = "projection"
+)
+
+// Question is one pending dialogue question, typed by Kind. It is
+// JSON-serializable for the REST protocol.
+type Question struct {
+	// ID identifies the question within its session; an Answer must name
+	// it, so a stale client cannot answer the wrong question.
+	ID int `json:"id"`
+	// Point is the interaction point that asked.
+	Point interact.Point `json:"-"`
+	// PointName is Point.String(), for clients.
+	PointName string `json:"point"`
+	// Kind selects which answer fields apply.
+	Kind Kind `json:"kind"`
+	// Prompt is the human-readable question text.
+	Prompt string `json:"prompt"`
+	// Subject is what is being asked about: the NL question for
+	// ix-verify, the ambiguous phrase for choice, the subclause
+	// description for number.
+	Subject string `json:"subject,omitempty"`
+	// Spans are the detected IXs to verify (KindIXVerify).
+	Spans []interact.IXSpan `json:"spans,omitempty"`
+	// Choices are the candidate meanings (KindChoice).
+	Choices []interact.Choice `json:"choices,omitempty"`
+	// Vars are the projectable variables (KindProjection).
+	Vars []interact.VarChoice `json:"vars,omitempty"`
+	// Default, Min, Max and Integer describe a KindNumber question. The
+	// Default is also the value substituted when the question times out.
+	// Max 0 means unbounded.
+	Default float64 `json:"default,omitempty"`
+	Min     float64 `json:"min,omitempty"`
+	Max     float64 `json:"max,omitempty"`
+	Integer bool    `json:"integer,omitempty"`
+	// Asked and Deadline bound the question: unanswered past Deadline,
+	// it is withdrawn and answered with the Auto default.
+	Asked    time.Time `json:"asked"`
+	Deadline time.Time `json:"deadline"`
+}
+
+// Answer is a client's reply to a pending question. Exactly the fields
+// matching the question's Kind must be set; pointer fields distinguish
+// "absent" from zero values so a malformed answer fails loudly instead
+// of silently picking index 0.
+type Answer struct {
+	// Accept holds one flag per span (ix-verify) or per var (projection).
+	Accept []bool `json:"accept,omitempty"`
+	// Choice is the chosen option index (choice).
+	Choice *int `json:"choice,omitempty"`
+	// Number is the selected value (number).
+	Number *float64 `json:"number,omitempty"`
+}
+
+// Turn is one completed exchange of a session's dialogue, kept for the
+// transcript (admin page, dialogue UI).
+type Turn struct {
+	Question Question `json:"question"`
+	// Answer is the rendered answer.
+	Answer string `json:"answer"`
+	// Source records who answered: "user", or "auto" when the question
+	// deadline passed and the default was substituted.
+	Source string `json:"source"`
+	// Wait is how long the pipeline was parked on this question.
+	Wait time.Duration `json:"wait_nanos"`
+}
+
+// Typed errors of the answer protocol, mapped to HTTP statuses by the
+// daemon (404 / 409 / 409 / 400 / 503 in order).
+var (
+	ErrNotFound      = errors.New("session: not found")
+	ErrNoPending     = errors.New("session: no pending question")
+	ErrWrongQuestion = errors.New("session: answer names a different question")
+	ErrBadAnswer     = errors.New("session: invalid answer")
+	ErrClosed        = errors.New("session: manager closed")
+)
+
+// Snapshot is a point-in-time view of a session, safe to serialize
+// after the session has moved on.
+type Snapshot struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	// Question is the pending question, when State is waiting.
+	Question *Question `json:"question,omitempty"`
+	// Query is the final OASSIS-QL text, when State is done and the
+	// question was supported.
+	Query string `json:"query,omitempty"`
+	// Unsupported and Reason report a verification rejection (done, but
+	// no query).
+	Unsupported bool   `json:"unsupported,omitempty"`
+	Reason      string `json:"reason,omitempty"`
+	// Error is the failure cause, when State is failed or expired.
+	Error string `json:"error,omitempty"`
+	// Turns is the dialogue so far.
+	Turns []Turn `json:"turns,omitempty"`
+	// Created and Expires bound the session's lifetime.
+	Created time.Time `json:"created"`
+	Expires time.Time `json:"expires"`
+	// Result is the full translation result (nil until done); not part
+	// of the wire format — the daemon's HTML views use it.
+	Result *core.Result `json:"-"`
+}
+
+// Session is one interactive translation. All methods are safe for
+// concurrent use.
+type Session struct {
+	id      string
+	mgr     *Manager
+	created time.Time
+	expires time.Time
+	cancel  func()
+	done    chan struct{}
+
+	mu         sync.Mutex
+	state      State
+	pending    *Question
+	answerCh   chan Answer
+	changed    chan struct{}
+	lastActive time.Time
+	nextQID    int
+	turns      []Turn
+	result     *core.Result
+	err        error
+}
+
+// ID returns the session's identifier.
+func (s *Session) ID() string { return s.id }
+
+// Done is closed when the session's translation goroutine has exited
+// (any terminal state).
+func (s *Session) Done() <-chan struct{} { return s.done }
+
+// Snapshot returns the session's current state.
+func (s *Session) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotLocked()
+}
+
+func (s *Session) snapshotLocked() Snapshot {
+	snap := Snapshot{
+		ID:      s.id,
+		State:   s.state,
+		Created: s.created,
+		Expires: s.expires,
+		Turns:   append([]Turn(nil), s.turns...),
+	}
+	if s.pending != nil {
+		q := *s.pending
+		snap.Question = &q
+	}
+	if s.err != nil {
+		snap.Error = s.err.Error()
+	}
+	if s.result != nil {
+		snap.Result = s.result
+		if s.result.Verdict.Supported {
+			snap.Query = s.result.Query.String()
+		} else {
+			snap.Unsupported = true
+			snap.Reason = s.result.Verdict.Reason
+		}
+	}
+	return snap
+}
+
+// notifyLocked wakes every WaitQuestion waiter; callers hold s.mu.
+func (s *Session) notifyLocked() {
+	close(s.changed)
+	s.changed = make(chan struct{})
+}
+
+// WaitQuestion blocks until the session has a pending question or is
+// terminal — the two states a client can act on — but no longer than
+// max, and no longer than ctx allows. It returns the snapshot at that
+// moment, whatever it is.
+func (s *Session) WaitQuestion(ctx context.Context, max time.Duration) Snapshot {
+	timer := time.NewTimer(max)
+	defer timer.Stop()
+	for {
+		s.mu.Lock()
+		if s.pending != nil || s.state.Terminal() {
+			snap := s.snapshotLocked()
+			s.mu.Unlock()
+			return snap
+		}
+		changed := s.changed
+		s.mu.Unlock()
+		select {
+		case <-changed:
+		case <-timer.C:
+			return s.Snapshot()
+		case <-ctx.Done():
+			return s.Snapshot()
+		}
+	}
+}
+
+// Answer resolves the pending question qid. It validates the answer
+// against the question's Kind (ErrBadAnswer), rejects stale or absent
+// question ids (ErrWrongQuestion, ErrNoPending), and resumes the parked
+// pipeline goroutine on success.
+func (s *Session) Answer(qid int, a Answer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pending == nil {
+		if s.state.Terminal() {
+			return fmt.Errorf("%w: session is %s", ErrNoPending, s.state)
+		}
+		return ErrNoPending
+	}
+	if s.pending.ID != qid {
+		return fmt.Errorf("%w: pending is #%d, answer names #%d", ErrWrongQuestion, s.pending.ID, qid)
+	}
+	if err := validateAnswer(s.pending, a); err != nil {
+		return err
+	}
+	s.answerCh <- a // buffered(1): never blocks while the bridge waits
+	s.pending, s.answerCh = nil, nil
+	s.state = StateRunning
+	s.lastActive = time.Now()
+	s.notifyLocked()
+	return nil
+}
+
+// validateAnswer checks an answer's shape against its question so the
+// pipeline only ever sees well-formed replies.
+func validateAnswer(q *Question, a Answer) error {
+	switch q.Kind {
+	case KindIXVerify:
+		if len(a.Accept) != len(q.Spans) {
+			return fmt.Errorf("%w: %d accept flags for %d spans", ErrBadAnswer, len(a.Accept), len(q.Spans))
+		}
+	case KindProjection:
+		if len(a.Accept) != len(q.Vars) {
+			return fmt.Errorf("%w: %d accept flags for %d variables", ErrBadAnswer, len(a.Accept), len(q.Vars))
+		}
+	case KindChoice:
+		if a.Choice == nil {
+			return fmt.Errorf("%w: missing \"choice\"", ErrBadAnswer)
+		}
+		if *a.Choice < 0 || *a.Choice >= len(q.Choices) {
+			return fmt.Errorf("%w: choice %d out of range (%d options)", ErrBadAnswer, *a.Choice, len(q.Choices))
+		}
+	case KindNumber:
+		if a.Number == nil {
+			return fmt.Errorf("%w: missing \"number\"", ErrBadAnswer)
+		}
+		n := *a.Number
+		if q.Integer && n != math.Trunc(n) {
+			return fmt.Errorf("%w: %g is not an integer", ErrBadAnswer, n)
+		}
+		if n < q.Min || (q.Max > 0 && n > q.Max) {
+			return fmt.Errorf("%w: %g outside [%g, %g]", ErrBadAnswer, n, q.Min, q.Max)
+		}
+	default:
+		return fmt.Errorf("%w: unknown question kind %q", ErrBadAnswer, q.Kind)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// The channel bridge: pipeline side.
+
+// ask parks the calling (pipeline) goroutine until the question is
+// answered, its deadline passes, or ctx is cancelled. It returns the
+// answer and whether a user provided it; !answered with a nil error
+// means the deadline passed and the caller must substitute the Auto
+// default.
+func (s *Session) ask(ctx context.Context, q *Question) (ans Answer, answered bool, err error) {
+	timeout := s.mgr.cfg.QuestionTimeout
+	now := time.Now()
+	q.Asked = now
+	q.Deadline = now.Add(timeout)
+	q.PointName = q.Point.String()
+
+	ch := make(chan Answer, 1)
+	s.mu.Lock()
+	q.ID = s.nextQID
+	s.nextQID++
+	s.pending = q
+	s.answerCh = ch
+	s.state = StateWaiting
+	s.notifyLocked()
+	s.mu.Unlock()
+
+	stage := StageName(q.Point)
+	if obs := s.mgr.cfg.Observer; obs != nil {
+		obs.StageStart(stage)
+	}
+	s.mgr.pointAsked(q.Point)
+
+	defer func() {
+		wait := time.Since(q.Asked)
+		if obs := s.mgr.cfg.Observer; obs != nil {
+			obs.StageEnd(stage, wait, err)
+		}
+		s.recordTurn(q, ans, answered, err, wait)
+	}()
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case a := <-ch:
+		s.mgr.pointAnswered(q.Point, time.Since(q.Asked))
+		return a, true, nil
+	case <-timer.C:
+		// Withdraw the question; a concurrent Answer may win the race,
+		// in which case it already cleared pending and sent on ch.
+		s.mu.Lock()
+		if s.pending == q {
+			s.pending, s.answerCh = nil, nil
+			s.state = StateRunning
+			s.notifyLocked()
+			s.mu.Unlock()
+			s.mgr.pointTimedOut(q.Point)
+			return Answer{}, false, nil
+		}
+		s.mu.Unlock()
+		a := <-ch
+		s.mgr.pointAnswered(q.Point, time.Since(q.Asked))
+		return a, true, nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		if s.pending == q {
+			s.pending, s.answerCh = nil, nil
+			s.notifyLocked()
+		}
+		s.mu.Unlock()
+		s.mgr.pointAborted(q.Point)
+		return Answer{}, false, ctx.Err()
+	}
+}
+
+// recordTurn appends the exchange to the transcript (aborted questions
+// are not turns: the dialogue ended).
+func (s *Session) recordTurn(q *Question, a Answer, answered bool, err error, wait time.Duration) {
+	if err != nil {
+		return
+	}
+	turn := Turn{Question: *q, Source: "auto", Wait: wait}
+	if answered {
+		turn.Source = "user"
+		turn.Answer = renderAnswer(q, a)
+	} else {
+		turn.Answer = renderDefault(q)
+	}
+	s.mu.Lock()
+	s.turns = append(s.turns, turn)
+	s.mu.Unlock()
+}
+
+// renderAnswer formats a user answer for the transcript.
+func renderAnswer(q *Question, a Answer) string {
+	switch q.Kind {
+	case KindIXVerify:
+		return renderFlags(a.Accept, func(i int) string { return q.Spans[i].Text })
+	case KindProjection:
+		return renderFlags(a.Accept, func(i int) string { return "$" + q.Vars[i].Var })
+	case KindChoice:
+		c := q.Choices[*a.Choice]
+		return c.Label + " (" + c.Description + ")"
+	case KindNumber:
+		return strconv.FormatFloat(*a.Number, 'g', -1, 64)
+	}
+	return ""
+}
+
+// renderDefault formats the substituted Auto answer of a timed-out
+// question.
+func renderDefault(q *Question) string {
+	switch q.Kind {
+	case KindIXVerify:
+		return "accept all (timeout)"
+	case KindProjection:
+		return "keep all (timeout)"
+	case KindChoice:
+		c := q.Choices[0]
+		return c.Label + " (" + c.Description + ") (timeout)"
+	case KindNumber:
+		return strconv.FormatFloat(q.Default, 'g', -1, 64) + " (timeout)"
+	}
+	return ""
+}
+
+func renderFlags(flags []bool, name func(int) string) string {
+	parts := make([]string, len(flags))
+	for i, f := range flags {
+		v := "no"
+		if f {
+			v = "yes"
+		}
+		parts[i] = name(i) + "=" + v
+	}
+	return strings.Join(parts, ", ")
+}
+
+// StageName is the Observer stage label for one interaction point's
+// dialogue wait (e.g. "User Dialogue (disambiguation)"), keeping session
+// metrics in the same namespace as the pipeline's Stage* constants.
+func StageName(p interact.Point) string {
+	return "User Dialogue (" + p.String() + ")"
+}
+
+// bridge adapts a Session to interact.Interactor: each method builds the
+// typed question, parks on ask, and converts the answer (or the Auto
+// fallback) back to the pipeline's types.
+type bridge struct{ s *Session }
+
+// VerifyIXs implements interact.Interactor.
+func (b bridge) VerifyIXs(ctx context.Context, question string, spans []interact.IXSpan) ([]bool, error) {
+	q := &Question{
+		Point:   interact.PointIXVerification,
+		Kind:    KindIXVerify,
+		Prompt:  "Please verify: which parts of your question should be asked to the crowd?",
+		Subject: question,
+		Spans:   spans,
+	}
+	a, answered, err := b.s.ask(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	if !answered {
+		return interact.Auto{}.VerifyIXs(ctx, question, spans)
+	}
+	return a.Accept, nil
+}
+
+// Disambiguate implements interact.Interactor.
+func (b bridge) Disambiguate(ctx context.Context, phrase string, options []interact.Choice) (int, error) {
+	q := &Question{
+		Point:   interact.PointDisambiguation,
+		Kind:    KindChoice,
+		Prompt:  fmt.Sprintf("Which %q did you mean?", phrase),
+		Subject: phrase,
+		Choices: options,
+	}
+	a, answered, err := b.s.ask(ctx, q)
+	if err != nil {
+		return -1, err
+	}
+	if !answered {
+		return interact.Auto{}.Disambiguate(ctx, phrase, options)
+	}
+	return *a.Choice, nil
+}
+
+// SelectTopK implements interact.Interactor.
+func (b bridge) SelectTopK(ctx context.Context, desc string, def int) (int, error) {
+	q := &Question{
+		Point:   interact.PointSignificance,
+		Kind:    KindNumber,
+		Prompt:  fmt.Sprintf("How many results for %s?", desc),
+		Subject: desc,
+		Default: float64(def),
+		Min:     1,
+		Integer: true,
+	}
+	a, answered, err := b.s.ask(ctx, q)
+	if err != nil {
+		return 0, err
+	}
+	if !answered {
+		return def, nil
+	}
+	return int(*a.Number), nil
+}
+
+// SelectThreshold implements interact.Interactor.
+func (b bridge) SelectThreshold(ctx context.Context, desc string, def float64) (float64, error) {
+	q := &Question{
+		Point:   interact.PointSignificance,
+		Kind:    KindNumber,
+		Prompt:  fmt.Sprintf("Minimal frequency for %s, between 0 and 1?", desc),
+		Subject: desc,
+		Default: def,
+		Min:     0,
+		Max:     1,
+	}
+	a, answered, err := b.s.ask(ctx, q)
+	if err != nil {
+		return 0, err
+	}
+	if !answered {
+		return def, nil
+	}
+	return *a.Number, nil
+}
+
+// SelectProjection implements interact.Interactor.
+func (b bridge) SelectProjection(ctx context.Context, choices []interact.VarChoice) ([]bool, error) {
+	q := &Question{
+		Point:  interact.PointProjection,
+		Kind:   KindProjection,
+		Prompt: "For which terms do you want to receive instances?",
+		Vars:   choices,
+	}
+	a, answered, err := b.s.ask(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	if !answered {
+		return interact.Auto{}.SelectProjection(ctx, choices)
+	}
+	return a.Accept, nil
+}
+
+var _ interact.Interactor = bridge{}

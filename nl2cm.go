@@ -32,6 +32,7 @@ import (
 	"nl2cm/internal/oassisql"
 	"nl2cm/internal/ontology"
 	"nl2cm/internal/qgen"
+	"nl2cm/internal/session"
 	"nl2cm/internal/verify"
 )
 
@@ -190,6 +191,36 @@ func InteractivePolicy() Policy { return interact.Interactive() }
 // AutomaticPolicy disables all interaction (the §4.1 mode).
 func AutomaticPolicy() Policy { return interact.Automatic() }
 
+// ---- Dialogue sessions ----
+
+// SessionManager owns stateful dialogue sessions: each translation runs
+// in its own goroutine and parks at interaction points until a client
+// answers (or a deadline substitutes the automatic default). See the
+// session package for the lifecycle (capacity, TTL, eviction, metrics).
+type SessionManager = session.Manager
+
+// SessionConfig configures a SessionManager.
+type SessionConfig = session.Config
+
+// Session is one interactive translation.
+type Session = session.Session
+
+// SessionSnapshot is a point-in-time view of a session.
+type SessionSnapshot = session.Snapshot
+
+// SessionQuestion is a pending dialogue question, typed by its kind.
+type SessionQuestion = session.Question
+
+// SessionAnswer is a client's reply to a pending question.
+type SessionAnswer = session.Answer
+
+// SessionMetrics snapshots a manager's lifecycle and per-point dialogue
+// counters.
+type SessionMetrics = session.Metrics
+
+// NewSessionManager builds a session manager over the config.
+func NewSessionManager(cfg SessionConfig) *SessionManager { return session.NewManager(cfg) }
+
 // ---- IX detection (the paper's core contribution) ----
 
 // IXDetector finds and completes Individual eXpressions in dependency
@@ -240,3 +271,7 @@ type ComposerDefaults = compose.Defaults
 
 // GeneratorFeedback is the learned disambiguation-ranking store.
 type GeneratorFeedback = qgen.Feedback
+
+// LoadFeedback reads a persisted feedback store; a missing file yields
+// an empty store.
+func LoadFeedback(path string) (*GeneratorFeedback, error) { return qgen.LoadFeedback(path) }

@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# session_smoke.sh drives one scripted dialogue through a live nl2cmd
+# daemon over HTTP: start a session, answer the verification /
+# disambiguation / significance / projection questions (choosing the
+# Illinois reading of "Buffalo"), and assert the chosen entity reaches
+# both the final query and the persisted feedback store after a daemon
+# restart. Requires curl and jq.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+addr=127.0.0.1:8099
+base="http://$addr"
+workdir=$(mktemp -d)
+daemon=
+cleanup() {
+  [ -n "$daemon" ] && kill "$daemon" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/nl2cmd" ./cmd/nl2cmd
+
+start_daemon() {
+  "$workdir/nl2cmd" -addr "$addr" -feedback "$workdir/feedback.json" "$@" &
+  daemon=$!
+  for _ in $(seq 50); do
+    curl -fsS "$base/" >/dev/null 2>&1 && return
+    sleep 0.2
+  done
+  echo "daemon did not come up" >&2
+  exit 1
+}
+
+stop_daemon() {
+  kill -TERM "$daemon"
+  wait "$daemon" || true
+  daemon=
+}
+
+start_daemon -feedback-flush 0 # only the shutdown write persists
+
+snap=$(curl -fsS -X POST "$base/api/session" \
+  -d '{"question": "Where do you visit in Buffalo?"}')
+id=$(jq -r .id <<<"$snap")
+echo "session $id started"
+
+answer() {
+  curl -fsS -X POST "$base/api/session/$id/answer" -d "$1"
+}
+
+while :; do
+  state=$(jq -r .state <<<"$snap")
+  case $state in done | failed | expired) break ;; esac
+  kind=$(jq -r '.question.kind // empty' <<<"$snap")
+  qid=$(jq -r '.question.id // empty' <<<"$snap")
+  if [ -z "$kind" ]; then # pipeline still computing: poll
+    sleep 0.2
+    snap=$(curl -fsS "$base/api/session/$id")
+    continue
+  fi
+  echo "answering $kind: $(jq -r .question.prompt <<<"$snap")"
+  case $kind in
+  ix-verify)
+    accept=$(jq '[range(.question.spans | length) | true]' <<<"$snap")
+    snap=$(answer "{\"question\": $qid, \"accept\": $accept}")
+    ;;
+  choice)
+    pick=$(jq '[.question.choices | to_entries[]
+      | select((.value.Label + " " + .value.Description) | test("Illinois"))
+      | .key] | (.[0] // 0)' <<<"$snap")
+    snap=$(answer "{\"question\": $qid, \"choice\": $pick}")
+    ;;
+  number)
+    def=$(jq '.question.default // 0' <<<"$snap")
+    snap=$(answer "{\"question\": $qid, \"number\": $def}")
+    ;;
+  projection)
+    accept=$(jq '[range(.question.vars | length) | true]' <<<"$snap")
+    snap=$(answer "{\"question\": $qid, \"accept\": $accept}")
+    ;;
+  *)
+    echo "unknown question kind $kind" >&2
+    exit 1
+    ;;
+  esac
+done
+
+[ "$(jq -r .state <<<"$snap")" = done ] || {
+  echo "session ended in state $(jq -r .state <<<"$snap"): $snap" >&2
+  exit 1
+}
+jq -r .query <<<"$snap" | grep -q 'Buffalo,_IL' || {
+  echo "final query does not use the chosen entity:" >&2
+  jq -r .query <<<"$snap" >&2
+  exit 1
+}
+echo "final query uses Buffalo,_IL"
+
+# Shutdown persists the feedback store atomically; a restarted daemon
+# must have loaded the chosen entity's count.
+stop_daemon
+grep -q 'Buffalo,_IL' "$workdir/feedback.json" || {
+  echo "feedback store missing the chosen entity:" >&2
+  cat "$workdir/feedback.json" >&2
+  exit 1
+}
+echo "feedback persisted: $(jq -c . "$workdir/feedback.json")"
+
+start_daemon
+curl -fsS "$base/admin" | grep -q 'Dialogue sessions' || {
+  echo "admin page lacks the session section" >&2
+  exit 1
+}
+stop_daemon
+
+echo "session smoke OK"
