@@ -1,16 +1,26 @@
 GO ?= go
 
-.PHONY: all check vet build test race session-stress session-smoke bench bench-smoke fmt
+.PHONY: all check vet staticcheck build test race session-stress session-smoke bench bench-smoke fuzz-smoke fmt
 
 all: check
 
-# check is the CI gate: vet, build everything, run the tests with the
-# race detector (the concurrency stress tests depend on it), then hammer
-# the dialogue-session subsystem a few extra rounds.
-check: vet build race session-stress
+# check is the CI gate: vet + staticcheck, build everything, run the
+# tests with the race detector (the concurrency stress tests depend on
+# it), then hammer the dialogue-session subsystem a few extra rounds.
+check: vet staticcheck build race session-stress
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck gates CI (the workflow installs it); locally it is skipped
+# with a notice when the binary is absent, so offline machines can still
+# run `make check`.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -39,6 +49,13 @@ bench:
 # rot; it measures nothing.
 bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x .
+
+# fuzz-smoke runs each native fuzz target briefly: enough to catch
+# panics and invariant regressions without slowing the gate. Go allows
+# one -fuzz pattern per package invocation, hence two runs.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzParse -fuzztime=20s ./internal/nlp/
+	$(GO) test -fuzz=FuzzParse -fuzztime=20s ./internal/sparql/
 
 fmt:
 	gofmt -l -w .

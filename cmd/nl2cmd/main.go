@@ -55,6 +55,7 @@ import (
 	"time"
 
 	"nl2cm"
+	"nl2cm/internal/ix"
 	"nl2cm/internal/qgen"
 	"nl2cm/internal/session"
 )
@@ -75,6 +76,10 @@ type server struct {
 	sess         *session.Manager
 	answerWait   time.Duration
 	feedbackPath string
+
+	// ixStats tallies per-pattern IX matches and the matched span text of
+	// recent translations for the admin page; the detector records into it.
+	ixStats *ix.MatchStats
 
 	mu       sync.Mutex // guards last and lastExec only
 	last     *nl2cm.Result
@@ -112,7 +117,9 @@ func newServer(cfg serverConfig) (*server, error) {
 		timeout:      cfg.timeout,
 		answerWait:   cfg.answerWait,
 		feedbackPath: cfg.feedback,
+		ixStats:      ix.NewMatchStats(10),
 	}
+	tr.Detector.Stats = s.ixStats
 	s.sess = session.NewManager(session.Config{
 		Translator:      tr,
 		Capacity:        cfg.sessions,
@@ -235,6 +242,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("POST /api/session", s.apiSessionStart)
 	mux.HandleFunc("GET /api/session/{id}", s.apiSessionGet)
 	mux.HandleFunc("POST /api/session/{id}/answer", s.apiSessionAnswer)
+	mux.HandleFunc("GET /api/session/{id}/explain", s.apiSessionExplain)
 	mux.HandleFunc("DELETE /api/session/{id}", s.apiSessionDelete)
 	mux.HandleFunc("GET /dialogue", s.dialoguePage)
 	mux.HandleFunc("POST /dialogue", s.dialogueStart)
@@ -517,7 +525,25 @@ pre{background:#f4f4f4;padding:1em;overflow-x:auto}
 {{range .Last.Trace}}<h2>{{.Module}} <small>({{.Duration}})</small></h2><pre>{{.Output}}</pre>{{end}}
 {{if .Last.Interactions}}<h2>Dialogue transcript</h2>
 <ul>{{range .Last.Interactions}}<li><b>{{.Point}}</b>: {{.Question}} → {{.Answer}}</li>{{end}}</ul>{{end}}
+{{if .Annotated}}<h2>Annotated query (triple provenance)</h2>
+<pre>{{.Annotated}}</pre>{{end}}
+{{if .Last.Uncovered}}<h2>Uncovered words</h2>
+<p>Content words no emitted triple derives from:</p>
+<ul>{{range .Last.Uncovered}}<li><b>{{.Text}}</b> (bytes {{.Span.Start}}–{{.Span.End}})</li>{{end}}</ul>
+{{range .Last.CoverageTips}}<p>{{.}}</p>{{end}}{{end}}
 {{else}}<p>No translation yet.</p>{{end}}
+<h2>IX pattern matches</h2>
+{{if .IXCounts}}
+<table><tr><th>pattern</th><th>matches</th></tr>
+{{range .IXCounts}}<tr><td>{{.Pattern}}</td><td>{{.Count}}</td></tr>{{end}}
+</table>
+<h3>recent translations</h3>
+{{range .IXRecent}}<p><b>{{.Question}}</b></p>
+{{if .Matches}}<table><tr><th>pattern</th><th>anchor</th><th>matched span</th><th>bytes</th></tr>
+{{range .Matches}}<tr><td>{{.Pattern}}</td><td>{{.Anchor}}</td><td>&ldquo;{{.Text}}&rdquo;</td><td>{{.Span.Start}}–{{.Span.End}}</td></tr>{{end}}
+</table>{{else}}<p>no pattern matched</p>{{end}}
+{{end}}
+{{else}}<p>No matches recorded yet.</p>{{end}}
 {{if .Exec}}
 <h2>Crowd Execution <small>({{.Exec.Elapsed}})</small></h2>
 <p>Last executed: <b>{{.Exec.Question}}</b></p>
@@ -544,18 +570,26 @@ pre{background:#f4f4f4;padding:1em;overflow-x:auto}
 // counters.
 type adminData struct {
 	Last        *nl2cm.Result
+	Annotated   string
 	Exec        *engineStats
 	CacheHits   uint64
 	CacheMisses uint64
 	Sessions    session.Metrics
+	IXCounts    []ix.PatternCount
+	IXRecent    []ix.TranslationMatches
 }
 
 func (s *server) admin(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	d := adminData{Last: s.last, Exec: s.lastExec}
 	s.mu.Unlock()
+	if d.Last != nil {
+		d.Annotated = d.Last.AnnotatedQuery()
+	}
 	d.CacheHits, d.CacheMisses = s.eng.CacheStats()
 	d.Sessions = s.sess.Metrics()
+	d.IXCounts = s.ixStats.Counts()
+	d.IXRecent = s.ixStats.Recent()
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	if err := adminTmpl.Execute(w, d); err != nil {
 		log.Printf("admin render: %v", err)

@@ -6,12 +6,16 @@ package main
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"html/template"
 	"log"
 	"net/http"
 	"strconv"
 	"strings"
 
+	"nl2cm/internal/compose"
+	"nl2cm/internal/interact"
+	"nl2cm/internal/prov"
 	"nl2cm/internal/session"
 )
 
@@ -105,6 +109,52 @@ func (s *server) apiSessionAnswer(w http.ResponseWriter, r *http.Request) {
 	writeSnapshot(w, http.StatusOK, snap)
 }
 
+// explainResponse is the GET /api/session/{id}/explain body: the
+// provenance view of a finished translation — every emitted triple's
+// source spans, the composition decisions, and the uncovered-word report.
+type explainResponse struct {
+	Question     string             `json:"question"`
+	Supported    bool               `json:"supported"`
+	Reason       string             `json:"reason,omitempty"`
+	Query        string             `json:"query,omitempty"`
+	Annotated    string             `json:"annotated_query,omitempty"`
+	Provenance   []prov.Record      `json:"provenance,omitempty"`
+	Decisions    []compose.Decision `json:"compose_decisions,omitempty"`
+	Uncovered    []prov.TokenInfo   `json:"uncovered,omitempty"`
+	CoverageTips []string           `json:"coverage_tips,omitempty"`
+}
+
+// apiSessionExplain reports where each triple of a finished session's
+// query came from. Before the translation completes it answers 409: the
+// provenance views exist only on the final Result.
+func (s *server) apiSessionExplain(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sess.Get(r.PathValue("id"))
+	if !ok {
+		sessionError(w, session.ErrNotFound)
+		return
+	}
+	res := sess.Snapshot().Result
+	if res == nil {
+		http.Error(w, "session: translation not finished", http.StatusConflict)
+		return
+	}
+	resp := explainResponse{Question: res.Question, Supported: res.Verdict.Supported}
+	if !res.Verdict.Supported {
+		resp.Reason = res.Verdict.Reason
+	} else {
+		resp.Query = res.Query.String()
+		resp.Annotated = res.AnnotatedQuery()
+		resp.Provenance = res.ProvenanceRecords()
+		resp.Decisions = res.ComposeDecisions
+		resp.Uncovered = res.Uncovered
+		resp.CoverageTips = res.CoverageTips
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		log.Printf("explain encode: %v", err)
+	}
+}
+
 // apiSessionDelete aborts and forgets a session.
 func (s *server) apiSessionDelete(w http.ResponseWriter, r *http.Request) {
 	if !s.sess.Delete(r.PathValue("id")) {
@@ -128,6 +178,8 @@ pre{background:#f4f4f4;padding:1em;overflow-x:auto}
 .q{background:#eef4ff;padding:1em;margin:1em 0;border:1px solid #a9d3ff}
 table{border-collapse:collapse}td,th{border:1px solid #ccc;padding:.3em .6em}
 .tip{color:#a33}
+mark.ix-lexical{background:#ffe08a}mark.ix-participant{background:#a8e6a1}
+mark.ix-syntactic{background:#a9d3ff}mark.ix-mixed{background:#e2b7f0}
 </style></head><body>
 <h1>NL2CM dialogue</h1>
 <p><a href="/">single-shot form</a> · <a href="/admin">administrator mode</a></p>
@@ -152,9 +204,11 @@ projection questions.</p>
 <input type="hidden" name="qid" value="{{.ID}}">
 <input type="hidden" name="kind" value="{{.Kind}}">
 {{if eq .Kind "ix-verify"}}
+{{if $.Highlight}}<p>{{$.Highlight}}</p>{{end}}
 <input type="hidden" name="count" value="{{len .Spans}}">
-<table><tr><th>expression</th><th>individuality</th><th>ask the crowd?</th></tr>
-{{range $i, $sp := .Spans}}<tr><td>{{$sp.Text}}</td><td>{{$sp.Type}}</td>
+<table><tr><th>expression</th><th>source phrase</th><th>individuality</th><th>ask the crowd?</th></tr>
+{{range $i, $sp := .Spans}}<tr><td>{{$sp.Text}}</td>
+<td>&ldquo;{{$sp.Source}}&rdquo; <small>(bytes {{$sp.ByteStart}}–{{$sp.ByteEnd}})</small></td><td>{{$sp.Type}}</td>
 <td><select name="accept{{$i}}"><option value="yes">yes</option><option value="no">no</option></select></td></tr>{{end}}
 </table>
 {{else if eq .Kind "choice"}}
@@ -175,7 +229,9 @@ projection questions.</p>
 </form>
 </div>
 {{end}}
-{{if .Snap.Query}}<h2>Final OASSIS-QL query</h2><pre>{{.Snap.Query}}</pre>{{end}}
+{{if .Snap.Query}}<h2>Final OASSIS-QL query</h2><pre>{{.Snap.Query}}</pre>
+{{if .Annotated}}<h2>Where each triple came from</h2><pre>{{.Annotated}}</pre>{{end}}
+<p><a href="/api/session/{{.Snap.ID}}/explain">full provenance (JSON)</a></p>{{end}}
 {{if .Snap.Unsupported}}<p class="tip">Question not supported: {{.Snap.Reason}}</p>{{end}}
 {{if .Snap.Error}}<p class="tip">{{.Snap.Error}}</p>{{end}}
 {{if not .Snap.State.Terminal}}
@@ -192,6 +248,45 @@ type dialogueData struct {
 	// Refresh auto-reloads the page while the pipeline is computing
 	// (running, no pending question yet).
 	Refresh bool
+	// Highlight is the pending ix-verify question with each detected
+	// expression's byte span wrapped in a colored mark.
+	Highlight template.HTML
+	// Annotated is the finished query with per-triple source comments.
+	Annotated string
+}
+
+// highlightSpans renders the question with each IX's byte range wrapped
+// in a <mark> colored by individuality type. Spans index the original
+// question (clamped defensively); where spans overlap, the first wins.
+func highlightSpans(q string, spans []interact.IXSpan) template.HTML {
+	cls := make([]string, len(q))
+	for _, sp := range spans {
+		c := "ix-mixed"
+		if sp.Type != "" && !strings.Contains(sp.Type, "+") {
+			c = "ix-" + sp.Type
+		}
+		start, end := max(sp.ByteStart, 0), min(sp.ByteEnd, len(q))
+		for i := start; i < end; i++ {
+			if cls[i] == "" {
+				cls[i] = c
+			}
+		}
+	}
+	var b strings.Builder
+	for i := 0; i < len(q); {
+		j := i
+		for j < len(q) && cls[j] == cls[i] {
+			j++
+		}
+		seg := template.HTMLEscapeString(q[i:j])
+		if cls[i] == "" {
+			b.WriteString(seg)
+		} else {
+			fmt.Fprintf(&b, `<mark class=%q>%s</mark>`, cls[i], seg)
+		}
+		i = j
+	}
+	return template.HTML(b.String())
 }
 
 func (s *server) renderDialogue(w http.ResponseWriter, d dialogueData) {
@@ -214,10 +309,17 @@ func (s *server) dialoguePage(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := sess.Snapshot()
-	s.renderDialogue(w, dialogueData{
+	d := dialogueData{
 		Snap:    &snap,
 		Refresh: snap.Question == nil && !snap.State.Terminal(),
-	})
+	}
+	if q := snap.Question; q != nil && q.Kind == session.KindIXVerify {
+		d.Highlight = highlightSpans(q.Subject, q.Spans)
+	}
+	if snap.Result != nil && snap.Result.Verdict.Supported {
+		d.Annotated = snap.Result.AnnotatedQuery()
+	}
+	s.renderDialogue(w, d)
 }
 
 // dialogueStart starts a session from the HTML form and redirects to its

@@ -327,3 +327,142 @@ func TestAdminPageShowsSessionMetrics(t *testing.T) {
 		}
 	}
 }
+
+// TestSessionExplainEndpoint checks the provenance view of a finished
+// dialogue: the annotated query carries source comments, and every
+// provenance record cites at least one byte span of the question.
+func TestSessionExplainEndpoint(t *testing.T) {
+	_, ts := sessionServer(t, serverConfig{})
+
+	resp, _ := doJSON(t, "GET", ts.URL+"/api/session/nope/explain", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown session: status %d, want 404", resp.StatusCode)
+	}
+
+	// A session parked on its first question has no Result yet.
+	resp, body := doJSON(t, "POST", ts.URL+"/api/session", sessionStartRequest{Question: buffaloQ})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("start: status %d: %s", resp.StatusCode, body)
+	}
+	pending := decodeSnapshot(t, body)
+	resp, _ = doJSON(t, "GET", ts.URL+"/api/session/"+pending.ID+"/explain", nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("unfinished session: status %d, want 409", resp.StatusCode)
+	}
+
+	snap := driveHTTP(t, ts, buffaloQ, "New York")
+	if snap.State != session.StateDone {
+		t.Fatalf("state = %s (error %q)", snap.State, snap.Error)
+	}
+	resp, body = doJSON(t, "GET", ts.URL+"/api/session/"+snap.ID+"/explain", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explain: status %d: %s", resp.StatusCode, body)
+	}
+	var ex explainResponse
+	if err := json.Unmarshal(body, &ex); err != nil {
+		t.Fatalf("decoding explain response %s: %v", body, err)
+	}
+	if !ex.Supported || ex.Question != buffaloQ || ex.Query == "" {
+		t.Fatalf("explain = %+v, want supported with query", ex)
+	}
+	if !strings.Contains(ex.Annotated, "# from: ") {
+		t.Errorf("annotated query lacks source comments:\n%s", ex.Annotated)
+	}
+	if len(ex.Provenance) == 0 {
+		t.Fatal("no provenance records")
+	}
+	for _, rec := range ex.Provenance {
+		if len(rec.Spans) == 0 || rec.Text == "" {
+			t.Errorf("record %q has no source span", rec.Triple)
+			continue
+		}
+		for _, sp := range rec.Spans {
+			if sp.Start < 0 || sp.End > len(buffaloQ) || sp.End <= sp.Start {
+				t.Errorf("record %q span [%d,%d) outside question", rec.Triple, sp.Start, sp.End)
+			}
+		}
+	}
+	// The Buffalo question has no general triples, so no decisions; the
+	// running example does — its explain view must report them.
+	snap = driveHTTP(t, ts, "What are the most interesting places near Forest Hotel, Buffalo, we should visit in the fall?", "")
+	if snap.State != session.StateDone {
+		t.Fatalf("state = %s (error %q)", snap.State, snap.Error)
+	}
+	resp, body = doJSON(t, "GET", ts.URL+"/api/session/"+snap.ID+"/explain", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explain: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &ex); err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Decisions) == 0 {
+		t.Error("no compose decisions reported for the running example")
+	}
+	kept := 0
+	for _, d := range ex.Decisions {
+		if d.Kept {
+			kept++
+		}
+	}
+	if kept == 0 {
+		t.Errorf("every general triple dropped: %+v", ex.Decisions)
+	}
+}
+
+// TestDialoguePageHighlightsSpans checks the Figure-4 rendering of the
+// dialogue UI: the ix-verify question shows the question with colored
+// byte-span marks and each expression's exact source phrase.
+func TestDialoguePageHighlightsSpans(t *testing.T) {
+	_, ts := sessionServer(t, serverConfig{})
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := client.PostForm(ts.URL+"/dialogue", map[string][]string{"q": {buffaloQ}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	loc := resp.Header.Get("Location")
+	resp, err = client.Get(ts.URL + loc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	body := buf.String()
+	for _, want := range []string{`<mark class="ix-`, "source phrase", "bytes "} {
+		if !strings.Contains(body, want) {
+			t.Errorf("ix-verify page missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestAdminPageShowsIXPatternStats checks that the administrator page
+// tallies per-pattern IX matches and quotes the matched span text of
+// recent translations.
+func TestAdminPageShowsIXPatternStats(t *testing.T) {
+	s, ts := sessionServer(t, serverConfig{})
+	driveHTTP(t, ts, buffaloQ, "New York")
+	rec := httptest.NewRecorder()
+	s.admin(rec, httptest.NewRequest("GET", "/admin", nil))
+	body := rec.Body.String()
+	for _, want := range []string{"IX pattern matches", buffaloQ, "visit"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("admin page missing %q:\n%s", want, body)
+		}
+	}
+	if counts := s.ixStats.Counts(); len(counts) == 0 || counts[0].Count < 1 {
+		t.Errorf("no pattern counts recorded: %+v", counts)
+	}
+	recent := s.ixStats.Recent()
+	if len(recent) == 0 || recent[0].Question != buffaloQ {
+		t.Fatalf("recent translations = %+v", recent)
+	}
+	for _, m := range recent[0].Matches {
+		if m.Text == "" || !strings.Contains(buffaloQ, strings.ReplaceAll(m.Text, " ... ", " ")) &&
+			!strings.Contains(buffaloQ, m.Text) {
+			t.Errorf("match text %q not quoted from the question", m.Text)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package nl2cm
+
+import (
+	"context"
+	"os"
+	"strings"
+	"testing"
+
+	"nl2cm/internal/corpus"
+	"nl2cm/internal/oassisql"
+)
+
+// loadGolden parses testdata/golden_queries.txt: "=== <id>" headers
+// followed by the composed query captured before the provenance refactor.
+func loadGolden(t *testing.T) map[string]string {
+	t.Helper()
+	data, err := os.ReadFile("testdata/golden_queries.txt")
+	if err != nil {
+		t.Fatalf("reading golden file: %v", err)
+	}
+	out := map[string]string{}
+	var id string
+	var lines []string
+	flush := func() {
+		if id != "" {
+			out[id] = strings.Join(lines, "\n")
+		}
+	}
+	for _, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+		if rest, found := strings.CutPrefix(line, "=== "); found {
+			flush()
+			id = rest
+			lines = nil
+			continue
+		}
+		lines = append(lines, line)
+	}
+	flush()
+	return out
+}
+
+// The provenance refactor must be purely additive: composed queries for
+// the whole supported corpus stay byte-identical to the pre-refactor
+// golden output.
+func TestGoldenQueriesByteIdentical(t *testing.T) {
+	golden := loadGolden(t)
+	tr := NewTranslator(DemoOntology())
+	ctx := context.Background()
+	tested := 0
+	for _, q := range corpus.Supported() {
+		want, recorded := golden[q.ID]
+		if !recorded {
+			continue
+		}
+		tested++
+		res, err := tr.Translate(ctx, q.Text, Options{})
+		if err != nil {
+			t.Errorf("%s: Translate: %v", q.ID, err)
+			continue
+		}
+		if res.Query == nil {
+			t.Errorf("%s: no query", q.ID)
+			continue
+		}
+		if got := res.Query.String(); got != want {
+			t.Errorf("%s: query differs from golden output\ngot:\n%s\nwant:\n%s", q.ID, got, want)
+		}
+	}
+	if tested != len(golden) {
+		t.Errorf("tested %d corpus questions, golden file has %d", tested, len(golden))
+	}
+	if tested == 0 {
+		t.Fatal("no golden entries exercised")
+	}
+}
+
+// Every triple of every emitted query must resolve to at least one
+// source token span through Result.Provenance — corpus-wide.
+func TestProvenanceCoversEveryTriple(t *testing.T) {
+	tr := NewTranslator(DemoOntology())
+	ctx := context.Background()
+	for _, q := range corpus.Supported() {
+		res, err := tr.Translate(ctx, q.Text, Options{})
+		if err != nil {
+			t.Errorf("%s: Translate: %v", q.ID, err)
+			continue
+		}
+		if res.Query == nil {
+			continue
+		}
+		var all []string
+		for _, t3 := range res.Query.Where.Triples {
+			all = append(all, oassisql.TripleString(t3))
+		}
+		for _, sc := range res.Query.Satisfying {
+			for _, t3 := range sc.Pattern.Triples {
+				all = append(all, oassisql.TripleString(t3))
+			}
+		}
+		for _, key := range all {
+			rec, seen := res.Provenance[key]
+			if !seen {
+				t.Errorf("%s: triple %q has no provenance record", q.ID, key)
+				continue
+			}
+			if len(rec.Spans) == 0 || rec.Text == "" {
+				t.Errorf("%s: triple %q resolves to no source span (tokens %v)", q.ID, key, rec.Tokens)
+				continue
+			}
+			for _, part := range strings.Split(rec.Text, " ... ") {
+				if !strings.Contains(q.Text, part) {
+					t.Errorf("%s: provenance text %q is not quoted from the question", q.ID, rec.Text)
+					break
+				}
+			}
+		}
+		// The annotated rendering must re-parse to an equivalent query.
+		annotated := res.AnnotatedQuery()
+		if len(res.Query.Satisfying) > 0 {
+			re, err := ParseQuery(annotated)
+			if err != nil {
+				t.Errorf("%s: annotated query does not re-parse: %v\n%s", q.ID, err, annotated)
+			} else if re.String() != res.Query.String() {
+				t.Errorf("%s: annotated query re-parses to a different query\n%s", q.ID, annotated)
+			}
+		}
+	}
+}
+
+// The running example's annotated query must quote its source phrases.
+func TestAnnotatedQueryRunningExample(t *testing.T) {
+	tr := NewTranslator(DemoOntology())
+	res, err := tr.Translate(context.Background(),
+		"What are the most interesting places near Forest Hotel, Buffalo, we should visit in the fall?",
+		Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	annotated := res.AnnotatedQuery()
+	for _, want := range []string{"# from: ", "\"interesting places\"", "\"places ... visit\"", "\"in ... fall\""} {
+		if !strings.Contains(annotated, want) {
+			t.Errorf("annotated query missing %q:\n%s", want, annotated)
+		}
+	}
+}

@@ -19,16 +19,67 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"strings"
 
 	"nl2cm/internal/individual"
 	"nl2cm/internal/interact"
 	"nl2cm/internal/ix"
 	"nl2cm/internal/nlp"
 	"nl2cm/internal/oassisql"
+	"nl2cm/internal/prov"
 	"nl2cm/internal/qgen"
 	"nl2cm/internal/rdf"
 )
+
+// Reasons recorded in Decision.Reason.
+const (
+	// ReasonNoOverlap marks a general triple kept because its origin
+	// tokens intersect no IX's predicate tokens.
+	ReasonNoOverlap = "no-ix-overlap"
+	// ReasonIXOverlap marks a general triple dropped because it restates
+	// a detected IX: its origin intersects the IX's predicate tokens.
+	ReasonIXOverlap = "ix-overlap"
+	// ReasonDangling marks a general triple dropped because its only
+	// variable is an orphan (see pruneDangling).
+	ReasonDangling = "dangling-variable"
+)
+
+// Decision records why one general triple was kept or dropped during
+// composition, in terms of exact source-token sets.
+type Decision struct {
+	// Triple is the general triple the decision is about.
+	Triple rdf.Triple `json:"-"`
+	// Rendered is the triple in OASSIS-QL concrete syntax.
+	Rendered string `json:"triple"`
+	// Tokens is the triple's origin token set.
+	Tokens prov.TokenSet `json:"tokens"`
+	// Kept reports whether the triple survived into the WHERE clause.
+	Kept bool `json:"kept"`
+	// Reason is one of the Reason* constants.
+	Reason string `json:"reason"`
+	// IXAnchor is the anchor token of the overlapping IX (-1 when the
+	// decision involved no IX).
+	IXAnchor int `json:"ixAnchor"`
+	// Overlap is the exact token intersection that triggered an
+	// ix-overlap drop.
+	Overlap prov.TokenSet `json:"overlap,omitempty"`
+	// OrphanVar is the variable that made a dangling drop.
+	OrphanVar string `json:"orphanVar,omitempty"`
+}
+
+// Output is the traced composition result: the final query plus the
+// provenance that explains it.
+type Output struct {
+	Query *oassisql.Query
+	// WhereOrigins is parallel to Query.Where.Triples: the source-token
+	// set of each kept general triple.
+	WhereOrigins []prov.TokenSet
+	// SatisfyingOrigins[i] is parallel to
+	// Query.Satisfying[i].Pattern.Triples.
+	SatisfyingOrigins [][]prov.TokenSet
+	// Decisions holds one entry per general triple the Query Generator
+	// produced, kept or not, in generation order.
+	Decisions []Decision
+}
 
 // Defaults are the administrator-configured significance values used when
 // the user is not consulted; the shipped values match the paper's
@@ -73,11 +124,30 @@ func (in *Input) interactor() interact.Interactor {
 // clause; the caller decides whether to treat it as a plain ontology
 // query.
 func (c *Composer) Compose(ctx context.Context, in Input) (*oassisql.Query, error) {
+	out, err := c.ComposeTraced(ctx, in)
+	if err != nil {
+		return nil, err
+	}
+	return out.Query, nil
+}
+
+// ComposeTraced is Compose plus provenance: the returned Output carries
+// the source-token set of every kept triple and a Decision for every
+// general triple explaining, in exact token terms, why it was kept or
+// dropped.
+func (c *Composer) ComposeTraced(ctx context.Context, in Input) (*Output, error) {
 	q := &oassisql.Query{Select: oassisql.SelectClause{All: true}}
+	out := &Output{Query: q}
 
 	// (i) WHERE: general triples minus those corresponding to IXs, minus
 	// dangling constraints about projected-out participants.
-	q.Where.Triples = c.pruneDangling(c.filterGeneral(in), in)
+	kept, decisions := c.filterGeneral(in)
+	kept = c.pruneDangling(kept, in, decisions)
+	for _, kt := range kept {
+		q.Where.Triples = append(q.Where.Triples, kt.triple.Triple)
+		out.WhereOrigins = append(out.WhereOrigins, kt.triple.TokenSet())
+	}
+	out.Decisions = decisions
 
 	// (ii) SATISFYING: one subclause per individual part, each with
 	// (iv) a significance criterion.
@@ -90,6 +160,11 @@ func (c *Composer) Compose(ctx context.Context, in Input) (*oassisql.Query, erro
 			return nil, err
 		}
 		q.Satisfying = append(q.Satisfying, sc)
+		origins := append([]prov.TokenSet(nil), part.Origins...)
+		for len(origins) < len(part.Triples) {
+			origins = append(origins, nil) // defensive: keep slices parallel
+		}
+		out.SatisfyingOrigins = append(out.SatisfyingOrigins, origins)
 	}
 
 	// (iii) Variable alignment is guaranteed by construction: both the
@@ -110,38 +185,54 @@ func (c *Composer) Compose(ctx context.Context, in Input) (*oassisql.Query, erro
 			return nil, fmt.Errorf("compose: produced invalid query: %w", err)
 		}
 	}
-	return q, nil
+	return out, nil
 }
 
-// filterGeneral deletes general triples whose origin overlaps a detected
-// IX's predicate content: its anchor or any non-noun node (the verb,
-// adjective or preposition inside the IX). Shared nouns ("places") do not
-// trigger deletion — they are exactly the join points between WHERE and
-// SATISFYING.
-func (c *Composer) filterGeneral(in Input) []rdf.Triple {
-	blocked := map[int]bool{}
-	for _, x := range in.IXs {
-		blocked[x.Anchor] = true
-		for _, n := range x.Nodes {
-			if !strings.HasPrefix(in.Graph.Nodes[n].POS, "NN") {
-				blocked[n] = true
-			}
-		}
+// keptTriple is a general triple that survived a filtering stage, with
+// the index of its Decision for later amendment.
+type keptTriple struct {
+	triple   qgen.Triple
+	decision int
+}
+
+// filterGeneral deletes general triples whose origin token set intersects
+// a detected IX's predicate tokens — the IX's anchor plus its non-noun
+// nodes (the verb, adjective or preposition inside the IX), per
+// ix.PredicateTokens. Shared nouns ("places") do not trigger deletion —
+// they are exactly the join points between WHERE and SATISFYING. Every
+// triple receives a Decision carrying the exact intersection.
+func (c *Composer) filterGeneral(in Input) ([]keptTriple, []Decision) {
+	pred := make([]prov.TokenSet, len(in.IXs))
+	for i, x := range in.IXs {
+		pred[i] = x.PredicateTokens(in.Graph)
 	}
-	var out []rdf.Triple
+	var kept []keptTriple
+	decisions := make([]Decision, 0, len(in.General.Triples))
 	for _, t := range in.General.Triples {
-		overlap := false
-		for _, n := range t.Origin {
-			if blocked[n] {
-				overlap = true
+		set := t.TokenSet()
+		d := Decision{
+			Triple:   t.Triple,
+			Rendered: oassisql.TripleString(t.Triple),
+			Tokens:   set,
+			Kept:     true,
+			Reason:   ReasonNoOverlap,
+			IXAnchor: -1,
+		}
+		for i, x := range in.IXs {
+			if ov := set.Intersect(pred[i]); !ov.Empty() {
+				d.Kept = false
+				d.Reason = ReasonIXOverlap
+				d.IXAnchor = x.Anchor
+				d.Overlap = ov
 				break
 			}
 		}
-		if !overlap {
-			out = append(out, t.Triple)
+		decisions = append(decisions, d)
+		if d.Kept {
+			kept = append(kept, keptTriple{triple: t, decision: len(decisions) - 1})
 		}
 	}
-	return out
+	return kept, decisions
 }
 
 // pruneDangling removes WHERE triples whose variables are orphans:
@@ -149,10 +240,11 @@ func (c *Composer) filterGeneral(in Input) []rdf.Triple {
 // part, and are not the question focus. They arise when the Query
 // Generator types a participant noun that the Individual Triple Creation
 // later projects out ("do people cook ..." -> {$y instanceOf Person}).
-func (c *Composer) pruneDangling(triples []rdf.Triple, in Input) []rdf.Triple {
+// Drops flip the triple's Decision in place.
+func (c *Composer) pruneDangling(kept []keptTriple, in Input, decisions []Decision) []keptTriple {
 	occur := map[string]int{}
-	for _, t := range triples {
-		for _, v := range t.Vars() {
+	for _, kt := range kept {
+		for _, v := range kt.triple.Vars() {
 			occur[v]++
 		}
 	}
@@ -164,19 +256,26 @@ func (c *Composer) pruneDangling(triples []rdf.Triple, in Input) []rdf.Triple {
 			}
 		}
 	}
-	var out []rdf.Triple
-	for _, t := range triples {
-		vars := t.Vars()
+	var out []keptTriple
+	for _, kt := range kept {
+		vars := kt.triple.Vars()
 		orphan := len(vars) > 0
+		orphanVar := ""
 		for _, v := range vars {
 			if keep[v] || occur[v] > 1 {
 				orphan = false
 				break
 			}
+			orphanVar = v
 		}
-		if !orphan {
-			out = append(out, t)
+		if orphan {
+			d := &decisions[kt.decision]
+			d.Kept = false
+			d.Reason = ReasonDangling
+			d.OrphanVar = orphanVar
+			continue
 		}
+		out = append(out, kt)
 	}
 	return out
 }

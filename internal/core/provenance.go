@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nl2cm/internal/compose"
+	"nl2cm/internal/oassisql"
+	"nl2cm/internal/prov"
+	"nl2cm/internal/rdf"
+	"nl2cm/internal/verify"
+)
+
+// buildProvenance fills the Result's provenance views from the traced
+// composition output: the triple→spans→text map, the uncovered-token
+// report, and its rephrasing tips.
+func (r *Result) buildProvenance(out *compose.Output) {
+	r.Provenance = map[string]prov.Record{}
+	covered := prov.TokenSet{}
+	add := func(clause string, sub int, t rdf.Triple, tokens prov.TokenSet) {
+		covered = covered.Union(tokens)
+		key := oassisql.TripleString(t)
+		rec, seen := r.Provenance[key]
+		if seen {
+			// The same rendered triple in several places (e.g. two
+			// subclauses): merge the token sets, keep the first location.
+			rec.Tokens = rec.Tokens.Union(tokens)
+		} else {
+			rec = prov.Record{Triple: key, Clause: clause, Subclause: sub, Tokens: tokens}
+		}
+		spans := r.Graph.Spans(rec.Tokens)
+		rec.Spans = prov.MergeSpans(r.Question, spans)
+		rec.Text = prov.Excerpt(r.Question, spans)
+		r.Provenance[key] = rec
+	}
+	for i, t := range out.Query.Where.Triples {
+		add(oassisql.ClauseWhere, -1, t, out.WhereOrigins[i])
+	}
+	for si, sc := range out.Query.Satisfying {
+		for i, t := range sc.Pattern.Triples {
+			add(oassisql.ClauseSatisfying, si, t, out.SatisfyingOrigins[si][i])
+		}
+	}
+
+	// Tokens inside an accepted IX were understood even when no single
+	// triple lists them (auxiliaries, particles).
+	understood := covered
+	for _, x := range r.IXs {
+		understood = understood.Union(x.TokenSet())
+	}
+	for id := range r.Graph.Nodes {
+		n := &r.Graph.Nodes[id]
+		if !isContentPOS(n.POS) || understood.Contains(id) {
+			continue
+		}
+		r.Uncovered = append(r.Uncovered, prov.TokenInfo{ID: id, Span: n.Span(), Text: n.Text})
+	}
+	r.CoverageTips = verify.CoverageTips(r.Question, r.Uncovered)
+}
+
+// isContentPOS reports whether the tag marks a content word whose loss
+// the uncovered report should flag: nouns, verbs, adjectives, adverbs
+// and numbers.
+func isContentPOS(pos string) bool {
+	for _, p := range []string{"NN", "VB", "JJ", "RB", "CD"} {
+		if strings.HasPrefix(pos, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// AnnotatedQuery renders the final query with a source comment on every
+// triple whose provenance is known:
+//
+//	{[] reach $x # from: "reach ... from Forest Hills"
+//	}
+//
+// Comments are skipped by the OASSIS-QL lexer, so the output re-parses
+// to the same query. An empty string is returned before composition.
+func (r *Result) AnnotatedQuery() string {
+	if r.Query == nil {
+		return ""
+	}
+	p := oassisql.Printer{Annotate: func(clause string, sub, i int, t rdf.Triple) string {
+		rec, seen := r.Provenance[oassisql.TripleString(t)]
+		if !seen || rec.Text == "" {
+			return ""
+		}
+		return fmt.Sprintf("from: %q", rec.Text)
+	}}
+	return p.Print(r.Query)
+}
+
+// ProvenanceRecords returns the provenance map as a slice ordered by
+// query position (WHERE first, then subclauses in order), for stable
+// display and JSON output.
+func (r *Result) ProvenanceRecords() []prov.Record {
+	out := make([]prov.Record, 0, len(r.Provenance))
+	for _, rec := range r.Provenance {
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Subclause != out[j].Subclause {
+			return out[i].Subclause < out[j].Subclause
+		}
+		return out[i].Triple < out[j].Triple
+	})
+	return out
+}

@@ -37,6 +37,7 @@ import (
 	"nl2cm/internal/nlp"
 	"nl2cm/internal/oassisql"
 	"nl2cm/internal/ontology"
+	"nl2cm/internal/prov"
 	"nl2cm/internal/qgen"
 	"nl2cm/internal/verify"
 )
@@ -75,6 +76,17 @@ type Result struct {
 	// has an empty SATISFYING clause and is effectively a plain
 	// ontology (SPARQL) query.
 	PureGeneral bool
+	// Provenance maps every emitted triple (rendered OASSIS-QL form) to
+	// the source tokens, byte spans and question text it derives from.
+	Provenance map[string]prov.Record
+	// ComposeDecisions records, per general triple, why composition kept
+	// or dropped it (exact IX-overlap token sets).
+	ComposeDecisions []compose.Decision
+	// Uncovered lists the question's content words that no emitted
+	// triple (nor any accepted IX) derives from.
+	Uncovered []prov.TokenInfo
+	// CoverageTips are rephrasing hints generated from Uncovered.
+	CoverageTips []string
 	// Trace holds the admin-mode intermediate outputs.
 	Trace []Stage
 	// Interactions is the recorded dialogue transcript.
@@ -271,10 +283,10 @@ func (t *Translator) Translate(ctx context.Context, question string, opt Options
 		return nil, err
 	}
 
-	// 6. Query Composition.
+	// 6. Query Composition (traced: decisions and per-triple origins
+	// become the Result's provenance views).
 	if err := st.run(StageComposer, func() (string, error) {
-		var err error
-		res.Query, err = t.Composer.Compose(ctx, compose.Input{
+		out, err := t.Composer.ComposeTraced(ctx, compose.Input{
 			Graph:      g,
 			IXs:        res.IXs,
 			General:    res.General,
@@ -285,6 +297,9 @@ func (t *Translator) Translate(ctx context.Context, question string, opt Options
 		if err != nil {
 			return "", fmt.Errorf("composing query: %w", err)
 		}
+		res.Query = out.Query
+		res.ComposeDecisions = out.Decisions
+		res.buildProvenance(out)
 		res.PureGeneral = len(res.Query.Satisfying) == 0
 		return res.Query.String(), nil
 	}); err != nil {
@@ -319,10 +334,14 @@ func (t *Translator) verifyIXs(ctx context.Context, question string, g *nlp.DepG
 	spans := make([]interact.IXSpan, len(toAsk))
 	for i, x := range toAsk {
 		start, end := x.Span()
+		bs := x.ByteSpan(g)
 		spans[i] = interact.IXSpan{
 			Text:      x.Text(g),
 			Start:     start,
 			End:       end,
+			ByteStart: bs.Start,
+			ByteEnd:   bs.End,
+			Source:    x.SourceText(g),
 			Type:      strings.Join(x.Types, "+"),
 			Pattern:   patternNames(x),
 			Uncertain: x.Uncertain,

@@ -25,6 +25,7 @@ import (
 
 	"nl2cm/internal/ix"
 	"nl2cm/internal/nlp"
+	"nl2cm/internal/prov"
 	"nl2cm/internal/qgen"
 	"nl2cm/internal/rdf"
 )
@@ -40,6 +41,9 @@ type Part struct {
 	IX *ix.IX
 	// Triples form the subclause's data pattern.
 	Triples []rdf.Triple
+	// Origins records, parallel to Triples, the source-token set each
+	// triple derives from.
+	Origins []prov.TokenSet
 	// Description is a short human phrase for significance dialogues
 	// ("visit in the fall", Figure 5).
 	Description string
@@ -50,6 +54,12 @@ type Part struct {
 	// Habit distinguishes habit frequency questions from opinion
 	// agreement questions when generating crowd tasks.
 	Habit bool
+}
+
+// add appends a triple with its source-token provenance.
+func (p *Part) add(t rdf.Triple, origin prov.TokenSet) {
+	p.Triples = append(p.Triples, t)
+	p.Origins = append(p.Origins, origin)
 }
 
 // Creator maps IXs to individual query parts. Anonymous "[]" variables
@@ -155,6 +165,7 @@ func (c *Creator) adjectivePart(g *nlp.DepGraph, x *ix.IX, general *qgen.Result)
 	if strings.HasPrefix(anchor.POS, "VB") {
 		label = anchor.Lower // participial opinion: "overrated"
 	}
+	labelTokens := prov.NewTokenSet(x.Anchor)
 	prepHost := x.Anchor
 	// Predicate nominal: "Is oatmeal a good breakfast for adults?" — the
 	// opinion is about the copular subject (oatmeal), labeled with the
@@ -163,6 +174,7 @@ func (c *Creator) adjectivePart(g *nlp.DepGraph, x *ix.IX, general *qgen.Result)
 	if g.FirstDependent(noun, nlp.RelCop) >= 0 {
 		if subj := g.FirstDependent(noun, nlp.RelNSubj); subj >= 0 && subj != noun {
 			label = anchor.Lemma + " " + g.Nodes[noun].Lemma
+			labelTokens = labelTokens.Add(noun)
 			prepHost = noun
 			noun = subj
 		}
@@ -173,14 +185,14 @@ func (c *Creator) adjectivePart(g *nlp.DepGraph, x *ix.IX, general *qgen.Result)
 		Superlative: isSuperlative(g, x.Anchor),
 		Description: fmt.Sprintf("%s %s", anchor.Text, g.Nodes[noun].Text),
 	}
-	p.Triples = append(p.Triples, rdf.T(nt, HasLabelPred, rdf.NewLiteral(label)))
+	p.add(rdf.T(nt, HasLabelPred, rdf.NewLiteral(label)), labelTokens.Add(noun))
 	for _, prep := range g.Dependents(prepHost, nlp.RelPrep) {
 		pobj := g.FirstDependent(prep, nlp.RelPObj)
 		if pobj < 0 {
 			continue
 		}
 		ot := groundedTerm(g, pobj, general)
-		p.Triples = append(p.Triples, rdf.T(nt, rdf.NewIRI(g.Nodes[prep].Lemma), ot))
+		p.add(rdf.T(nt, rdf.NewIRI(g.Nodes[prep].Lemma), ot), prov.NewTokenSet(noun, prep, pobj))
 		p.Description += " " + g.SubtreePhrase(prep)
 	}
 	return p, nil
@@ -229,7 +241,8 @@ func (c *Creator) verbPart(g *nlp.DepGraph, x *ix.IX, general *qgen.Result, anon
 	// third parties keep their term ("Obama should visit Buffalo").
 	subj := g.FirstDependent(x.Anchor, nlp.RelNSubj)
 	var subjTerm rdf.Term
-	if subj >= 0 && !isParticipantNode(g, subj) && strings.HasPrefix(g.Nodes[subj].POS, "NN") {
+	subjNamed := subj >= 0 && !isParticipantNode(g, subj) && strings.HasPrefix(g.Nodes[subj].POS, "NN")
+	if subjNamed {
 		subjTerm = nounTerm(subj, general)
 	} else {
 		subjTerm = anon.next()
@@ -280,20 +293,29 @@ func (c *Creator) verbPart(g *nlp.DepGraph, x *ix.IX, general *qgen.Result, anon
 		objTerm = rdf.Term{}
 	}
 
+	// The main triple derives from the anchor, the action verb, and any
+	// subject/object tokens it binds.
+	mainTokens := prov.NewTokenSet(x.Anchor, verb)
+	if subjNamed {
+		mainTokens = mainTokens.Add(subj)
+	}
 	if objTerm != (rdf.Term{}) {
-		p.Triples = append(p.Triples, rdf.T(subjTerm, pred, objTerm))
+		if obj >= 0 {
+			mainTokens = mainTokens.Add(obj)
+		}
+		p.add(rdf.T(subjTerm, pred, objTerm), mainTokens)
 		// Coordinated objects join the same data pattern: "we visit
 		// parks and museums" asks about the combined habit.
 		if obj >= 0 {
 			for _, conj := range g.Dependents(obj, nlp.RelConj) {
 				ct := groundedTerm(g, conj, general)
-				p.Triples = append(p.Triples, rdf.T(anon.next(), pred, ct))
+				p.add(rdf.T(anon.next(), pred, ct), prov.NewTokenSet(verb, conj))
 			}
 		}
 	} else {
 		// Intransitive habit ("how often do you exercise"): the verb
 		// itself is the pattern, with an anonymous object slot omitted.
-		p.Triples = append(p.Triples, rdf.T(subjTerm, pred, anon.next()))
+		p.add(rdf.T(subjTerm, pred, anon.next()), mainTokens)
 	}
 
 	// Prepositional phrases of the verb: {[] in Fall}.
@@ -303,7 +325,7 @@ func (c *Creator) verbPart(g *nlp.DepGraph, x *ix.IX, general *qgen.Result, anon
 			continue
 		}
 		ot := groundedTerm(g, pobj, general)
-		p.Triples = append(p.Triples, rdf.T(anon.next(), rdf.NewIRI(g.Nodes[prep].Lemma), ot))
+		p.add(rdf.T(anon.next(), rdf.NewIRI(g.Nodes[prep].Lemma), ot), prov.NewTokenSet(prep, pobj))
 	}
 
 	p.Description = describeVerbPart(g, x, verb)

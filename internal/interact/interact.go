@@ -84,6 +84,13 @@ type IXSpan struct {
 	Text string
 	// Start and End are token indices [Start, End) in the question.
 	Start, End int
+	// ByteStart and ByteEnd delimit the expression's byte range
+	// [ByteStart, ByteEnd) in the original question, for highlighting.
+	ByteStart, ByteEnd int
+	// Source is the exact source phrase the expression covers, quoted
+	// from the question (gaps elided with "..."), in contrast to Text,
+	// which re-joins token surface forms.
+	Source string
 	// Type is the individuality type: "lexical", "participant" or
 	// "syntactic".
 	Type string

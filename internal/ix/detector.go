@@ -86,6 +86,9 @@ func (x *IX) Text(g *nlp.DepGraph) string {
 type Detector struct {
 	Patterns []*Pattern
 	Vocabs   *Vocabularies
+	// Stats, when non-nil, records every Find's pattern matches for the
+	// administrator page. MatchStats is internally synchronized.
+	Stats *MatchStats
 }
 
 // NewDetector returns a detector with the default pattern set and
@@ -139,6 +142,7 @@ func (d *Detector) Find(ctx context.Context, g *nlp.DepGraph) ([]Match, error) {
 		}
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Anchor < out[j].Anchor })
+	d.Stats.Record(g, out)
 	return out, nil
 }
 

@@ -1,0 +1,62 @@
+package ix
+
+import (
+	"nl2cm/internal/nlp"
+	"nl2cm/internal/prov"
+)
+
+// TokenSet returns the IX's completed node set as a provenance token set.
+func (x *IX) TokenSet() prov.TokenSet {
+	return prov.NewTokenSet(x.Nodes...)
+}
+
+// PredicateTokens returns the tokens through which the IX expresses its
+// individual predicate rather than its entity arguments: the anchor plus
+// every non-noun node. General (WHERE) triples whose origin intersects
+// this set restate the IX's predicate and must be dropped during
+// composition; noun nodes are excluded because entity-typing triples
+// ("$x instanceOf Place") remain valid alongside the individual form.
+func (x *IX) PredicateTokens(g *nlp.DepGraph) prov.TokenSet {
+	set := prov.NewTokenSet(x.Anchor)
+	for _, n := range x.Nodes {
+		if n < 0 || n >= len(g.Nodes) {
+			continue
+		}
+		if pos := g.Nodes[n].POS; len(pos) >= 2 && pos[:2] == "NN" {
+			continue
+		}
+		set = set.Add(n)
+	}
+	return set
+}
+
+// Spans returns the byte spans of the IX's nodes in the source sentence.
+func (x *IX) Spans(g *nlp.DepGraph) []prov.Span {
+	return g.Spans(x.TokenSet())
+}
+
+// SourceText returns the IX's exact source excerpt (gaps elided with
+// "..."), in contrast to Text which reconstructs a phrase by re-joining
+// token surface forms.
+func (x *IX) SourceText(g *nlp.DepGraph) string {
+	return g.Excerpt(x.TokenSet())
+}
+
+// ByteSpan returns the overall byte range [start, end) the IX covers in
+// the source sentence, from the first covered byte to the last.
+func (x *IX) ByteSpan(g *nlp.DepGraph) prov.Span {
+	spans := x.Spans(g)
+	if len(spans) == 0 {
+		return prov.Span{}
+	}
+	out := spans[0]
+	for _, s := range spans[1:] {
+		if s.Start < out.Start {
+			out.Start = s.Start
+		}
+		if s.End > out.End {
+			out.End = s.End
+		}
+	}
+	return out
+}

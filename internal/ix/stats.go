@@ -1,0 +1,134 @@
+package ix
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"nl2cm/internal/nlp"
+	"nl2cm/internal/prov"
+)
+
+// MatchInfo is one pattern match recorded for the administrator page: the
+// pattern that fired, the anchor token, and the exact source text the
+// match covered.
+type MatchInfo struct {
+	Pattern string    `json:"pattern"`
+	Anchor  string    `json:"anchor"`
+	Span    prov.Span `json:"span"`
+	Text    string    `json:"text"`
+}
+
+// TranslationMatches groups the matches of one translated question.
+type TranslationMatches struct {
+	Question string      `json:"question"`
+	When     time.Time   `json:"when"`
+	Matches  []MatchInfo `json:"matches"`
+}
+
+// PatternCount is a per-pattern match tally, for sorted display.
+type PatternCount struct {
+	Pattern string `json:"pattern"`
+	Count   int    `json:"count"`
+}
+
+// MatchStats accumulates per-pattern match counts and keeps the matched
+// span text of the last N translations. It backs the administrator page's
+// pattern-effectiveness table and is safe for concurrent use.
+type MatchStats struct {
+	mu     sync.Mutex
+	limit  int
+	counts map[string]int
+	recent []TranslationMatches // newest last
+}
+
+// NewMatchStats returns a recorder keeping the last limit translations
+// (minimum 1).
+func NewMatchStats(limit int) *MatchStats {
+	if limit < 1 {
+		limit = 1
+	}
+	return &MatchStats{limit: limit, counts: map[string]int{}}
+}
+
+// Record tallies the matches of one translation. The graph provides the
+// question text and the byte spans of each match's nodes.
+func (s *MatchStats) Record(g *nlp.DepGraph, matches []Match) {
+	if s == nil {
+		return
+	}
+	tm := TranslationMatches{Question: g.Source, When: time.Now()}
+	for _, m := range matches {
+		set := prov.NewTokenSet(m.Nodes...)
+		info := MatchInfo{
+			Pattern: m.Pattern.Name,
+			Span:    spanHull(g.Spans(set)),
+			Text:    g.Excerpt(set),
+		}
+		if m.Anchor >= 0 && m.Anchor < len(g.Nodes) {
+			info.Anchor = g.Nodes[m.Anchor].Text
+		}
+		tm.Matches = append(tm.Matches, info)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, m := range tm.Matches {
+		s.counts[m.Pattern]++
+	}
+	s.recent = append(s.recent, tm)
+	if len(s.recent) > s.limit {
+		s.recent = s.recent[len(s.recent)-s.limit:]
+	}
+}
+
+// Counts returns the per-pattern totals, sorted by count descending then
+// name.
+func (s *MatchStats) Counts() []PatternCount {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]PatternCount, 0, len(s.counts))
+	for p, c := range s.counts {
+		out = append(out, PatternCount{Pattern: p, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Pattern < out[j].Pattern
+	})
+	return out
+}
+
+// Recent returns the recorded translations, newest first.
+func (s *MatchStats) Recent() []TranslationMatches {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]TranslationMatches, len(s.recent))
+	for i, tm := range s.recent {
+		out[len(s.recent)-1-i] = tm
+	}
+	return out
+}
+
+// spanHull returns the covering byte range of the spans.
+func spanHull(spans []prov.Span) prov.Span {
+	if len(spans) == 0 {
+		return prov.Span{}
+	}
+	out := spans[0]
+	for _, s := range spans[1:] {
+		if s.Start < out.Start {
+			out.Start = s.Start
+		}
+		if s.End > out.End {
+			out.End = s.End
+		}
+	}
+	return out
+}

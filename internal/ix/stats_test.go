@@ -1,0 +1,120 @@
+package ix
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"nl2cm/internal/nlp"
+)
+
+func TestMatchStatsRecord(t *testing.T) {
+	d := NewDetector()
+	d.Stats = NewMatchStats(2)
+	questions := []string{
+		"What are the most interesting places in Buffalo?",
+		"Where should I buy a tent?",
+		"What are the most interesting places in Buffalo?",
+	}
+	for _, q := range questions {
+		g, err := nlp.Parse(q)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", q, err)
+		}
+		if _, err := d.Detect(context.Background(), g); err != nil {
+			t.Fatalf("Detect(%q): %v", q, err)
+		}
+	}
+	counts := d.Stats.Counts()
+	if len(counts) == 0 {
+		t.Fatal("no pattern counts recorded")
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i].Count > counts[i-1].Count {
+			t.Errorf("counts not sorted: %v", counts)
+		}
+	}
+	recent := d.Stats.Recent()
+	if len(recent) != 2 {
+		t.Fatalf("Recent kept %d translations, want 2 (ring limit)", len(recent))
+	}
+	if recent[0].Question != questions[2] {
+		t.Errorf("Recent[0] = %q, want newest question", recent[0].Question)
+	}
+	// Matched span text must quote the source, not a reconstruction.
+	var sawText bool
+	for _, tm := range recent {
+		for _, m := range tm.Matches {
+			if m.Text == "" {
+				continue
+			}
+			sawText = true
+			for _, part := range strings.Split(m.Text, " ... ") {
+				if !strings.Contains(tm.Question, part) {
+					t.Errorf("match text %q not a substring of %q", m.Text, tm.Question)
+				}
+			}
+		}
+	}
+	if !sawText {
+		t.Error("no match recorded any span text")
+	}
+}
+
+func TestMatchStatsNilSafe(t *testing.T) {
+	var s *MatchStats
+	g, err := nlp.Parse("Where should I buy a tent?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Record(g, nil) // must not panic
+	if s.Counts() != nil || s.Recent() != nil {
+		t.Error("nil MatchStats should report empty")
+	}
+}
+
+func TestIXProvenanceHelpers(t *testing.T) {
+	q := "What are the most interesting places in Buffalo?"
+	g, err := nlp.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ixs, err := NewDetector().Detect(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ixs) == 0 {
+		t.Fatal("no IXs detected")
+	}
+	for _, x := range ixs {
+		set := x.TokenSet()
+		if set.Empty() {
+			t.Fatalf("IX anchored at %d has empty token set", x.Anchor)
+		}
+		src := x.SourceText(g)
+		if src == "" {
+			t.Fatalf("IX anchored at %d has empty source text", x.Anchor)
+		}
+		for _, part := range strings.Split(src, " ... ") {
+			if !strings.Contains(q, part) {
+				t.Errorf("SourceText part %q not in question", part)
+			}
+		}
+		bs := x.ByteSpan(g)
+		if bs.Empty() {
+			t.Errorf("IX anchored at %d has empty byte span", x.Anchor)
+		}
+		pred := x.PredicateTokens(g)
+		if !pred.Contains(x.Anchor) {
+			t.Errorf("PredicateTokens misses anchor %d", x.Anchor)
+		}
+		for _, id := range pred {
+			if id == x.Anchor {
+				continue
+			}
+			if pos := g.Nodes[id].POS; strings.HasPrefix(pos, "NN") {
+				t.Errorf("PredicateTokens contains noun token %d (%s)", id, pos)
+			}
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package nlp
+
+import (
+	"testing"
+)
+
+// FuzzParse asserts the full NL pipeline (tokenize, tag, lemmatize,
+// dependency-parse) never panics, that accepted graphs satisfy Validate,
+// and that token span provenance stays within the input.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"What are the most interesting places near Forest Hotel, Buffalo, we should visit in the fall?",
+		"Where should I buy a tent?",
+		"Don't we visit the hotel's pool?",
+		"Is chocolate milk good for kids?",
+		"Buffalo, N.Y. is cold.",
+		"can't won't cannot let's I'm",
+		"(in the fall)",
+		"?!?",
+		"",
+		"  \t\n ",
+		"a",
+		"été café “quoted” …",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := Parse(input)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if g == nil {
+			t.Fatal("Parse returned nil graph with nil error")
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails Validate: %v\ninput: %q", err, input)
+		}
+		if g.Source != input {
+			t.Fatalf("graph Source = %q, want input %q", g.Source, input)
+		}
+		lastStart := 0
+		for i := range g.Nodes {
+			tok := g.Nodes[i].Token
+			if tok.Index != i {
+				t.Fatalf("token %d has Index %d", i, tok.Index)
+			}
+			if tok.Start < 0 || tok.End > len(input) || tok.End < tok.Start || tok.Start < lastStart {
+				t.Fatalf("token %d %q has invalid span [%d,%d) in input of %d bytes",
+					i, tok.Text, tok.Start, tok.End, len(input))
+			}
+			lastStart = tok.Start
+		}
+	})
+}

@@ -3,6 +3,8 @@ package nlp
 import (
 	"fmt"
 	"strings"
+
+	"nl2cm/internal/prov"
 )
 
 // Dependency relation labels emitted by the parser. They follow the
@@ -66,6 +68,28 @@ type Edge struct {
 type DepGraph struct {
 	Nodes []Node
 	Extra []Edge
+	// Source is the original sentence the graph was parsed from. Token
+	// byte spans index into it; Parse fills it.
+	Source string
+}
+
+// Spans returns the byte spans of the given tokens in Source. Indices out
+// of range are skipped.
+func (g *DepGraph) Spans(ids prov.TokenSet) []prov.Span {
+	var out []prov.Span
+	for _, id := range ids {
+		if id >= 0 && id < len(g.Nodes) {
+			out = append(out, g.Nodes[id].Span())
+		}
+	}
+	return out
+}
+
+// Excerpt resolves a token set to a quotation of the source sentence,
+// adjacent spans merged and gaps elided with "..." — e.g.
+// `reach ... from Forest Hills`.
+func (g *DepGraph) Excerpt(ids prov.TokenSet) string {
+	return prov.Excerpt(g.Source, g.Spans(ids))
 }
 
 // Len returns the number of tokens.

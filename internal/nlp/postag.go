@@ -253,5 +253,9 @@ func repairTag(tokens []Token, i int) {
 func Parse(sentence string) (*DepGraph, error) {
 	tokens := Tokenize(sentence)
 	Tag(tokens)
-	return ParseDependencies(tokens)
+	g, err := ParseDependencies(tokens)
+	if g != nil {
+		g.Source = sentence
+	}
+	return g, err
 }

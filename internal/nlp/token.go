@@ -5,16 +5,27 @@
 // Stanford-style typed dependencies (nsubj, dobj, amod, prep, pobj, aux,
 // ...). Downstream modules consume only the POS tags and the typed
 // dependency graph, so the interface matches the paper's.
+//
+// Every token carries span provenance: Index is its stable token ID
+// (tagging, lemmatization and dependency parsing all mutate tokens in
+// place, so the ID survives the whole pipeline) and [Start, End) is its
+// byte span in the original input, from which downstream layers resolve
+// token-ID sets back to source text (see the prov package).
 package nlp
 
 import (
 	"strings"
 	"unicode"
+
+	"nl2cm/internal/prov"
 )
 
 // Token is a single meaningful unit of the input text.
 type Token struct {
-	// Index is the 0-based position in the sentence.
+	// Index is the 0-based position in the sentence. It is the token's
+	// stable ID: all later pipeline stages (tagger, lemmatizer,
+	// dependency parser) mutate tokens in place and never reorder them,
+	// so provenance token sets reference this value.
 	Index int
 	// Text is the surface form as it appeared (minus splitting).
 	Text string
@@ -24,6 +35,19 @@ type Token struct {
 	Lemma string
 	// POS is the Penn Treebank part-of-speech tag, filled by the tagger.
 	POS string
+	// Start and End delimit the token's byte span [Start, End) in the
+	// original input. When a contraction split cannot be mapped back to
+	// exact byte offsets, the pieces share their source word's span.
+	Start, End int
+}
+
+// Span returns the token's byte span in the original input.
+func (t Token) Span() prov.Span { return prov.Span{Start: t.Start, End: t.End} }
+
+// frag is a piece of the input under tokenization, with its byte span.
+type frag struct {
+	text       string
+	start, end int
 }
 
 // contractionSplits maps contracted surface forms to their token splits,
@@ -48,10 +72,11 @@ var clitics = []string{"n't", "'re", "'ve", "'ll", "'m", "'d", "'s"}
 
 // Tokenize splits a sentence into Penn-Treebank-style tokens: punctuation
 // is separated, standard contractions are split ("don't" -> "do", "n't"),
-// and whitespace is collapsed. Lemma and POS fields are left empty.
+// and whitespace is collapsed. Lemma and POS fields are left empty; each
+// token records its byte span in text.
 func Tokenize(text string) []Token {
-	var raw []string
-	for _, field := range strings.Fields(text) {
+	var raw []frag
+	for _, field := range fields(text) {
 		raw = append(raw, splitPunct(field)...)
 	}
 	var out []Token
@@ -59,10 +84,35 @@ func Tokenize(text string) []Token {
 		for _, piece := range splitContraction(w) {
 			out = append(out, Token{
 				Index: len(out),
-				Text:  piece,
-				Lower: strings.ToLower(piece),
+				Text:  piece.text,
+				Lower: strings.ToLower(piece.text),
+				Start: piece.start,
+				End:   piece.end,
 			})
 		}
+	}
+	return out
+}
+
+// fields splits on Unicode whitespace like strings.Fields, keeping byte
+// offsets.
+func fields(text string) []frag {
+	var out []frag
+	start := -1
+	for i, r := range text {
+		if unicode.IsSpace(r) {
+			if start >= 0 {
+				out = append(out, frag{text: text[start:i], start: start, end: i})
+				start = -1
+			}
+			continue
+		}
+		if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		out = append(out, frag{text: text[start:], start: start, end: len(text)})
 	}
 	return out
 }
@@ -70,20 +120,23 @@ func Tokenize(text string) []Token {
 // splitPunct separates leading/trailing punctuation from a whitespace
 // field, keeping internal hyphens, apostrophes, and periods in
 // abbreviations.
-func splitPunct(w string) []string {
-	var lead, trail []string
+func splitPunct(f frag) []frag {
+	w, off := f.text, f.start
+	var lead, trail []frag
 	// Peel leading punctuation.
 	for len(w) > 0 {
 		r := rune(w[0])
 		if isSplitPunct(r) {
-			lead = append(lead, string(r))
+			lead = append(lead, frag{text: string(r), start: off, end: off + 1})
 			w = w[1:]
+			off++
 			continue
 		}
 		break
 	}
 	// Peel trailing punctuation. Keep a period that is part of an
 	// abbreviation like "N.Y." (token still contains another period).
+	end := off + len(w)
 	for len(w) > 0 {
 		r := rune(w[len(w)-1])
 		if !isSplitPunct(r) {
@@ -92,13 +145,14 @@ func splitPunct(w string) []string {
 		if r == '.' && strings.Count(w, ".") > 1 {
 			break // abbreviation such as U.S. or N.Y.
 		}
-		trail = append([]string{string(r)}, trail...)
+		trail = append([]frag{{text: string(r), start: end - 1, end: end}}, trail...)
 		w = w[:len(w)-1]
+		end--
 	}
-	var out []string
+	var out []frag
 	out = append(out, lead...)
 	if w != "" {
-		out = append(out, w)
+		out = append(out, frag{text: w, start: off, end: end})
 	}
 	out = append(out, trail...)
 	return out
@@ -112,11 +166,14 @@ func isSplitPunct(r rune) bool {
 	return false
 }
 
-// splitContraction splits clitic contractions from a word.
-func splitContraction(w string) []string {
+// splitContraction splits clitic contractions from a word, carving the
+// word's byte span into per-piece spans when the pieces partition it
+// (pieces of a case-restoration fallback share the whole word's span).
+func splitContraction(f frag) []frag {
+	w := f.text
 	lw := strings.ToLower(w)
 	if parts, ok := contractionSplits[lw]; ok {
-		return restoreCase(w, parts)
+		return restoreCase(f, parts)
 	}
 	for _, cl := range clitics {
 		if strings.HasSuffix(lw, cl) && len(lw) > len(cl) {
@@ -131,26 +188,39 @@ func splitContraction(w string) []string {
 			if stem == "" {
 				break
 			}
-			return []string{stem, suffix}
+			cut := f.start + len(stem)
+			return []frag{
+				{text: stem, start: f.start, end: cut},
+				{text: suffix, start: cut, end: f.end},
+			}
 		}
 	}
-	return []string{w}
+	return []frag{f}
 }
 
 // restoreCase maps the canonical lower-case split back onto the original
-// casing where lengths allow; it falls back to the canonical pieces.
-func restoreCase(orig string, parts []string) []string {
+// casing (and byte spans) where lengths allow; it falls back to the
+// canonical pieces, which then share the source word's span.
+func restoreCase(f frag, parts []string) []frag {
+	orig := f.text
 	total := 0
 	for _, p := range parts {
 		total += len(p)
 	}
+	out := make([]frag, len(parts))
 	if total != len(orig) {
-		return parts
+		for i, p := range parts {
+			out[i] = frag{text: p, start: f.start, end: f.end}
+		}
+		return out
 	}
-	out := make([]string, len(parts))
 	off := 0
 	for i, p := range parts {
-		out[i] = orig[off : off+len(p)]
+		out[i] = frag{
+			text:  orig[off : off+len(p)],
+			start: f.start + off,
+			end:   f.start + off + len(p),
+		}
 		off += len(p)
 	}
 	return out

@@ -149,6 +149,62 @@ func TestTokenizePreservesLetters(t *testing.T) {
 	}
 }
 
+func TestTokenizeSpans(t *testing.T) {
+	in := "When can I reach the falls from Forest Hills?"
+	for _, tok := range Tokenize(in) {
+		if got := in[tok.Start:tok.End]; got != tok.Text {
+			t.Errorf("token %d %q has span [%d,%d) = %q", tok.Index, tok.Text, tok.Start, tok.End, got)
+		}
+	}
+}
+
+// Spans of contraction pieces must cover the source word, in order, even
+// when the piece text is canonicalized ("can't" -> "ca"+"n't").
+func TestTokenizeContractionSpans(t *testing.T) {
+	in := "  Don't we visit the hotel's pool?"
+	toks := Tokenize(in)
+	prevEnd := 0
+	for _, tok := range toks {
+		if tok.Start < prevEnd && tok.End > tok.Start {
+			// Overlap is only allowed for fallback pieces sharing a span.
+			if in[tok.Start:tok.End] == tok.Text {
+				t.Errorf("token %q span [%d,%d) overlaps previous end %d", tok.Text, tok.Start, tok.End, prevEnd)
+			}
+		}
+		if tok.Start < 0 || tok.End > len(in) || tok.End < tok.Start {
+			t.Fatalf("token %q has invalid span [%d,%d)", tok.Text, tok.Start, tok.End)
+		}
+		if tok.End > prevEnd {
+			prevEnd = tok.End
+		}
+	}
+	// "Don't" splits exactly: "Do" [2,4), "n't" [4,7).
+	if toks[0].Text != "Do" || toks[0].Start != 2 || toks[0].End != 4 {
+		t.Errorf("first token = %+v, want Do [2,4)", toks[0])
+	}
+	if toks[1].Text != "n't" || toks[1].Start != 4 || toks[1].End != 7 {
+		t.Errorf("second token = %+v, want n't [4,7)", toks[1])
+	}
+}
+
+// Property: token spans are valid, non-inverted, and in non-decreasing
+// start order for arbitrary input.
+func TestTokenizeSpanInvariant(t *testing.T) {
+	f := func(s string) bool {
+		lastStart := 0
+		for _, tok := range Tokenize(s) {
+			if tok.Start < 0 || tok.End > len(s) || tok.End < tok.Start || tok.Start < lastStart {
+				return false
+			}
+			lastStart = tok.Start
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 // Property: every token index matches its slice position for arbitrary
 // printable input.
 func TestTokenizeIndexInvariant(t *testing.T) {

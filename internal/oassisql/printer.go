@@ -8,6 +8,27 @@ import (
 	"nl2cm/internal/rdf"
 )
 
+// Clause names used by Printer.Annotate (and by provenance records) to
+// locate a triple in the query.
+const (
+	ClauseWhere      = "where"
+	ClauseSatisfying = "satisfying"
+)
+
+// Printer renders a Query in the paper's concrete syntax, optionally
+// annotating each data-pattern triple with a trailing comment. The zero
+// Printer reproduces Query.String byte for byte; with Annotate set, each
+// triple line whose callback returns a non-empty comment gains a
+// trailing " # <comment>" (the lexer skips comments, so annotated output
+// still parses).
+type Printer struct {
+	// Annotate returns the comment body (without the leading "# ") for
+	// the triple at the given position, or "" for none. clause is
+	// ClauseWhere or ClauseSatisfying; sub is the SATISFYING subclause
+	// index (-1 for WHERE); i is the triple's index within its pattern.
+	Annotate func(clause string, sub, i int, t rdf.Triple) string
+}
+
 // String renders the query in the paper's concrete syntax. For the
 // running example it reproduces Figure 1 line for line:
 //
@@ -23,7 +44,11 @@ import (
 //	{[] visit $x.
 //	[] in Fall}
 //	WITH SUPPORT THRESHOLD = 0.1
-func (q *Query) String() string {
+func (q *Query) String() string { return Printer{}.Print(q) }
+
+// Print renders the query, consulting the printer's Annotate callback
+// for per-triple source comments.
+func (p Printer) Print(q *Query) string {
 	var b strings.Builder
 	b.WriteString("SELECT ")
 	if q.Select.All {
@@ -37,7 +62,7 @@ func (q *Query) String() string {
 		}
 	}
 	b.WriteString("\nWHERE\n")
-	writePattern(&b, q.Where)
+	p.writePattern(&b, q.Where, ClauseWhere, -1)
 	if len(q.Satisfying) == 0 {
 		return b.String()
 	}
@@ -47,7 +72,7 @@ func (q *Query) String() string {
 			b.WriteString("\nAND")
 		}
 		b.WriteByte('\n')
-		writePattern(&b, sc.Pattern)
+		p.writePattern(&b, sc.Pattern, ClauseSatisfying, i)
 		switch {
 		case sc.TopK != nil:
 			dir := "DESC"
@@ -71,27 +96,44 @@ func formatThreshold(f float64) string {
 	return s
 }
 
-func writePattern(b *strings.Builder, p Pattern) {
+func (p Printer) writePattern(b *strings.Builder, pat Pattern, clause string, sub int) {
 	b.WriteByte('{')
-	for i, t := range p.Triples {
+	lastComment := false
+	for i, t := range pat.Triples {
 		if i > 0 {
 			b.WriteByte('\n')
 		}
-		b.WriteString(TermString(t.S))
-		b.WriteByte(' ')
-		b.WriteString(TermString(t.P))
-		b.WriteByte(' ')
-		b.WriteString(TermString(t.O))
-		if i < len(p.Triples)-1 {
+		b.WriteString(TripleString(t))
+		if i < len(pat.Triples)-1 {
 			b.WriteByte('.')
 		}
+		lastComment = false
+		if p.Annotate != nil {
+			if c := p.Annotate(clause, sub, i, t); c != "" {
+				b.WriteString(" # ")
+				b.WriteString(strings.ReplaceAll(c, "\n", " "))
+				lastComment = true
+			}
+		}
 	}
-	for _, f := range p.Filters {
+	for _, f := range pat.Filters {
 		b.WriteString("\nFILTER(")
 		b.WriteString(f.String())
 		b.WriteByte(')')
+		lastComment = false
+	}
+	if lastComment {
+		// A trailing comment runs to end of line; break it so the
+		// closing brace survives re-parsing.
+		b.WriteByte('\n')
 	}
 	b.WriteByte('}')
+}
+
+// TripleString renders a triple in OASSIS-QL concrete syntax, without a
+// trailing separator: `$x instanceOf Place`.
+func TripleString(t rdf.Triple) string {
+	return TermString(t.S) + " " + TermString(t.P) + " " + TermString(t.O)
 }
 
 // TermString renders a term in OASSIS-QL surface syntax: bare local

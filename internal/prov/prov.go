@@ -1,0 +1,196 @@
+// Package prov is NL2CM's span-provenance IR: the shared vocabulary
+// through which every pipeline layer records *which input tokens* a
+// derived artifact (an IX, a SPARQL triple, an OASSIS-QL triple) came
+// from. The NL parser assigns each token a stable ID (its index) and a
+// byte span in the original request; downstream modules carry sets of
+// those IDs, and the composer resolves them back to spans and source
+// text. Exact token-set intersection — not string matching — is what
+// drives IX-overlap deletion during query composition, and the final
+// core.Result exposes the whole mapping (triple → spans → original
+// text) to the UI and the /explain endpoint.
+package prov
+
+import (
+	"sort"
+	"strings"
+)
+
+// Span is a half-open byte range [Start, End) in the original request
+// text.
+type Span struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
+}
+
+// Empty reports whether the span covers no bytes.
+func (s Span) Empty() bool { return s.End <= s.Start }
+
+// Text returns the bytes the span covers, clamped to the source.
+func (s Span) Text(source string) string {
+	start, end := s.Start, s.End
+	if start < 0 {
+		start = 0
+	}
+	if end > len(source) {
+		end = len(source)
+	}
+	if end <= start {
+		return ""
+	}
+	return source[start:end]
+}
+
+// TokenSet is a set of stable token IDs, kept sorted and unique. The
+// zero value is the empty set.
+type TokenSet []int
+
+// NewTokenSet builds a set from the given IDs, dropping duplicates and
+// negatives (negative IDs mark "no source token", e.g. anonymous
+// variables).
+func NewTokenSet(ids ...int) TokenSet {
+	var out TokenSet
+	for _, id := range ids {
+		if id >= 0 {
+			out = out.Add(id)
+		}
+	}
+	return out
+}
+
+// Add returns the set with id included (negatives are ignored).
+func (s TokenSet) Add(id int) TokenSet {
+	if id < 0 || s.Contains(id) {
+		return s
+	}
+	out := append(append(TokenSet(nil), s...), id)
+	sort.Ints(out)
+	return out
+}
+
+// Contains reports membership.
+func (s TokenSet) Contains(id int) bool {
+	i := sort.SearchInts(s, id)
+	return i < len(s) && s[i] == id
+}
+
+// Empty reports whether the set has no members.
+func (s TokenSet) Empty() bool { return len(s) == 0 }
+
+// Union returns the merged set.
+func (s TokenSet) Union(o TokenSet) TokenSet {
+	out := append(TokenSet(nil), s...)
+	for _, id := range o {
+		out = out.Add(id)
+	}
+	return out
+}
+
+// Intersect returns the members present in both sets.
+func (s TokenSet) Intersect(o TokenSet) TokenSet {
+	var out TokenSet
+	for _, id := range s {
+		if o.Contains(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Intersects reports whether the sets share a member.
+func (s TokenSet) Intersects(o TokenSet) bool {
+	i, j := 0, 0
+	for i < len(s) && j < len(o) {
+		switch {
+		case s[i] == o[j]:
+			return true
+		case s[i] < o[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// Record traces one emitted query triple back to its source. Triple is
+// the rendered OASSIS-QL form ("$x instanceOf Place"); Clause and
+// Subclause locate it in the final query (Subclause is -1 for WHERE
+// triples). Spans are merged byte ranges in the original request and
+// Text is their excerpt, gaps elided with "...".
+type Record struct {
+	Triple    string   `json:"triple"`
+	Clause    string   `json:"clause"`
+	Subclause int      `json:"subclause"`
+	Tokens    TokenSet `json:"tokens"`
+	Spans     []Span   `json:"spans"`
+	Text      string   `json:"text"`
+}
+
+// TokenInfo is one token of the "uncovered tokens" report: a content
+// word of the request that no emitted triple derives from.
+type TokenInfo struct {
+	ID   int    `json:"id"`
+	Span Span   `json:"span"`
+	Text string `json:"text"`
+}
+
+// MergeSpans sorts the spans and merges ranges separated only by
+// whitespace in the source, so per-token spans collapse into phrase
+// spans ("Forest" + "Hills" → "Forest Hills").
+func MergeSpans(source string, spans []Span) []Span {
+	var in []Span
+	for _, s := range spans {
+		if !s.Empty() {
+			in = append(in, s)
+		}
+	}
+	if len(in) == 0 {
+		return nil
+	}
+	sort.Slice(in, func(i, j int) bool {
+		if in[i].Start != in[j].Start {
+			return in[i].Start < in[j].Start
+		}
+		return in[i].End < in[j].End
+	})
+	out := []Span{in[0]}
+	for _, s := range in[1:] {
+		last := &out[len(out)-1]
+		if s.Start <= last.End || strings.TrimSpace(gap(source, last.End, s.Start)) == "" {
+			if s.End > last.End {
+				last.End = s.End
+			}
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// gap returns the source bytes between two offsets, clamped.
+func gap(source string, from, to int) string {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(source) {
+		to = len(source)
+	}
+	if to <= from {
+		return ""
+	}
+	return source[from:to]
+}
+
+// Excerpt renders merged spans as a source quotation, eliding gaps with
+// "..." — the annotated printer's `# from: "reach ... from Forest
+// Hills"` form.
+func Excerpt(source string, spans []Span) string {
+	merged := MergeSpans(source, spans)
+	parts := make([]string, 0, len(merged))
+	for _, s := range merged {
+		if t := s.Text(source); t != "" {
+			parts = append(parts, t)
+		}
+	}
+	return strings.Join(parts, " ... ")
+}

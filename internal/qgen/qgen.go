@@ -28,6 +28,7 @@ import (
 	"nl2cm/internal/interact"
 	"nl2cm/internal/nlp"
 	"nl2cm/internal/ontology"
+	"nl2cm/internal/prov"
 	"nl2cm/internal/rdf"
 )
 
@@ -38,6 +39,12 @@ type Triple struct {
 	// Origin lists the dependency-graph node indices this triple was
 	// derived from.
 	Origin []int
+}
+
+// TokenSet returns the triple's origin as a provenance token set
+// (deduplicated, sorted, negatives dropped).
+func (t Triple) TokenSet() prov.TokenSet {
+	return prov.NewTokenSet(t.Origin...)
 }
 
 // Result is the generator's output.

@@ -48,6 +48,53 @@ type OrderKey struct {
 	Desc bool
 }
 
+// Validate checks the structural invariants every successfully parsed
+// query satisfies: projected and sort variables are named, subjects and
+// predicates are IRIs or variables (literals only bind in object
+// position), variable terms carry names, filter expressions are present
+// and the offset is non-negative. Fuzzing asserts it on parser output.
+func (q *Query) Validate() error {
+	for _, v := range q.Vars {
+		if v == "" {
+			return fmt.Errorf("sparql: empty projected variable name")
+		}
+	}
+	groups := [][]rdf.Triple{q.Where}
+	groups = append(groups, q.Optionals...)
+	for _, block := range q.Unions {
+		groups = append(groups, block...)
+	}
+	for _, g := range groups {
+		for _, t := range g {
+			if k := t.S.Kind(); k != rdf.KindIRI && k != rdf.KindVariable && k != rdf.KindBlank {
+				return fmt.Errorf("sparql: subject of %s is a %s", t, k)
+			}
+			if k := t.P.Kind(); k != rdf.KindIRI && k != rdf.KindVariable {
+				return fmt.Errorf("sparql: predicate of %s is a %s", t, k)
+			}
+			for _, term := range []rdf.Term{t.S, t.P, t.O} {
+				if term.Kind() == rdf.KindVariable && term.Value() == "" {
+					return fmt.Errorf("sparql: unnamed variable in %s", t)
+				}
+			}
+		}
+	}
+	for _, f := range q.Filters {
+		if f == nil {
+			return fmt.Errorf("sparql: nil filter expression")
+		}
+	}
+	for _, k := range q.OrderBy {
+		if k.Var == "" {
+			return fmt.Errorf("sparql: empty ORDER BY variable")
+		}
+	}
+	if q.Offset < 0 {
+		return fmt.Errorf("sparql: negative offset %d", q.Offset)
+	}
+	return nil
+}
+
 // String reconstructs a textual form of the query.
 func (q *Query) String() string {
 	var b strings.Builder

@@ -1,0 +1,39 @@
+package sparql
+
+import (
+	"testing"
+)
+
+// FuzzParse asserts the parser never panics and that every accepted
+// query satisfies Validate. (A print/re-parse round trip is NOT asserted:
+// typed literals print with a ^^datatype suffix the lexer does not read.)
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT * WHERE { $x <near> $y . }",
+		"SELECT DISTINCT $x WHERE { $x <instanceOf> <Place> . FILTER($x != <Forest>) } ORDER BY DESC($x) LIMIT 5 OFFSET 2",
+		"SELECT $a $b WHERE { { $a <p> $b . } UNION { $b <p> $a . } OPTIONAL { $a <q> \"lit\" . } }",
+		"SELECT * WHERE { [] <visit> $x . $x <in> \"Fall\" }",
+		"SELECT * WHERE { ?s ?p 42 . FILTER(?s = ?p || !(?p < 3)) }",
+		"SELECT * WHERE { $x <p> $y . } # trailing comment",
+		"SELECT",
+		"",
+		"SELECT * WHERE { $x",
+		"SELECT * WHERE { \"subject\" <p> $y }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if q == nil {
+			t.Fatal("Parse returned nil query with nil error")
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("accepted query fails Validate: %v\ninput: %q", err, input)
+		}
+		_ = q.String() // printing must not panic either
+	})
+}

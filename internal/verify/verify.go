@@ -4,12 +4,17 @@
 // purpose…?"), whose answer semantics OASSIS-QL cannot express. Detected
 // unsupported questions produce a warning with rephrasing tips, as in the
 // demonstration's third stage ("How should I store coffee?" is rejected
-// with the tip to ask "At what container should I store coffee?").
+// with the tip to ask "At what container should I store coffee?"). Each
+// rejection cites the offending phrase's byte span and quotes it in the
+// rephrasing tip.
 package verify
 
 import (
+	"fmt"
 	"strings"
 	"unicode"
+
+	"nl2cm/internal/prov"
 )
 
 // Category classifies why a question is unsupported.
@@ -35,10 +40,22 @@ type Verdict struct {
 	Reason string
 	// Tips suggest how to rephrase the question.
 	Tips []string
+	// Offending quotes the phrase that triggered the rejection, exactly
+	// as it appears in the question; empty when no single phrase is to
+	// blame (empty or multi-question requests).
+	Offending string
+	// Span is the offending phrase's byte range in the question.
+	Span prov.Span
 }
 
 // ok is the accepting verdict.
 var ok = Verdict{Supported: true}
+
+// word is a question word with its byte span in the original input.
+type word struct {
+	text       string // lower-cased
+	start, end int
+}
 
 // Check verifies one NL question or request.
 func Check(question string) Verdict {
@@ -58,74 +75,117 @@ func Check(question string) Verdict {
 			Tips:     []string{"Ask one question at a time; you can submit the next question afterwards."},
 		}
 	}
-	words := fields(trimmed)
+	words := fields(question)
 	if len(words) == 0 {
 		return Verdict{Category: CatEmpty, Reason: "the request contains no words"}
 	}
-	first := words[0]
+	first := words[0].text
 	second := ""
 	if len(words) > 1 {
-		second = words[1]
+		second = words[1].text
 	}
 	switch first {
 	case "why":
-		return causalVerdict("\"Why...\" questions ask for explanations")
+		return causalVerdict("\"Why...\" questions ask for explanations", cite(question, words[:1]))
 	case "how":
 		switch second {
 		case "to":
-			return descriptiveVerdict("\"How to...\" questions ask for descriptions of procedures")
+			return descriptiveVerdict("\"How to...\" questions ask for descriptions of procedures", cite(question, words[:2]))
 		case "many", "much":
+			c := cite(question, words[:2])
 			return Verdict{
-				Category: CatAggregate,
-				Reason:   "counting questions (\"How many/much...\") are not supported: the crowd is asked about habits and opinions, not totals",
+				Category:  CatAggregate,
+				Reason:    fmt.Sprintf("counting questions (%q at bytes %d–%d) are not supported: the crowd is asked about habits and opinions, not totals", c.text, c.span.Start, c.span.End),
+				Offending: c.text,
+				Span:      c.span,
 				Tips: []string{
-					"Ask about the items themselves, e.g. \"Which places should we visit?\" instead of \"How many places should we visit?\"",
+					fmt.Sprintf("Drop %q: ask about the items themselves, e.g. \"Which places should we visit?\" instead of \"How many places should we visit?\"", c.text),
 				},
 			}
 		case "often", "frequently":
 			// Frequency questions map directly to support thresholds.
 			return ok
 		case "come":
-			return causalVerdict("\"How come...\" questions ask for explanations")
+			return causalVerdict("\"How come...\" questions ask for explanations", cite(question, words[:2]))
 		default:
-			return descriptiveVerdict("\"How...\" questions ask for manners or procedures")
+			return descriptiveVerdict("\"How...\" questions ask for manners or procedures", cite(question, words[:1]))
 		}
 	case "for":
-		if second == "what" && len(words) > 2 && (words[2] == "purpose" || words[2] == "reason") {
-			return causalVerdict("\"For what purpose...\" questions ask for explanations")
+		if second == "what" && len(words) > 2 && (words[2].text == "purpose" || words[2].text == "reason") {
+			return causalVerdict("\"For what purpose...\" questions ask for explanations", cite(question, words[:3]))
 		}
 	case "what":
 		// "What is the reason/way/purpose ..."
-		rest := strings.Join(words, " ")
+		var lowered []string
+		for _, w := range words {
+			lowered = append(lowered, w.text)
+		}
+		rest := strings.Join(lowered, " ")
 		for _, bad := range []string{"what is the reason", "what is the purpose", "what is the way", "what's the reason", "what's the way"} {
 			if strings.HasPrefix(rest, bad) {
-				return causalVerdict("questions about reasons, purposes or ways ask for explanations")
+				n := len(strings.Fields(bad))
+				return causalVerdict("questions about reasons, purposes or ways ask for explanations", cite(question, words[:n]))
 			}
 		}
 	case "explain", "describe":
-		return descriptiveVerdict("requests for explanations or descriptions")
+		return descriptiveVerdict("requests for explanations or descriptions", cite(question, words[:1]))
 	}
 	return ok
 }
 
-func descriptiveVerdict(what string) Verdict {
+// citation pairs an offending phrase with its byte span.
+type citation struct {
+	text string
+	span prov.Span
+}
+
+// cite quotes the given words from the original question.
+func cite(question string, ws []word) citation {
+	if len(ws) == 0 {
+		return citation{}
+	}
+	span := prov.Span{Start: ws[0].start, End: ws[len(ws)-1].end}
+	return citation{text: span.Text(question), span: span}
+}
+
+func descriptiveVerdict(what string, c citation) Verdict {
 	return Verdict{
-		Category: CatDescriptive,
-		Reason:   what + ", which OASSIS-QL queries cannot express",
+		Category:  CatDescriptive,
+		Reason:    fmt.Sprintf("%s, which OASSIS-QL queries cannot express (offending phrase %q at bytes %d–%d)", what, c.text, c.span.Start, c.span.End),
+		Offending: c.text,
+		Span:      c.span,
 		Tips: []string{
-			"Rephrase the question to ask about a concrete thing, e.g. \"At what container should I store coffee?\" instead of \"How should I store coffee?\"",
+			fmt.Sprintf("Replace %q with a concrete question: e.g. \"At what container should I store coffee?\" instead of \"How should I store coffee?\"", c.text),
 			"Start the question with \"What\", \"Which\" or \"Where\" and name the kind of answer you expect.",
 		},
 	}
 }
 
-func causalVerdict(what string) Verdict {
+func causalVerdict(what string, c citation) Verdict {
 	return Verdict{
-		Category: CatCausal,
-		Reason:   what + ", which OASSIS-QL queries cannot express",
+		Category:  CatCausal,
+		Reason:    fmt.Sprintf("%s, which OASSIS-QL queries cannot express (offending phrase %q at bytes %d–%d)", what, c.text, c.span.Start, c.span.End),
+		Offending: c.text,
+		Span:      c.span,
 		Tips: []string{
-			"Ask about the things involved instead of the reason, e.g. \"Which foods are good for kids?\" instead of \"Why is this food good for kids?\"",
+			fmt.Sprintf("Drop %q and ask about the things involved instead of the reason, e.g. \"Which foods are good for kids?\" instead of \"Why is this food good for kids?\"", c.text),
 		},
+	}
+}
+
+// CoverageTips turns the uncovered-token report — content words no
+// emitted triple derives from — into rephrasing tips quoting each word
+// with its byte span.
+func CoverageTips(question string, uncovered []prov.TokenInfo) []string {
+	if len(uncovered) == 0 {
+		return nil
+	}
+	parts := make([]string, 0, len(uncovered))
+	for _, u := range uncovered {
+		parts = append(parts, fmt.Sprintf("%q (bytes %d–%d)", u.Text, u.Span.Start, u.Span.End))
+	}
+	return []string{
+		fmt.Sprintf("The translation did not use %s; rephrase or drop those words if they matter to your question.", strings.Join(parts, ", ")),
 	}
 }
 
@@ -149,10 +209,27 @@ func countQuestions(s string) int {
 }
 
 // fields lower-cases and splits the question into words, dropping
-// punctuation.
-func fields(s string) []string {
-	f := strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
-		return !unicode.IsLetter(r) && !unicode.IsNumber(r) && r != '\''
-	})
-	return f
+// punctuation but keeping each word's byte span in the original input.
+func fields(s string) []word {
+	keep := func(r rune) bool {
+		return unicode.IsLetter(r) || unicode.IsNumber(r) || r == '\''
+	}
+	var out []word
+	start := -1
+	for i, r := range s {
+		if keep(r) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			out = append(out, word{text: strings.ToLower(s[start:i]), start: start, end: i})
+			start = -1
+		}
+	}
+	if start >= 0 {
+		out = append(out, word{text: strings.ToLower(s[start:]), start: start, end: len(s)})
+	}
+	return out
 }

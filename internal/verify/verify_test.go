@@ -3,6 +3,8 @@ package verify
 import (
 	"strings"
 	"testing"
+
+	"nl2cm/internal/prov"
 )
 
 func TestSupportedQuestions(t *testing.T) {
@@ -95,6 +97,64 @@ func TestPaperCoffeePair(t *testing.T) {
 	}
 	if v := Check("At what container should I store coffee?"); !v.Supported {
 		t.Errorf("rephrased coffee question rejected: %s", v.Reason)
+	}
+}
+
+// Rejections caused by a specific phrase must cite its byte span and
+// quote the exact source text in a tip.
+func TestRejectionsCiteSpans(t *testing.T) {
+	cases := []struct {
+		q    string
+		want string // exact offending phrase, as typed
+	}{
+		{"How should I store coffee?", "How"},
+		{"How to make good coffee?", "How to"},
+		{"  Why is the sky blue?", "Why"},
+		{"How many parks are in Buffalo?", "How many"},
+		{"For what purpose do people travel?", "For what purpose"},
+		{"What is the reason people like Buffalo?", "What is the reason"},
+		{"EXPLAIN the rules of chess.", "EXPLAIN"},
+	}
+	for _, c := range cases {
+		v := Check(c.q)
+		if v.Supported {
+			t.Errorf("Check(%q) supported", c.q)
+			continue
+		}
+		if v.Offending != c.want {
+			t.Errorf("Check(%q).Offending = %q, want %q", c.q, v.Offending, c.want)
+		}
+		if got := v.Span.Text(c.q); got != c.want {
+			t.Errorf("Check(%q).Span = [%d,%d) covers %q, want %q", c.q, v.Span.Start, v.Span.End, got, c.want)
+		}
+		var quoted bool
+		for _, tip := range v.Tips {
+			if strings.Contains(tip, "\""+c.want+"\"") {
+				quoted = true
+			}
+		}
+		if !quoted {
+			t.Errorf("Check(%q) tips do not quote %q: %v", c.q, c.want, v.Tips)
+		}
+		if !strings.Contains(v.Reason, c.want) {
+			t.Errorf("Check(%q) reason does not cite the phrase: %q", c.q, v.Reason)
+		}
+	}
+}
+
+func TestCoverageTips(t *testing.T) {
+	q := "Where should we eat pancakes?"
+	tips := CoverageTips(q, []prov.TokenInfo{
+		{ID: 4, Span: prov.Span{Start: 20, End: 28}, Text: "pancakes"},
+	})
+	if len(tips) != 1 {
+		t.Fatalf("CoverageTips = %v, want one tip", tips)
+	}
+	if !strings.Contains(tips[0], "\"pancakes\"") || !strings.Contains(tips[0], "20") {
+		t.Errorf("tip does not quote the uncovered word with its span: %q", tips[0])
+	}
+	if got := CoverageTips(q, nil); got != nil {
+		t.Errorf("CoverageTips(no uncovered) = %v, want nil", got)
 	}
 }
 
