@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: all check vet staticcheck build test race session-stress session-smoke bench bench-smoke fuzz-smoke fmt
+.PHONY: all check vet staticcheck build test race session-stress session-smoke bench bench-smoke fuzz-smoke emit-golden emit-golden-update fmt
 
 all: check
 
 # check is the CI gate: vet + staticcheck, build everything, run the
 # tests with the race detector (the concurrency stress tests depend on
-# it), then hammer the dialogue-session subsystem a few extra rounds.
-check: vet staticcheck build race session-stress
+# it), verify the per-backend golden emissions, then hammer the
+# dialogue-session subsystem a few extra rounds.
+check: vet staticcheck build race emit-golden session-stress
 
 vet:
 	$(GO) vet ./...
@@ -49,6 +50,16 @@ bench:
 # rot; it measures nothing.
 bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x .
+
+# emit-golden checks every supported corpus question against the
+# per-backend golden emission files (testdata/golden_*.txt) and runs the
+# SQL-vs-RDF differential; emit-golden-update regenerates the files
+# after an intentional emitter change.
+emit-golden:
+	$(GO) test -run 'TestBackendGolden|TestGoldenQueriesByteIdentical|TestCorpusSQLDifferential' .
+
+emit-golden-update:
+	$(GO) test -run TestBackendGolden -update .
 
 # fuzz-smoke runs each native fuzz target briefly: enough to catch
 # panics and invariant regressions without slowing the gate. Go allows

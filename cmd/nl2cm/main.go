@@ -16,6 +16,8 @@
 //	-interactive     enable all interaction points (prompts on stdin)
 //	-trace           print the administrator-mode module trace
 //	-execute         run the query on the OASSIS engine substitute
+//	-backend name    emit the query in another dialect (oassisql, sql,
+//	                 mongodb, cypher; comma-separate for several)
 //	-crowd int       simulated crowd size (default 100)
 //	-seed int        crowd seed (default 7)
 //	-patterns file   load IX detection patterns from an admin file
@@ -43,6 +45,7 @@ func main() {
 	interactive := flag.Bool("interactive", false, "enable user interaction points")
 	trace := flag.Bool("trace", false, "print the admin-mode module trace")
 	execute := flag.Bool("execute", false, "execute the query on the simulated crowd")
+	backend := flag.String("backend", "", "backend dialect(s) to emit, comma-separated: "+strings.Join(nl2cm.Backends(), ", "))
 	crowdSize := flag.Int("crowd", 100, "simulated crowd size")
 	seed := flag.Int64("seed", 7, "crowd seed")
 	patterns := flag.String("patterns", "", "IX detection pattern file")
@@ -115,6 +118,18 @@ func main() {
 	}
 
 	opt := nl2cm.Options{Trace: *trace}
+	for _, name := range strings.Split(*backend, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, ok := nl2cm.LookupBackend(name); !ok {
+			fmt.Fprintf(os.Stderr, "nl2cm: unknown backend %q (have: %s)\n",
+				name, strings.Join(nl2cm.Backends(), ", "))
+			os.Exit(1)
+		}
+		opt.Backends = append(opt.Backends, name)
+	}
 	if *interactive {
 		opt.Interactor = &nl2cm.ConsoleInteractor{R: os.Stdin, W: os.Stderr}
 		opt.Policy = nl2cm.InteractivePolicy()
@@ -172,7 +187,19 @@ func handle(ctx context.Context, tr *nl2cm.Translator, eng *nl2cm.Engine, questi
 		}
 		fmt.Println("---- Final query ----")
 	}
-	fmt.Println(res.Query)
+	if len(opt.Backends) == 0 {
+		fmt.Println(res.Query)
+	}
+	for _, name := range opt.Backends {
+		rend := res.Renderings[name]
+		if len(opt.Backends) > 1 {
+			fmt.Printf("-- %s --\n", name)
+		}
+		fmt.Println(rend.Query)
+		for _, n := range rend.Notes {
+			fmt.Println("note:", n)
+		}
+	}
 	if eng == nil {
 		return nil
 	}

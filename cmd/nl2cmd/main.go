@@ -26,11 +26,12 @@
 // Endpoints:
 //
 //	GET    /                      the question form
-//	POST   /translate             translate a question (form field "q")
+//	POST   /translate             translate a question (form fields "q", optional "backend")
 //	POST   /execute               translate and run on the simulated crowd
 //	GET    /admin                 admin trace, engine and session metrics
 //	GET    /corpus                the demo question corpus, one-click translation
-//	POST   /api/translate         JSON API: {"question": "..."}
+//	POST   /api/translate         JSON API: {"question": "...", "backend": "sql"}
+//	GET    /api/backends          the registered backend dialects and their capabilities
 //	POST   /api/session           start a dialogue session
 //	GET    /api/session/{id}      poll a session
 //	POST   /api/session/{id}/answer  answer its pending question
@@ -239,6 +240,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /admin", s.admin)
 	mux.HandleFunc("GET /corpus", s.corpus)
 	mux.HandleFunc("POST /api/translate", s.apiTranslate)
+	mux.HandleFunc("GET /api/backends", s.apiBackends)
 	mux.HandleFunc("POST /api/session", s.apiSessionStart)
 	mux.HandleFunc("GET /api/session/{id}", s.apiSessionGet)
 	mux.HandleFunc("POST /api/session/{id}/answer", s.apiSessionAnswer)
@@ -269,6 +271,9 @@ Forest Hotel, Buffalo, we should visit in the fall?</em></p>
 <textarea name="q">{{.Question}}</textarea><br>
 <button type="submit">Translate</button>
 <button type="submit" formaction="/execute">Translate &amp; execute</button>
+<label>backend: <select name="backend">
+{{range .Backends}}<option value="{{.}}"{{if eq . $.Backend}} selected{{end}}>{{.}}</option>{{end}}
+</select></label>
 <a href="/dialogue">interactive dialogue</a> · <a href="/admin">administrator mode</a> · <a href="/corpus">question corpus</a>
 </form>
 {{if .Unsupported}}
@@ -286,6 +291,14 @@ Forest Hotel, Buffalo, we should visit in the fall?</em></p>
 {{if .Query}}
 <h2>Final OASSIS-QL query</h2>
 <pre>{{.Query}}</pre>
+{{end}}
+{{if .AltQuery}}
+<h2>Query in the {{.Backend}} dialect</h2>
+<pre>{{.AltQuery}}</pre>
+{{range .AltNotes}}<p class="tip">{{.}}</p>{{end}}
+{{end}}
+{{if .AltError}}
+<p class="tip">{{.AltError}}</p>
 {{end}}
 {{if .Exec}}
 <h2>Execution on the (simulated) crowd</h2>
@@ -329,6 +342,15 @@ type pageData struct {
 	IXs         []ixRow
 	Query       string
 	Exec        *execView
+
+	// Backend selection: the registered dialects, the selected one, and —
+	// when it is not the default — its rendering (or the capability error
+	// that prevented one).
+	Backends []string
+	Backend  string
+	AltQuery string
+	AltNotes []string
+	AltError string
 }
 
 func (s *server) home(w http.ResponseWriter, r *http.Request) {
@@ -340,6 +362,10 @@ func (s *server) home(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) render(w http.ResponseWriter, d pageData) {
+	d.Backends = nl2cm.Backends()
+	if d.Backend == "" {
+		d.Backend = nl2cm.DefaultBackend
+	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	if err := pageTmpl.Execute(w, d); err != nil {
 		log.Printf("render: %v", err)
@@ -435,6 +461,13 @@ func highlight(res *nl2cm.Result) template.HTML {
 
 func (s *server) translate(w http.ResponseWriter, r *http.Request) {
 	q := strings.TrimSpace(r.FormValue("q"))
+	backend := strings.TrimSpace(r.FormValue("backend"))
+	if backend != "" {
+		if _, ok := nl2cm.LookupBackend(backend); !ok {
+			http.Error(w, fmt.Sprintf("unknown backend %q", backend), http.StatusBadRequest)
+			return
+		}
+	}
 	ctx, cancel := s.reqCtx(r)
 	defer cancel()
 	res, err := s.doTranslate(ctx, q)
@@ -442,7 +475,20 @@ func (s *server) translate(w http.ResponseWriter, r *http.Request) {
 		translateError(w, err)
 		return
 	}
-	s.render(w, s.buildPage(q, res))
+	d := s.buildPage(q, res)
+	d.Backend = backend
+	if backend != "" && backend != nl2cm.DefaultBackend && res.Verdict.Supported {
+		rend, err := res.Render(backend)
+		if err != nil {
+			// A capability error is a property of the question/dialect
+			// pair, not a server fault: show it on the page.
+			d.AltError = err.Error()
+		} else {
+			d.AltQuery = rend.Query
+			d.AltNotes = rend.Notes
+		}
+	}
+	s.render(w, d)
 }
 
 func (s *server) execute(w http.ResponseWriter, r *http.Request) {
@@ -598,20 +644,34 @@ func (s *server) admin(w http.ResponseWriter, r *http.Request) {
 
 type apiRequest struct {
 	Question string `json:"question"`
+	// Backend names the dialect to render the query in; empty means the
+	// default (OASSIS-QL). The rendering lands in apiResponse.Rendering
+	// with its per-clause provenance; Query always stays OASSIS-QL.
+	Backend string `json:"backend,omitempty"`
 }
 
 type apiResponse struct {
-	Supported bool     `json:"supported"`
-	Reason    string   `json:"reason,omitempty"`
-	Tips      []string `json:"tips,omitempty"`
-	Query     string   `json:"query,omitempty"`
-	IXs       []ixRow  `json:"ixs,omitempty"`
+	Supported bool             `json:"supported"`
+	Reason    string           `json:"reason,omitempty"`
+	Tips      []string         `json:"tips,omitempty"`
+	Query     string           `json:"query,omitempty"`
+	IXs       []ixRow          `json:"ixs,omitempty"`
+	Rendering *nl2cm.Rendering `json:"rendering,omitempty"`
 }
 
 func (s *server) apiTranslate(w http.ResponseWriter, r *http.Request) {
 	var req apiRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	backend := strings.TrimSpace(req.Backend)
+	if backend == "" {
+		backend = nl2cm.DefaultBackend
+	}
+	if _, ok := nl2cm.LookupBackend(backend); !ok {
+		http.Error(w, fmt.Sprintf("unknown backend %q (have %s)",
+			backend, strings.Join(nl2cm.Backends(), ", ")), http.StatusBadRequest)
 		return
 	}
 	ctx, cancel := s.reqCtx(r)
@@ -634,9 +694,42 @@ func (s *server) apiTranslate(w http.ResponseWriter, r *http.Request) {
 				Uncertain: x.Uncertain,
 			})
 		}
+		rend, err := res.Render(backend)
+		if err != nil {
+			// The translation succeeded; only the requested dialect cannot
+			// express it. 422 keeps that distinct from a bad request.
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		resp.Rendering = rend
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		log.Printf("api encode: %v", err)
+	}
+}
+
+// backendInfo is one /api/backends entry.
+type backendInfo struct {
+	Name    string            `json:"name"`
+	Default bool              `json:"default"`
+	Caps    nl2cm.BackendCaps `json:"caps"`
+}
+
+// apiBackends lists the registered backend dialects with their
+// capability flags, the default backend first.
+func (s *server) apiBackends(w http.ResponseWriter, r *http.Request) {
+	var out []backendInfo
+	for _, name := range nl2cm.Backends() {
+		b, _ := nl2cm.LookupBackend(name)
+		out = append(out, backendInfo{
+			Name:    name,
+			Default: name == nl2cm.DefaultBackend,
+			Caps:    b.Caps(),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(out); err != nil {
 		log.Printf("api encode: %v", err)
 	}
 }

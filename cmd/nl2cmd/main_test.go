@@ -157,6 +157,108 @@ func TestAPITranslateUnsupported(t *testing.T) {
 	}
 }
 
+// TestAPIBackends checks the backend listing: the four shipped dialects
+// with the default (OASSIS-QL) first, capability flags included.
+func TestAPIBackends(t *testing.T) {
+	s := testServer(t)
+	rec := httptest.NewRecorder()
+	s.apiBackends(rec, httptest.NewRequest("GET", "/api/backends", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var out []backendInfo
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, b := range out {
+		names = append(names, b.Name)
+	}
+	want := []string{"oassisql", "cypher", "mongodb", "sql"}
+	if fmt.Sprint(names) != fmt.Sprint(want) {
+		t.Fatalf("backends = %v, want %v", names, want)
+	}
+	if !out[0].Default || !out[0].Caps.Crowd {
+		t.Errorf("default backend entry = %+v", out[0])
+	}
+	for _, b := range out[1:] {
+		if b.Default || b.Caps.Crowd {
+			t.Errorf("backend %s unexpectedly default or crowd-capable", b.Name)
+		}
+	}
+}
+
+// TestAPITranslateBackend requests the SQL rendering alongside the
+// OASSIS-QL query and checks its per-clause provenance survived the trip.
+func TestAPITranslateBackend(t *testing.T) {
+	s := testServer(t)
+	payload := `{"question": "` + question + `", "backend": "sql"}`
+	req := httptest.NewRequest("POST", "/api/translate", strings.NewReader(payload))
+	rec := httptest.NewRecorder()
+	s.apiTranslate(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp apiResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Query, "SELECT VARIABLES") {
+		t.Errorf("OASSIS-QL query missing: %q", resp.Query)
+	}
+	r := resp.Rendering
+	if r == nil || r.Backend != "sql" {
+		t.Fatalf("rendering = %+v", r)
+	}
+	if !strings.Contains(r.Query, "FROM triples AS t0") {
+		t.Errorf("sql rendering = %q", r.Query)
+	}
+	if len(r.Clauses) == 0 {
+		t.Fatal("rendering has no clause provenance")
+	}
+	for _, c := range r.Clauses {
+		if c.Source == "" || len(c.Tokens) == 0 {
+			t.Errorf("clause %q lost its provenance: %+v", c.Fragment, c)
+		}
+	}
+	if len(r.Notes) == 0 {
+		t.Error("crowd clauses dropped without a note")
+	}
+}
+
+// TestAPITranslateUnknownBackend maps a bad backend name to 400 before
+// any translation work happens.
+func TestAPITranslateUnknownBackend(t *testing.T) {
+	s := testServer(t)
+	req := httptest.NewRequest("POST", "/api/translate",
+		strings.NewReader(`{"question": "`+question+`", "backend": "oracle"}`))
+	rec := httptest.NewRecorder()
+	s.apiTranslate(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", rec.Code)
+	}
+}
+
+// TestTranslateFormBackend drives the HTML form with a backend selection
+// and expects the extra dialect block on the page.
+func TestTranslateFormBackend(t *testing.T) {
+	s := testServer(t)
+	form := url.Values{"q": {question}, "backend": {"cypher"}}
+	req := httptest.NewRequest("POST", "/translate", strings.NewReader(form.Encode()))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	rec := httptest.NewRecorder()
+	s.translate(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"Query in the cypher dialect", "MATCH", "SELECT VARIABLES"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("page missing %q", want)
+		}
+	}
+}
+
 func TestAPITranslateBadJSON(t *testing.T) {
 	s := testServer(t)
 	req := httptest.NewRequest("POST", "/api/translate", strings.NewReader("{nope"))

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 
+	"nl2cm/internal/emit"
 	"nl2cm/internal/individual"
 	"nl2cm/internal/interact"
 	"nl2cm/internal/ix"
@@ -66,9 +67,15 @@ type Decision struct {
 	OrphanVar string `json:"orphanVar,omitempty"`
 }
 
-// Output is the traced composition result: the final query plus the
-// provenance that explains it.
+// Output is the traced composition result: the backend-neutral logical
+// plan, the OASSIS-QL query derived from it, and the provenance that
+// explains both.
 type Output struct {
+	// Plan is the logical IR the composition assembled; every backend
+	// rendering (including Query) derives from it.
+	Plan *emit.Plan
+	// Query is the plan rendered structurally into OASSIS-QL via the one
+	// OASSIS emitter (emit.OassisQuery).
 	Query *oassisql.Query
 	// WhereOrigins is parallel to Query.Where.Triples: the source-token
 	// set of each kept general triple.
@@ -136,50 +143,68 @@ func (c *Composer) Compose(ctx context.Context, in Input) (*oassisql.Query, erro
 // general triple explaining, in exact token terms, why it was kept or
 // dropped.
 func (c *Composer) ComposeTraced(ctx context.Context, in Input) (*Output, error) {
-	q := &oassisql.Query{Select: oassisql.SelectClause{All: true}}
-	out := &Output{Query: q}
+	plan := &emit.Plan{Question: in.Graph.Source, Select: emit.Select{All: true}}
+	out := &Output{Plan: plan}
 
 	// (i) WHERE: general triples minus those corresponding to IXs, minus
-	// dangling constraints about projected-out participants.
+	// dangling constraints about projected-out participants. Each kept
+	// triple becomes a logical pattern carrying its source provenance.
 	kept, decisions := c.filterGeneral(in)
 	kept = c.pruneDangling(kept, in, decisions)
 	for _, kt := range kept {
-		q.Where.Triples = append(q.Where.Triples, kt.triple.Triple)
-		out.WhereOrigins = append(out.WhereOrigins, kt.triple.TokenSet())
+		tokens := kt.triple.TokenSet()
+		plan.Where = append(plan.Where, emit.Pattern{
+			Triple: kt.triple.Triple,
+			Tokens: tokens,
+			Source: in.Graph.Excerpt(tokens),
+		})
+		out.WhereOrigins = append(out.WhereOrigins, tokens)
 	}
 	out.Decisions = decisions
 
-	// (ii) SATISFYING: one subclause per individual part, each with
+	// (ii) crowd clauses (SATISFYING): one per individual part, each with
 	// (iv) a significance criterion.
 	for _, part := range in.Parts {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		sc := oassisql.Subclause{Pattern: oassisql.Pattern{Triples: part.Triples}}
-		if err := c.significance(ctx, in, part, &sc); err != nil {
+		sig, err := c.significance(ctx, in, part)
+		if err != nil {
 			return nil, err
 		}
-		q.Satisfying = append(q.Satisfying, sc)
 		origins := append([]prov.TokenSet(nil), part.Origins...)
 		for len(origins) < len(part.Triples) {
 			origins = append(origins, nil) // defensive: keep slices parallel
 		}
+		cc := emit.CrowdClause{Significance: sig}
+		for i, t := range part.Triples {
+			cc.Patterns = append(cc.Patterns, emit.Pattern{
+				Triple: t,
+				Tokens: origins[i],
+				Source: in.Graph.Excerpt(origins[i]),
+			})
+		}
+		plan.Crowd = append(plan.Crowd, cc)
 		out.SatisfyingOrigins = append(out.SatisfyingOrigins, origins)
 	}
 
 	// (iii) Variable alignment is guaranteed by construction: both the
 	// general and individual modules resolve tokens through
 	// in.General.NodeTerms. Verify the invariant rather than trusting it.
-	if err := c.checkAlignment(q, in); err != nil {
+	if err := c.checkAlignment(in); err != nil {
 		return nil, err
 	}
 
 	// (v) SELECT: by default no variable is projected out; the user may
 	// restrict the output (Figure 6 discussion).
-	if err := c.selectClause(ctx, q, in); err != nil {
+	if err := c.selectClause(ctx, plan, in); err != nil {
 		return nil, err
 	}
 
+	// Derive the OASSIS-QL query structurally from the plan — the one
+	// OASSIS emitter — and validate the result.
+	q := emit.OassisQuery(plan)
+	out.Query = q
 	if len(q.Satisfying) > 0 {
 		if err := q.Validate(); err != nil {
 			return nil, fmt.Errorf("compose: produced invalid query: %w", err)
@@ -280,10 +305,10 @@ func (c *Composer) pruneDangling(kept []keptTriple, in Input, decisions []Decisi
 	return out
 }
 
-// significance fills the subclause's criterion: a top-k for superlative
-// opinions, a support threshold otherwise; values come from defaults or
-// the Figure-5 dialogue.
-func (c *Composer) significance(ctx context.Context, in Input, part individual.Part, sc *oassisql.Subclause) error {
+// significance picks the crowd clause's criterion: a top-k for
+// superlative opinions, a support threshold otherwise; values come from
+// defaults or the Figure-5 dialogue.
+func (c *Composer) significance(ctx context.Context, in Input, part individual.Part) (emit.Significance, error) {
 	ask := in.Policy.Asks(interact.PointSignificance)
 	if part.Superlative {
 		k := c.Defaults.TopK
@@ -291,35 +316,33 @@ func (c *Composer) significance(ctx context.Context, in Input, part individual.P
 			var err error
 			k, err = in.interactor().SelectTopK(ctx, part.Description, k)
 			if err != nil {
-				return fmt.Errorf("compose: selecting top-k: %w", err)
+				return emit.Significance{}, fmt.Errorf("compose: selecting top-k: %w", err)
 			}
 		}
 		if k <= 0 {
-			return fmt.Errorf("compose: non-positive top-k %d", k)
+			return emit.Significance{}, fmt.Errorf("compose: non-positive top-k %d", k)
 		}
-		sc.TopK = &oassisql.TopK{K: k, Desc: true}
-		return nil
+		return emit.Significance{TopK: k, Desc: true}, nil
 	}
 	th := c.Defaults.Threshold
 	if ask {
 		var err error
 		th, err = in.interactor().SelectThreshold(ctx, part.Description, th)
 		if err != nil {
-			return fmt.Errorf("compose: selecting threshold: %w", err)
+			return emit.Significance{}, fmt.Errorf("compose: selecting threshold: %w", err)
 		}
 	}
 	if th < 0 || th > 1 {
-		return fmt.Errorf("compose: threshold %g outside [0,1]", th)
+		return emit.Significance{}, fmt.Errorf("compose: threshold %g outside [0,1]", th)
 	}
-	sc.Threshold = &th
-	return nil
+	return emit.Significance{Threshold: th}, nil
 }
 
 // checkAlignment verifies that every named variable of the SATISFYING
 // clause that is ontology-grounded (appears in any general triple,
 // pre-deletion) uses the same name there — i.e. references to one token
 // share one variable.
-func (c *Composer) checkAlignment(q *oassisql.Query, in Input) error {
+func (c *Composer) checkAlignment(in Input) error {
 	// Build the set of variables per token from NodeTerms.
 	byVar := map[string][]int{}
 	for node, t := range in.General.NodeTerms {
@@ -348,11 +371,11 @@ func (c *Composer) checkAlignment(q *oassisql.Query, in Input) error {
 
 // selectClause builds the SELECT clause, optionally consulting the user
 // about which terms to receive instances for.
-func (c *Composer) selectClause(ctx context.Context, q *oassisql.Query, in Input) error {
+func (c *Composer) selectClause(ctx context.Context, p *emit.Plan, in Input) error {
 	if !in.Policy.Asks(interact.PointProjection) {
 		return nil // default: SELECT VARIABLES
 	}
-	vars := q.Vars()
+	vars := p.Vars()
 	if len(vars) == 0 {
 		return nil
 	}
@@ -374,8 +397,8 @@ func (c *Composer) selectClause(ctx context.Context, q *oassisql.Query, in Input
 		return nil // everything kept: plain SELECT VARIABLES
 	}
 	sort.Strings(kept)
-	q.Select.All = false
-	q.Select.Vars = kept
+	p.Select.All = false
+	p.Select.Vars = kept
 	return nil
 }
 

@@ -17,6 +17,10 @@ const (
 	StageGenerator    = "General Query Generator"
 	StageIndividual   = "Individual Triple Creation"
 	StageComposer     = "Query Composition"
+	// StageEmitter renders the composed logical plan into the requested
+	// backend dialects (Options.Backends); it only runs when extra
+	// renderings are requested.
+	StageEmitter = "Backend Emitter"
 	// StageCrowd is the execution side (the OASSIS engine substitute,
 	// crowd.Engine): not a translation module, but it shares the
 	// StageError / Observer vocabulary so execution failures and timings

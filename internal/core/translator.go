@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"nl2cm/internal/compose"
+	"nl2cm/internal/emit"
 	"nl2cm/internal/individual"
 	"nl2cm/internal/interact"
 	"nl2cm/internal/ix"
@@ -70,8 +71,17 @@ type Result struct {
 	General *qgen.Result
 	// Parts are the individual query parts.
 	Parts []individual.Part
-	// Query is the final OASSIS-QL query.
+	// Plan is the backend-neutral logical query IR the composition
+	// assembled; every backend rendering (including Query) derives from
+	// it.
+	Plan *emit.Plan
+	// Query is the final OASSIS-QL query: the Plan rendered through the
+	// OASSIS-QL backend.
 	Query *oassisql.Query
+	// Renderings holds the per-backend renderings requested via
+	// Options.Backends, keyed by backend name, each with per-clause
+	// provenance. Use Render for on-demand rendering of other backends.
+	Renderings map[string]*emit.Rendering
 	// PureGeneral marks requests with no individual parts: Query then
 	// has an empty SATISFYING clause and is effectively a plain
 	// ontology (SPARQL) query.
@@ -130,6 +140,12 @@ type Options struct {
 	// Observer, when non-nil, receives stage start/finish callbacks with
 	// per-stage durations (the observability hook).
 	Observer Observer
+	// Backends lists extra backend dialects to render the composed plan
+	// into (e.g. "sql", "mongodb", "cypher"); the results land in
+	// Result.Renderings. An unknown name fails the Backend Emitter stage;
+	// a plan exceeding a backend's capabilities surfaces that backend's
+	// *emit.CapabilityError.
+	Backends []string
 }
 
 // stageRunner wraps each pipeline module with the cross-cutting
@@ -297,6 +313,7 @@ func (t *Translator) Translate(ctx context.Context, question string, opt Options
 		if err != nil {
 			return "", fmt.Errorf("composing query: %w", err)
 		}
+		res.Plan = out.Plan
 		res.Query = out.Query
 		res.ComposeDecisions = out.Decisions
 		res.buildProvenance(out)
@@ -306,8 +323,47 @@ func (t *Translator) Translate(ctx context.Context, question string, opt Options
 		collectDialogue()
 		return nil, err
 	}
+
+	// 7. Backend Emitter: render the logical plan into any extra
+	// requested dialects. Skipped entirely when none are requested, so
+	// the classic pipeline stays seven stages.
+	if len(opt.Backends) > 0 {
+		if err := st.run(StageEmitter, func() (string, error) {
+			res.Renderings = make(map[string]*emit.Rendering, len(opt.Backends))
+			var b strings.Builder
+			for _, name := range opt.Backends {
+				rend, err := emit.Emit(name, res.Plan)
+				if err != nil {
+					return "", fmt.Errorf("rendering backend %q: %w", name, err)
+				}
+				res.Renderings[name] = rend
+				fmt.Fprintf(&b, "-- %s --\n%s\n", name, rend.Query)
+				for _, n := range rend.Notes {
+					fmt.Fprintf(&b, "note: %s\n", n)
+				}
+			}
+			return b.String(), nil
+		}); err != nil {
+			collectDialogue()
+			return nil, err
+		}
+	}
 	collectDialogue()
 	return res, nil
+}
+
+// Render returns the plan rendered in the named backend dialect,
+// reusing a rendering already produced via Options.Backends when
+// present. It fails with the backend's *emit.CapabilityError when the
+// plan uses a feature the dialect cannot express.
+func (r *Result) Render(backend string) (*emit.Rendering, error) {
+	if rend, ok := r.Renderings[backend]; ok {
+		return rend, nil
+	}
+	if r.Plan == nil {
+		return nil, fmt.Errorf("nl2cm: no logical plan to render (unsupported or failed translation)")
+	}
+	return emit.Emit(backend, r.Plan)
 }
 
 // verifyIXs runs the Figure-4 dialogue: detected IXs are shown for
@@ -388,8 +444,7 @@ func renderGeneral(r *qgen.Result) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "target: $%s\n", r.TargetVar)
 	for _, t := range r.Triples {
-		fmt.Fprintf(&b, "%s %s %s .\n",
-			oassisql.TermString(t.S), oassisql.TermString(t.P), oassisql.TermString(t.O))
+		fmt.Fprintf(&b, "%s .\n", oassisql.TripleString(t.Triple))
 	}
 	if len(r.Unmatched) > 0 {
 		fmt.Fprintf(&b, "unmatched: %s\n", strings.Join(r.Unmatched, ", "))

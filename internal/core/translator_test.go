@@ -38,6 +38,59 @@ func TestTranslateFigure1Exact(t *testing.T) {
 	}
 }
 
+// TestTranslateBackends threads extra backend dialects through Options
+// and checks the emitter stage fills Result.Renderings, that the plan is
+// exposed, and that Render reuses/produces renderings on demand.
+func TestTranslateBackends(t *testing.T) {
+	res, err := newTranslator().Translate(context.Background(), runningExample,
+		Options{Backends: []string{"sql", "mongodb"}, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan == nil {
+		t.Fatal("Result.Plan not set")
+	}
+	if len(res.Plan.Where) == 0 || len(res.Plan.Crowd) == 0 {
+		t.Errorf("plan missing parts: %d where, %d crowd", len(res.Plan.Where), len(res.Plan.Crowd))
+	}
+	for _, name := range []string{"sql", "mongodb"} {
+		rend := res.Renderings[name]
+		if rend == nil {
+			t.Fatalf("no rendering for %q", name)
+		}
+		if rend.Query == "" || len(rend.Clauses) == 0 {
+			t.Errorf("%s rendering empty or without clause provenance: %+v", name, rend)
+		}
+	}
+	// The trace gained the emitter stage.
+	last := res.Trace[len(res.Trace)-1]
+	if last.Module != StageEmitter || !strings.Contains(last.Output, "-- sql --") {
+		t.Errorf("last trace stage = %s:\n%s", last.Module, last.Output)
+	}
+	// On-demand rendering for a backend not requested up front.
+	rend, err := res.Render("cypher")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rend.Query, "MATCH") {
+		t.Errorf("cypher rendering = %q", rend.Query)
+	}
+	// A cached rendering is returned as-is.
+	if again, err := res.Render("sql"); err != nil || again != res.Renderings["sql"] {
+		t.Errorf("Render did not reuse the cached sql rendering (err=%v)", err)
+	}
+}
+
+// TestTranslateUnknownBackend attributes an unknown backend name to the
+// emitter stage.
+func TestTranslateUnknownBackend(t *testing.T) {
+	_, err := newTranslator().Translate(context.Background(), runningExample,
+		Options{Backends: []string{"oracle"}})
+	if err == nil || !strings.Contains(err.Error(), StageEmitter) {
+		t.Fatalf("err = %v, want %s failure", err, StageEmitter)
+	}
+}
+
 func TestTranslateUnsupported(t *testing.T) {
 	res, err := newTranslator().Translate(context.Background(), "How should I store coffee?", Options{})
 	if err != nil {

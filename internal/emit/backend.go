@@ -1,0 +1,172 @@
+package emit
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"nl2cm/internal/prov"
+)
+
+// Caps declares what a backend's dialect can express. Capability
+// negotiation works in two tiers: a plan feature a backend cannot
+// express degrades with a recorded note when dropping it still yields a
+// useful query (crowd clauses on a general-only backend), and fails
+// with a *CapabilityError when dropping it would silently change the
+// general selection's meaning (filters, variable predicates).
+type Caps struct {
+	// Crowd: the dialect expresses crowd-mining (SATISFYING) clauses with
+	// significance criteria. Backends without it emit the general part
+	// only and note the dropped clauses.
+	Crowd bool `json:"crowd"`
+	// Joins: the dialect natively joins patterns over shared variables.
+	// Backends without it emit variable placeholders and note that
+	// cross-document links need application-side resolution.
+	Joins bool `json:"joins"`
+	// Filters: the dialect expresses FILTER expressions over the general
+	// selection. Plans with filters fail on backends without it.
+	Filters bool `json:"filters"`
+	// VarPredicates: the dialect allows a variable in predicate position.
+	// Plans with one fail on backends without it.
+	VarPredicates bool `json:"varPredicates"`
+}
+
+// Clause is the provenance of one emitted fragment: which piece of the
+// rendered query came from which logical pattern, and from which source
+// tokens of the question.
+type Clause struct {
+	// Fragment is the emitted dialect text for the pattern (one SQL
+	// conjunct, one JSON field, one MATCH pattern, one triple line).
+	Fragment string `json:"fragment"`
+	// Pattern is the logical pattern in neutral (OASSIS-QL surface)
+	// syntax, the key into core.Result.Provenance.
+	Pattern string `json:"pattern"`
+	// Clause locates the pattern: "where" or "satisfying".
+	Clause string `json:"clause"`
+	// Subclause is the crowd-clause index (-1 for the general part).
+	Subclause int `json:"subclause"`
+	// Tokens is the source-token set the pattern derives from.
+	Tokens prov.TokenSet `json:"tokens,omitempty"`
+	// Source is the question excerpt the pattern derives from.
+	Source string `json:"source,omitempty"`
+}
+
+// Clause location names, shared with the oassisql printer's vocabulary.
+const (
+	ClauseWhere      = "where"
+	ClauseSatisfying = "satisfying"
+)
+
+// Rendering is one backend's emission of a plan.
+type Rendering struct {
+	// Backend is the emitting backend's name.
+	Backend string `json:"backend"`
+	// Query is the rendered query text.
+	Query string `json:"query"`
+	// Clauses trace each emitted fragment to its logical pattern and
+	// source tokens, in emission order.
+	Clauses []Clause `json:"clauses,omitempty"`
+	// Notes record capability fallbacks applied during emission (dropped
+	// crowd clauses, join placeholders).
+	Notes []string `json:"notes,omitempty"`
+}
+
+// Backend renders plans into one concrete query dialect. Implementations
+// must be safe for concurrent use; the shipped ones are stateless.
+type Backend interface {
+	// Name is the backend's registry key ("oassisql", "sql", ...).
+	Name() string
+	// Caps declares what the dialect can express.
+	Caps() Caps
+	// Emit renders the plan. It returns a *CapabilityError when the plan
+	// needs a capability the dialect lacks and dropping it would change
+	// the general selection's meaning.
+	Emit(p *Plan) (*Rendering, error)
+}
+
+// CapabilityError reports that a plan exceeds a backend's capabilities
+// and no lossy-but-useful fallback exists. Callers typically fall back
+// to the OASSIS-QL backend, which expresses every plan.
+type CapabilityError struct {
+	// Backend is the refusing backend's name.
+	Backend string
+	// Feature names the unsupported plan feature.
+	Feature string
+}
+
+// Error implements error.
+func (e *CapabilityError) Error() string {
+	return fmt.Sprintf("emit: backend %q cannot express %s", e.Backend, e.Feature)
+}
+
+// DefaultBackend is the name of the backend every plan can render to.
+const DefaultBackend = "oassisql"
+
+// registry holds the registered backends by name.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Backend{}
+)
+
+// Register adds a backend under its name, replacing any previous
+// registration. The four shipped backends self-register.
+func Register(b Backend) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[b.Name()] = b
+}
+
+// Lookup returns the named backend.
+func Lookup(name string) (Backend, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	b, ok := registry[name]
+	return b, ok
+}
+
+// Names returns the registered backend names, the default backend first,
+// the rest sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	var rest []string
+	for name := range registry {
+		if name != DefaultBackend {
+			rest = append(rest, name)
+		}
+	}
+	sort.Strings(rest)
+	out := make([]string, 0, len(rest)+1)
+	if _, ok := registry[DefaultBackend]; ok {
+		out = append(out, DefaultBackend)
+	}
+	return append(out, rest...)
+}
+
+// All returns the registered backends in Names order.
+func All() []Backend {
+	names := Names()
+	out := make([]Backend, 0, len(names))
+	regMu.RLock()
+	defer regMu.RUnlock()
+	for _, name := range names {
+		out = append(out, registry[name])
+	}
+	return out
+}
+
+// Emit renders the plan with the named backend.
+func Emit(name string, p *Plan) (*Rendering, error) {
+	b, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("emit: unknown backend %q (have %v)", name, Names())
+	}
+	return b.Emit(p)
+}
+
+func init() {
+	Register(OassisBackend{})
+	Register(SQLBackend{})
+	Register(MongoBackend{})
+	Register(CypherBackend{})
+}

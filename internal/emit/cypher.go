@@ -1,0 +1,142 @@
+package emit
+
+import (
+	"fmt"
+	"strings"
+
+	"nl2cm/internal/oassisql"
+	"nl2cm/internal/rdf"
+)
+
+// CypherBackend renders the general part of a plan in a Cypher-like
+// graph dialect: every triple pattern becomes one MATCH pattern, with
+// variables as bare node identifiers, entities as `(:Resource {id:
+// '...'})` nodes, literals as `(:Literal {value: '...'})` nodes and
+// predicates as relationship types:
+//
+//	MATCH (x)-[:instanceOf]->(:Resource {id: 'Place'}),
+//	      (x)-[:near]->(:Resource {id: 'Forest_Hotel,_Buffalo,_NY'})
+//	RETURN x
+//
+// A variable predicate renders as an untyped relationship binding
+// (`-[p]->`). Crowd clauses are dropped with a note; FILTER expressions
+// fail with a *CapabilityError.
+type CypherBackend struct{}
+
+// Name implements Backend.
+func (CypherBackend) Name() string { return "cypher" }
+
+// Caps implements Backend.
+func (CypherBackend) Caps() Caps {
+	return Caps{Joins: true, VarPredicates: true}
+}
+
+// cypherNode renders a term as a node pattern.
+func cypherNode(t rdf.Term) string {
+	switch {
+	case t.IsVar() && IsAnonVar(t.Value()):
+		return "()"
+	case t.IsVar():
+		return "(" + ident(t.Value()) + ")"
+	case t.IsLiteral():
+		return "(:Literal {value: " + cypherString(t.Value()) + "})"
+	case t.IsBlank():
+		return "()"
+	default:
+		return "(:Resource {id: " + cypherString(t.Local()) + "})"
+	}
+}
+
+// cypherRel renders a predicate as a relationship pattern.
+func cypherRel(t rdf.Term) string {
+	if t.IsVar() {
+		if IsAnonVar(t.Value()) {
+			return "-[]->"
+		}
+		return "-[" + ident(t.Value()) + "]->"
+	}
+	name := surface(t)
+	if name != ident(name) {
+		return "-[:`" + strings.ReplaceAll(name, "`", "``") + "`]->"
+	}
+	return "-[:" + name + "]->"
+}
+
+// Emit implements Backend.
+func (CypherBackend) Emit(p *Plan) (*Rendering, error) {
+	if len(p.Filters) > 0 {
+		return nil, &CapabilityError{Backend: "cypher", Feature: "FILTER expressions"}
+	}
+	r := &Rendering{Backend: "cypher"}
+	if n := len(p.Crowd); n > 0 {
+		r.Notes = append(r.Notes, fmt.Sprintf(
+			"dropped %d crowd-mining (SATISFYING) subclause(s): the graph dialect has no crowd counterpart", n))
+	}
+
+	bound := map[string]bool{}
+	var varOrder []string
+	frags := make([]string, len(p.Where))
+	for i, pat := range p.Where {
+		t := pat.Triple
+		frags[i] = cypherNode(t.S) + cypherRel(t.P) + cypherNode(t.O)
+		t.EachVar(func(v string) {
+			if !bound[v] && !IsAnonVar(v) {
+				bound[v] = true
+				varOrder = append(varOrder, v)
+			}
+		})
+	}
+
+	var b strings.Builder
+	for i, f := range frags {
+		switch {
+		case i == 0:
+			b.WriteString("MATCH ")
+		default:
+			b.WriteString(",\n      ")
+		}
+		b.WriteString(f)
+	}
+	sel := varOrder
+	if !p.Select.All {
+		sel = nil
+		for _, v := range p.Select.Vars {
+			if bound[v] {
+				sel = append(sel, v)
+			} else {
+				r.Notes = append(r.Notes, fmt.Sprintf(
+					"variable $%s is bound only in a crowd clause; not returnable", v))
+			}
+		}
+	}
+	if len(frags) > 0 {
+		b.WriteString("\n")
+	}
+	if len(sel) == 0 {
+		b.WriteString("RETURN 1")
+		if len(p.Where) == 0 {
+			r.Notes = append(r.Notes, "empty general selection")
+		}
+	} else {
+		b.WriteString("RETURN ")
+		for i, v := range sel {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(ident(v))
+		}
+	}
+
+	r.Query = b.String()
+	for i, pat := range p.Where {
+		r.Clauses = append(r.Clauses, Clause{
+			Fragment:  frags[i],
+			Pattern:   oassisql.TripleString(pat.Triple),
+			Clause:    ClauseWhere,
+			Subclause: -1,
+			Tokens:    pat.Tokens,
+			Source:    pat.Source,
+		})
+	}
+	return r, nil
+}

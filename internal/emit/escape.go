@@ -1,0 +1,80 @@
+package emit
+
+import (
+	"strconv"
+	"strings"
+
+	"nl2cm/internal/rdf"
+)
+
+// Literal escaping, one function per dialect. Ontology entity names and
+// question literals flow into rendered queries verbatim, so every
+// emitter must neutralize its dialect's metacharacters — a value like
+// `O'Hara` or `a\b` must never yield a syntactically invalid (or
+// injectable) query. OASSIS-QL itself uses strconv.Quote in
+// oassisql.TermString, which the sparql lexer unescapes symmetrically.
+
+// sqlString renders a standard (ANSI) SQL string literal: single-quoted,
+// embedded single quotes doubled. ANSI string literals give backslashes
+// no special meaning, so `a\b` passes through unchanged.
+func sqlString(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}
+
+// jsonString renders a JSON string literal for the document-filter
+// dialect; strconv.Quote escapes quotes, backslashes and control
+// characters in JSON-compatible form.
+func jsonString(s string) string {
+	return strconv.Quote(s)
+}
+
+// cypherString renders a Cypher string literal: single-quoted with
+// backslash escapes for backslashes and single quotes.
+func cypherString(s string) string {
+	var b strings.Builder
+	b.WriteByte('\'')
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\'':
+			b.WriteString(`\'`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('\'')
+	return b.String()
+}
+
+// surface returns a term's dialect-neutral surface value: the bare local
+// name for IRIs (matching the OASSIS-QL surface syntax), the lexical
+// form for literals, the name for variables and blanks.
+func surface(t rdf.Term) string {
+	if t.IsIRI() {
+		return t.Local()
+	}
+	return t.Value()
+}
+
+// ident renders a variable name as a dialect identifier, mangling any
+// character outside [A-Za-z0-9_] to '_' and prefixing a digit-initial
+// name. The pipeline only allocates names like "x"/"x12", so this is a
+// guard for hand-built plans.
+func ident(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if !ok {
+			r = '_'
+		}
+		if i == 0 && r >= '0' && r <= '9' {
+			b.WriteByte('_')
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}

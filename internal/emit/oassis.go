@@ -1,0 +1,74 @@
+package emit
+
+import (
+	"nl2cm/internal/oassisql"
+)
+
+// OassisBackend renders plans in OASSIS-QL, the paper's crowd-mining
+// language. It is the system's reference dialect: the only backend that
+// expresses every plan (crowd clauses, filters, variable predicates),
+// and the single OASSIS-QL emitter in the codebase — both the pipeline's
+// final query and this backend's rendering go through oassisql.Printer,
+// so they are byte-identical by construction.
+type OassisBackend struct{}
+
+// Name implements Backend.
+func (OassisBackend) Name() string { return "oassisql" }
+
+// Caps implements Backend: OASSIS-QL expresses everything a plan can
+// hold.
+func (OassisBackend) Caps() Caps {
+	return Caps{Crowd: true, Joins: true, Filters: true, VarPredicates: true}
+}
+
+// OassisQuery builds the structural OASSIS-QL query a plan denotes. The
+// mapping is exact: general patterns become the WHERE clause, crowd
+// clauses become SATISFYING subclauses with their significance criteria.
+func OassisQuery(p *Plan) *oassisql.Query {
+	q := &oassisql.Query{
+		Select: oassisql.SelectClause{All: p.Select.All, Vars: p.Select.Vars},
+		Where:  oassisql.Pattern{Triples: p.WhereTriples(), Filters: p.Filters},
+	}
+	for _, cc := range p.Crowd {
+		sc := oassisql.Subclause{Pattern: oassisql.Pattern{Filters: cc.Filters}}
+		for _, pat := range cc.Patterns {
+			sc.Pattern.Triples = append(sc.Pattern.Triples, pat.Triple)
+		}
+		if cc.Significance.TopK > 0 {
+			sc.TopK = &oassisql.TopK{K: cc.Significance.TopK, Desc: cc.Significance.Desc}
+		} else {
+			th := cc.Significance.Threshold
+			sc.Threshold = &th
+		}
+		q.Satisfying = append(q.Satisfying, sc)
+	}
+	return q
+}
+
+// Emit implements Backend.
+func (OassisBackend) Emit(p *Plan) (*Rendering, error) {
+	r := &Rendering{Backend: "oassisql", Query: OassisQuery(p).String()}
+	for _, pat := range p.Where {
+		r.Clauses = append(r.Clauses, Clause{
+			Fragment:  oassisql.TripleString(pat.Triple),
+			Pattern:   oassisql.TripleString(pat.Triple),
+			Clause:    ClauseWhere,
+			Subclause: -1,
+			Tokens:    pat.Tokens,
+			Source:    pat.Source,
+		})
+	}
+	for si, cc := range p.Crowd {
+		for _, pat := range cc.Patterns {
+			r.Clauses = append(r.Clauses, Clause{
+				Fragment:  oassisql.TripleString(pat.Triple),
+				Pattern:   oassisql.TripleString(pat.Triple),
+				Clause:    ClauseSatisfying,
+				Subclause: si,
+				Tokens:    pat.Tokens,
+				Source:    pat.Source,
+			})
+		}
+	}
+	return r, nil
+}

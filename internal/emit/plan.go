@@ -1,0 +1,146 @@
+// Package emit separates "translate" from "render" from "execute": the
+// translation pipeline produces a backend-neutral logical query IR (the
+// Plan), and pluggable Backends render it into concrete query dialects —
+// OASSIS-QL (the paper's language), SQL, a MongoDB-style document filter
+// and a Cypher-like graph dialect. The package also provides an
+// ExternalSource adapter so the general (WHERE) part of a plan can
+// execute against stores other than the in-memory RDF engine.
+//
+// The Plan mirrors the structure the Query Composition module assembles
+// (paper §2.6) without committing to any concrete syntax: general triple
+// patterns with filters and projection, plus crowd-mining clauses with
+// their significance criteria. Every pattern carries the provenance of
+// its source tokens, so each backend's rendering can be traced back to
+// the question phrase it derives from, clause by clause.
+package emit
+
+import (
+	"nl2cm/internal/prov"
+	"nl2cm/internal/rdf"
+	"nl2cm/internal/sparql"
+)
+
+// Pattern is one logical triple pattern with its source provenance.
+type Pattern struct {
+	// Triple is the pattern itself; variables are rdf.KindVariable terms.
+	Triple rdf.Triple
+	// Tokens is the source-token set the pattern derives from (empty when
+	// unknown, e.g. for hand-built plans).
+	Tokens prov.TokenSet
+	// Source is the question excerpt the pattern derives from ("" when
+	// unknown), e.g. `near Forest Hotel , Buffalo`.
+	Source string
+}
+
+// Significance is a crowd clause's significance criterion: a top/bottom-k
+// selection when TopK > 0, a support threshold otherwise.
+type Significance struct {
+	// TopK selects the k highest- (Desc) or lowest-support bindings;
+	// 0 means the Threshold applies instead.
+	TopK int
+	// Desc orders a top-k selection by descending support.
+	Desc bool
+	// Threshold is the minimal support in [0,1]; meaningful when TopK==0.
+	Threshold float64
+}
+
+// CrowdClause is one crowd-mining data pattern (an OASSIS-QL SATISFYING
+// subclause): patterns to be mined from the crowd plus a significance
+// criterion.
+type CrowdClause struct {
+	Patterns     []Pattern
+	Filters      []sparql.Expr
+	Significance Significance
+}
+
+// Select is the plan's projection.
+type Select struct {
+	// All projects every variable that yields significant patterns
+	// (OASSIS-QL "SELECT VARIABLES").
+	All bool
+	// Vars lists the projected variables when All is false.
+	Vars []string
+}
+
+// Plan is the backend-neutral logical query: what the translation
+// pipeline means, before any dialect renders it.
+type Plan struct {
+	// Question is the source NL request ("" for hand-built plans).
+	Question string
+	// Select is the projection.
+	Select Select
+	// Where holds the general (ontology) selection patterns.
+	Where []Pattern
+	// Filters restrict the general selection.
+	Filters []sparql.Expr
+	// Crowd holds the crowd-mining clauses; empty for pure-general plans.
+	Crowd []CrowdClause
+}
+
+// PureGeneral reports whether the plan has no crowd-mining part, i.e. it
+// is a plain ontology selection.
+func (p *Plan) PureGeneral() bool { return len(p.Crowd) == 0 }
+
+// IsAnonVar reports whether a variable name denotes an anonymous term
+// ("anything/anyone"); such variables are never projected. The naming
+// convention is shared with the oassisql package ("[]" terms).
+func IsAnonVar(name string) bool {
+	return len(name) >= 5 && name[:5] == "_anon"
+}
+
+// Vars returns the named (non-anonymous) variables of the plan in
+// first-appearance order: WHERE patterns first, then crowd clauses.
+func (p *Plan) Vars() []string {
+	var out []string
+	seen := map[string]bool{}
+	add := func(pats []Pattern) {
+		for _, pat := range pats {
+			pat.Triple.EachVar(func(v string) {
+				if !seen[v] && !IsAnonVar(v) {
+					seen[v] = true
+					out = append(out, v)
+				}
+			})
+		}
+	}
+	add(p.Where)
+	for _, cc := range p.Crowd {
+		add(cc.Patterns)
+	}
+	return out
+}
+
+// WhereTriples returns the bare general triples, for evaluation; nil
+// when the plan has no general part.
+func (p *Plan) WhereTriples() []rdf.Triple {
+	if len(p.Where) == 0 {
+		return nil
+	}
+	out := make([]rdf.Triple, len(p.Where))
+	for i, pat := range p.Where {
+		out[i] = pat.Triple
+	}
+	return out
+}
+
+// varPredicates reports whether any pattern (general or crowd) has a
+// variable in predicate position.
+func (p *Plan) varPredicates() bool {
+	check := func(pats []Pattern) bool {
+		for _, pat := range pats {
+			if pat.Triple.P.IsVar() {
+				return true
+			}
+		}
+		return false
+	}
+	if check(p.Where) {
+		return true
+	}
+	for _, cc := range p.Crowd {
+		if check(cc.Patterns) {
+			return true
+		}
+	}
+	return false
+}

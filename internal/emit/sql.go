@@ -1,0 +1,150 @@
+package emit
+
+import (
+	"fmt"
+	"strings"
+
+	"nl2cm/internal/oassisql"
+	"nl2cm/internal/rdf"
+)
+
+// SQLBackend renders the general part of a plan as one SELECT over a
+// self-joined triple table: schema `triples(s, p, o)`, one alias per
+// pattern, variable co-occurrence becoming join conditions and concrete
+// terms becoming WHERE conjuncts. The first pattern's alias is the hub
+// every later alias joins back to, star-fashion.
+//
+// Capability fallbacks: crowd-mining clauses have no SQL counterpart and
+// are dropped with a note; a projected variable bound only in a crowd
+// clause is likewise noted. FILTER expressions fail with a
+// *CapabilityError (dropping one would silently widen the selection).
+type SQLBackend struct{}
+
+// Name implements Backend.
+func (SQLBackend) Name() string { return "sql" }
+
+// Caps implements Backend. A variable predicate is expressible — the
+// predicate is just the p column — so only crowd clauses and filters are
+// beyond the dialect.
+func (SQLBackend) Caps() Caps {
+	return Caps{Joins: true, VarPredicates: true}
+}
+
+// sqlCol maps a triple position to its column name.
+var sqlCol = [3]string{"s", "p", "o"}
+
+// Emit implements Backend.
+func (SQLBackend) Emit(p *Plan) (*Rendering, error) {
+	if len(p.Filters) > 0 {
+		return nil, &CapabilityError{Backend: "sql", Feature: "FILTER expressions"}
+	}
+	r := &Rendering{Backend: "sql"}
+	if n := len(p.Crowd); n > 0 {
+		r.Notes = append(r.Notes, fmt.Sprintf(
+			"dropped %d crowd-mining (SATISFYING) subclause(s): SQL has no crowd dialect", n))
+	}
+
+	// Walk the patterns once: first occurrence of a variable binds it to
+	// a column reference, later occurrences become join conditions,
+	// concrete terms become WHERE conjuncts.
+	bound := map[string]string{} // variable -> first column reference
+	var varOrder []string        // named variables in first-appearance order
+	type patSQL struct {
+		alias string
+		conds []string // concrete-term conjuncts (WHERE)
+		joins []string // shared-variable conjuncts (ON)
+	}
+	pats := make([]patSQL, len(p.Where))
+	for i, pat := range p.Where {
+		ps := patSQL{alias: fmt.Sprintf("t%d", i)}
+		for pos, term := range []rdf.Term{pat.Triple.S, pat.Triple.P, pat.Triple.O} {
+			ref := ps.alias + "." + sqlCol[pos]
+			if term.IsVar() {
+				name := term.Value()
+				if first, ok := bound[name]; ok {
+					ps.joins = append(ps.joins, ref+" = "+first)
+				} else {
+					bound[name] = ref
+					if !IsAnonVar(name) {
+						varOrder = append(varOrder, name)
+					}
+				}
+				continue
+			}
+			ps.conds = append(ps.conds, ref+" = "+sqlString(surface(term)))
+		}
+		pats[i] = ps
+	}
+
+	// SELECT list: the projected variables that the general part binds.
+	sel := varOrder
+	if !p.Select.All {
+		sel = nil
+		for _, v := range p.Select.Vars {
+			if _, ok := bound[v]; ok {
+				sel = append(sel, v)
+			} else {
+				r.Notes = append(r.Notes, fmt.Sprintf(
+					"variable $%s is bound only in a crowd clause; not selectable in SQL", v))
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if len(sel) == 0 {
+		b.WriteString("1")
+		if len(p.Where) == 0 {
+			r.Notes = append(r.Notes, "empty general selection")
+		}
+	} else {
+		for i, v := range sel {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s AS %s", bound[v], ident(v))
+		}
+	}
+
+	// FROM/JOIN: the hub alias plus one join per further pattern. Each
+	// pattern's concrete-term conjuncts stay grouped on one WHERE line.
+	var whereGroups []string
+	for i, ps := range pats {
+		if i == 0 {
+			fmt.Fprintf(&b, "\nFROM triples AS %s", ps.alias)
+		} else {
+			on := ps.joins
+			if len(on) == 0 {
+				on = []string{"1 = 1"} // cartesian: no shared variable
+			}
+			fmt.Fprintf(&b, "\nJOIN triples AS %s ON %s", ps.alias, strings.Join(on, " AND "))
+		}
+		if len(ps.conds) > 0 {
+			whereGroups = append(whereGroups, strings.Join(ps.conds, " AND "))
+		}
+	}
+	for i, g := range whereGroups {
+		if i == 0 {
+			b.WriteString("\nWHERE ")
+		} else {
+			b.WriteString("\n  AND ")
+		}
+		b.WriteString(g)
+	}
+
+	r.Query = b.String()
+	for i, pat := range p.Where {
+		frag := strings.Join(append(append([]string{}, pats[i].conds...), pats[i].joins...), " AND ")
+		if frag == "" {
+			frag = pats[i].alias + " unconstrained"
+		}
+		r.Clauses = append(r.Clauses, Clause{
+			Fragment:  frag,
+			Pattern:   oassisql.TripleString(pat.Triple),
+			Clause:    ClauseWhere,
+			Subclause: -1,
+			Tokens:    pat.Tokens,
+			Source:    pat.Source,
+		})
+	}
+	return r, nil
+}

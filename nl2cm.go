@@ -26,6 +26,7 @@ import (
 	"nl2cm/internal/core"
 	"nl2cm/internal/corpus"
 	"nl2cm/internal/crowd"
+	"nl2cm/internal/emit"
 	"nl2cm/internal/interact"
 	"nl2cm/internal/ix"
 	"nl2cm/internal/nlp"
@@ -79,6 +80,9 @@ const (
 	StageGenerator    = core.StageGenerator
 	StageIndividual   = core.StageIndividual
 	StageComposer     = core.StageComposer
+	// StageEmitter renders the composed plan into the extra backend
+	// dialects requested via Options.Backends.
+	StageEmitter = core.StageEmitter
 	// StageCrowd attributes execution-side (crowd.Engine) failures and
 	// observer callbacks.
 	StageCrowd = core.StageCrowd
@@ -99,6 +103,44 @@ type Subclause = oassisql.Subclause
 
 // ParseQuery parses OASSIS-QL text.
 func ParseQuery(input string) (*Query, error) { return oassisql.Parse(input) }
+
+// ---- Backend emission ----
+
+// Plan is the backend-neutral logical query IR a translation produces
+// (Result.Plan): general triple patterns, filters and projection plus
+// crowd-mining clauses, each pattern carrying its source provenance.
+type Plan = emit.Plan
+
+// Backend renders a Plan into one concrete query dialect.
+type Backend = emit.Backend
+
+// BackendCaps are a backend's capability flags (crowd clauses, joins,
+// filters, variable predicates).
+type BackendCaps = emit.Caps
+
+// Rendering is a Plan rendered by one backend: the query text,
+// per-clause provenance and capability-fallback notes.
+type Rendering = emit.Rendering
+
+// RenderedClause traces one emitted query fragment back to the logical
+// pattern and question phrase it derives from.
+type RenderedClause = emit.Clause
+
+// CapabilityError reports a plan feature a backend cannot express.
+type CapabilityError = emit.CapabilityError
+
+// DefaultBackend is the backend used when none is named: the paper's
+// OASSIS-QL dialect.
+const DefaultBackend = emit.DefaultBackend
+
+// Backends lists the registered backend names, DefaultBackend first.
+func Backends() []string { return emit.Names() }
+
+// LookupBackend returns the named backend (false when unknown).
+func LookupBackend(name string) (Backend, bool) { return emit.Lookup(name) }
+
+// EmitBackend renders a plan in the named backend's dialect.
+func EmitBackend(name string, p *Plan) (*Rendering, error) { return emit.Emit(name, p) }
 
 // ---- Ontologies ----
 
