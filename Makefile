@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: all check vet staticcheck build test race session-stress session-smoke bench bench-smoke fuzz-smoke emit-golden emit-golden-update fmt
+.PHONY: all check vet staticcheck build test race session-stress session-smoke bench bench-smoke fuzz-smoke emit-golden emit-golden-update agg-golden fmt
 
 all: check
 
 # check is the CI gate: vet + staticcheck, build everything, run the
 # tests with the race detector (the concurrency stress tests depend on
-# it), verify the per-backend golden emissions, then hammer the
-# dialogue-session subsystem a few extra rounds.
-check: vet staticcheck build race emit-golden session-stress
+# it), verify the per-backend golden emissions and the analytic path,
+# then hammer the dialogue-session subsystem a few extra rounds.
+check: vet staticcheck build race emit-golden agg-golden session-stress
 
 vet:
 	$(GO) vet ./...
@@ -60,6 +60,13 @@ emit-golden:
 
 emit-golden-update:
 	$(GO) test -run TestBackendGolden -update .
+
+# agg-golden pins the aggregate/analytic path: the SPARQL parser and
+# evaluator unit tests (GROUP BY, COUNT/SUM/AVG/MIN/MAX, typed HAVING,
+# numeric ORDER BY) plus the public end-to-end superlative question.
+agg-golden:
+	$(GO) test -run 'TestParseAggregate|TestEvalOrderNumeric|TestEvalGroupBy|TestEvalSuperlative|TestEvalHaving|TestEvalAggregate|TestAggregateValidate|TestProgrammaticHaving' ./internal/sparql/
+	$(GO) test -run 'TestPublicAggregateEndToEnd|TestCorpusSQLDifferential' .
 
 # fuzz-smoke runs each native fuzz target briefly: enough to catch
 # panics and invariant regressions without slowing the gate. Go allows

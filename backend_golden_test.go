@@ -152,7 +152,7 @@ func TestCorpusSQLDifferential(t *testing.T) {
 	mem := emit.LoadMemTable(onto.Store)
 	ext := &emit.Adapter{Ext: mem}
 	ctx := context.Background()
-	checked := 0
+	checked, aggregated := 0, 0
 	for _, q := range corpus.Supported() {
 		res, err := tr.Translate(ctx, q.Text, Options{})
 		if err != nil {
@@ -179,9 +179,15 @@ func TestCorpusSQLDifferential(t *testing.T) {
 			t.Errorf("%s: rdf and external bindings diverge\nrdf:      %v\nexternal: %v", q.ID, a, b)
 		}
 		checked++
+		if res.Plan.Aggregated() {
+			aggregated++
+		}
 	}
 	if checked == 0 {
 		t.Fatal("no corpus question exercised the differential")
+	}
+	if aggregated == 0 {
+		t.Fatal("no corpus question exercised the GROUP BY differential")
 	}
 }
 

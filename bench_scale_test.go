@@ -1,9 +1,9 @@
 package nl2cm
 
 // Ontology-scale benchmarks for the SPARQL/RDF data plane: multi-pattern
-// join planning (P8) and lookup + evaluation at 10k/100k triples (P9).
-// EXPERIMENTS.md records before/after numbers for the interned-store and
-// planner rewrite.
+// join planning (P8), lookup + evaluation at 10k/100k triples (P9), and
+// grouped aggregation over a full scan (P10). EXPERIMENTS.md records
+// before/after numbers for the interned-store and planner rewrite.
 
 import (
 	"fmt"
@@ -73,6 +73,32 @@ func BenchmarkP9_ScaleLookup(b *testing.B) {
 				rows, err := sparql.Eval(q, onto.Store, nil)
 				if err != nil || len(rows) == 0 {
 					b.Fatalf("eval failed: %v (%d rows)", err, len(rows))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkP10_GroupBy measures the analytic path the superlative
+// questions take: a grouped COUNT over every near-edge in the store,
+// ordered descending on the alias with LIMIT 1 — the "which group is
+// biggest" plan shape, dominated by grouping and the typed sort.
+func BenchmarkP10_GroupBy(b *testing.B) {
+	for _, triples := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("triples=%d", triples), func(b *testing.B) {
+			onto := synthFor(triples)
+			q, err := sparql.Parse(fmt.Sprintf(`SELECT $y COUNT($x) AS $n WHERE {
+				$x <%snear> $y
+			} GROUP BY $y ORDER BY DESC($n) LIMIT 1`, ontology.NS))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rows, err := sparql.Eval(q, onto.Store, nil)
+				if err != nil || len(rows) != 1 {
+					b.Fatalf("group-by failed: %v (%d rows)", err, len(rows))
 				}
 			}
 		})

@@ -29,6 +29,7 @@ import (
 	"nl2cm/internal/prov"
 	"nl2cm/internal/qgen"
 	"nl2cm/internal/rdf"
+	"nl2cm/internal/sparql"
 )
 
 // Reasons recorded in Decision.Reason.
@@ -201,6 +202,10 @@ func (c *Composer) ComposeTraced(ctx context.Context, in Input) (*Output, error)
 		return nil, err
 	}
 
+	// Analytic step: a detected counting reading ("how many ...", "the
+	// most <noun>") becomes the plan's grouping part.
+	c.analytic(plan, in)
+
 	// Derive the OASSIS-QL query structurally from the plan — the one
 	// OASSIS emitter — and validate the result.
 	q := emit.OassisQuery(plan)
@@ -274,6 +279,13 @@ func (c *Composer) pruneDangling(kept []keptTriple, in Input, decisions []Decisi
 		}
 	}
 	keep := map[string]bool{in.General.TargetVar: true}
+	if agg := in.General.Aggregate; agg != nil {
+		// The analytic step references these variables even when no
+		// second triple does ("How many cameras ..." counts a noun whose
+		// only triple is its class membership).
+		keep[agg.CountVar] = true
+		keep[agg.GroupVar] = true
+	}
 	for _, part := range in.Parts {
 		for _, t := range part.Triples {
 			for _, v := range t.Vars() {
@@ -325,6 +337,12 @@ func (c *Composer) significance(ctx context.Context, in Input, part individual.P
 		return emit.Significance{TopK: k, Desc: true}, nil
 	}
 	th := c.Defaults.Threshold
+	if part.Majority {
+		// "What do most people eat?" asks for the majority of the
+		// crowd: at least half must support the pattern, regardless of
+		// the administrator's default.
+		th = 0.5
+	}
 	if ask {
 		var err error
 		th, err = in.interactor().SelectThreshold(ctx, part.Description, th)
@@ -336,6 +354,40 @@ func (c *Composer) significance(ctx context.Context, in Input, part individual.P
 		return emit.Significance{}, fmt.Errorf("compose: threshold %g outside [0,1]", th)
 	}
 	return emit.Significance{Threshold: th}, nil
+}
+
+// analytic installs the plan's grouping step when the general query
+// generator detected a counting reading. The step applies only when the
+// variables it references survived composition into the WHERE clause:
+// a counted or grouping variable whose triples were all deleted (they
+// restated an IX, or dangled) leaves nothing to count, and the query
+// degrades to a plain selection.
+func (c *Composer) analytic(p *emit.Plan, in Input) {
+	agg := in.General.Aggregate
+	if agg == nil {
+		return
+	}
+	bound := map[string]bool{}
+	for _, pat := range p.Where {
+		pat.Triple.EachVar(func(v string) { bound[v] = true })
+	}
+	if !bound[agg.CountVar] {
+		return
+	}
+	a := &emit.Aggregation{
+		Aggs: []sparql.Aggregate{{Func: "COUNT", Var: agg.CountVar, As: agg.Alias}},
+	}
+	if agg.GroupVar != "" {
+		if !bound[agg.GroupVar] {
+			return
+		}
+		// The counting superlative: group by the asked-about entity,
+		// order the groups by their count and keep the extreme one.
+		a.GroupBy = []string{agg.GroupVar}
+		a.OrderBy = []sparql.OrderKey{{Var: agg.Alias, Desc: !agg.Ascending}}
+		a.Limit = 1
+	}
+	p.Agg = a
 }
 
 // checkAlignment verifies that every named variable of the SATISFYING

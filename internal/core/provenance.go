@@ -49,6 +49,11 @@ func (r *Result) buildProvenance(out *compose.Output) {
 	for _, x := range r.IXs {
 		understood = understood.Union(x.TokenSet())
 	}
+	// A detected counting quantifier ("how many", "the most") was
+	// understood — it became the plan's analytic step, not a triple.
+	if r.General != nil && r.General.Aggregate != nil && r.Plan != nil && r.Plan.Agg != nil {
+		understood = understood.Union(prov.NewTokenSet(r.General.Aggregate.Origin...))
+	}
 	for id := range r.Graph.Nodes {
 		n := &r.Graph.Nodes[id]
 		if !isContentPOS(n.POS) || understood.Contains(id) {

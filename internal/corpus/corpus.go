@@ -119,8 +119,13 @@ var questions = []Question{
 	{ID: "shopping-07", Domain: "shopping", Supported: true,
 		Text: "What gifts should I bring from Buffalo?",
 		Gold: []GoldIX{ix("bring", "participant", "syntactic")}},
-	{ID: "shopping-08", Domain: "shopping", Supported: false, UnsupportedCategory: "aggregate",
-		Text: "How many cameras does Canon sell?"},
+	{ID: "shopping-08", Domain: "shopping", Supported: true,
+		// Counting question: translates to a global COUNT aggregate.
+		Text: "How many cameras does Canon sell?",
+		Gold: nil},
+	{ID: "shopping-09", Domain: "shopping", Supported: false, UnsupportedCategory: "aggregate",
+		// Mass quantity over an unstated measure: still rejected.
+		Text: "How much does a good camera cost?"},
 
 	// ---- Health ----
 	{ID: "health-01", Domain: "health", Supported: true,
@@ -269,11 +274,31 @@ var questions = []Question{
 		Gold: []GoldIX{ix("fun", "lexical")}},
 	{ID: "entertainment-06", Domain: "entertainment", Supported: false, UnsupportedCategory: "causal",
 		Text: "Why do people gamble?"},
-	{ID: "entertainment-07", Domain: "entertainment", Supported: false, UnsupportedCategory: "aggregate",
-		Text: "How many shows run nightly in Vegas?"},
+	{ID: "entertainment-07", Domain: "entertainment", Supported: true,
+		// Counting question over recorded facts; the parse is rough
+		// (the verb reads as a noun) but the count still translates.
+		Text: "How many shows run nightly in Vegas?",
+		Gold: nil},
 	{ID: "entertainment-08", Domain: "entertainment", Supported: true,
 		Text: "Which show at the Bellagio is overrated?",
 		Gold: []GoldIX{ix("overrated", "lexical")}},
+
+	// ---- Analytic (counting) questions ----
+	// Aggregate readings the tentpole ships end-to-end: global counts
+	// and counting superlatives over recorded facts, plus the crowd
+	// majority quantifier.
+	{ID: "agg-01", Domain: "travel", Supported: true,
+		// Counting superlative: GROUP BY city, ORDER BY count DESC LIMIT 1.
+		Text: "Which city has the most attractions?",
+		Gold: nil},
+	{ID: "agg-02", Domain: "travel", Supported: true,
+		Text: "How many parks are in Buffalo?",
+		Gold: nil},
+	{ID: "agg-03", Domain: "food", Supported: true,
+		// Majority quantifier on the participant: a 0.5 support threshold,
+		// not a count.
+		Text: "What do most people eat for breakfast?",
+		Gold: []GoldIX{ix("eat", "participant")}},
 
 	// ---- Family ----
 	{ID: "family-01", Domain: "family", Supported: true,

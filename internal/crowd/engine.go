@@ -180,6 +180,12 @@ func (e *Engine) execute(ctx context.Context, q *oassisql.Query) (*Result, error
 	}
 	res := &Result{WhereBindings: len(bindings)}
 	if len(q.Satisfying) == 0 {
+		if q.Agg != nil {
+			bindings, err = applyAggregation(q, bindings)
+			if err != nil {
+				return nil, err
+			}
+		}
 		res.Bindings = bindings
 		return res, nil
 	}
@@ -212,9 +218,43 @@ func (e *Engine) execute(ctx context.Context, q *oassisql.Query) (*Result, error
 	res.CacheHits = int(cnt.hits.Load())
 	res.CacheMisses = int(cnt.misses.Load())
 
-	// 3. Projection.
+	// 3. Analytic extension: the grouping step runs over the rows the
+	// crowd let through, so a counting query over crowd-filtered data
+	// counts only significant patterns.
+	if q.Agg != nil {
+		surviving, err = applyAggregation(q, surviving)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// 4. Projection.
 	res.Bindings = project(surviving, q.Select)
 	return res, nil
+}
+
+// applyAggregation applies the query's aggregation extension — grouping,
+// aggregates, HAVING, ordering and the result window — to
+// already-computed rows. The WHERE patterns ride along only so HAVING
+// aggregate aliases resolve against the query's pattern variables; no
+// re-evaluation happens.
+func applyAggregation(q *oassisql.Query, rows []sparql.Binding) ([]sparql.Binding, error) {
+	aggQ := &sparql.Query{
+		Where:   q.Where.Triples,
+		GroupBy: q.Agg.GroupBy,
+		Aggs:    q.Agg.Aggs,
+		Having:  q.Agg.Having,
+		OrderBy: q.Agg.OrderBy,
+		Limit:   -1,
+	}
+	if q.Agg.Limit > 0 {
+		aggQ.Limit = q.Agg.Limit
+	}
+	out, err := sparql.AggregateBindings(aggQ, rows, nil)
+	if err != nil {
+		return nil, fmt.Errorf("crowd: aggregating: %w", err)
+	}
+	return out, nil
 }
 
 // taskGroup is one crowd task together with every binding that grounds

@@ -29,6 +29,12 @@ type Caps struct {
 	// VarPredicates: the dialect allows a variable in predicate position.
 	// Plans with one fail on backends without it.
 	VarPredicates bool `json:"varPredicates"`
+	// Aggregates: the dialect expresses the plan's analytic part (GROUP
+	// BY, aggregate functions, HAVING, result windows). Aggregated plans
+	// fail with a *CapabilityError on backends without it — dropping a
+	// grouping step would silently turn an analytic answer into a row
+	// listing.
+	Aggregates bool `json:"aggregates"`
 }
 
 // Clause is the provenance of one emitted fragment: which piece of the

@@ -6,6 +6,7 @@ import (
 
 	"nl2cm/internal/oassisql"
 	"nl2cm/internal/rdf"
+	"nl2cm/internal/sparql"
 )
 
 // CypherBackend renders the general part of a plan in a Cypher-like
@@ -19,8 +20,13 @@ import (
 //	RETURN x
 //
 // A variable predicate renders as an untyped relationship binding
-// (`-[p]->`). Crowd clauses are dropped with a note; FILTER expressions
-// fail with a *CapabilityError.
+// (`-[p]->`). An aggregated plan uses Cypher's implicit grouping: the
+// grouping keys and aggregate calls share one projection (`RETURN city,
+// count(a) AS cnt ORDER BY cnt DESC LIMIT 1`), and a HAVING condition
+// inserts a WITH … WHERE stage before the final RETURN — Cypher's
+// idiomatic HAVING spelling. Crowd clauses are dropped with a note;
+// FILTER expressions and untranslatable HAVING conditions fail with a
+// *CapabilityError.
 type CypherBackend struct{}
 
 // Name implements Backend.
@@ -28,7 +34,7 @@ func (CypherBackend) Name() string { return "cypher" }
 
 // Caps implements Backend.
 func (CypherBackend) Caps() Caps {
-	return Caps{Joins: true, VarPredicates: true}
+	return Caps{Joins: true, VarPredicates: true, Aggregates: true}
 }
 
 // cypherNode renders a term as a node pattern.
@@ -97,33 +103,39 @@ func (CypherBackend) Emit(p *Plan) (*Rendering, error) {
 		}
 		b.WriteString(f)
 	}
-	sel := varOrder
-	if !p.Select.All {
-		sel = nil
-		for _, v := range p.Select.Vars {
-			if bound[v] {
-				sel = append(sel, v)
-			} else {
-				r.Notes = append(r.Notes, fmt.Sprintf(
-					"variable $%s is bound only in a crowd clause; not returnable", v))
-			}
-		}
-	}
 	if len(frags) > 0 {
 		b.WriteString("\n")
 	}
-	if len(sel) == 0 {
-		b.WriteString("RETURN 1")
-		if len(p.Where) == 0 {
-			r.Notes = append(r.Notes, "empty general selection")
+	if p.Aggregated() {
+		if err := cypherAggTail(&b, p, bound, r); err != nil {
+			return nil, err
 		}
 	} else {
-		b.WriteString("RETURN ")
-		for i, v := range sel {
-			if i > 0 {
-				b.WriteString(", ")
+		sel := varOrder
+		if !p.Select.All {
+			sel = nil
+			for _, v := range p.Select.Vars {
+				if bound[v] {
+					sel = append(sel, v)
+				} else {
+					r.Notes = append(r.Notes, fmt.Sprintf(
+						"variable $%s is bound only in a crowd clause; not returnable", v))
+				}
 			}
-			b.WriteString(ident(v))
+		}
+		if len(sel) == 0 {
+			b.WriteString("RETURN 1")
+			if len(p.Where) == 0 {
+				r.Notes = append(r.Notes, "empty general selection")
+			}
+		} else {
+			b.WriteString("RETURN ")
+			for i, v := range sel {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(ident(v))
+			}
 		}
 	}
 
@@ -139,4 +151,177 @@ func (CypherBackend) Emit(p *Plan) (*Rendering, error) {
 		})
 	}
 	return r, nil
+}
+
+// cypherAgg renders one aggregate call in Cypher's lower-case spelling;
+// ok=false when its argument is not bound by the general part.
+func cypherAgg(a sparql.Aggregate, bound map[string]bool) (string, bool) {
+	fn := strings.ToLower(a.Func)
+	if a.Var == "" {
+		return fn + "(*)", true
+	}
+	if !bound[a.Var] {
+		return "", false
+	}
+	return fn + "(" + ident(a.Var) + ")", true
+}
+
+// cypherAggTail writes the analytic projection after the MATCH patterns.
+// Cypher groups implicitly — every non-aggregate projection item is a
+// grouping key — so the grouping variables and aggregate calls share one
+// item list. A HAVING condition needs the aggregate computed before it
+// can be tested, which is Cypher's WITH … WHERE … RETURN staging; the
+// same staging reconciles a projection narrower than the grouping keys.
+func cypherAggTail(b *strings.Builder, p *Plan, bound map[string]bool, r *Rendering) error {
+	var items []string // "city" / "count(a) AS cnt", grouping order
+	emitted := map[string]bool{}
+	for _, v := range p.Agg.GroupBy {
+		if !bound[v] {
+			r.Notes = append(r.Notes, fmt.Sprintf(
+				"grouping variable $%s is bound only in a crowd clause; dropped from grouping", v))
+			continue
+		}
+		items = append(items, ident(v))
+		emitted[v] = true
+	}
+	byAlias := map[string]sparql.Aggregate{}
+	for _, a := range p.Agg.Aggs {
+		byAlias[a.As] = a
+		call, ok := cypherAgg(a, bound)
+		if !ok {
+			r.Notes = append(r.Notes, fmt.Sprintf(
+				"aggregate argument $%s is bound only in a crowd clause; %s dropped", a.Var, a))
+			continue
+		}
+		items = append(items, call+" AS "+ident(a.As))
+		emitted[a.As] = true
+	}
+	var proj []string
+	for _, v := range aggProjection(p) {
+		if emitted[v] {
+			proj = append(proj, v)
+		} else {
+			r.Notes = append(r.Notes, fmt.Sprintf(
+				"variable $%s is not part of the grouped result; not returnable", v))
+		}
+	}
+	// Single-stage RETURN only when the projection covers every grouping
+	// key and aggregate — otherwise the narrower final projection would
+	// silently change the implicit grouping.
+	staged := len(p.Agg.Having) > 0 || len(proj) != len(items)
+	if staged {
+		b.WriteString("WITH " + strings.Join(items, ", "))
+		for i, h := range p.Agg.Having {
+			s, err := cypherHavingExpr(h, p.Agg.Aggs, emitted)
+			if err != nil {
+				return &CapabilityError{Backend: "cypher", Feature: "HAVING expression " + h.String()}
+			}
+			if i == 0 {
+				b.WriteString("\nWHERE ")
+			} else {
+				b.WriteString("\n  AND ")
+			}
+			b.WriteString(s)
+		}
+		b.WriteString("\nRETURN ")
+		for i, v := range proj {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(ident(v))
+		}
+		if len(proj) == 0 {
+			b.WriteString("1")
+		}
+	} else {
+		// Emit the items in projection order; sets are equal, so this is
+		// a reordering, not a regrouping.
+		ordered := make([]string, 0, len(items))
+		for _, v := range proj {
+			if a, ok := byAlias[v]; ok {
+				call, _ := cypherAgg(a, bound)
+				ordered = append(ordered, call+" AS "+ident(a.As))
+			} else {
+				ordered = append(ordered, ident(v))
+			}
+		}
+		if len(ordered) == 0 {
+			ordered = []string{"1"}
+		}
+		b.WriteString("RETURN " + strings.Join(ordered, ", "))
+	}
+	var keys []string
+	for _, k := range p.Agg.OrderBy {
+		if !emitted[k.Var] {
+			r.Notes = append(r.Notes, fmt.Sprintf(
+				"sort key $%s is not part of the grouped result; dropped from ORDER BY", k.Var))
+			continue
+		}
+		key := ident(k.Var)
+		if k.Desc {
+			key += " DESC"
+		}
+		keys = append(keys, key)
+	}
+	if len(keys) > 0 {
+		b.WriteString("\nORDER BY " + strings.Join(keys, ", "))
+	}
+	if p.Agg.Limit > 0 {
+		fmt.Fprintf(b, "\nLIMIT %d", p.Agg.Limit)
+	}
+	return nil
+}
+
+// cypherHavingExpr translates a HAVING condition: aggregate references
+// become their computed alias (bound by the WITH stage), grouping
+// variables stay bare identifiers, and operators take their Cypher
+// spellings. Anything else errors.
+func cypherHavingExpr(e sparql.Expr, aggs []sparql.Aggregate, emitted map[string]bool) (string, error) {
+	if a, ok := havingAggregate(e, aggs); ok {
+		if !emitted[a.As] {
+			return "", fmt.Errorf("aggregate %s not computed", a)
+		}
+		return ident(a.As), nil
+	}
+	switch x := e.(type) {
+	case *sparql.VarExpr:
+		if emitted[x.Name] {
+			return ident(x.Name), nil
+		}
+		return "", fmt.Errorf("unbound variable $%s", x.Name)
+	case *sparql.LitExpr:
+		if s, ok := litText(e, cypherString); ok {
+			return s, nil
+		}
+	case *sparql.NotExpr:
+		s, err := cypherHavingExpr(x.X, aggs, emitted)
+		if err != nil {
+			return "", err
+		}
+		return "NOT (" + s + ")", nil
+	case *sparql.BinExpr:
+		op, ok := cypherOps[x.Op]
+		if !ok {
+			return "", fmt.Errorf("operator %q", x.Op)
+		}
+		l, err := cypherHavingExpr(x.L, aggs, emitted)
+		if err != nil {
+			return "", err
+		}
+		r, err := cypherHavingExpr(x.R, aggs, emitted)
+		if err != nil {
+			return "", err
+		}
+		return "(" + l + " " + op + " " + r + ")", nil
+	}
+	return "", fmt.Errorf("untranslatable expression %s", e)
+}
+
+// cypherOps maps the filter grammar's binary operators to Cypher
+// spellings.
+var cypherOps = map[string]string{
+	"&&": "AND", "||": "OR",
+	"=": "=", "==": "=", "!=": "<>",
+	"<": "<", "<=": "<=", ">": ">", ">=": ">=",
+	"+": "+", "-": "-",
 }

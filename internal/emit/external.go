@@ -90,12 +90,22 @@ func LoadMemTable(src sparql.Source) *MemTable {
 }
 
 // ExecuteWhere evaluates the plan's general part (WHERE patterns +
-// filters) against any source — the in-memory RDF store or an
+// filters, plus any analytic step: grouping, aggregates, HAVING and the
+// result window) against any source — the in-memory RDF store or an
 // Adapter-wrapped external one — and returns the solution bindings.
 func ExecuteWhere(p *Plan, src sparql.Source) ([]sparql.Binding, error) {
 	if src == nil {
 		return nil, fmt.Errorf("emit: nil source")
 	}
 	q := &sparql.Query{Where: p.WhereTriples(), Filters: p.Filters, Limit: -1}
+	if p.Agg != nil {
+		q.GroupBy = p.Agg.GroupBy
+		q.Aggs = p.Agg.Aggs
+		q.Having = p.Agg.Having
+		q.OrderBy = p.Agg.OrderBy
+		if p.Agg.Limit > 0 {
+			q.Limit = p.Agg.Limit
+		}
+	}
 	return sparql.Eval(q, src, nil)
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"nl2cm/internal/oassisql"
+	"nl2cm/internal/sparql"
 )
 
 // MongoBackend renders the general part of a plan as a MongoDB-style
@@ -21,15 +22,21 @@ import (
 // variable is itself a filtered subject, the link is a cross-document
 // join the dialect cannot evaluate natively, which emission notes. A
 // predicate repeated within one document wraps its values in {"$all":
-// [...]}. Crowd clauses are dropped with a note; filters and variable
-// predicates fail with a *CapabilityError.
+// [...]}. An aggregated plan adds an "aggregate" key holding a
+// $group-style pipeline — $group with one accumulator per aggregate,
+// $match for HAVING, $sort and $limit for the result window — which runs
+// over the filter's solution rows materialized as documents (noted,
+// since that materialization is application-side). Crowd clauses are
+// dropped with a note; filters, variable predicates and HAVING
+// conditions beyond alias-vs-constant comparisons fail with a
+// *CapabilityError.
 type MongoBackend struct{}
 
 // Name implements Backend.
 func (MongoBackend) Name() string { return "mongodb" }
 
 // Caps implements Backend.
-func (MongoBackend) Caps() Caps { return Caps{} }
+func (MongoBackend) Caps() Caps { return Caps{Aggregates: true} }
 
 // mongoGroup is one subject's filter document under construction.
 type mongoGroup struct {
@@ -134,6 +141,14 @@ func (MongoBackend) Emit(p *Plan) (*Rendering, error) {
 		}
 		b.WriteString("]")
 	}
+	if p.Aggregated() {
+		pipeline, err := mongoPipeline(p)
+		if err != nil {
+			return nil, err
+		}
+		b.WriteString(", \"aggregate\": " + pipeline)
+		r.Notes = append(r.Notes, "aggregation pipeline runs over the filter's solution rows materialized as documents (application-side join resolution)")
+	}
 	b.WriteString("}")
 
 	r.Query = b.String()
@@ -148,4 +163,106 @@ func (MongoBackend) Emit(p *Plan) (*Rendering, error) {
 		})
 	}
 	return r, nil
+}
+
+// mongoAccumulator renders one aggregate as a $group accumulator. COUNT
+// becomes {"$sum": 1}; the value aggregates read the variable's field.
+func mongoAccumulator(a sparql.Aggregate) string {
+	switch a.Func {
+	case "COUNT":
+		return `{"$sum": 1}`
+	case "SUM":
+		return `{"$sum": "$` + a.Var + `"}`
+	case "AVG":
+		return `{"$avg": "$` + a.Var + `"}`
+	case "MIN":
+		return `{"$min": "$` + a.Var + `"}`
+	case "MAX":
+		return `{"$max": "$` + a.Var + `"}`
+	}
+	return "null"
+}
+
+// mongoPipeline renders the analytic part as a $group-style pipeline:
+// one $group stage keyed by the grouping variables, a $match stage per
+// HAVING condition, then $sort and $limit for the result window.
+func mongoPipeline(p *Plan) (string, error) {
+	var b strings.Builder
+	b.WriteString(`[{"$group": {"_id": `)
+	if len(p.Agg.GroupBy) == 0 {
+		b.WriteString("null")
+	} else {
+		b.WriteString("{")
+		for i, v := range p.Agg.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(jsonString(v) + `: "$` + v + `"`)
+		}
+		b.WriteString("}")
+	}
+	for _, a := range p.Agg.Aggs {
+		b.WriteString(", " + jsonString(a.As) + ": " + mongoAccumulator(a))
+	}
+	b.WriteString("}}")
+	for _, h := range p.Agg.Having {
+		m, err := mongoHavingMatch(h, p.Agg.Aggs)
+		if err != nil {
+			return "", &CapabilityError{Backend: "mongodb", Feature: "HAVING expression " + h.String()}
+		}
+		b.WriteString(", " + m)
+	}
+	if len(p.Agg.OrderBy) > 0 {
+		b.WriteString(`, {"$sort": {`)
+		for i, k := range p.Agg.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			dir := "1"
+			if k.Desc {
+				dir = "-1"
+			}
+			b.WriteString(jsonString(k.Var) + ": " + dir)
+		}
+		b.WriteString("}}")
+	}
+	if p.Agg.Limit > 0 {
+		fmt.Fprintf(&b, `, {"$limit": %d}`, p.Agg.Limit)
+	}
+	b.WriteString("]")
+	return b.String(), nil
+}
+
+// mongoCmpOps maps comparison operators to their $match spellings.
+var mongoCmpOps = map[string]string{
+	"=": "$eq", "==": "$eq", "!=": "$ne",
+	"<": "$lt", "<=": "$lte", ">": "$gt", ">=": "$gte",
+}
+
+// mongoHavingMatch renders one HAVING condition as a $match stage. The
+// document dialect expresses only comparisons between an aggregate (or
+// grouping key) and a constant; anything else errors, which Emit turns
+// into a *CapabilityError.
+func mongoHavingMatch(e sparql.Expr, aggs []sparql.Aggregate) (string, error) {
+	x, ok := e.(*sparql.BinExpr)
+	if !ok {
+		return "", fmt.Errorf("not a comparison")
+	}
+	op, ok := mongoCmpOps[x.Op]
+	if !ok {
+		return "", fmt.Errorf("operator %q", x.Op)
+	}
+	field := ""
+	if a, aok := havingAggregate(x.L, aggs); aok {
+		field = a.As
+	} else if v, vok := x.L.(*sparql.VarExpr); vok {
+		field = v.Name
+	} else {
+		return "", fmt.Errorf("left side must be an aggregate or grouping key")
+	}
+	lit, ok := litText(x.R, jsonString)
+	if !ok {
+		return "", fmt.Errorf("right side must be a constant")
+	}
+	return `{"$match": {` + jsonString(field) + `: {` + jsonString(op) + `: ` + lit + `}}}`, nil
 }

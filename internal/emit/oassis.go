@@ -18,16 +18,26 @@ func (OassisBackend) Name() string { return "oassisql" }
 // Caps implements Backend: OASSIS-QL expresses everything a plan can
 // hold.
 func (OassisBackend) Caps() Caps {
-	return Caps{Crowd: true, Joins: true, Filters: true, VarPredicates: true}
+	return Caps{Crowd: true, Joins: true, Filters: true, VarPredicates: true, Aggregates: true}
 }
 
 // OassisQuery builds the structural OASSIS-QL query a plan denotes. The
-// mapping is exact: general patterns become the WHERE clause, crowd
+// mapping is exact: general patterns become the WHERE clause, the
+// analytic part becomes the language's aggregation extension, and crowd
 // clauses become SATISFYING subclauses with their significance criteria.
 func OassisQuery(p *Plan) *oassisql.Query {
 	q := &oassisql.Query{
 		Select: oassisql.SelectClause{All: p.Select.All, Vars: p.Select.Vars},
 		Where:  oassisql.Pattern{Triples: p.WhereTriples(), Filters: p.Filters},
+	}
+	if p.Agg != nil {
+		q.Agg = &oassisql.Aggregation{
+			GroupBy: p.Agg.GroupBy,
+			Aggs:    p.Agg.Aggs,
+			Having:  p.Agg.Having,
+			OrderBy: p.Agg.OrderBy,
+			Limit:   p.Agg.Limit,
+		}
 	}
 	for _, cc := range p.Crowd {
 		sc := oassisql.Subclause{Pattern: oassisql.Pattern{Filters: cc.Filters}}

@@ -53,6 +53,26 @@ type CrowdClause struct {
 	Significance Significance
 }
 
+// Aggregation is the plan's analytic part: grouping and aggregate
+// outputs over the general selection, with optional HAVING conditions
+// and a result window. A superlative question compiles to this shape —
+// "Which city has the most attractions?" becomes GROUP BY city +
+// COUNT(attraction) + ORDER BY count DESC + LIMIT 1. The types are the
+// sparql package's, so a plan's aggregation drops straight into a
+// sparql.Query for evaluation.
+type Aggregation struct {
+	// GroupBy lists the grouping variables; empty means one global group.
+	GroupBy []string
+	// Aggs lists the aggregate outputs; aliases act as output variables.
+	Aggs []sparql.Aggregate
+	// Having restricts groups after aggregation.
+	Having []sparql.Expr
+	// OrderBy sorts the grouped results (aliases are sortable).
+	OrderBy []sparql.OrderKey
+	// Limit caps the grouped results; 0 means no limit.
+	Limit int
+}
+
 // Select is the plan's projection.
 type Select struct {
 	// All projects every variable that yields significant patterns
@@ -75,11 +95,18 @@ type Plan struct {
 	Filters []sparql.Expr
 	// Crowd holds the crowd-mining clauses; empty for pure-general plans.
 	Crowd []CrowdClause
+	// Agg is the analytic part; nil for plain selections.
+	Agg *Aggregation
 }
 
 // PureGeneral reports whether the plan has no crowd-mining part, i.e. it
 // is a plain ontology selection.
 func (p *Plan) PureGeneral() bool { return len(p.Crowd) == 0 }
+
+// Aggregated reports whether the plan has an analytic (grouping) step.
+func (p *Plan) Aggregated() bool {
+	return p.Agg != nil && (len(p.Agg.GroupBy) > 0 || len(p.Agg.Aggs) > 0)
+}
 
 // IsAnonVar reports whether a variable name denotes an anonymous term
 // ("anything/anyone"); such variables are never projected. The naming

@@ -6,6 +6,7 @@ import (
 
 	"nl2cm/internal/oassisql"
 	"nl2cm/internal/rdf"
+	"nl2cm/internal/sparql"
 )
 
 // SQLBackend renders the general part of a plan as one SELECT over a
@@ -14,10 +15,19 @@ import (
 // terms becoming WHERE conjuncts. The first pattern's alias is the hub
 // every later alias joins back to, star-fashion.
 //
+// An aggregated plan renders its analytic part natively: aggregate
+// functions over the bound column references in the SELECT list, GROUP
+// BY over the grouping variables' columns, HAVING with the aggregate
+// expressions spelled out (portable SQL cannot reference SELECT aliases
+// in HAVING), and ORDER BY/LIMIT for the result window — so a
+// superlative plan becomes GROUP BY … ORDER BY cnt DESC LIMIT 1.
+//
 // Capability fallbacks: crowd-mining clauses have no SQL counterpart and
 // are dropped with a note; a projected variable bound only in a crowd
 // clause is likewise noted. FILTER expressions fail with a
-// *CapabilityError (dropping one would silently widen the selection).
+// *CapabilityError (dropping one would silently widen the selection), as
+// does a HAVING condition outside the comparison/boolean grammar the
+// renderer can translate.
 type SQLBackend struct{}
 
 // Name implements Backend.
@@ -27,7 +37,7 @@ func (SQLBackend) Name() string { return "sql" }
 // predicate is just the p column — so only crowd clauses and filters are
 // beyond the dialect.
 func (SQLBackend) Caps() Caps {
-	return Caps{Joins: true, VarPredicates: true}
+	return Caps{Joins: true, VarPredicates: true, Aggregates: true}
 }
 
 // sqlCol maps a triple position to its column name.
@@ -76,33 +86,72 @@ func (SQLBackend) Emit(p *Plan) (*Rendering, error) {
 		pats[i] = ps
 	}
 
-	// SELECT list: the projected variables that the general part binds.
-	sel := varOrder
-	if !p.Select.All {
-		sel = nil
-		for _, v := range p.Select.Vars {
-			if _, ok := bound[v]; ok {
-				sel = append(sel, v)
+	// aggSQL renders one aggregate call over the bound column refs;
+	// ok=false when its argument is not bound by the general part.
+	aggSQL := func(a sparql.Aggregate) (string, bool) {
+		if a.Var == "" {
+			return a.Func + "(*)", true
+		}
+		col, ok := bound[a.Var]
+		if !ok {
+			return "", false
+		}
+		return a.Func + "(" + col + ")", true
+	}
+
+	// SELECT list. An aggregated plan projects group variables and
+	// aggregate expressions; a plain one projects the variables the
+	// general part binds.
+	var selParts []string
+	if p.Aggregated() {
+		byAlias := map[string]sparql.Aggregate{}
+		for _, a := range p.Agg.Aggs {
+			byAlias[a.As] = a
+		}
+		for _, v := range aggProjection(p) {
+			if a, ok := byAlias[v]; ok {
+				expr, ok := aggSQL(a)
+				if !ok {
+					r.Notes = append(r.Notes, fmt.Sprintf(
+						"aggregate argument $%s is bound only in a crowd clause; %s dropped", a.Var, a))
+					continue
+				}
+				selParts = append(selParts, expr+" AS "+ident(v))
+				continue
+			}
+			if col, ok := bound[v]; ok {
+				selParts = append(selParts, col+" AS "+ident(v))
 			} else {
 				r.Notes = append(r.Notes, fmt.Sprintf(
 					"variable $%s is bound only in a crowd clause; not selectable in SQL", v))
 			}
 		}
+	} else {
+		sel := varOrder
+		if !p.Select.All {
+			sel = nil
+			for _, v := range p.Select.Vars {
+				if _, ok := bound[v]; ok {
+					sel = append(sel, v)
+				} else {
+					r.Notes = append(r.Notes, fmt.Sprintf(
+						"variable $%s is bound only in a crowd clause; not selectable in SQL", v))
+				}
+			}
+		}
+		for _, v := range sel {
+			selParts = append(selParts, bound[v]+" AS "+ident(v))
+		}
 	}
 	var b strings.Builder
 	b.WriteString("SELECT ")
-	if len(sel) == 0 {
+	if len(selParts) == 0 {
 		b.WriteString("1")
 		if len(p.Where) == 0 {
 			r.Notes = append(r.Notes, "empty general selection")
 		}
 	} else {
-		for i, v := range sel {
-			if i > 0 {
-				b.WriteString(", ")
-			}
-			fmt.Fprintf(&b, "%s AS %s", bound[v], ident(v))
-		}
+		b.WriteString(strings.Join(selParts, ", "))
 	}
 
 	// FROM/JOIN: the hub alias plus one join per further pattern. Each
@@ -131,6 +180,41 @@ func (SQLBackend) Emit(p *Plan) (*Rendering, error) {
 		b.WriteString(g)
 	}
 
+	// Analytic tail: GROUP BY over the grouping columns, HAVING with the
+	// aggregate expressions spelled out, then the result window.
+	if p.Aggregated() {
+		var groupCols []string
+		for _, v := range p.Agg.GroupBy {
+			if col, ok := bound[v]; ok {
+				groupCols = append(groupCols, col)
+			} else {
+				r.Notes = append(r.Notes, fmt.Sprintf(
+					"grouping variable $%s is bound only in a crowd clause; dropped from GROUP BY", v))
+			}
+		}
+		if len(groupCols) > 0 {
+			b.WriteString("\nGROUP BY " + strings.Join(groupCols, ", "))
+		}
+		for i, h := range p.Agg.Having {
+			s, err := sqlHavingExpr(h, bound, p.Agg.Aggs, aggSQL)
+			if err != nil {
+				return nil, &CapabilityError{Backend: "sql", Feature: "HAVING expression " + h.String()}
+			}
+			if i == 0 {
+				b.WriteString("\nHAVING ")
+			} else {
+				b.WriteString("\n   AND ")
+			}
+			b.WriteString(s)
+		}
+		if keys := sqlOrderKeys(p, bound, aggSQL, r); len(keys) > 0 {
+			b.WriteString("\nORDER BY " + strings.Join(keys, ", "))
+		}
+		if p.Agg.Limit > 0 {
+			fmt.Fprintf(&b, "\nLIMIT %d", p.Agg.Limit)
+		}
+	}
+
 	r.Query = b.String()
 	for i, pat := range p.Where {
 		frag := strings.Join(append(append([]string{}, pats[i].conds...), pats[i].joins...), " AND ")
@@ -147,4 +231,89 @@ func (SQLBackend) Emit(p *Plan) (*Rendering, error) {
 		})
 	}
 	return r, nil
+}
+
+// sqlOrderKeys renders the analytic ORDER BY keys: an aggregate alias
+// orders by its aggregate expression (portable across dialects that do
+// not allow alias references there), a grouping variable by its column.
+// A key the general part cannot express is noted and skipped.
+func sqlOrderKeys(p *Plan, bound map[string]string, aggSQL func(sparql.Aggregate) (string, bool), r *Rendering) []string {
+	var keys []string
+	for _, k := range p.Agg.OrderBy {
+		var expr string
+		if a, ok := havingAggregate(&sparql.VarExpr{Name: k.Var}, p.Agg.Aggs); ok {
+			s, sok := aggSQL(a)
+			if !sok {
+				r.Notes = append(r.Notes, fmt.Sprintf(
+					"sort key $%s aggregates a crowd-bound variable; dropped from ORDER BY", k.Var))
+				continue
+			}
+			expr = s
+		} else if col, ok := bound[k.Var]; ok {
+			expr = col
+		} else {
+			r.Notes = append(r.Notes, fmt.Sprintf(
+				"sort key $%s is bound only in a crowd clause; dropped from ORDER BY", k.Var))
+			continue
+		}
+		if k.Desc {
+			expr += " DESC"
+		}
+		keys = append(keys, expr)
+	}
+	return keys
+}
+
+// sqlHavingExpr translates a HAVING condition into SQL: aggregate
+// references become the spelled-out aggregate expression, grouping
+// variables their column reference, and the boolean/comparison operators
+// their SQL forms. Anything else is untranslatable and errors.
+func sqlHavingExpr(e sparql.Expr, bound map[string]string, aggs []sparql.Aggregate, aggSQL func(sparql.Aggregate) (string, bool)) (string, error) {
+	if a, ok := havingAggregate(e, aggs); ok {
+		s, sok := aggSQL(a)
+		if !sok {
+			return "", fmt.Errorf("aggregate over unbound $%s", a.Var)
+		}
+		return s, nil
+	}
+	switch x := e.(type) {
+	case *sparql.VarExpr:
+		if col, ok := bound[x.Name]; ok {
+			return col, nil
+		}
+		return "", fmt.Errorf("unbound variable $%s", x.Name)
+	case *sparql.LitExpr:
+		if s, ok := litText(e, sqlString); ok {
+			return s, nil
+		}
+	case *sparql.NotExpr:
+		s, err := sqlHavingExpr(x.X, bound, aggs, aggSQL)
+		if err != nil {
+			return "", err
+		}
+		return "NOT (" + s + ")", nil
+	case *sparql.BinExpr:
+		op, ok := sqlOps[x.Op]
+		if !ok {
+			return "", fmt.Errorf("operator %q", x.Op)
+		}
+		l, err := sqlHavingExpr(x.L, bound, aggs, aggSQL)
+		if err != nil {
+			return "", err
+		}
+		r, err := sqlHavingExpr(x.R, bound, aggs, aggSQL)
+		if err != nil {
+			return "", err
+		}
+		return "(" + l + " " + op + " " + r + ")", nil
+	}
+	return "", fmt.Errorf("untranslatable expression %s", e)
+}
+
+// sqlOps maps the filter grammar's binary operators to SQL spellings.
+var sqlOps = map[string]string{
+	"&&": "AND", "||": "OR",
+	"=": "=", "==": "=", "!=": "<>",
+	"<": "<", "<=": "<=", ">": ">", ">=": ">=",
+	"+": "+", "-": "-",
 }

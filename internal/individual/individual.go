@@ -54,6 +54,10 @@ type Part struct {
 	// Habit distinguishes habit frequency questions from opinion
 	// agreement questions when generating crowd tasks.
 	Habit bool
+	// Majority marks habits whose participant subject carries a
+	// majority quantifier ("what do most people eat"): the crowd
+	// criterion is a half-support threshold, not the default.
+	Majority bool
 }
 
 // add appends a triple with its source-token provenance.
@@ -246,6 +250,7 @@ func (c *Creator) verbPart(g *nlp.DepGraph, x *ix.IX, general *qgen.Result, anon
 		subjTerm = nounTerm(subj, general)
 	} else {
 		subjTerm = anon.next()
+		p.Majority = isMajority(g, x.Anchor, subj)
 	}
 
 	// The verb itself becomes the predicate; an xcomp verb ("want to
@@ -346,6 +351,40 @@ func isParticipantNode(g *nlp.DepGraph, n int) bool {
 		"parent", "kid", "child", "guy", "visitor", "tourist", "traveler",
 		"resident":
 		return true
+	}
+	return false
+}
+
+// isMajority reports whether the habit's participant subject carries a
+// majority quantifier ("what do most people eat"): a superlative
+// quantity quantifier immediately preceding the subject, attached to
+// the verb (the common parse: "most" RBS advmod) or to the subject
+// noun itself.
+func isMajority(g *nlp.DepGraph, verb, subj int) bool {
+	if subj < 0 {
+		return false
+	}
+	quantifier := func(m int) bool {
+		if m < 0 || m+1 != subj {
+			return false
+		}
+		n := &g.Nodes[m]
+		if n.POS != "RBS" && n.POS != "JJS" {
+			return false
+		}
+		return n.Lemma == "many" || n.Lemma == "much"
+	}
+	for _, d := range g.Dependents(verb, nlp.RelAdvMod) {
+		if quantifier(d) {
+			return true
+		}
+	}
+	for _, rel := range []string{nlp.RelAMod, nlp.RelDet} {
+		for _, d := range g.Dependents(subj, rel) {
+			if quantifier(d) {
+				return true
+			}
+		}
 	}
 	return false
 }

@@ -80,11 +80,34 @@ type SelectClause struct {
 	Vars []string
 }
 
+// Aggregation is the analytic extension to the paper's language:
+// grouping and aggregate outputs over the WHERE selection, with optional
+// HAVING conditions and a result window. The printer renders aggregates
+// SPARQL-style inside the SELECT clause (`SELECT $city COUNT($a) AS
+// $cnt`) and the grouping modifiers between the WHERE pattern and
+// SATISFYING, so a superlative question prints as GROUP BY + ORDER BY
+// DESC + LIMIT 1.
+type Aggregation struct {
+	// GroupBy lists the grouping variables; empty means one global group.
+	GroupBy []string
+	// Aggs lists the aggregate outputs; aliases act as output variables.
+	Aggs []sparql.Aggregate
+	// Having restricts groups after aggregation.
+	Having []sparql.Expr
+	// OrderBy sorts the grouped results (aliases are sortable).
+	OrderBy []sparql.OrderKey
+	// Limit caps the grouped results; 0 means no limit.
+	Limit int
+}
+
 // Query is a parsed OASSIS-QL query.
 type Query struct {
 	Select     SelectClause
 	Where      Pattern
 	Satisfying []Subclause
+	// Agg is the analytic (GROUP BY / aggregate) extension; nil for
+	// queries in the paper's core language.
+	Agg *Aggregation
 }
 
 // Vars returns every named variable in the query in first-appearance
@@ -129,6 +152,9 @@ func (q *Query) Validate() error {
 			return fmt.Errorf("oassisql: subclause %d has no triples", i+1)
 		}
 	}
+	if err := q.validateAggregation(); err != nil {
+		return err
+	}
 	if !q.Select.All {
 		if len(q.Select.Vars) == 0 {
 			return fmt.Errorf("oassisql: SELECT projects no variables")
@@ -137,11 +163,71 @@ func (q *Query) Validate() error {
 		for _, v := range q.Vars() {
 			known[v] = true
 		}
+		if q.Agg != nil {
+			for _, a := range q.Agg.Aggs {
+				known[a.As] = true
+			}
+		}
 		for _, v := range q.Select.Vars {
 			if !known[v] {
 				return fmt.Errorf("oassisql: SELECT variable $%s not used in query", v)
 			}
 		}
+	}
+	return nil
+}
+
+// validateAggregation checks the analytic extension: known aggregate
+// functions over variables the query binds, fresh non-colliding aliases,
+// and grouping variables that occur in a pattern.
+func (q *Query) validateAggregation() error {
+	if q.Agg == nil {
+		return nil
+	}
+	pv := map[string]bool{}
+	for _, v := range q.Vars() {
+		pv[v] = true
+	}
+	if len(q.Agg.GroupBy) == 0 && len(q.Agg.Aggs) == 0 && len(q.Agg.Having) == 0 &&
+		len(q.Agg.OrderBy) == 0 && q.Agg.Limit == 0 {
+		return fmt.Errorf("oassisql: empty aggregation extension (use Agg = nil)")
+	}
+	for _, v := range q.Agg.GroupBy {
+		if !pv[v] {
+			return fmt.Errorf("oassisql: GROUP BY of undefined variable $%s", v)
+		}
+	}
+	aliases := map[string]bool{}
+	for _, a := range q.Agg.Aggs {
+		if !sparql.AggFuncs[a.Func] {
+			return fmt.Errorf("oassisql: unknown aggregate function %s()", a.Func)
+		}
+		if a.Var == "" && a.Func != "COUNT" {
+			return fmt.Errorf("oassisql: %s(*) is not valid; only COUNT takes *", a.Func)
+		}
+		if a.Var != "" && !pv[a.Var] {
+			return fmt.Errorf("oassisql: aggregate over undefined variable $%s", a.Var)
+		}
+		switch {
+		case a.As == "":
+			return fmt.Errorf("oassisql: aggregate %s() has no output alias", a.Func)
+		case pv[a.As]:
+			return fmt.Errorf("oassisql: aggregate alias $%s collides with a query variable", a.As)
+		case aliases[a.As]:
+			return fmt.Errorf("oassisql: duplicate aggregate alias $%s", a.As)
+		}
+		aliases[a.As] = true
+	}
+	if len(q.Agg.Having) > 0 && len(q.Agg.GroupBy) == 0 && len(q.Agg.Aggs) == 0 {
+		return fmt.Errorf("oassisql: HAVING requires GROUP BY or an aggregate")
+	}
+	for _, k := range q.Agg.OrderBy {
+		if !pv[k.Var] && !aliases[k.Var] {
+			return fmt.Errorf("oassisql: ORDER BY of undefined variable $%s", k.Var)
+		}
+	}
+	if q.Agg.Limit < 0 {
+		return fmt.Errorf("oassisql: negative LIMIT %d", q.Agg.Limit)
 	}
 	return nil
 }

@@ -67,9 +67,12 @@ func (p *parser) query() (*Query, error) {
 	}
 	if p.keyword("VARIABLES") {
 		q.Select.All = true
+		if err := p.selectAggregates(q, false); err != nil {
+			return nil, err
+		}
 	} else {
-		for p.lx.Peek().Kind == sparql.TokVar {
-			q.Select.Vars = append(q.Select.Vars, p.lx.Next().Text)
+		if err := p.selectAggregates(q, true); err != nil {
+			return nil, err
 		}
 		if len(q.Select.Vars) == 0 {
 			return nil, p.lx.Errf("expected VARIABLES or variable list after SELECT")
@@ -83,6 +86,9 @@ func (p *parser) query() (*Query, error) {
 		return nil, err
 	}
 	q.Where = Pattern{Triples: triples, Filters: filters}
+	if err := p.aggregation(q); err != nil {
+		return nil, err
+	}
 	if err := p.expectKeyword("SATISFYING"); err != nil {
 		return nil, err
 	}
@@ -97,6 +103,100 @@ func (p *parser) query() (*Query, error) {
 		}
 	}
 	return q, nil
+}
+
+// ensureAgg lazily allocates the query's aggregation extension.
+func (p *parser) ensureAgg(q *Query) *Aggregation {
+	if q.Agg == nil {
+		q.Agg = &Aggregation{}
+	}
+	return q.Agg
+}
+
+// selectAggregates consumes the SELECT list: aggregate calls (which join
+// both the projection and the aggregation extension), and — when vars is
+// set — plain projected variables interleaved with them.
+func (p *parser) selectAggregates(q *Query, vars bool) error {
+	taken := func(name string) bool {
+		if q.Agg != nil {
+			for _, a := range q.Agg.Aggs {
+				if a.As == name {
+					return true
+				}
+			}
+		}
+		for _, v := range q.Select.Vars {
+			if v == name {
+				return true
+			}
+		}
+		return false
+	}
+	for {
+		if vars && p.lx.Peek().Kind == sparql.TokVar {
+			q.Select.Vars = append(q.Select.Vars, p.lx.Next().Text)
+			continue
+		}
+		a, ok, err := p.pat.AggregateCall(taken)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		p.ensureAgg(q).Aggs = append(q.Agg.Aggs, a)
+		if vars {
+			q.Select.Vars = append(q.Select.Vars, a.As)
+		}
+	}
+}
+
+// aggregation consumes the analytic modifiers between the WHERE pattern
+// and SATISFYING: GROUP BY, HAVING(expr), query-level ORDER BY and LIMIT.
+func (p *parser) aggregation(q *Query) error {
+	for {
+		switch {
+		case p.keyword("GROUP"):
+			if err := p.expectKeyword("BY"); err != nil {
+				return err
+			}
+			agg := p.ensureAgg(q)
+			for p.lx.Peek().Kind == sparql.TokVar {
+				agg.GroupBy = append(agg.GroupBy, p.lx.Next().Text)
+			}
+			if len(agg.GroupBy) == 0 {
+				return p.lx.Errf("expected variables after GROUP BY")
+			}
+		case p.keyword("HAVING"):
+			e, err := p.pat.HavingExpr()
+			if err != nil {
+				return err
+			}
+			p.ensureAgg(q).Having = append(q.Agg.Having, e)
+		case p.keyword("ORDER"):
+			if err := p.expectKeyword("BY"); err != nil {
+				return err
+			}
+			keys, err := p.pat.OrderKeys()
+			if err != nil {
+				return err
+			}
+			p.ensureAgg(q).OrderBy = append(q.Agg.OrderBy, keys...)
+		case p.keyword("LIMIT"):
+			n := p.lx.Next()
+			if n.Kind != sparql.TokNumber {
+				return p.lx.Errf("expected number after LIMIT")
+			}
+			p.ensureAgg(q).Limit = int(n.Num)
+		default:
+			if q.Agg != nil {
+				if err := q.validateAggregation(); err != nil {
+					return p.lx.Errf("%s", strings.TrimPrefix(err.Error(), "oassisql: "))
+				}
+			}
+			return nil
+		}
+	}
 }
 
 func (p *parser) subclause() (Subclause, error) {

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"nl2cm/internal/rdf"
+	"nl2cm/internal/sparql"
 )
 
 // Clause names used by Printer.Annotate (and by provenance records) to
@@ -51,18 +52,35 @@ func (q *Query) String() string { return Printer{}.Print(q) }
 func (p Printer) Print(q *Query) string {
 	var b strings.Builder
 	b.WriteString("SELECT ")
+	byAlias := map[string]sparql.Aggregate{}
+	if q.Agg != nil {
+		for _, a := range q.Agg.Aggs {
+			byAlias[a.As] = a
+		}
+	}
 	if q.Select.All {
 		b.WriteString("VARIABLES")
+		if q.Agg != nil {
+			for _, a := range q.Agg.Aggs {
+				b.WriteByte(' ')
+				b.WriteString(a.String())
+			}
+		}
 	} else {
 		for i, v := range q.Select.Vars {
 			if i > 0 {
 				b.WriteByte(' ')
 			}
-			b.WriteString("$" + v)
+			if a, ok := byAlias[v]; ok {
+				b.WriteString(a.String())
+			} else {
+				b.WriteString("$" + v)
+			}
 		}
 	}
 	b.WriteString("\nWHERE\n")
 	p.writePattern(&b, q.Where, ClauseWhere, -1)
+	writeAggregation(&b, q.Agg)
 	if len(q.Satisfying) == 0 {
 		return b.String()
 	}
@@ -85,6 +103,40 @@ func (p Printer) Print(q *Query) string {
 		}
 	}
 	return b.String()
+}
+
+// writeAggregation renders the analytic extension's grouping modifiers
+// between the WHERE pattern and SATISFYING: GROUP BY, HAVING, query-level
+// ORDER BY and LIMIT. Aggregate outputs themselves render in the SELECT
+// clause.
+func writeAggregation(b *strings.Builder, agg *Aggregation) {
+	if agg == nil {
+		return
+	}
+	if len(agg.GroupBy) > 0 {
+		b.WriteString("\nGROUP BY")
+		for _, v := range agg.GroupBy {
+			b.WriteString(" $" + v)
+		}
+	}
+	for _, h := range agg.Having {
+		b.WriteString("\nHAVING(")
+		b.WriteString(h.String())
+		b.WriteByte(')')
+	}
+	if len(agg.OrderBy) > 0 {
+		b.WriteString("\nORDER BY")
+		for _, k := range agg.OrderBy {
+			dir := "ASC"
+			if k.Desc {
+				dir = "DESC"
+			}
+			fmt.Fprintf(b, " %s($%s)", dir, k.Var)
+		}
+	}
+	if agg.Limit > 0 {
+		fmt.Fprintf(b, "\nLIMIT %d", agg.Limit)
+	}
 }
 
 func formatThreshold(f float64) string {

@@ -50,12 +50,17 @@ func NewGeoOntology() *Ontology {
 	o.Alias(forest, "Forest Hotel, Buffalo")
 	o.Alias(forest, "Forest Hotel, Buffalo, NY")
 	o.Add(forest, PredLocatedIn, buffaloNY)
+	o.Add(buffaloNY, PredHasFeature, forest)
 
 	// Buffalo, NY sights.
 	addPlace := func(local, label, desc string, class, in rdf.Term, nearTo ...rdf.Term) rdf.Term {
 		e := o.AddEntity(local, label, desc, class)
 		if in.Value() != "" {
 			o.Add(e, PredLocatedIn, in)
+			// A city "has" the attractions located in it — the inverse
+			// feature link counting queries group over ("Which city has
+			// the most attractions?").
+			o.Add(in, PredHasFeature, e)
 		}
 		for _, n := range nearTo {
 			o.Add(e, PredNear, n)

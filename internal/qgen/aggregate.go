@@ -1,0 +1,212 @@
+package qgen
+
+import (
+	"strings"
+
+	"nl2cm/internal/nlp"
+)
+
+// This file detects the analytic (counting) readings of a request —
+// the quantity quantifiers the general query generator can translate
+// into a grouping step instead of a plain selection:
+//
+//   - "How many cameras does Canon sell?"  — a global count of the
+//     solution rows binding the counted noun's variable.
+//   - "Which city has the most attractions?" / "Which hotel has the
+//     fewest rooms?" — a counting superlative: group by the asked-about
+//     entity, count the related noun, order by the count and keep the
+//     top (or bottom) group.
+//
+// Two lookalike shapes are deliberately excluded, because they carry
+// different semantics handled elsewhere:
+//
+//   - "most" grading an adjective ("the most interesting places")
+//     is a crowd-significance superlative — the individual-expression
+//     detector owns it and composition maps it to TOP-K.
+//   - "most" quantifying the *subject* of a habit ("What do most
+//     people eat?") asks for the majority of the crowd, not a count —
+//     the individual-expression detector marks the part as Majority.
+
+// Aggregate is a detected counting reading of the request.
+type Aggregate struct {
+	// CountVar is the variable of the counted noun ("attractions").
+	CountVar string
+	// GroupVar is the variable counted per group ("city"); empty for a
+	// global count ("how many ...").
+	GroupVar string
+	// Alias is the output name of the count column.
+	Alias string
+	// Ascending is true for bottom-seeking quantifiers ("fewest"):
+	// order the groups by ascending count.
+	Ascending bool
+	// Origin lists the quantifier token indices that triggered the
+	// detection, for provenance coverage.
+	Origin []int
+}
+
+// countingLemmas are the quantity quantifiers whose superlative forms
+// ("most", "fewest", "least") read as counting when they quantify a
+// noun. The value records whether the quantifier seeks the bottom.
+var countingLemmas = map[string]bool{
+	"many": false, "much": false,
+	"few": true, "little": true,
+}
+
+// detectAggregate scans the dependency graph for a counting reading and
+// records it on the result. It runs after noun resolution and relation
+// emission, so every referenced node already has its term.
+func (r *run) detectAggregate() {
+	if agg := r.howManyCount(); agg != nil {
+		r.setAggregate(agg)
+		return
+	}
+	if agg := r.countingSuperlative(); agg != nil {
+		r.setAggregate(agg)
+	}
+}
+
+// setAggregate installs the detection, reserving the count alias so no
+// later-allocated variable collides with it.
+func (r *run) setAggregate(agg *Aggregate) {
+	agg.Alias = "count"
+	for r.res.usedVars[agg.Alias] {
+		agg.Alias = "count_" + agg.Alias[6:] + "c" // count_c, count_cc, ...
+	}
+	r.res.usedVars[agg.Alias] = true
+	r.res.Aggregate = agg
+}
+
+// howManyCount detects the global-count shape: sentence-initial "How
+// many" quantifying a noun the generator resolved to a variable. ("How
+// much" never reaches the generator — it asks for a mass quantity over
+// an unstated measure, which verification rejects.)
+func (r *run) howManyCount() *Aggregate {
+	dg := r.dg
+	for i := 0; i+1 < len(dg.Nodes); i++ {
+		if dg.Nodes[i].Lemma != "how" || dg.Nodes[i].POS != "WRB" {
+			continue
+		}
+		m := i + 1
+		if dg.Nodes[m].Lemma != "many" {
+			continue
+		}
+		// The counted noun: the quantifier's head when nominal, else the
+		// token right after the quantifier.
+		q := -1
+		if h := dg.Nodes[m].Head; h >= 0 && strings.HasPrefix(dg.Nodes[h].POS, "NN") {
+			q = h
+		} else if m+1 < len(dg.Nodes) && strings.HasPrefix(dg.Nodes[m+1].POS, "NN") {
+			q = m + 1
+		}
+		counted := r.nodeVar(q)
+		if counted == "" {
+			// Degraded parse: count the question focus instead, so the
+			// request still translates.
+			counted = r.res.TargetVar
+		}
+		if counted == "" {
+			return nil
+		}
+		return &Aggregate{CountVar: counted, Origin: []int{i, m}}
+	}
+	return nil
+}
+
+// countingSuperlative detects the grouped-count shape: a superlative
+// quantity quantifier ("most", "fewest") modifying the object noun of a
+// verb whose subject is also variable-resolved, with a general triple
+// relating the two variables. Group by the subject, count the object.
+func (r *run) countingSuperlative() *Aggregate {
+	dg := r.dg
+	for m := range dg.Nodes {
+		n := &dg.Nodes[m]
+		asc, counting := countingLemmas[n.Lemma]
+		if !counting || (n.POS != "JJS" && n.POS != "RBS") {
+			continue
+		}
+		// The counted noun q and its governing verb.
+		q, verb := -1, -1
+		switch n.Rel {
+		case nlp.RelAMod:
+			// "the fewest rooms": the quantifier heads the noun directly.
+			if n.Head >= 0 && strings.HasPrefix(dg.Nodes[n.Head].POS, "NN") {
+				q = n.Head
+				if dg.Nodes[q].Rel == nlp.RelDObj {
+					verb = dg.Nodes[q].Head
+				}
+			}
+		case nlp.RelAdvMod:
+			// "has the most attractions": the quantifier attaches to the
+			// verb; the counted noun is the adjacent direct object. When
+			// the quantifier instead grades an adjective ("the most
+			// interesting places") or precedes the *subject* ("most
+			// people eat"), this is not a counting reading.
+			h := n.Head
+			if h < 0 || !strings.HasPrefix(dg.Nodes[h].POS, "VB") {
+				continue
+			}
+			next := m + 1
+			if next >= len(dg.Nodes) || !strings.HasPrefix(dg.Nodes[next].POS, "NN") {
+				continue
+			}
+			if dg.Nodes[next].Rel != nlp.RelDObj || dg.Nodes[next].Head != h {
+				continue
+			}
+			q, verb = next, h
+		default:
+			continue
+		}
+		if q < 0 || verb < 0 || !strings.HasPrefix(dg.Nodes[verb].POS, "VB") {
+			continue
+		}
+		subj := dg.FirstDependent(verb, nlp.RelNSubj)
+		counted := r.nodeVar(q)
+		grouped := r.nodeVar(subj)
+		if counted == "" || grouped == "" || counted == grouped {
+			continue
+		}
+		// The grouped count is only meaningful when the general part
+		// relates the two variables; otherwise counting would multiply
+		// unrelated rows.
+		if !r.varsRelated(counted, grouped) {
+			continue
+		}
+		origin := []int{m}
+		if m > 0 && dg.Nodes[m-1].POS == "DT" {
+			origin = []int{m - 1, m}
+		}
+		return &Aggregate{CountVar: counted, GroupVar: grouped, Ascending: asc, Origin: origin}
+	}
+	return nil
+}
+
+// nodeVar returns the variable name a node resolved to, or "".
+func (r *run) nodeVar(n int) string {
+	if n < 0 {
+		return ""
+	}
+	if t, ok := r.res.VarTerm(n); ok {
+		return t.Value()
+	}
+	return ""
+}
+
+// varsRelated reports whether some emitted triple mentions both
+// variables.
+func (r *run) varsRelated(a, b string) bool {
+	for _, t := range r.res.Triples {
+		hasA, hasB := false, false
+		t.EachVar(func(v string) {
+			if v == a {
+				hasA = true
+			}
+			if v == b {
+				hasB = true
+			}
+		})
+		if hasA && hasB {
+			return true
+		}
+	}
+	return false
+}

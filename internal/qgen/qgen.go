@@ -66,6 +66,9 @@ type Result struct {
 	// Delegations maps transparent nouns ("type", "kind") to the "of"
 	// complement whose term they share.
 	Delegations map[int]int
+	// Aggregate is the detected counting reading of the request, if any
+	// ("how many ...", "the most/fewest <noun>"); nil otherwise.
+	Aggregate *Aggregate
 	// usedVars tracks allocated variable names so later modules
 	// (individual triple creation) can allocate fresh ones.
 	usedVars map[string]bool
@@ -311,6 +314,7 @@ func (r *run) run() error {
 		}
 	}
 	r.relationTriples()
+	r.detectAggregate()
 	return nil
 }
 

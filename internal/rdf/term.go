@@ -147,8 +147,13 @@ func (t Term) Float() (v float64, ok bool) {
 // Equal reports whether two terms are identical.
 func (t Term) Equal(o Term) bool { return t == o }
 
-// Compare orders terms by kind, then value, then datatype, then lang.
-// It returns -1, 0 or +1.
+// Compare orders terms by kind first; within literals, numeric lexical
+// forms compare by value and sort before non-numeric forms, so ORDER BY
+// over counts and measures is numeric ("2" < "9" < "10") rather than
+// lexicographic. Numeric ties (e.g. "1" vs "01" vs "1.0") and all
+// non-numeric literals fall back to value, then datatype, then lang,
+// keeping Compare a total order consistent with Equal (zero only for
+// identical terms). It returns -1, 0 or +1.
 func (t Term) Compare(o Term) int {
 	switch {
 	case t.kind != o.kind:
@@ -156,6 +161,24 @@ func (t Term) Compare(o Term) int {
 			return -1
 		}
 		return 1
+	case t.kind == KindLiteral:
+		tf, tok := t.Float()
+		of, ook := o.Float()
+		switch {
+		case tok && ook:
+			if tf != of {
+				if tf < of {
+					return -1
+				}
+				return 1
+			}
+		case tok:
+			return -1 // numbers order before strings
+		case ook:
+			return 1
+		}
+	}
+	switch {
 	case t.value != o.value:
 		if t.value < o.value {
 			return -1

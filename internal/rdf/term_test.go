@@ -3,6 +3,7 @@ package rdf
 import (
 	"math/rand"
 	"reflect"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -130,9 +131,56 @@ func TestTermCompareOrdering(t *testing.T) {
 	}
 }
 
-// randomTerm builds an arbitrary valid term for property tests.
+func TestTermCompareNumeric(t *testing.T) {
+	// The pre-fix comparator ordered literals lexicographically, so "9"
+	// sorted after "10". Numeric lexical forms must compare by value.
+	terms := []Term{NewLiteral("9"), NewLiteral("10"), NewLiteral("2")}
+	sort.Slice(terms, func(i, j int) bool { return terms[i].Compare(terms[j]) < 0 })
+	got := []string{terms[0].Value(), terms[1].Value(), terms[2].Value()}
+	want := []string{"2", "9", "10"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("numeric sort = %v, want %v", got, want)
+		}
+	}
+	// Mixed widths and types: ints vs floats vs typed literals.
+	cases := []struct {
+		a, b Term
+		want int
+	}{
+		{NewLiteral("9"), NewLiteral("10"), -1},
+		{NewLiteral("100"), NewLiteral("99"), 1},
+		{NewIntLiteral(7), NewIntLiteral(11), -1},
+		{NewFloatLiteral(2.5), NewIntLiteral(3), -1},
+		{NewIntLiteral(3), NewLiteral("2.75"), 1},
+		// Numbers order before non-numeric strings.
+		{NewLiteral("10"), NewLiteral("apple"), -1},
+		{NewLiteral("zoo"), NewLiteral("999"), 1},
+		// Numeric ties fall back to the lexical form, keeping the order
+		// total and consistent with Equal.
+		{NewLiteral("01"), NewLiteral("1"), -1},
+		{NewLiteral("1"), NewLiteral("1"), 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Compare(c.a); got != -c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d (antisymmetry)", c.b, c.a, got, -c.want)
+		}
+	}
+	// Non-literal kinds keep plain lexicographic ordering: IRI names are
+	// identifiers, not measures.
+	if NewIRI("9").Compare(NewIRI("10")) <= 0 {
+		t.Error("IRI comparison should stay lexicographic")
+	}
+}
+
+// randomTerm builds an arbitrary valid term for property tests. The
+// value pool mixes numeric lexical forms of different widths (and a
+// leading-zero tie) so the property tests cover the typed comparator.
 func randomTerm(r *rand.Rand) Term {
-	vals := []string{"a", "b", "http://ex.org/x", "42", "Buffalo"}
+	vals := []string{"a", "b", "http://ex.org/x", "42", "Buffalo", "9", "10", "2", "10.5", "01", "1"}
 	v := vals[r.Intn(len(vals))]
 	switch r.Intn(4) {
 	case 0:

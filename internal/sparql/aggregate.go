@@ -1,0 +1,524 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nl2cm/internal/rdf"
+)
+
+// This file holds the grouping/aggregation step shared by both
+// evaluators: the normalized aggregation spec (HAVING aggregate calls
+// hoisted into hidden Aggregate entries), the per-group accumulator, and
+// the semantics both implementations must agree on:
+//
+//   - Grouping keys are the GROUP BY variables; an unbound group
+//     variable is its own key component, distinct from every bound value.
+//     No GROUP BY with aggregates means one global group — which exists
+//     (COUNT = 0) even over zero input rows.
+//   - COUNT(*) counts rows; COUNT($v) counts rows where $v is bound.
+//   - SUM/AVG accumulate the numeric values of bound terms (non-numeric
+//     terms are ignored); SUM is an xsd:integer when every contribution
+//     is an integer, else an xsd:double; AVG is always an xsd:double;
+//     both are the integer 0 over no numeric contributions.
+//   - MIN/MAX return the original bound term that is least/greatest
+//     under the typed rdf.Term.Compare ordering (numbers before strings,
+//     numeric forms compared by value), or stay unbound in an empty
+//     column.
+//   - HAVING expressions run per group row — group variables and
+//     aggregate aliases are bound — and an erroring expression drops the
+//     group, like FILTER.
+//
+// Output rows carry exactly the group variables and aggregate aliases;
+// ORDER BY, projection, DISTINCT and OFFSET/LIMIT then apply unchanged.
+
+// AggRefExpr references an aggregate's per-group result inside a HAVING
+// expression. It evaluates to the term bound to the aggregate's alias,
+// and prints as the original call, so Query.String round-trips.
+type AggRefExpr struct{ Agg Aggregate }
+
+// Eval implements Expr.
+func (e *AggRefExpr) Eval(b Vars, _ *Env) (Value, error) {
+	t, ok := b.Get(e.Agg.As)
+	if !ok {
+		return Value{}, fmt.Errorf("sparql: aggregate %s unbound in group", e.Agg)
+	}
+	return TermVal(t), nil
+}
+
+func (e *AggRefExpr) String() string {
+	arg := "*"
+	if e.Agg.Var != "" {
+		arg = "$" + e.Agg.Var
+	}
+	return e.Agg.Func + "(" + arg + ")"
+}
+
+// freshAlias derives an output alias for an aggregate without an
+// explicit AS: count, count_x, sum_x, ... suffixed with _2, _3 … until
+// it collides with nothing the taken predicate knows.
+func freshAlias(fn, varName string, taken func(string) bool) string {
+	base := strings.ToLower(fn)
+	if varName != "" {
+		base += "_" + varName
+	}
+	name := base
+	for i := 2; taken(name); i++ {
+		name = fmt.Sprintf("%s_%d", base, i)
+	}
+	return name
+}
+
+// resolveHavingAggs rewrites aggregate calls inside HAVING expressions
+// into AggRefExpr references, reusing an existing Aggregate with the
+// same function and argument or appending a hidden one (hidden aliases
+// never join the projection). The inputs are not modified.
+func resolveHavingAggs(having []Expr, aggs []Aggregate, patternVars map[string]bool) ([]Expr, []Aggregate, error) {
+	out := make([]Aggregate, len(aggs))
+	copy(out, aggs)
+	resolve := func(fn, varName string) Aggregate {
+		for _, a := range out {
+			if a.Func == fn && a.Var == varName {
+				return a
+			}
+		}
+		alias := freshAlias(fn, varName, func(name string) bool {
+			if patternVars[name] {
+				return true
+			}
+			for _, a := range out {
+				if a.As == name {
+					return true
+				}
+			}
+			return false
+		})
+		a := Aggregate{Func: fn, Var: varName, As: alias}
+		out = append(out, a)
+		return a
+	}
+	rewritten := make([]Expr, len(having))
+	for i, h := range having {
+		e, err := rewriteAggCalls(h, resolve)
+		if err != nil {
+			return nil, nil, err
+		}
+		rewritten[i] = e
+	}
+	return rewritten, out, nil
+}
+
+// rewriteAggCalls walks an expression, replacing every aggregate-named
+// CallExpr with the AggRefExpr the resolve callback assigns. An existing
+// AggRefExpr is re-resolved too, so a programmatically built expression
+// referencing an aggregate the query does not list still gets a hidden
+// Aggregate entry instead of evaluating against an unbound alias.
+func rewriteAggCalls(e Expr, resolve func(fn, varName string) Aggregate) (Expr, error) {
+	switch x := e.(type) {
+	case *AggRefExpr:
+		return &AggRefExpr{Agg: resolve(x.Agg.Func, x.Agg.Var)}, nil
+	case *CallExpr:
+		fn := strings.ToUpper(x.Name)
+		if AggFuncs[fn] {
+			varName := ""
+			switch len(x.Args) {
+			case 0:
+				if fn != "COUNT" {
+					return nil, fmt.Errorf("%s(*) is not valid; only COUNT takes *", fn)
+				}
+			case 1:
+				v, ok := x.Args[0].(*VarExpr)
+				if !ok {
+					return nil, fmt.Errorf("%s() takes a variable argument", fn)
+				}
+				varName = v.Name
+			default:
+				return nil, fmt.Errorf("%s() takes one argument", fn)
+			}
+			return &AggRefExpr{Agg: resolve(fn, varName)}, nil
+		}
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			na, err := rewriteAggCalls(a, resolve)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = na
+		}
+		return &CallExpr{Name: x.Name, Args: args}, nil
+	case *NotExpr:
+		nx, err := rewriteAggCalls(x.X, resolve)
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{X: nx}, nil
+	case *BinExpr:
+		l, err := rewriteAggCalls(x.L, resolve)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rewriteAggCalls(x.R, resolve)
+		if err != nil {
+			return nil, err
+		}
+		return &BinExpr{Op: x.Op, L: l, R: r}, nil
+	case *InExpr:
+		nx, err := rewriteAggCalls(x.X, resolve)
+		if err != nil {
+			return nil, err
+		}
+		list := make([]Expr, len(x.List))
+		for i, it := range x.List {
+			ni, err := rewriteAggCalls(it, resolve)
+			if err != nil {
+				return nil, err
+			}
+			list[i] = ni
+		}
+		return &InExpr{X: nx, SetName: x.SetName, List: list, Negated: x.Negated}, nil
+	default:
+		return e, nil
+	}
+}
+
+// aggSpec is the normalized grouping step of one query.
+type aggSpec struct {
+	groupBy []string
+	aggs    []Aggregate
+	having  []Expr
+}
+
+// aggregationSpec resolves a query's grouping step without modifying the
+// query. It returns nil when the query has none. Parsed queries arrive
+// pre-normalized (no aggregate calls left in HAVING), so the rewrite is
+// a no-op for them; programmatically built queries may still carry raw
+// calls and get them hoisted here.
+func aggregationSpec(q *Query) (*aggSpec, error) {
+	if !q.Aggregated() && len(q.Having) == 0 {
+		return nil, nil
+	}
+	having, aggs, err := resolveHavingAggs(q.Having, q.Aggs, q.patternVars())
+	if err != nil {
+		return nil, fmt.Errorf("sparql: %w", err)
+	}
+	return &aggSpec{groupBy: q.GroupBy, aggs: aggs, having: having}, nil
+}
+
+// aggState accumulates one aggregate over one group.
+type aggState struct {
+	count  int64
+	n      int64 // numeric contributions (SUM/AVG)
+	sumI   int64
+	sumF   float64
+	allInt bool
+	best   rdf.Term // MIN/MAX candidate
+	has    bool
+}
+
+func (s *aggState) add(a Aggregate, t rdf.Term, bound bool) {
+	switch a.Func {
+	case "COUNT":
+		if a.Var == "" || bound {
+			s.count++
+		}
+	case "SUM", "AVG":
+		if !bound {
+			return
+		}
+		f, ok := t.Float()
+		if !ok {
+			return
+		}
+		s.n++
+		s.sumF += f
+		if i, ok := t.Int(); ok {
+			s.sumI += i
+		} else {
+			s.allInt = false
+		}
+	case "MIN":
+		if bound && (!s.has || t.Compare(s.best) < 0) {
+			s.best, s.has = t, true
+		}
+	case "MAX":
+		if bound && (!s.has || t.Compare(s.best) > 0) {
+			s.best, s.has = t, true
+		}
+	}
+}
+
+// result materializes the accumulated value; ok=false means the alias
+// stays unbound (MIN/MAX over an empty column).
+func (s *aggState) result(a Aggregate) (rdf.Term, bool) {
+	switch a.Func {
+	case "COUNT":
+		return rdf.NewIntLiteral(s.count), true
+	case "SUM":
+		if s.n == 0 {
+			return rdf.NewIntLiteral(0), true
+		}
+		if s.allInt {
+			return rdf.NewIntLiteral(s.sumI), true
+		}
+		return rdf.NewFloatLiteral(s.sumF), true
+	case "AVG":
+		if s.n == 0 {
+			return rdf.NewIntLiteral(0), true
+		}
+		return rdf.NewFloatLiteral(s.sumF / float64(s.n)), true
+	case "MIN", "MAX":
+		return s.best, s.has
+	}
+	return rdf.Term{}, false
+}
+
+func newAggStates(n int) []aggState {
+	states := make([]aggState, n)
+	for i := range states {
+		states[i].allInt = true
+	}
+	return states
+}
+
+// refAggregate is the reference evaluator's grouping step over map-form
+// bindings. Groups emit in first-appearance order of their keys.
+func refAggregate(spec *aggSpec, rows []Binding, env *Env) []Binding {
+	type group struct {
+		rep    Binding
+		states []aggState
+	}
+	var order []string
+	groups := map[string]*group{}
+	var sb strings.Builder
+	for _, b := range rows {
+		sb.Reset()
+		for _, v := range spec.groupBy {
+			t, ok := b[v]
+			writeGroupKeyPart(&sb, t, ok)
+		}
+		key := sb.String()
+		g := groups[key]
+		if g == nil {
+			rep := Binding{}
+			for _, v := range spec.groupBy {
+				if t, ok := b[v]; ok {
+					rep[v] = t
+				}
+			}
+			g = &group{rep: rep, states: newAggStates(len(spec.aggs))}
+			groups[key] = g
+			order = append(order, key)
+		}
+		for i, a := range spec.aggs {
+			t, ok := b[a.Var]
+			g.states[i].add(a, t, ok)
+		}
+	}
+	if len(order) == 0 && len(spec.groupBy) == 0 {
+		// A global aggregate over zero rows still produces one group.
+		groups[""] = &group{rep: Binding{}, states: newAggStates(len(spec.aggs))}
+		order = append(order, "")
+	}
+	var out []Binding
+	for _, key := range order {
+		g := groups[key]
+		b := g.rep.Clone()
+		for i, a := range spec.aggs {
+			if t, ok := g.states[i].result(a); ok {
+				b[a.As] = t
+			}
+		}
+		if havingPass(spec.having, b, env) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// SortBindings orders map-form solution rows in place under the SPARQL
+// ordering semantics both evaluators share: an unbound sort variable
+// sorts before any bound value (so under DESC it sorts last), two
+// unbound values compare equal and fall through to the next key, and
+// bound terms compare under the typed rdf.Term.Compare ordering.
+func SortBindings(rows []Binding, keys []OrderKey) {
+	if len(keys) == 0 {
+		return
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range keys {
+			ti, iok := rows[i][k.Var]
+			tj, jok := rows[j][k.Var]
+			if !iok || !jok {
+				if iok == jok {
+					continue
+				}
+				less := !iok // unbound before bound
+				if k.Desc {
+					return !less
+				}
+				return less
+			}
+			c := ti.Compare(tj)
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+}
+
+// AggregateBindings applies a query's analytic step — grouping,
+// aggregates, HAVING, ORDER BY and the OFFSET/LIMIT window — to
+// already-computed solution rows. It is the post-hoc counterpart of the
+// grouping step inside the evaluators, for callers (the crowd engine)
+// that interleave their own filtering between pattern matching and
+// aggregation. Only the query's analytic fields are consulted; Where is
+// read solely to resolve HAVING aggregate aliases against pattern
+// variables. Rows are not modified; a fresh slice is returned whenever
+// any step applies.
+func AggregateBindings(q *Query, rows []Binding, env *Env) ([]Binding, error) {
+	spec, err := aggregationSpec(q)
+	if err != nil {
+		return nil, err
+	}
+	if spec != nil {
+		rows = refAggregate(spec, rows, env)
+	} else if len(q.OrderBy) > 0 || q.Offset > 0 || q.Limit >= 0 {
+		// Sorting and windowing reorder/retain in place below; keep the
+		// caller's slice intact.
+		rows = append([]Binding(nil), rows...)
+	}
+	SortBindings(rows, q.OrderBy)
+	if q.Offset > 0 || (q.Limit >= 0 && q.Limit < len(rows)) {
+		if q.Offset >= len(rows) {
+			return nil, nil
+		}
+		w := rows[q.Offset:]
+		if q.Limit >= 0 && q.Limit < len(w) {
+			w = w[:q.Limit]
+		}
+		out := make([]Binding, len(w))
+		copy(out, w)
+		rows = out
+	}
+	return rows, nil
+}
+
+func havingPass(having []Expr, b Vars, env *Env) bool {
+	for _, h := range having {
+		v, err := h.Eval(b, env)
+		if err != nil || !v.Truthy() {
+			return false
+		}
+	}
+	return true
+}
+
+// writeGroupKeyPart appends one group-key component: a bound marker so
+// an unbound variable can never collide with any bound value, then the
+// collision-free term encoding.
+func writeGroupKeyPart(sb *strings.Builder, t rdf.Term, bound bool) {
+	if !bound {
+		sb.WriteByte('-')
+		return
+	}
+	sb.WriteByte('+')
+	writeTermKey(sb, t)
+}
+
+// aggregateRows is the streaming evaluator's grouping step over
+// slot-indexed rows. Aggregate aliases occupy slots registered by
+// compileQuery; output rows bind exactly the group slots and the alias
+// slots. Groups emit in first-appearance order, like refAggregate.
+func (e *exec) aggregateRows(spec *aggSpec, rows []row) []row {
+	type group struct {
+		rep    row
+		states []aggState
+	}
+	groupSlots := make([]int, len(spec.groupBy))
+	for i, v := range spec.groupBy {
+		slot, ok := e.c.slots[v]
+		if !ok {
+			slot = -1 // variable no pattern binds: always unbound
+		}
+		groupSlots[i] = slot
+	}
+	argSlots := make([]int, len(spec.aggs))
+	for i, a := range spec.aggs {
+		slot, ok := e.c.slots[a.Var]
+		if !ok || a.Var == "" {
+			slot = -1
+		}
+		argSlots[i] = slot
+	}
+	var order []string
+	groups := map[string]*group{}
+	var sb strings.Builder
+	for _, r := range rows {
+		sb.Reset()
+		for _, slot := range groupSlots {
+			var t rdf.Term
+			ok := false
+			if slot >= 0 {
+				t, ok = r.get(slot)
+			}
+			writeGroupKeyPart(&sb, t, ok)
+		}
+		key := sb.String()
+		g := groups[key]
+		if g == nil {
+			rep := row{vals: make([]rdf.Term, len(e.c.names))}
+			for _, slot := range groupSlots {
+				if slot < 0 {
+					continue
+				}
+				if t, ok := r.get(slot); ok {
+					rep.vals[slot] = t
+					rep.mask |= 1 << slot
+				}
+			}
+			g = &group{rep: rep, states: newAggStates(len(spec.aggs))}
+			groups[key] = g
+			order = append(order, key)
+		}
+		for i, a := range spec.aggs {
+			var t rdf.Term
+			ok := false
+			if argSlots[i] >= 0 {
+				t, ok = r.get(argSlots[i])
+			}
+			g.states[i].add(a, t, ok)
+		}
+	}
+	if len(order) == 0 && len(spec.groupBy) == 0 {
+		groups[""] = &group{
+			rep:    row{vals: make([]rdf.Term, len(e.c.names))},
+			states: newAggStates(len(spec.aggs)),
+		}
+		order = append(order, "")
+	}
+	var out []row
+	for _, key := range order {
+		g := groups[key]
+		for i, a := range spec.aggs {
+			if t, ok := g.states[i].result(a); ok {
+				slot := e.c.slots[a.As]
+				g.rep.vals[slot] = t
+				g.rep.mask |= 1 << slot
+			}
+		}
+		if len(spec.having) > 0 {
+			e.view.r = g.rep
+			if !havingPass(spec.having, e.view, e.env) {
+				continue
+			}
+		}
+		out = append(out, g.rep)
+	}
+	return out
+}

@@ -34,6 +34,17 @@ type Query struct {
 	Unions [][][]rdf.Triple
 	// Filters are the FILTER constraints, all of which must hold.
 	Filters []Expr
+	// GroupBy lists the grouping variable names. Empty with non-empty
+	// Aggs means one global group over all solutions.
+	GroupBy []string
+	// Aggs are the aggregate computations evaluated per group. Their
+	// aliases become ordinary output variables, usable in ORDER BY and
+	// projected like pattern variables.
+	Aggs []Aggregate
+	// Having are post-grouping constraints over group variables and
+	// aggregate aliases; rows of groups failing any constraint are
+	// dropped (an erroring constraint drops the group, like FILTER).
+	Having []Expr
 	// OrderBy lists sort keys applied in order.
 	OrderBy []OrderKey
 	// Limit caps the number of rows; negative means unlimited.
@@ -46,6 +57,31 @@ type Query struct {
 type OrderKey struct {
 	Var  string
 	Desc bool
+}
+
+// Aggregate is one aggregate computation: Func applied to Var within each
+// group, bound to the alias As in the output rows. An empty Var means "*"
+// and is only valid for COUNT.
+type Aggregate struct {
+	Func string // COUNT, SUM, AVG, MIN or MAX (upper-case)
+	Var  string // argument variable; empty means * (COUNT only)
+	As   string // output alias, bound in every group row
+}
+
+// AggFuncs names the supported aggregate functions.
+var AggFuncs = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+// Aggregated reports whether the query has a grouping/aggregation step.
+func (q *Query) Aggregated() bool { return len(q.GroupBy) > 0 || len(q.Aggs) > 0 }
+
+func (a Aggregate) String() string {
+	arg := "*"
+	if a.Var != "" {
+		arg = "$" + a.Var
+	}
+	return fmt.Sprintf("%s(%s) AS $%s", a.Func, arg, a.As)
 }
 
 // Validate checks the structural invariants every successfully parsed
@@ -84,6 +120,9 @@ func (q *Query) Validate() error {
 			return fmt.Errorf("sparql: nil filter expression")
 		}
 	}
+	if err := q.validateAggregation(groups); err != nil {
+		return err
+	}
 	for _, k := range q.OrderBy {
 		if k.Var == "" {
 			return fmt.Errorf("sparql: empty ORDER BY variable")
@@ -91,6 +130,67 @@ func (q *Query) Validate() error {
 	}
 	if q.Offset < 0 {
 		return fmt.Errorf("sparql: negative offset %d", q.Offset)
+	}
+	return nil
+}
+
+// validateAggregation checks the grouping invariants: GROUP BY variables
+// are defined by some pattern, aggregate functions are known, aliases are
+// named, unique and distinct from pattern variables, HAVING only appears
+// on aggregated queries, and — when aggregating — every projected
+// variable is a group variable or an aggregate alias (other pattern
+// variables have no single value per group).
+func (q *Query) validateAggregation(groups [][]rdf.Triple) error {
+	if !q.Aggregated() {
+		if len(q.Having) > 0 {
+			return fmt.Errorf("sparql: HAVING without GROUP BY or aggregates")
+		}
+		return nil
+	}
+	patternVars := map[string]bool{}
+	for _, g := range groups {
+		for _, t := range g {
+			t.EachVar(func(v string) { patternVars[v] = true })
+		}
+	}
+	grouped := map[string]bool{}
+	for _, v := range q.GroupBy {
+		if v == "" {
+			return fmt.Errorf("sparql: empty GROUP BY variable")
+		}
+		if !patternVars[v] {
+			return fmt.Errorf("sparql: GROUP BY of undefined variable $%s", v)
+		}
+		grouped[v] = true
+	}
+	aliases := map[string]bool{}
+	for _, a := range q.Aggs {
+		if !AggFuncs[a.Func] {
+			return fmt.Errorf("sparql: unknown aggregate function %s()", a.Func)
+		}
+		if a.Var == "" && a.Func != "COUNT" {
+			return fmt.Errorf("sparql: %s(*) is not valid; only COUNT takes *", a.Func)
+		}
+		if a.As == "" {
+			return fmt.Errorf("sparql: aggregate %s has no output alias", a.Func)
+		}
+		if patternVars[a.As] {
+			return fmt.Errorf("sparql: aggregate alias $%s collides with a pattern variable", a.As)
+		}
+		if aliases[a.As] {
+			return fmt.Errorf("sparql: duplicate aggregate alias $%s", a.As)
+		}
+		aliases[a.As] = true
+	}
+	for _, v := range q.Vars {
+		if !grouped[v] && !aliases[v] {
+			return fmt.Errorf("sparql: projected variable $%s is neither grouped nor an aggregate alias", v)
+		}
+	}
+	for _, h := range q.Having {
+		if h == nil {
+			return fmt.Errorf("sparql: nil HAVING expression")
+		}
 	}
 	return nil
 }
@@ -105,11 +205,19 @@ func (q *Query) String() string {
 	if len(q.Vars) == 0 {
 		b.WriteString("*")
 	} else {
+		byAlias := map[string]Aggregate{}
+		for _, a := range q.Aggs {
+			byAlias[a.As] = a
+		}
 		for i, v := range q.Vars {
 			if i > 0 {
 				b.WriteByte(' ')
 			}
-			b.WriteString("$" + v)
+			if a, ok := byAlias[v]; ok {
+				b.WriteString(a.String())
+			} else {
+				b.WriteString("$" + v)
+			}
 		}
 	}
 	b.WriteString("\nWHERE {\n")
@@ -139,6 +247,15 @@ func (q *Query) String() string {
 		fmt.Fprintf(&b, "  FILTER(%s)\n", f)
 	}
 	b.WriteString("}")
+	if len(q.GroupBy) > 0 {
+		b.WriteString("\nGROUP BY")
+		for _, v := range q.GroupBy {
+			b.WriteString(" $" + v)
+		}
+	}
+	for _, h := range q.Having {
+		fmt.Fprintf(&b, "\nHAVING(%s)", h)
+	}
 	for _, k := range q.OrderBy {
 		dir := "ASC"
 		if k.Desc {

@@ -25,6 +25,21 @@ const (
 	diffPreds    = 4
 )
 
+// diffNumPred is a dedicated predicate whose objects are numeric
+// literals of mixed widths (and the occasional exactly-representable
+// float), exercising the typed comparator in ORDER BY and aggregates.
+// It sits outside the 0..diffPreds-1 pool used for random positions.
+func diffNumPred() rdf.Term { return diffPred(diffPreds) }
+
+func diffNumLiteral(r *rand.Rand) rdf.Term {
+	if r.Intn(4) == 0 {
+		// Quarters are exact in float64, so SUM/AVG accumulation is
+		// order-independent and both evaluators agree bit-for-bit.
+		return rdf.NewFloatLiteral(float64(r.Intn(600)) / 4)
+	}
+	return rdf.NewIntLiteral(int64(r.Intn(150))) // 1-3 digit widths
+}
+
 func randomStore(r *rand.Rand) *rdf.Store {
 	st := rdf.NewStore()
 	n := 20 + r.Intn(30)
@@ -33,6 +48,13 @@ func randomStore(r *rand.Rand) *rdf.Store {
 			diffEntity(r.Intn(diffEntities)),
 			diffPred(r.Intn(diffPreds)),
 			diffEntity(r.Intn(diffEntities)),
+		))
+	}
+	for i := 5 + r.Intn(10); i > 0; i-- {
+		st.MustAdd(rdf.T(
+			diffEntity(r.Intn(diffEntities)),
+			diffNumPred(),
+			diffNumLiteral(r),
 		))
 	}
 	return st
@@ -77,6 +99,15 @@ func randomFilter(r *rand.Rand) Expr {
 func randomQuery(r *rand.Rand) *Query {
 	q := &Query{Limit: -1}
 	q.Where = randomPatterns(r, 1+r.Intn(3))
+	if r.Intn(3) == 0 {
+		// Bind one variable to the numeric literals so ORDER BY keys and
+		// aggregate arguments see numbers of mixed widths.
+		q.Where = append(q.Where, rdf.T(
+			randomPosition(r, false),
+			diffNumPred(),
+			rdf.NewVar(diffVarPool[r.Intn(len(diffVarPool))]),
+		))
+	}
 	if r.Intn(10) < 3 {
 		q.Unions = [][][]rdf.Triple{{randomPatterns(r, 1), randomPatterns(r, 1)}}
 	}
@@ -85,6 +116,9 @@ func randomQuery(r *rand.Rand) *Query {
 	}
 	for i := r.Intn(3); i > 0; i-- {
 		q.Filters = append(q.Filters, randomFilter(r))
+	}
+	if r.Intn(10) < 3 {
+		return finishAggregateQuery(r, q)
 	}
 	if r.Intn(2) == 0 {
 		for _, v := range diffVarPool {
@@ -107,6 +141,74 @@ func randomQuery(r *rand.Rand) *Query {
 		}
 	} else if r.Intn(10) < 3 {
 		q.OrderBy = append(q.OrderBy, OrderKey{Var: diffVarPool[r.Intn(len(diffVarPool))], Desc: r.Intn(2) == 0})
+	}
+	return q
+}
+
+// finishAggregateQuery turns a random pattern skeleton into a GROUP BY /
+// aggregate query. Output rows carry exactly the group variables plus
+// the aggregate aliases, so sorting by all of them is a total order and
+// OFFSET/LIMIT windows stay comparable across evaluators.
+func finishAggregateQuery(r *rand.Rand, q *Query) *Query {
+	var used []string
+	seen := map[string]bool{}
+	for _, tr := range q.patternVarTriples() {
+		tr.EachVar(func(v string) {
+			if !seen[v] {
+				seen[v] = true
+				used = append(used, v)
+			}
+		})
+	}
+	if len(used) == 0 {
+		return q
+	}
+	var groupBy []string
+	for _, v := range used {
+		if r.Intn(3) == 0 {
+			groupBy = append(groupBy, v)
+		}
+	}
+	pick := used[r.Intn(len(used))]
+	aggs := []Aggregate{{Func: "COUNT", As: "cnt"}}
+	switch r.Intn(5) {
+	case 0:
+		aggs = append(aggs, Aggregate{Func: "MIN", Var: pick, As: "agg"})
+	case 1:
+		aggs = append(aggs, Aggregate{Func: "MAX", Var: pick, As: "agg"})
+	case 2:
+		aggs = append(aggs, Aggregate{Func: "SUM", Var: pick, As: "agg"})
+	case 3:
+		aggs = append(aggs, Aggregate{Func: "AVG", Var: pick, As: "agg"})
+	default:
+		aggs[0].Var = pick // COUNT($v) instead of COUNT(*)
+	}
+	q.GroupBy, q.Aggs = groupBy, aggs
+	if r.Intn(3) == 0 {
+		q.Having = append(q.Having, &BinExpr{
+			Op: ">",
+			L:  &VarExpr{Name: "cnt"},
+			R:  &LitExpr{Val: NumVal(float64(r.Intn(4)))},
+		})
+	}
+	if r.Intn(2) == 0 {
+		q.Vars = append(q.Vars, groupBy...)
+		for _, a := range aggs {
+			q.Vars = append(q.Vars, a.As)
+		}
+	}
+	q.Distinct = r.Intn(10) < 2
+	if r.Intn(2) == 0 {
+		for _, v := range groupBy {
+			q.OrderBy = append(q.OrderBy, OrderKey{Var: v, Desc: r.Intn(2) == 0})
+		}
+		for _, a := range aggs {
+			q.OrderBy = append(q.OrderBy, OrderKey{Var: a.As, Desc: r.Intn(2) == 0})
+		}
+		q.Offset = r.Intn(3)
+		if r.Intn(2) == 0 {
+			q.Limit = r.Intn(4)
+		}
 	}
 	return q
 }

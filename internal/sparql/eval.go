@@ -33,7 +33,22 @@ func Eval(q *Query, src Source, env *Env) ([]Binding, error) {
 	if src == nil {
 		return nil, fmt.Errorf("sparql: nil source")
 	}
+	spec, err := aggregationSpec(q)
+	if err != nil {
+		return nil, err
+	}
 	c, ok := compileQuery(q)
+	if ok && spec != nil {
+		// Aggregate aliases occupy slots of their own so that HAVING,
+		// ORDER BY and projection address them like pattern variables.
+		for _, a := range spec.aggs {
+			if _, exists := c.slots[a.As]; !exists {
+				c.slots[a.As] = len(c.names)
+				c.names = append(c.names, a.As)
+			}
+		}
+		ok = len(c.names) <= maxSlots
+	}
 	if !ok {
 		// Wider than the slotted row's 64-variable bound mask.
 		return EvalReference(q, src, env)
@@ -107,6 +122,12 @@ func Eval(q *Query, src Source, env *Env) ([]Binding, error) {
 			}
 		}
 		rows = kept
+	}
+
+	// Grouping and aggregation: collapse rows into per-group rows binding
+	// the GROUP BY variables and aggregate aliases, then apply HAVING.
+	if spec != nil {
+		rows = e.aggregateRows(spec, rows)
 	}
 
 	// Order. Per SPARQL ordering semantics, an unbound sort variable

@@ -339,7 +339,10 @@ func equalValues(l, r Value) bool {
 	return l.text() == r.text()
 }
 
-// compareValues orders two values, numerically when possible.
+// compareValues orders two values, numerically when possible. Two bound
+// terms are ordered by rdf.Term.Compare — the same typed comparator ORDER
+// BY uses — so FILTER and HAVING comparisons over aggregate outputs (which
+// are numeric literals) never fall back to string comparison.
 func compareValues(l, r Value) (int, error) {
 	if ln, lok := l.num(); lok {
 		if rn, rok := r.num(); rok {
@@ -352,6 +355,9 @@ func compareValues(l, r Value) (int, error) {
 				return 0, nil
 			}
 		}
+	}
+	if l.Kind == VTerm && r.Kind == VTerm {
+		return l.Term.Compare(r.Term), nil
 	}
 	lt, rt := l.text(), r.text()
 	switch {

@@ -53,6 +53,9 @@ type parser struct {
 	lx   *Lexer
 	opts *ParseOptions
 	anon int
+	// inHaving is set while parsing a HAVING expression, the only
+	// expression position where aggregate calls are legal.
+	inHaving bool
 	// optionals and unions collect OPTIONAL groups and UNION blocks
 	// parsed inside the most recent top-level group pattern. Only the
 	// SELECT grammar consumes them; embedded-pattern hosts (OASSIS-QL,
@@ -92,13 +95,27 @@ func (p *parser) query() (*Query, error) {
 	if p.keyword("DISTINCT") {
 		q.Distinct = true
 	}
-	// projection: * or var list
+	// projection: * or a list of variables and aggregate expressions
 	t := p.lx.Peek()
 	if t.Kind == TokOp && t.Text == "*" {
 		p.lx.Next()
 	} else {
-		for p.lx.Peek().Kind == TokVar {
-			q.Vars = append(q.Vars, p.lx.Next().Text)
+		for {
+			t := p.lx.Peek()
+			if t.Kind == TokVar {
+				p.lx.Next()
+				q.Vars = append(q.Vars, t.Text)
+				continue
+			}
+			if t.Kind == TokIdent && AggFuncs[strings.ToUpper(t.Text)] {
+				if n := p.lx.PeekAhead(1); n.Kind == TokPunct && n.Text == "(" {
+					if err := p.selectAggregate(q); err != nil {
+						return nil, err
+					}
+					continue
+				}
+			}
+			break
 		}
 		if len(q.Vars) == 0 {
 			return nil, p.lx.Errf("expected * or variables after SELECT")
@@ -116,6 +133,35 @@ func (p *parser) query() (*Query, error) {
 	// modifiers
 	for {
 		switch {
+		case p.keyword("GROUP"):
+			if !p.keyword("BY") {
+				return nil, p.lx.Errf("expected BY after GROUP")
+			}
+			defined := q.patternVars()
+			for p.lx.Peek().Kind == TokVar {
+				v := p.lx.Next()
+				if !defined[v.Text] {
+					return nil, p.lx.Errf("GROUP BY of undefined variable $%s", v.Text)
+				}
+				q.GroupBy = append(q.GroupBy, v.Text)
+			}
+			if len(q.GroupBy) == 0 {
+				return nil, p.lx.Errf("expected variables after GROUP BY")
+			}
+		case p.keyword("HAVING"):
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			p.inHaving = true
+			e, err := p.expr()
+			p.inHaving = false
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			q.Having = append(q.Having, e)
 		case p.keyword("ORDER"):
 			if !p.keyword("BY") {
 				return nil, p.lx.Errf("expected BY after ORDER")
@@ -138,9 +184,120 @@ func (p *parser) query() (*Query, error) {
 			}
 			q.Offset = int(n.Num)
 		default:
+			if err := p.finishAggregates(q); err != nil {
+				return nil, err
+			}
 			return q, nil
 		}
 	}
+}
+
+// selectAggregate parses one aggregate projection: FUNC($v) or COUNT(*),
+// optionally followed by AS $alias. The alias (explicit or derived from
+// the function and argument) joins the projected variable list.
+func (p *parser) selectAggregate(q *Query) error {
+	fn := strings.ToUpper(p.lx.Next().Text)
+	p.lx.Next() // "(" (checked by the caller)
+	varName, err := p.aggArg(fn)
+	if err != nil {
+		return err
+	}
+	alias := ""
+	if p.keyword("AS") {
+		v := p.lx.Next()
+		if v.Kind != TokVar {
+			return p.lx.Errf("expected variable after AS")
+		}
+		alias = v.Text
+	} else {
+		alias = freshAlias(fn, varName, func(name string) bool {
+			for _, a := range q.Aggs {
+				if a.As == name {
+					return true
+				}
+			}
+			for _, v := range q.Vars {
+				if v == name {
+					return true
+				}
+			}
+			return false
+		})
+	}
+	q.Aggs = append(q.Aggs, Aggregate{Func: fn, Var: varName, As: alias})
+	q.Vars = append(q.Vars, alias)
+	return nil
+}
+
+// aggArg parses the argument of an aggregate call after its opening
+// parenthesis: a variable, or * (COUNT only), consuming the closing ")".
+func (p *parser) aggArg(fn string) (string, error) {
+	varName := ""
+	switch a := p.lx.Peek(); {
+	case a.Kind == TokOp && a.Text == "*":
+		p.lx.Next()
+		if fn != "COUNT" {
+			return "", p.lx.Errf("%s(*) is not valid; only COUNT takes *", fn)
+		}
+	case a.Kind == TokVar:
+		p.lx.Next()
+		varName = a.Text
+	default:
+		return "", p.lx.Errf("expected variable or * in %s()", fn)
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return "", err
+	}
+	return varName, nil
+}
+
+// finishAggregates runs after all modifiers: aggregate calls inside
+// HAVING are hoisted into hidden Aggs entries, and the grouping
+// invariants Validate enforces are checked here so that a successfully
+// parsed query always validates (the fuzz target relies on this).
+func (p *parser) finishAggregates(q *Query) error {
+	if len(q.Having) > 0 {
+		having, aggs, err := resolveHavingAggs(q.Having, q.Aggs, q.patternVars())
+		if err != nil {
+			return p.lx.Errf("%v", err)
+		}
+		q.Having, q.Aggs = having, aggs
+	}
+	if !q.Aggregated() {
+		if len(q.Having) > 0 {
+			return p.lx.Errf("HAVING requires GROUP BY or an aggregate")
+		}
+		return nil
+	}
+	if err := q.validateAggregation([][]rdf.Triple{q.patternVarTriples()}); err != nil {
+		return p.lx.Errf("%v", strings.TrimPrefix(err.Error(), "sparql: "))
+	}
+	return nil
+}
+
+// patternVars collects every variable bound by a triple pattern anywhere
+// in the query (WHERE, UNION alternatives, OPTIONAL groups).
+func (q *Query) patternVars() map[string]bool {
+	out := map[string]bool{}
+	for _, t := range q.patternVarTriples() {
+		t.EachVar(func(v string) { out[v] = true })
+	}
+	return out
+}
+
+// patternVarTriples flattens every pattern group into one slice.
+func (q *Query) patternVarTriples() []rdf.Triple {
+	var all []rdf.Triple
+	all = append(all, q.Where...)
+	for _, block := range q.Unions {
+		for _, alt := range block {
+			all = append(all, alt...)
+		}
+	}
+	for _, opt := range q.Optionals {
+		all = append(all, opt...)
+	}
+	return all
 }
 
 func (p *parser) orderKeys() ([]OrderKey, error) {
@@ -489,6 +646,25 @@ func (p *parser) primary() (Expr, error) {
 		}
 		// function call?
 		if n := p.lx.PeekAhead(1); n.Kind == TokPunct && n.Text == "(" {
+			if fn := strings.ToUpper(t.Text); AggFuncs[fn] {
+				// Aggregate calls are only legal in the SELECT list and
+				// inside HAVING; a FILTER runs before grouping, where no
+				// aggregate value exists yet.
+				if !p.inHaving {
+					return nil, p.lx.Errf("aggregate %s() is only allowed in SELECT or HAVING", fn)
+				}
+				p.lx.Next()
+				p.lx.Next()
+				varName, err := p.aggArg(fn)
+				if err != nil {
+					return nil, err
+				}
+				var args []Expr
+				if varName != "" {
+					args = []Expr{&VarExpr{Name: varName}}
+				}
+				return &CallExpr{Name: fn, Args: args}, nil
+			}
 			p.lx.Next()
 			p.lx.Next()
 			var args []Expr
@@ -529,6 +705,63 @@ type PatternParser struct{ p *parser }
 func NewPatternParser(lx *Lexer, opts *ParseOptions) *PatternParser {
 	return &PatternParser{p: &parser{lx: lx, opts: opts}}
 }
+
+// AggregateCall parses one aggregate call — FUNC($v) or COUNT(*),
+// optionally followed by AS $alias — when the lexer sits on an aggregate
+// function name followed by "(". It reports ok=false without consuming
+// input otherwise. taken reports alias names already in use, so a
+// derived alias (no explicit AS) stays fresh. Host languages (OASSIS-QL)
+// embed this to accept aggregate outputs in their SELECT clauses.
+func (pp *PatternParser) AggregateCall(taken func(string) bool) (Aggregate, bool, error) {
+	p := pp.p
+	t := p.lx.Peek()
+	if t.Kind != TokIdent || !AggFuncs[strings.ToUpper(t.Text)] {
+		return Aggregate{}, false, nil
+	}
+	if n := p.lx.PeekAhead(1); n.Kind != TokPunct || n.Text != "(" {
+		return Aggregate{}, false, nil
+	}
+	fn := strings.ToUpper(p.lx.Next().Text)
+	p.lx.Next() // "("
+	varName, err := p.aggArg(fn)
+	if err != nil {
+		return Aggregate{}, true, err
+	}
+	alias := ""
+	if p.keyword("AS") {
+		v := p.lx.Next()
+		if v.Kind != TokVar {
+			return Aggregate{}, true, p.lx.Errf("expected variable after AS")
+		}
+		alias = v.Text
+	} else {
+		alias = freshAlias(fn, varName, taken)
+	}
+	return Aggregate{Func: fn, Var: varName, As: alias}, true, nil
+}
+
+// HavingExpr parses a parenthesised HAVING condition "( expr )" at the
+// current position, with aggregate calls allowed inside the expression.
+func (pp *PatternParser) HavingExpr() (Expr, error) {
+	p := pp.p
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	p.inHaving = true
+	e, err := p.expr()
+	p.inHaving = false
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// OrderKeys parses ORDER BY sort keys — "$v", "ASC($v)", "DESC($v)" — at
+// the current position (after the ORDER BY keywords themselves).
+func (pp *PatternParser) OrderKeys() ([]OrderKey, error) { return pp.p.orderKeys() }
 
 // GroupPattern parses "{ triples and FILTERs }" at the current lexer
 // position. Host languages embedding the pattern grammar do not support

@@ -2,7 +2,6 @@ package sparql
 
 import (
 	"fmt"
-	"sort"
 
 	"nl2cm/internal/rdf"
 )
@@ -15,6 +14,10 @@ import (
 // semantics, and the fallback for queries with more distinct pattern
 // variables than the slotted row representation supports.
 func EvalReference(q *Query, src Source, env *Env) ([]Binding, error) {
+	spec, err := aggregationSpec(q)
+	if err != nil {
+		return nil, err
+	}
 	rows, err := refEvalBGP(q.Where, src)
 	if err != nil {
 		return nil, err
@@ -76,36 +79,14 @@ func EvalReference(q *Query, src Source, env *Env) ([]Binding, error) {
 		}
 		rows = kept
 	}
+	// Grouping and aggregation, then HAVING, before ordering.
+	if spec != nil {
+		rows = refAggregate(spec, rows, env)
+	}
 	// Order. Per SPARQL ordering semantics, an unbound sort variable
 	// sorts before any bound value (so under DESC it sorts last); two
 	// unbound values compare equal and fall through to the next key.
-	if len(q.OrderBy) > 0 {
-		sort.SliceStable(rows, func(i, j int) bool {
-			for _, k := range q.OrderBy {
-				ti, iok := rows[i][k.Var]
-				tj, jok := rows[j][k.Var]
-				if !iok || !jok {
-					if iok == jok {
-						continue
-					}
-					less := !iok // unbound before bound
-					if k.Desc {
-						return !less
-					}
-					return less
-				}
-				c := ti.Compare(tj)
-				if c == 0 {
-					continue
-				}
-				if k.Desc {
-					return c > 0
-				}
-				return c < 0
-			}
-			return false
-		})
-	}
+	SortBindings(rows, q.OrderBy)
 	// Projection.
 	if len(q.Vars) > 0 {
 		proj := make([]Binding, len(rows))

@@ -178,9 +178,9 @@ func TestEvalOrderLimit(t *testing.T) {
 	if len(rows) != 2 {
 		t.Fatalf("got %d rows, want 2", len(rows))
 	}
-	// Numeric ordering would put 400 first, but Term.Compare is
-	// lexicographic on the lexical form; both are 3-digit numbers so the
-	// result is still numeric here.
+	// Term.Compare orders numeric literals by value, so 400 sorts first
+	// regardless of digit width (TestEvalOrderNumeric pins the
+	// mixed-width cases this test used to dodge).
 	if rows[0]["x"].Value() != "Niagara_Falls" {
 		t.Errorf("first row = %v, want Niagara_Falls", rows[0]["x"])
 	}

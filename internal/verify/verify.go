@@ -26,7 +26,7 @@ const (
 	CatEmpty       Category = "empty"
 	CatDescriptive Category = "descriptive" // how-to / manner
 	CatCausal      Category = "causal"      // why / purpose / reason
-	CatAggregate   Category = "aggregate"   // how many / how much
+	CatAggregate   Category = "aggregate"   // how much (mass quantity; "how many" counts are supported)
 	CatMultiple    Category = "multiple"    // several questions at once
 )
 
@@ -91,15 +91,20 @@ func Check(question string) Verdict {
 		switch second {
 		case "to":
 			return descriptiveVerdict("\"How to...\" questions ask for descriptions of procedures", cite(question, words[:2]))
-		case "many", "much":
+		case "many":
+			// Counting questions translate to a COUNT aggregate over the
+			// general selection.
+			return ok
+		case "much":
 			c := cite(question, words[:2])
 			return Verdict{
 				Category:  CatAggregate,
-				Reason:    fmt.Sprintf("counting questions (%q at bytes %d–%d) are not supported: the crowd is asked about habits and opinions, not totals", c.text, c.span.Start, c.span.End),
+				Reason:    fmt.Sprintf("mass-quantity questions (%q at bytes %d–%d) are not supported: they sum an unstated measure, which neither the ontology nor the crowd model records", c.text, c.span.Start, c.span.End),
 				Offending: c.text,
 				Span:      c.span,
 				Tips: []string{
-					fmt.Sprintf("Drop %q: ask about the items themselves, e.g. \"Which places should we visit?\" instead of \"How many places should we visit?\"", c.text),
+					fmt.Sprintf("Name the measure instead of %q: ask \"What does the hotel cost per night?\" instead of \"How much does the hotel cost?\"", c.text),
+					"Countable things can be counted directly: \"How many parks are in Buffalo?\" is supported.",
 				},
 			}
 		case "often", "frequently":

@@ -66,6 +66,46 @@ func TestPublicEndToEnd(t *testing.T) {
 	}
 }
 
+// TestPublicAggregateEndToEnd drives an analytic question through the
+// whole stack: NL → grouped-count plan → crowd engine → one winning
+// group. Buffalo holds 8 attractions in the demo ontology, ahead of Las
+// Vegas (4 hotels) — the superlative must surface it with its count.
+func TestPublicAggregateEndToEnd(t *testing.T) {
+	onto := DemoOntology()
+	tr := NewTranslator(onto)
+	eng := NewDemoEngine(onto)
+	for _, c := range []struct {
+		text, entity, count string
+	}{
+		{"Which city has the most attractions?", "Buffalo,_NY", "8"},
+		{"How many parks are in Buffalo?", "", "2"},
+	} {
+		res, err := tr.Translate(context.Background(), c.text, Options{})
+		if err != nil {
+			t.Fatalf("%s: Translate: %v", c.text, err)
+		}
+		if res.Plan == nil || !res.Plan.Aggregated() {
+			t.Fatalf("%s: plan is not aggregated", c.text)
+		}
+		out, err := eng.Execute(context.Background(), res.Query)
+		if err != nil {
+			t.Fatalf("%s: Execute: %v", c.text, err)
+		}
+		if len(out.Bindings) != 1 {
+			t.Fatalf("%s: %d bindings, want 1: %v", c.text, len(out.Bindings), out.Bindings)
+		}
+		b := out.Bindings[0]
+		if got := b["count"].Value(); got != c.count {
+			t.Errorf("%s: count = %q, want %q", c.text, got, c.count)
+		}
+		if c.entity != "" {
+			if got := b["x"].Local(); got != c.entity {
+				t.Errorf("%s: winner = %q, want %q", c.text, got, c.entity)
+			}
+		}
+	}
+}
+
 func TestPublicQueryParsing(t *testing.T) {
 	q, err := ParseQuery(figure1)
 	if err != nil {
