@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: all check vet staticcheck build test race session-stress session-smoke bench bench-smoke fuzz-smoke emit-golden emit-golden-update agg-golden fmt
+.PHONY: all check vet staticcheck build test race session-stress session-smoke loadgen-smoke bench bench-smoke bench-record fuzz-smoke emit-golden emit-golden-update agg-golden fmt
 
 all: check
 
 # check is the CI gate: vet + staticcheck, build everything, run the
 # tests with the race detector (the concurrency stress tests depend on
 # it), verify the per-backend golden emissions and the analytic path,
-# then hammer the dialogue-session subsystem a few extra rounds.
-check: vet staticcheck build race emit-golden agg-golden session-stress
+# hammer the dialogue-session subsystem a few extra rounds, then smoke
+# the serving layer with a short load-generator run.
+check: vet staticcheck build race emit-golden agg-golden session-stress loadgen-smoke
 
 vet:
 	$(GO) vet ./...
@@ -42,6 +43,17 @@ session-stress:
 # (requires curl and jq).
 session-smoke:
 	./scripts/session_smoke.sh
+
+# loadgen-smoke drives a short repeated-question workload through
+# cmd/loadgen against a locally started daemon and asserts nonzero
+# throughput, zero errors and a warm plan cache (requires jq).
+loadgen-smoke:
+	./scripts/loadgen_smoke.sh
+
+# bench-record runs the P-series benches plus a full loadgen run and
+# writes today's BENCH_<date>.json perf record (requires jq).
+bench-record:
+	./scripts/bench_record.sh
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -1,0 +1,136 @@
+// Admission control for the serving daemon: a bounded pool of execution
+// slots with a bounded wait queue in front of it. Up to maxInflight
+// requests translate concurrently; up to queueDepth more wait for a
+// slot; anything beyond that is shed immediately with 429 so overload
+// degrades into fast rejections instead of ever-growing latency.
+package main
+
+import (
+	"context"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// admission is the daemon's load shedder. A slot must be acquired
+// before any translation work starts and released when the request
+// finishes; the queued gauge bounds how many acquirers may block.
+type admission struct {
+	slots      chan struct{}
+	queueDepth int64
+
+	queued   atomic.Int64 // requests currently waiting for a slot
+	inflight atomic.Int64 // requests currently holding a slot
+	admitted atomic.Int64 // lifetime: requests that got a slot
+	rejected atomic.Int64 // lifetime: requests shed with 429
+	waitNs   atomic.Int64 // lifetime: total queue wait, for the average
+}
+
+// newAdmission builds a limiter with maxInflight concurrent slots and a
+// wait queue of queueDepth; non-positive values fall back to defaults.
+func newAdmission(maxInflight, queueDepth int) *admission {
+	if maxInflight <= 0 {
+		maxInflight = defaultMaxInflight
+	}
+	if queueDepth < 0 {
+		queueDepth = defaultQueueDepth
+	}
+	return &admission{
+		slots:      make(chan struct{}, maxInflight),
+		queueDepth: int64(queueDepth),
+	}
+}
+
+// acquire takes an execution slot, waiting in the queue if none is
+// free. It returns the time spent queued and a release function, or
+// false when the queue is full (shed) or ctx ended while waiting.
+func (a *admission) acquire(ctx context.Context) (wait time.Duration, release func(), ok bool) {
+	// Fast path: a free slot means zero queue time.
+	select {
+	case a.slots <- struct{}{}:
+		return 0, a.grant(), true
+	default:
+	}
+	// Reserve a queue position; beyond queueDepth the request is shed.
+	if a.queued.Add(1) > a.queueDepth {
+		a.queued.Add(-1)
+		a.rejected.Add(1)
+		return 0, nil, false
+	}
+	start := time.Now()
+	select {
+	case a.slots <- struct{}{}:
+		a.queued.Add(-1)
+		wait = time.Since(start)
+		a.waitNs.Add(int64(wait))
+		return wait, a.grant(), true
+	case <-ctx.Done():
+		a.queued.Add(-1)
+		a.rejected.Add(1)
+		return 0, nil, false
+	}
+}
+
+// grant records an admission and returns its release function.
+func (a *admission) grant() func() {
+	a.admitted.Add(1)
+	a.inflight.Add(1)
+	return func() {
+		a.inflight.Add(-1)
+		<-a.slots
+	}
+}
+
+// admissionStats is the monitoring snapshot (admin page, /api/stats).
+type admissionStats struct {
+	MaxInflight int           `json:"max_inflight"`
+	QueueDepth  int           `json:"queue_depth"`
+	Inflight    int64         `json:"inflight"`
+	Queued      int64         `json:"queued"`
+	Admitted    int64         `json:"admitted"`
+	Rejected    int64         `json:"rejected"`
+	AvgWait     time.Duration `json:"avg_wait_ns"`
+}
+
+func (a *admission) stats() admissionStats {
+	st := admissionStats{
+		MaxInflight: cap(a.slots),
+		QueueDepth:  int(a.queueDepth),
+		Inflight:    a.inflight.Load(),
+		Queued:      a.queued.Load(),
+		Admitted:    a.admitted.Load(),
+		Rejected:    a.rejected.Load(),
+	}
+	if st.Admitted > 0 {
+		st.AvgWait = time.Duration(a.waitNs.Load() / st.Admitted)
+	}
+	return st
+}
+
+// queueWaitKey carries a request's queue wait through its context so
+// doTranslate can prepend it to the trace as the Admission Queue stage.
+type queueWaitKey struct{}
+
+// admit wraps a translation-serving handler with admission control.
+// Shed requests get 429 with Retry-After so well-behaved clients back
+// off; admitted ones carry their queue wait in the request context.
+func (s *server) admit(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		wait, release, ok := s.adm.acquire(r.Context())
+		if !ok {
+			if r.Context().Err() != nil {
+				// The client gave up while queued; nothing to write.
+				http.Error(w, "client closed request", http.StatusServiceUnavailable)
+				return
+			}
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "server overloaded: admission queue full", http.StatusTooManyRequests)
+			return
+		}
+		defer release()
+		if wait > 0 {
+			r = r.WithContext(context.WithValue(r.Context(), queueWaitKey{}, wait))
+		}
+		h(w, r)
+	}
+}

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAdmissionShedsBeyondQueueDepth: with every slot held and the
+// queue full, acquire must refuse immediately instead of blocking.
+func TestAdmissionShedsBeyondQueueDepth(t *testing.T) {
+	a := newAdmission(1, 1)
+	ctx := context.Background()
+
+	_, release, ok := a.acquire(ctx)
+	if !ok {
+		t.Fatal("first acquire should get the slot")
+	}
+
+	// Fill the one queue position with a waiter.
+	queued := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		close(queued)
+		_, rel, ok := a.acquire(ctx)
+		if !ok {
+			t.Error("queued acquire should eventually succeed")
+			return
+		}
+		rel()
+	}()
+	<-queued
+	// Give the goroutine time to land in the queue (queued gauge = 1).
+	deadline := time.Now().Add(time.Second)
+	for a.queued.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if _, _, ok := a.acquire(ctx); ok {
+		t.Fatal("acquire beyond queue depth should be shed")
+	}
+	if st := a.stats(); st.Rejected != 1 {
+		t.Errorf("rejected = %d, want 1", st.Rejected)
+	}
+
+	release() // frees the slot; the queued goroutine takes it
+	wg.Wait()
+	st := a.stats()
+	if st.Admitted != 2 {
+		t.Errorf("admitted = %d, want 2", st.Admitted)
+	}
+	if st.Inflight != 0 || st.Queued != 0 {
+		t.Errorf("gauges not drained: %+v", st)
+	}
+}
+
+// TestAdmissionRecordsQueueWait: a request that had to queue reports a
+// positive wait.
+func TestAdmissionRecordsQueueWait(t *testing.T) {
+	a := newAdmission(1, 4)
+	_, release, ok := a.acquire(context.Background())
+	if !ok {
+		t.Fatal("first acquire failed")
+	}
+	done := make(chan time.Duration, 1)
+	go func() {
+		wait, rel, ok := a.acquire(context.Background())
+		if !ok {
+			t.Error("queued acquire failed")
+			done <- 0
+			return
+		}
+		rel()
+		done <- wait
+	}()
+	time.Sleep(10 * time.Millisecond)
+	release()
+	if wait := <-done; wait <= 0 {
+		t.Errorf("queue wait = %v, want > 0", wait)
+	}
+}
+
+// TestAdmitMiddlewareReturns429: the HTTP wrapper sheds with 429 and a
+// Retry-After header once slots and queue are exhausted.
+func TestAdmitMiddlewareReturns429(t *testing.T) {
+	s := testServer(t)
+	s.adm = newAdmission(1, 0)
+
+	hold := make(chan struct{})
+	entered := make(chan struct{})
+	blocked := s.admit(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-hold
+	})
+
+	go func() {
+		rec := httptest.NewRecorder()
+		blocked(rec, httptest.NewRequest("POST", "/translate", nil))
+	}()
+	<-entered
+
+	rec := httptest.NewRecorder()
+	s.admit(func(http.ResponseWriter, *http.Request) {
+		t.Error("handler ran despite exhausted admission")
+	})(rec, httptest.NewRequest("POST", "/translate", nil))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("429 lacks Retry-After")
+	}
+	close(hold)
+}
+
+// TestPlanCacheHeader: the daemon reports how the plan cache served
+// each translation; a repeat of the same question must be a hit.
+func TestPlanCacheHeader(t *testing.T) {
+	s, err := newServer(serverConfig{planCache: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.timeout = 0
+	t.Cleanup(s.sess.Close)
+
+	first := postForm(t, s, s.translate, question)
+	if first.Code != http.StatusOK {
+		t.Fatalf("status = %d", first.Code)
+	}
+	if got := first.Header().Get("X-Plan-Cache"); got != "miss" {
+		t.Errorf("first translation X-Plan-Cache = %q, want miss", got)
+	}
+	second := postForm(t, s, s.translate, question)
+	if got := second.Header().Get("X-Plan-Cache"); got != "hit" {
+		t.Errorf("repeat translation X-Plan-Cache = %q, want hit", got)
+	}
+}
+
+// TestPlanCacheHeaderBypass: with the cache disabled (-plan-cache 0,
+// the test default) the header reports bypass.
+func TestPlanCacheHeaderBypass(t *testing.T) {
+	s := testServer(t)
+	rec := postForm(t, s, s.translate, question)
+	if got := rec.Header().Get("X-Plan-Cache"); got != "bypass" {
+		t.Errorf("X-Plan-Cache = %q, want bypass", got)
+	}
+}
+
+// TestAPIStats: the JSON stats endpoint reports cache and admission
+// counters a load generator scrapes.
+func TestAPIStats(t *testing.T) {
+	s, err := newServer(serverConfig{planCache: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.timeout = 0
+	t.Cleanup(s.sess.Close)
+
+	postForm(t, s, s.translate, question)
+	postForm(t, s, s.translate, question)
+
+	rec := httptest.NewRecorder()
+	s.apiStats(rec, httptest.NewRequest("GET", "/api/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var resp statsResponse
+	if err := json.NewDecoder(rec.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.PlanCache == nil {
+		t.Fatal("stats lack the plan cache section")
+	}
+	if resp.PlanCache.Hits != 1 || resp.PlanCache.Misses != 1 {
+		t.Errorf("plan cache stats = %+v, want 1 hit / 1 miss", *resp.PlanCache)
+	}
+	if resp.Admission.MaxInflight != defaultMaxInflight {
+		t.Errorf("admission max inflight = %d, want default %d", resp.Admission.MaxInflight, defaultMaxInflight)
+	}
+}

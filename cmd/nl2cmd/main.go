@@ -70,6 +70,10 @@ type server struct {
 	eng     *nl2cm.Engine
 	timeout time.Duration
 
+	// adm is the admission limiter in front of every translation-serving
+	// endpoint (see admission.go).
+	adm *admission
+
 	// sess owns the interactive dialogue sessions; answerWait bounds how
 	// long a start/answer request blocks waiting for the next question,
 	// and feedbackPath (when set) is where the disambiguation feedback
@@ -87,6 +91,16 @@ type server struct {
 	lastExec *engineStats
 }
 
+// Admission-control defaults (the -max-inflight and -queue-depth
+// flags). 64 concurrent translations saturate typical hosts while the
+// 256-deep queue absorbs bursts a few seconds long; beyond it, load is
+// shed with 429.
+const (
+	defaultMaxInflight = 64
+	defaultQueueDepth  = 256
+	defaultPlanCache   = 1024
+)
+
 // serverConfig collects the daemon's tunables (one field per flag).
 type serverConfig struct {
 	timeout         time.Duration
@@ -95,6 +109,13 @@ type serverConfig struct {
 	sessionTTL      time.Duration
 	questionTimeout time.Duration
 	answerWait      time.Duration
+
+	// planCache is the plan cache capacity in shapes (0 disables the
+	// cache entirely; negative means DefaultCapacity).
+	planCache int
+	// maxInflight / queueDepth parameterize the admission limiter.
+	maxInflight int
+	queueDepth  int
 }
 
 // newServer builds the shared translator, engine and session manager,
@@ -112,10 +133,14 @@ func newServer(cfg serverConfig) (*server, error) {
 	if cfg.answerWait <= 0 {
 		cfg.answerWait = 2 * time.Second
 	}
+	if cfg.planCache != 0 {
+		tr.Cache = nl2cm.NewPlanCache(cfg.planCache)
+	}
 	s := &server{
 		tr:           tr,
 		eng:          nl2cm.NewDemoEngine(onto),
 		timeout:      cfg.timeout,
+		adm:          newAdmission(cfg.maxInflight, cfg.queueDepth),
 		answerWait:   cfg.answerWait,
 		feedbackPath: cfg.feedback,
 		ixStats:      ix.NewMatchStats(10),
@@ -179,6 +204,9 @@ func main() {
 	sessions := flag.Int("sessions", session.DefaultCapacity, "max live dialogue sessions (oldest-idle evicted beyond)")
 	sessionTTL := flag.Duration("session-ttl", session.DefaultTTL, "dialogue session lifetime")
 	questionTimeout := flag.Duration("question-timeout", session.DefaultQuestionTimeout, "per-question deadline before the automatic answer applies")
+	planCache := flag.Int("plan-cache", defaultPlanCache, "plan cache capacity in question shapes (0 disables caching)")
+	maxInflight := flag.Int("max-inflight", defaultMaxInflight, "max concurrent translations before requests queue")
+	queueDepth := flag.Int("queue-depth", defaultQueueDepth, "max requests queued for a translation slot before 429s")
 	flag.Parse()
 	s, err := newServer(serverConfig{
 		timeout:         *timeout,
@@ -186,6 +214,9 @@ func main() {
 		sessions:        *sessions,
 		sessionTTL:      *sessionTTL,
 		questionTimeout: *questionTimeout,
+		planCache:       *planCache,
+		maxInflight:     *maxInflight,
+		queueDepth:      *queueDepth,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -235,12 +266,13 @@ func main() {
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /", s.home)
-	mux.HandleFunc("POST /translate", s.translate)
-	mux.HandleFunc("POST /execute", s.execute)
+	mux.HandleFunc("POST /translate", s.admit(s.translate))
+	mux.HandleFunc("POST /execute", s.admit(s.execute))
 	mux.HandleFunc("GET /admin", s.admin)
 	mux.HandleFunc("GET /corpus", s.corpus)
-	mux.HandleFunc("POST /api/translate", s.apiTranslate)
+	mux.HandleFunc("POST /api/translate", s.admit(s.apiTranslate))
 	mux.HandleFunc("GET /api/backends", s.apiBackends)
+	mux.HandleFunc("GET /api/stats", s.apiStats)
 	mux.HandleFunc("POST /api/session", s.apiSessionStart)
 	mux.HandleFunc("GET /api/session/{id}", s.apiSessionGet)
 	mux.HandleFunc("POST /api/session/{id}/answer", s.apiSessionAnswer)
@@ -384,15 +416,40 @@ func (s *server) reqCtx(r *http.Request) (context.Context, context.CancelFunc) {
 
 // doTranslate runs one translation under the given context and, on
 // success, snapshots the result for the admin page. The lock covers
-// only that snapshot.
-func (s *server) doTranslate(ctx context.Context, question string) (*nl2cm.Result, error) {
-	res, err := s.tr.Translate(ctx, question, nl2cm.Options{Trace: true})
-	if err == nil {
-		s.mu.Lock()
-		s.last = res
-		s.mu.Unlock()
+// only that snapshot. Only the requested backends are emitted (the
+// default OASSIS-QL rendering is always available via Result.Query),
+// and any admission-queue wait the request endured is prepended to the
+// trace as its own stage.
+func (s *server) doTranslate(ctx context.Context, question string, backends []string) (*nl2cm.Result, error) {
+	res, err := s.tr.Translate(ctx, question, nl2cm.Options{Trace: true, Backends: backends})
+	if err != nil {
+		return nil, err
 	}
-	return res, err
+	if wait, ok := ctx.Value(queueWaitKey{}).(time.Duration); ok {
+		res.Trace = append([]nl2cm.Stage{{
+			Module:   nl2cm.StageQueue,
+			Output:   "request queued for a translation slot",
+			Duration: wait,
+		}}, res.Trace...)
+	}
+	s.mu.Lock()
+	s.last = res
+	s.mu.Unlock()
+	return res, nil
+}
+
+// setCacheHeader exposes how the plan cache served this translation —
+// miss (filled), hit (exact), rebound (entity slots substituted), or
+// bypass (cache disabled or request not cacheable) — plus the
+// server-side translation wall-clock, so load generators can separate
+// translation latency from transport overhead.
+func setCacheHeader(w http.ResponseWriter, res *nl2cm.Result, elapsed time.Duration) {
+	outcome := res.CacheOutcome
+	if outcome == "" {
+		outcome = "bypass"
+	}
+	w.Header().Set("X-Plan-Cache", outcome)
+	w.Header().Set("X-Translate-Time", elapsed.String())
 }
 
 // translateError maps a translation failure to an HTTP status: timeouts
@@ -468,13 +525,19 @@ func (s *server) translate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	var backends []string
+	if backend != "" && backend != nl2cm.DefaultBackend {
+		backends = []string{backend}
+	}
 	ctx, cancel := s.reqCtx(r)
 	defer cancel()
-	res, err := s.doTranslate(ctx, q)
+	t0 := time.Now()
+	res, err := s.doTranslate(ctx, q, backends)
 	if err != nil {
 		translateError(w, err)
 		return
 	}
+	setCacheHeader(w, res, time.Since(t0))
 	d := s.buildPage(q, res)
 	d.Backend = backend
 	if backend != "" && backend != nl2cm.DefaultBackend && res.Verdict.Supported {
@@ -495,11 +558,13 @@ func (s *server) execute(w http.ResponseWriter, r *http.Request) {
 	q := strings.TrimSpace(r.FormValue("q"))
 	ctx, cancel := s.reqCtx(r)
 	defer cancel()
-	res, err := s.doTranslate(ctx, q)
+	t0 := time.Now()
+	res, err := s.doTranslate(ctx, q, nil)
 	if err != nil {
 		translateError(w, err)
 		return
 	}
+	setCacheHeader(w, res, time.Since(t0))
 	d := s.buildPage(q, res)
 	if res.Verdict.Supported {
 		out, err := s.eng.Execute(ctx, res.Query)
@@ -599,6 +664,17 @@ pre{background:#f4f4f4;padding:1em;overflow-x:auto}
 {{range .Exec.Subclauses}}<tr><td>SATISFYING {{.Index}}</td><td>{{.Tasks}}</td><td>{{.Duration}}</td></tr>{{end}}
 </table>
 {{end}}
+<h2>Plan cache</h2>
+{{with .PlanCache}}
+<p>{{.Entries}} cached shapes · {{.Hits}} hits ({{.Rebinds}} by entity
+re-binding) · {{.Misses}} misses · {{.Waits}} coalesced onto another
+request's fill · {{.Evictions}} evictions.</p>
+{{else}}<p>Plan cache disabled (-plan-cache 0).</p>{{end}}
+<h2>Admission control</h2>
+{{with .Admission}}
+<p>{{.Inflight}}/{{.MaxInflight}} slots in use, {{.Queued}}/{{.QueueDepth}} queued ·
+{{.Admitted}} admitted, {{.Rejected}} shed (429) · avg queue wait {{.AvgWait}}.</p>
+{{end}}
 <h2>Dialogue sessions</h2>
 {{with .Sessions}}
 <p>{{.Live}} live · {{.Started}} started — {{.Completed}} completed,
@@ -623,6 +699,8 @@ type adminData struct {
 	Sessions    session.Metrics
 	IXCounts    []ix.PatternCount
 	IXRecent    []ix.TranslationMatches
+	PlanCache   *nl2cm.PlanCacheStats
+	Admission   admissionStats
 }
 
 func (s *server) admin(w http.ResponseWriter, r *http.Request) {
@@ -633,6 +711,11 @@ func (s *server) admin(w http.ResponseWriter, r *http.Request) {
 		d.Annotated = d.Last.AnnotatedQuery()
 	}
 	d.CacheHits, d.CacheMisses = s.eng.CacheStats()
+	if s.tr.Cache != nil {
+		st := s.tr.Cache.Stats()
+		d.PlanCache = &st
+	}
+	d.Admission = s.adm.stats()
 	d.Sessions = s.sess.Metrics()
 	d.IXCounts = s.ixStats.Counts()
 	d.IXRecent = s.ixStats.Recent()
@@ -674,13 +757,19 @@ func (s *server) apiTranslate(w http.ResponseWriter, r *http.Request) {
 			backend, strings.Join(nl2cm.Backends(), ", ")), http.StatusBadRequest)
 		return
 	}
+	var backends []string
+	if backend != nl2cm.DefaultBackend {
+		backends = []string{backend}
+	}
 	ctx, cancel := s.reqCtx(r)
 	defer cancel()
-	res, err := s.doTranslate(ctx, req.Question)
+	t0 := time.Now()
+	res, err := s.doTranslate(ctx, req.Question, backends)
 	if err != nil {
 		translateError(w, err)
 		return
 	}
+	setCacheHeader(w, res, time.Since(t0))
 	resp := apiResponse{Supported: res.Verdict.Supported}
 	if !res.Verdict.Supported {
 		resp.Reason = res.Verdict.Reason
@@ -714,6 +803,30 @@ type backendInfo struct {
 	Name    string            `json:"name"`
 	Default bool              `json:"default"`
 	Caps    nl2cm.BackendCaps `json:"caps"`
+}
+
+// statsResponse is the /api/stats payload: the serving-side counters a
+// load generator or monitor scrapes between runs.
+type statsResponse struct {
+	PlanCache *nl2cm.PlanCacheStats `json:"plan_cache,omitempty"`
+	Admission admissionStats        `json:"admission"`
+	Sessions  nl2cm.SessionMetrics  `json:"sessions"`
+}
+
+// apiStats reports plan-cache, admission and session counters as JSON.
+func (s *server) apiStats(w http.ResponseWriter, r *http.Request) {
+	resp := statsResponse{
+		Admission: s.adm.stats(),
+		Sessions:  s.sess.Metrics(),
+	}
+	if s.tr.Cache != nil {
+		st := s.tr.Cache.Stats()
+		resp.PlanCache = &st
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		log.Printf("api encode: %v", err)
+	}
 }
 
 // apiBackends lists the registered backend dialects with their

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"nl2cm/internal/emit"
+	"nl2cm/internal/nlp"
+	"nl2cm/internal/oassisql"
+	"nl2cm/internal/prov"
+	"nl2cm/internal/qcache"
+	"nl2cm/internal/rdf"
+)
+
+// cacheEntry is what one translation leaves in the plan cache: the full
+// cold result plus the entity bindings its question's shape slots held,
+// so a later same-shape question can be served by substituting its own
+// entities into a clone of the cached plan.
+type cacheEntry struct {
+	res      *Result
+	entities []qcache.Binding
+}
+
+// cacheable reports whether this request may be served from (and fill)
+// the plan cache: only non-interactive translations qualify, because a
+// dialogue's answers are request-specific state no other request may
+// inherit. Interactive sessions therefore bypass the cache entirely.
+func (t *Translator) cacheable(opt Options) bool {
+	return t.Cache != nil && opt.Interactor == nil && len(opt.Policy.Ask) == 0
+}
+
+// epoch returns the cache epoch: the feedback store's version, so any
+// recorded disambiguation feedback (which can re-rank entity candidates
+// and change a translation) makes every previously cached plan
+// unreachable.
+func (t *Translator) epoch() uint64 {
+	if t.Generator == nil || t.Generator.Feedback == nil {
+		return 0
+	}
+	return t.Generator.Feedback.Version()
+}
+
+// translateCached serves one translation through the plan cache:
+// canonicalize the question to its shape, probe the cache (single-flight
+// on misses), and on a hit either reuse the cached result (exact
+// question) or rehydrate it by re-binding entity slots. Cold paths run
+// the full pipeline and leave their result behind for the next
+// same-shape question.
+func (t *Translator) translateCached(ctx context.Context, question string, opt Options) (*Result, error) {
+	start := time.Now()
+	if opt.Observer != nil {
+		opt.Observer.StageStart(StagePlanCache)
+	}
+	endObs := func(err error) {
+		if opt.Observer != nil {
+			opt.Observer.StageEnd(StagePlanCache, time.Since(start), err)
+		}
+	}
+
+	shape := qcache.Canonicalize(question, t.Onto)
+	key := qcache.Key{
+		Shape:    shape.Key,
+		Backends: qcache.BackendKey(opt.Backends),
+		Epoch:    t.epoch(),
+	}
+	v, flight, outcome := t.Cache.Lookup(key)
+
+	switch outcome {
+	case qcache.Wait:
+		// Someone else is translating this shape right now; share their
+		// work. Their failure is not ours (it may be their request's
+		// cancellation), so on error fall back to a cold translation —
+		// unless our own context is done too.
+		wv, err := flight.Wait(ctx)
+		if err == nil {
+			v = wv
+			break
+		}
+		if ctx.Err() != nil {
+			endObs(ctx.Err())
+			return nil, &StageError{Stage: StagePlanCache, Err: ctx.Err()}
+		}
+		endObs(nil)
+		return t.translate(ctx, question, opt)
+
+	case qcache.Miss:
+		// We own the fill. Close the cache stage first so the pipeline's
+		// stage timings are attributed to the pipeline, then run cold and
+		// publish the result for waiters and future requests.
+		endObs(nil)
+		probe := time.Since(start)
+		res, err := t.translate(ctx, question, opt)
+		if err != nil {
+			flight.Fail(err)
+			return nil, err
+		}
+		// Mutations must land before Fulfill publishes res to waiters.
+		res.CacheOutcome = "miss"
+		if opt.Trace {
+			res.Trace = append(res.Trace, Stage{
+				Module:   StagePlanCache,
+				Output:   fmt.Sprintf("miss — cached under shape %q", shape.Key),
+				Duration: probe,
+			})
+		}
+		flight.Fulfill(&cacheEntry{res: res, entities: shape.Entities})
+		return res, nil
+	}
+
+	// Hit (direct, or via a completed flight).
+	entry, ok := v.(*cacheEntry)
+	if !ok {
+		endObs(nil)
+		return t.translate(ctx, question, opt)
+	}
+	if res, served := t.serveHit(question, shape, entry, opt, start); served {
+		endObs(nil)
+		return res, nil
+	}
+	// Same shape but not rebindable (filtered plan, unsupported verdict,
+	// parse hiccup): translate cold. The shape entry stays — exact
+	// repeats of either question still hit.
+	endObs(nil)
+	return t.translate(ctx, question, opt)
+}
+
+// serveHit builds a Result for the question from a cached entry. An
+// exact question repeat reuses the cached result wholesale; a same-shape
+// question with different entities gets a cloned, re-bound plan with
+// re-derived renderings and provenance.
+func (t *Translator) serveHit(question string, shape qcache.Shape, entry *cacheEntry, opt Options, start time.Time) (*Result, bool) {
+	old := entry.res
+	if old.Question == question {
+		res := *old
+		res.CacheOutcome = "hit"
+		if opt.Trace {
+			res.Trace = []Stage{{
+				Module:   StagePlanCache,
+				Output:   fmt.Sprintf("hit (exact) — shape %q", shape.Key),
+				Duration: time.Since(start),
+			}}
+		} else {
+			res.Trace = nil
+		}
+		return &res, true
+	}
+
+	// Re-binding is only sound when every entity mention resolved
+	// unambiguously (guaranteed by shape equality) and no filter could
+	// mention a substituted term.
+	if old.Plan == nil || !old.Verdict.Supported {
+		return nil, false
+	}
+	if len(old.Plan.Filters) > 0 {
+		return nil, false
+	}
+	for _, cc := range old.Plan.Crowd {
+		if len(cc.Filters) > 0 {
+			return nil, false
+		}
+	}
+	if len(shape.Entities) != len(entry.entities) {
+		return nil, false
+	}
+	g, err := nlp.Parse(question)
+	if err != nil {
+		return nil, false
+	}
+
+	sub := make(map[rdf.Term]rdf.Term, len(shape.Entities))
+	for i := range shape.Entities {
+		sub[entry.entities[i].Term] = shape.Entities[i].Term
+	}
+	plan := old.Plan.Clone()
+	plan.Question = question
+	plan.Rebind(sub)
+	// Shape equality guarantees identical token structure, so the cached
+	// token sets index the fresh parse correctly; only the byte-level
+	// views (source excerpts) need recomputing.
+	rebindSources(plan, g)
+
+	res := &Result{
+		Question:         question,
+		Verdict:          old.Verdict,
+		Graph:            g,
+		IXs:              old.IXs,
+		RejectedIXs:      old.RejectedIXs,
+		General:          old.General,
+		Parts:            old.Parts,
+		Plan:             plan,
+		Query:            emit.OassisQuery(plan),
+		ComposeDecisions: old.ComposeDecisions,
+	}
+	res.PureGeneral = len(res.Query.Satisfying) == 0
+	if len(opt.Backends) > 0 {
+		res.Renderings = make(map[string]*emit.Rendering, len(opt.Backends))
+		for _, name := range opt.Backends {
+			rend, err := emit.Emit(name, plan)
+			if err != nil {
+				return nil, false
+			}
+			res.Renderings[name] = rend
+		}
+	}
+	res.buildProvenanceFromPlan()
+	res.CacheOutcome = "rebound"
+	if opt.Trace {
+		res.Trace = []Stage{{
+			Module: StagePlanCache,
+			Output: fmt.Sprintf("hit (rebound %d entity slot(s)) — shape %q, from %q",
+				len(sub), shape.Key, old.Question),
+			Duration: time.Since(start),
+		}}
+	}
+	t.Cache.NoteRebind()
+	return res, true
+}
+
+// rebindSources recomputes every pattern's source excerpt against the
+// new question's parse.
+func rebindSources(p *emit.Plan, g *nlp.DepGraph) {
+	fix := func(pats []emit.Pattern) {
+		for i := range pats {
+			if len(pats[i].Tokens) > 0 {
+				pats[i].Source = g.Excerpt(pats[i].Tokens)
+			}
+		}
+	}
+	fix(p.Where)
+	for i := range p.Crowd {
+		fix(p.Crowd[i].Patterns)
+	}
+}
+
+// buildProvenanceFromPlan rebuilds the Result's provenance views from
+// the plan's own pattern token sets — the rebind-path counterpart of
+// buildProvenance, which works from the traced composition output.
+func (r *Result) buildProvenanceFromPlan() {
+	r.Provenance = map[string]prov.Record{}
+	covered := prov.TokenSet{}
+	add := func(clause string, sub int, pat emit.Pattern) {
+		covered = covered.Union(pat.Tokens)
+		key := oassisql.TripleString(pat.Triple)
+		rec, seen := r.Provenance[key]
+		if seen {
+			rec.Tokens = rec.Tokens.Union(pat.Tokens)
+		} else {
+			rec = prov.Record{Triple: key, Clause: clause, Subclause: sub, Tokens: pat.Tokens}
+		}
+		spans := r.Graph.Spans(rec.Tokens)
+		rec.Spans = prov.MergeSpans(r.Question, spans)
+		rec.Text = prov.Excerpt(r.Question, spans)
+		r.Provenance[key] = rec
+	}
+	for _, pat := range r.Plan.Where {
+		add(oassisql.ClauseWhere, -1, pat)
+	}
+	for si, cc := range r.Plan.Crowd {
+		for _, pat := range cc.Patterns {
+			add(oassisql.ClauseSatisfying, si, pat)
+		}
+	}
+	r.finishUncovered(covered)
+}

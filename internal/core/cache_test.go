@@ -1,0 +1,231 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"nl2cm/internal/corpus"
+	"nl2cm/internal/emit"
+	"nl2cm/internal/interact"
+	"nl2cm/internal/ontology"
+	"nl2cm/internal/qcache"
+)
+
+// allBackends is every registered dialect, checked for byte-identity in
+// the differential tests.
+func allBackends() []string { return emit.Names() }
+
+// renderAll renders a result in every backend, failing the test on a
+// capability error only if the cold side rendered it too (capability
+// errors must match as well).
+func renderAll(t *testing.T, res *Result) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for _, name := range allBackends() {
+		rend, err := res.Render(name)
+		if err != nil {
+			out[name] = "ERR: " + err.Error()
+			continue
+		}
+		out[name] = rend.Query
+	}
+	return out
+}
+
+// TestCacheDifferentialCorpus asserts that for every corpus question,
+// the translation served through the plan cache — first as the filling
+// miss, then as an exact-shape hit — is byte-identical to a cold
+// translation on the OASSIS-QL query and every backend rendering.
+func TestCacheDifferentialCorpus(t *testing.T) {
+	onto := ontology.NewDemoOntology()
+	cold := New(onto)
+	cached := New(onto)
+	cached.Cache = qcache.New(256)
+	ctx := context.Background()
+	opt := Options{Backends: allBackends()}
+
+	for _, q := range corpus.All() {
+		coldRes, coldErr := cold.Translate(ctx, q.Text, opt)
+		missRes, missErr := cached.Translate(ctx, q.Text, opt)
+		hitRes, hitErr := cached.Translate(ctx, q.Text, opt)
+		if (coldErr == nil) != (missErr == nil) || (coldErr == nil) != (hitErr == nil) {
+			t.Errorf("%s: error mismatch: cold=%v miss=%v hit=%v", q.ID, coldErr, missErr, hitErr)
+			continue
+		}
+		if coldErr != nil {
+			continue
+		}
+		compareResults(t, q.ID+"/miss", coldRes, missRes)
+		compareResults(t, q.ID+"/hit", coldRes, hitRes)
+	}
+	st := cached.Cache.Stats()
+	if st.Hits == 0 {
+		t.Errorf("no cache hits over the corpus replay: stats %+v", st)
+	}
+}
+
+func compareResults(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	if want.Verdict.Supported != got.Verdict.Supported {
+		t.Errorf("%s: supported %v vs %v", label, want.Verdict.Supported, got.Verdict.Supported)
+		return
+	}
+	if !want.Verdict.Supported {
+		return
+	}
+	if w, g := want.Query.String(), got.Query.String(); w != g {
+		t.Errorf("%s: OASSIS-QL differs:\ncold:\n%s\ncached:\n%s", label, w, g)
+		return
+	}
+	wr, gr := renderAll(t, want), renderAll(t, got)
+	for _, name := range allBackends() {
+		if wr[name] != gr[name] {
+			t.Errorf("%s: backend %s differs:\ncold:\n%s\ncached:\n%s", label, name, wr[name], gr[name])
+		}
+	}
+}
+
+// TestCacheRebindDifferential: a same-shape question with different
+// entities must be served by re-binding the cached plan — and the
+// re-bound translation must be byte-identical to a cold translation of
+// that question, provenance excerpts included.
+func TestCacheRebindDifferential(t *testing.T) {
+	pairs := [][2]string{
+		{"Where do families eat near Delaware Park?", "Where do families eat near Central Park?"},
+		{"Which restaurants near Woodlawn Beach do locals recommend?", "Which restaurants near Niagara Falls do locals recommend?"},
+		{"What should we visit near Anchor Bar?", "What should we visit near Buffalo Zoo?"},
+	}
+	onto := ontology.NewDemoOntology()
+	ctx := context.Background()
+	opt := Options{Backends: allBackends()}
+
+	for i, pair := range pairs {
+		cached := New(onto)
+		cached.Cache = qcache.New(64)
+		cold := New(onto)
+
+		// Verify the pair actually shares a shape; otherwise the test
+		// exercises nothing.
+		sa := qcache.Canonicalize(pair[0], onto)
+		sb := qcache.Canonicalize(pair[1], onto)
+		if sa.Key != sb.Key {
+			t.Fatalf("pair %d: shapes differ:\n  %q\n  %q", i, sa.Key, sb.Key)
+		}
+
+		if _, err := cached.Translate(ctx, pair[0], opt); err != nil {
+			t.Fatalf("pair %d: warm-up: %v", i, err)
+		}
+		got, err := cached.Translate(ctx, pair[1], opt)
+		if err != nil {
+			t.Fatalf("pair %d: rebind translate: %v", i, err)
+		}
+		want, err := cold.Translate(ctx, pair[1], opt)
+		if err != nil {
+			t.Fatalf("pair %d: cold translate: %v", i, err)
+		}
+		compareResults(t, fmt.Sprintf("pair-%d", i), want, got)
+
+		// Provenance excerpts must re-derive from the *new* question.
+		for key, rec := range want.Provenance {
+			gotRec, ok := got.Provenance[key]
+			if !ok {
+				t.Errorf("pair %d: rebind lost provenance for %s", i, key)
+				continue
+			}
+			if rec.Text != gotRec.Text {
+				t.Errorf("pair %d: provenance text for %s: cold %q, rebound %q", i, key, rec.Text, gotRec.Text)
+			}
+		}
+		if st := cached.Cache.Stats(); st.Rebinds == 0 && want.Verdict.Supported && len(want.Plan.Filters) == 0 {
+			t.Errorf("pair %d: expected a rebind, stats %+v", i, st)
+		}
+	}
+}
+
+// TestCacheBypassesInteractiveRequests: a request with an interactor or
+// an asking policy must never touch the cache — dialogue answers are
+// request-private.
+func TestCacheBypassesInteractiveRequests(t *testing.T) {
+	onto := ontology.NewDemoOntology()
+	tr := New(onto)
+	tr.Cache = qcache.New(16)
+	ctx := context.Background()
+	q := "Where do families eat near Delaware Park?"
+
+	if _, err := tr.Translate(ctx, q, Options{Interactor: interact.Auto{}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Translate(ctx, q, Options{Policy: interact.Interactive()}); err != nil {
+		t.Fatal(err)
+	}
+	if st := tr.Cache.Stats(); st.Hits+st.Misses+st.Waits != 0 {
+		t.Errorf("interactive requests touched the cache: %+v", st)
+	}
+}
+
+// TestCacheFeedbackEpochInvalidates: recording disambiguation feedback
+// must make previously cached plans unreachable (the translation could
+// now rank entities differently).
+func TestCacheFeedbackEpochInvalidates(t *testing.T) {
+	onto := ontology.NewDemoOntology()
+	tr := New(onto)
+	tr.Cache = qcache.New(16)
+	ctx := context.Background()
+	q := "Where do families eat near Delaware Park?"
+
+	if _, err := tr.Translate(ctx, q, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Translate(ctx, q, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	st := tr.Cache.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("before feedback: stats %+v, want 1 hit / 1 miss", st)
+	}
+	tr.Generator.Feedback.Record("buffalo", ontology.E("Buffalo,_NY"))
+	if _, err := tr.Translate(ctx, q, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	st = tr.Cache.Stats()
+	if st.Misses != 2 {
+		t.Errorf("after feedback: stats %+v, want a second miss (epoch invalidation)", st)
+	}
+}
+
+// TestCacheObserverSeesPlanCacheStage: the observability hook must see
+// the Plan Cache stage on cached paths, and the hit trace must name it.
+func TestCacheObserverSeesPlanCacheStage(t *testing.T) {
+	onto := ontology.NewDemoOntology()
+	tr := New(onto)
+	tr.Cache = qcache.New(16)
+	ctx := context.Background()
+	q := "Where do families eat near Delaware Park?"
+
+	seen := map[string]int{}
+	var mu sync.Mutex
+	opt := Options{
+		Trace: true,
+		Observer: ObserverFunc(func(stage string, d time.Duration, err error) {
+			mu.Lock()
+			seen[stage]++
+			mu.Unlock()
+		}),
+	}
+	if _, err := tr.Translate(ctx, q, opt); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.Translate(ctx, q, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen[StagePlanCache] != 2 {
+		t.Errorf("observer saw Plan Cache %d times, want 2 (miss + hit)", seen[StagePlanCache])
+	}
+	if len(res.Trace) != 1 || res.Trace[0].Module != StagePlanCache {
+		t.Errorf("hit trace = %+v, want a single Plan Cache stage", res.Trace)
+	}
+}

@@ -43,6 +43,13 @@ func (r *Result) buildProvenance(out *compose.Output) {
 		}
 	}
 
+	r.finishUncovered(covered)
+}
+
+// finishUncovered derives the uncovered-word report and its rephrasing
+// tips from the set of tokens the emitted triples cover. It is shared by
+// both provenance builders (traced composition and plan rebind).
+func (r *Result) finishUncovered(covered prov.TokenSet) {
 	// Tokens inside an accepted IX were understood even when no single
 	// triple lists them (auxiliaries, particles).
 	understood := covered

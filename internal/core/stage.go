@@ -26,6 +26,14 @@ const (
 	// StageError / Observer vocabulary so execution failures and timings
 	// are attributed the same way as pipeline ones.
 	StageCrowd = "Crowd Execution"
+	// StagePlanCache is the shape-keyed plan cache probe (and, on a hit,
+	// the rebind) that may serve a translation without running the
+	// pipeline; it only appears when Translator.Cache is installed.
+	StagePlanCache = "Plan Cache"
+	// StageQueue is the daemon's admission-control wait: time a request
+	// spent queued for an execution slot before translation began. It is
+	// recorded by cmd/nl2cmd, not by Translate.
+	StageQueue = "Admission Queue"
 )
 
 // StageError attributes a pipeline failure to the module that raised it.

@@ -39,6 +39,7 @@ import (
 	"nl2cm/internal/oassisql"
 	"nl2cm/internal/ontology"
 	"nl2cm/internal/prov"
+	"nl2cm/internal/qcache"
 	"nl2cm/internal/qgen"
 	"nl2cm/internal/verify"
 )
@@ -97,6 +98,11 @@ type Result struct {
 	Uncovered []prov.TokenInfo
 	// CoverageTips are rephrasing hints generated from Uncovered.
 	CoverageTips []string
+	// CacheOutcome reports how the plan cache served this translation:
+	// "miss" (cold, now cached), "hit" (exact reuse), "rebound" (cached
+	// plan with re-bound entity slots), or "" when the request bypassed
+	// the cache (no cache installed, or an interactive request).
+	CacheOutcome string
 	// Trace holds the admin-mode intermediate outputs.
 	Trace []Stage
 	// Interactions is the recorded dialogue transcript.
@@ -112,6 +118,16 @@ type Translator struct {
 	Generator *qgen.Generator
 	Creator   *individual.Creator
 	Composer  *compose.Composer
+
+	// Cache, when non-nil, serves non-interactive translations through
+	// the shape-keyed plan cache (see the qcache package): questions
+	// sharing a canonical shape reuse one cold translation, re-binding
+	// entity slots where they differ. Interactive requests (a non-nil
+	// Options.Interactor or an asking Policy) always bypass it, and
+	// entries are keyed on the feedback store's version so learned
+	// disambiguation feedback invalidates stale plans. Set it before
+	// serving traffic; nil keeps the classic always-cold behavior.
+	Cache *qcache.Cache
 }
 
 // New builds a translator over the ontology with default detector,
@@ -189,11 +205,23 @@ func (s *stageRunner) run(name string, body func() (string, error)) error {
 // Translate runs the full pipeline on one NL question. The context
 // bounds the whole translation, including user dialogues: cancellation
 // or deadline expiry aborts between stages and inside interaction
-// points, returning a *StageError that wraps ctx.Err().
+// points, returning a *StageError that wraps ctx.Err(). When a plan
+// cache is installed (Translator.Cache) and the request is
+// non-interactive, the pipeline may be skipped entirely in favor of a
+// cached same-shape translation.
 func (t *Translator) Translate(ctx context.Context, question string, opt Options) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if t.cacheable(opt) {
+		return t.translateCached(ctx, question, opt)
+	}
+	return t.translate(ctx, question, opt)
+}
+
+// translate is the always-cold pipeline: the seven Figure-2 stages plus
+// the optional backend emitter.
+func (t *Translator) translate(ctx context.Context, question string, opt Options) (*Result, error) {
 	res := &Result{Question: question}
 	st := &stageRunner{ctx: ctx, opt: opt, res: res}
 

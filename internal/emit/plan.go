@@ -99,6 +99,59 @@ type Plan struct {
 	Agg *Aggregation
 }
 
+// Clone returns a deep-enough copy for re-binding: every slice that
+// Rebind or a Source recomputation mutates is copied; immutable parts
+// (token sets, filter expressions) are shared.
+func (p *Plan) Clone() *Plan {
+	q := *p
+	q.Select.Vars = append([]string(nil), p.Select.Vars...)
+	q.Where = append([]Pattern(nil), p.Where...)
+	q.Filters = append([]sparql.Expr(nil), p.Filters...)
+	q.Crowd = make([]CrowdClause, len(p.Crowd))
+	for i, cc := range p.Crowd {
+		q.Crowd[i] = CrowdClause{
+			Patterns:     append([]Pattern(nil), cc.Patterns...),
+			Filters:      append([]sparql.Expr(nil), cc.Filters...),
+			Significance: cc.Significance,
+		}
+	}
+	if p.Agg != nil {
+		a := *p.Agg
+		a.GroupBy = append([]string(nil), p.Agg.GroupBy...)
+		a.Aggs = append([]sparql.Aggregate(nil), p.Agg.Aggs...)
+		a.Having = append([]sparql.Expr(nil), p.Agg.Having...)
+		a.OrderBy = append([]sparql.OrderKey(nil), p.Agg.OrderBy...)
+		q.Agg = &a
+	}
+	return &q
+}
+
+// Rebind substitutes terms in every pattern (general and crowd): the
+// entity-slot rehydration step of the plan cache, mapping a cached
+// shape's entities onto a new question's. Filters are not rewritten —
+// callers must not rebind plans whose filters could mention a
+// substituted term.
+func (p *Plan) Rebind(sub map[rdf.Term]rdf.Term) {
+	apply := func(pats []Pattern) {
+		for i := range pats {
+			t := &pats[i].Triple
+			if n, ok := sub[t.S]; ok {
+				t.S = n
+			}
+			if n, ok := sub[t.P]; ok {
+				t.P = n
+			}
+			if n, ok := sub[t.O]; ok {
+				t.O = n
+			}
+		}
+	}
+	apply(p.Where)
+	for i := range p.Crowd {
+		apply(p.Crowd[i].Patterns)
+	}
+}
+
 // PureGeneral reports whether the plan has no crowd-mining part, i.e. it
 // is a plain ontology selection.
 func (p *Plan) PureGeneral() bool { return len(p.Crowd) == 0 }

@@ -243,6 +243,20 @@ func (o *Ontology) Lookup(phrase string) []Candidate {
 	return out
 }
 
+// ResolveEntity resolves a phrase that exactly (after normalization)
+// labels exactly one non-class term — the condition under which the
+// phrase is an unambiguous, feedback-independent entity mention. It is
+// the shape-canonicalization hook of the plan cache (qcache): ambiguous
+// labels like "Buffalo" and class words like "restaurant" return false
+// and stay literal in a question's shape key.
+func (o *Ontology) ResolveEntity(phrase string) (rdf.Term, bool) {
+	ts := o.labels[normalize(phrase)]
+	if len(ts) != 1 || o.classes[ts[0]] {
+		return rdf.Term{}, false
+	}
+	return ts[0], true
+}
+
 // LookupRelation aligns a relation lemma ("near", "in", "visit") with a
 // predicate, if the ontology models it.
 func (o *Ontology) LookupRelation(lemma string) (rdf.Term, bool) {

@@ -1,0 +1,367 @@
+// Package qcache is the cross-request translation cache: NLIDB workloads
+// are dominated by a small number of recurring question *shapes*
+// ("Where do families eat near Delaware Park?" and "Where do families
+// eat near Central Park?" are the same request about different
+// entities), so the expensive crowd-independent pipeline work —
+// parsing, IX detection, query generation, composition, backend
+// emission — can be amortized across every question of a shape.
+//
+// The package has two halves:
+//
+//   - Canonicalize turns a question into its Shape: the lowercased
+//     token sequence with every unambiguous entity mention abstracted to
+//     a slot marker, plus the ordered entity bindings that filled the
+//     slots. Two questions with equal shape keys differ only in which
+//     entities they name.
+//
+//   - Cache is a size-bounded LRU keyed on (shape, backend set, epoch)
+//     with single-flight deduplication: concurrent misses on one key
+//     run the underlying computation once, and everyone waits for it.
+//     The epoch is the caller's invalidation lever — keying it to the
+//     disambiguation-feedback version drops every cached plan the
+//     moment learned feedback could change a translation.
+//
+// The cache stores opaque values (any): the core package owns the
+// Result type and would otherwise be a dependency cycle.
+package qcache
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"nl2cm/internal/nlp"
+	"nl2cm/internal/rdf"
+)
+
+// EntityResolver resolves a surface phrase to the single entity it
+// unambiguously names. Phrases naming several entities (the three
+// "Buffalo"s) or classes ("restaurant") must return false: ambiguous
+// mentions stay literal in the shape key, because their resolution can
+// depend on learned feedback or dialogue, and class words are query
+// structure, not bindable slots. *ontology.Ontology implements it.
+type EntityResolver interface {
+	ResolveEntity(phrase string) (rdf.Term, bool)
+}
+
+// Binding is one entity slot of a shape, in question order.
+type Binding struct {
+	// Phrase is the surface mention ("Delaware Park").
+	Phrase string
+	// Term is the entity the phrase unambiguously names.
+	Term rdf.Term
+}
+
+// Shape is the canonical form of a question: the key two same-shape
+// questions share, and this question's slot bindings.
+type Shape struct {
+	// Key is the canonical token sequence, entity mentions abstracted to
+	// ⟨eN⟩ markers (N = token count of the mention, so shapes only match
+	// when their token structures match and cached token provenance
+	// stays valid across a rebind).
+	Key string
+	// Entities are the slot bindings in question order.
+	Entities []Binding
+}
+
+// maxMentionTokens bounds the n-gram window Canonicalize slides over
+// the question; the longest demo label ("Forest Hotel, Buffalo, NY")
+// tokenizes to 6 tokens.
+const maxMentionTokens = 8
+
+// Canonicalize computes the shape of a question: tokens are lowercased,
+// and each maximal phrase the resolver maps to a unique entity becomes
+// a slot marker. Matching is greedy longest-first, so "Forest Hotel,
+// Buffalo" binds the aliased hotel rather than "Forest Hotel" plus a
+// dangling ", Buffalo".
+func Canonicalize(question string, res EntityResolver) Shape {
+	toks := nlp.Tokenize(question)
+	var b strings.Builder
+	var ents []Binding
+	for i := 0; i < len(toks); {
+		n := matchMention(question, toks, i, res, &ents)
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		if n > 0 {
+			fmt.Fprintf(&b, "⟨e%d⟩", n)
+			i += n
+			continue
+		}
+		b.WriteString(toks[i].Lower)
+		i++
+	}
+	return Shape{Key: b.String(), Entities: ents}
+}
+
+// matchMention tries the longest entity mention starting at token i,
+// appending its binding and returning the token count (0 when none).
+func matchMention(question string, toks []nlp.Token, i int, res EntityResolver, ents *[]Binding) int {
+	max := maxMentionTokens
+	if rest := len(toks) - i; rest < max {
+		max = rest
+	}
+	for n := max; n >= 1; n-- {
+		phrase := question[toks[i].Start:toks[i+n-1].End]
+		if t, ok := res.ResolveEntity(phrase); ok {
+			*ents = append(*ents, Binding{Phrase: phrase, Term: t})
+			return n
+		}
+	}
+	return 0
+}
+
+// BackendKey canonicalizes a backend list into a key component: sorted,
+// deduplicated, comma-joined, so request-order differences do not split
+// the cache.
+func BackendKey(backends []string) string {
+	if len(backends) == 0 {
+		return ""
+	}
+	uniq := make([]string, 0, len(backends))
+	seen := make(map[string]bool, len(backends))
+	for _, b := range backends {
+		if !seen[b] {
+			seen[b] = true
+			uniq = append(uniq, b)
+		}
+	}
+	// insertion sort: backend lists are tiny
+	for i := 1; i < len(uniq); i++ {
+		for j := i; j > 0 && uniq[j] < uniq[j-1]; j-- {
+			uniq[j], uniq[j-1] = uniq[j-1], uniq[j]
+		}
+	}
+	return strings.Join(uniq, ",")
+}
+
+// Key identifies one cache entry.
+type Key struct {
+	// Shape is the canonical question shape (Shape.Key).
+	Shape string
+	// Backends is the requested backend set (BackendKey).
+	Backends string
+	// Epoch versions the world the entry was computed in; bumping it
+	// (e.g. on a feedback-store change) makes every older entry
+	// unreachable.
+	Epoch uint64
+}
+
+func (k Key) internal() string {
+	return fmt.Sprintf("%d|%s|%s", k.Epoch, k.Backends, k.Shape)
+}
+
+// Outcome classifies one cache access.
+type Outcome int
+
+const (
+	// Miss: no entry, no flight — the caller owns computing the value.
+	Miss Outcome = iota
+	// Hit: a cached value was returned.
+	Hit
+	// Wait: another goroutine is computing this key; wait on the flight.
+	Wait
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Wait:
+		return "wait"
+	default:
+		return "miss"
+	}
+}
+
+// Stats are the cache's monotonic counters.
+type Stats struct {
+	// Hits counts lookups served from a cached entry.
+	Hits uint64
+	// Misses counts lookups that started a fill.
+	Misses uint64
+	// Waits counts lookups coalesced onto another goroutine's fill.
+	Waits uint64
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions uint64
+	// Rebinds counts hits served by re-binding entity slots to new
+	// entities (noted by the caller via NoteRebind).
+	Rebinds uint64
+	// Entries is the current entry count (a gauge, not a counter).
+	Entries int
+}
+
+// Cache is the size-bounded single-flight LRU. The zero value is not
+// usable; construct with New.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	items   map[string]*list.Element // of *entry
+	lru     *list.List               // front = most recent
+	flights map[string]*Flight
+
+	hits, misses, waits, evictions, rebinds uint64
+}
+
+type entry struct {
+	key string
+	val any
+}
+
+// DefaultCapacity bounds the cache when New is given a non-positive
+// capacity.
+const DefaultCapacity = 1024
+
+// New returns a cache holding at most capacity entries.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{
+		cap:     capacity,
+		items:   make(map[string]*list.Element),
+		lru:     list.New(),
+		flights: make(map[string]*Flight),
+	}
+}
+
+// Flight is one in-progress fill. The goroutine that received Miss owns
+// it and must call exactly one of Fulfill or Fail; everyone that
+// received Wait blocks in Wait until it does.
+type Flight struct {
+	c    *Cache
+	key  string
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Lookup probes the cache. On Hit the value is returned; on Wait the
+// caller should Wait on the flight; on Miss the caller owns the flight
+// and must Fulfill or Fail it (deferring Fail(ctx.Err()) is safe: a
+// fulfilled flight ignores later calls).
+func (c *Cache) Lookup(key Key) (any, *Flight, Outcome) {
+	k := key.internal()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		return el.Value.(*entry).val, nil, Hit
+	}
+	if f, ok := c.flights[k]; ok {
+		c.waits++
+		return nil, f, Wait
+	}
+	f := &Flight{c: c, key: k, done: make(chan struct{})}
+	c.flights[k] = f
+	c.misses++
+	return nil, f, Miss
+}
+
+// Wait blocks until the flight's owner settles it or the context ends.
+// A settled flight returns the computed value or the owner's error; the
+// owner's error may reflect *its* request's cancellation, so callers
+// should fall back to computing for themselves rather than propagating
+// it.
+func (f *Flight) Wait(ctx context.Context) (any, error) {
+	select {
+	case <-f.done:
+		return f.val, f.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Fulfill stores the value under the flight's key and releases waiters.
+func (f *Flight) Fulfill(val any) { f.settle(val, nil) }
+
+// Fail releases waiters with the error; nothing is cached.
+func (f *Flight) Fail(err error) {
+	if err == nil {
+		err = context.Canceled
+	}
+	f.settle(nil, err)
+}
+
+func (f *Flight) settle(val any, err error) {
+	f.c.mu.Lock()
+	if f.c.flights[f.key] != f { // already settled
+		f.c.mu.Unlock()
+		return
+	}
+	delete(f.c.flights, f.key)
+	f.val, f.err = val, err
+	if err == nil {
+		f.c.insertLocked(f.key, val)
+	}
+	f.c.mu.Unlock()
+	close(f.done)
+}
+
+// insertLocked adds an entry, evicting from the LRU tail past capacity.
+func (c *Cache) insertLocked(k string, val any) {
+	if el, ok := c.items[k]; ok {
+		el.Value.(*entry).val = val
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.lru.PushFront(&entry{key: k, val: val})
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.items, back.Value.(*entry).key)
+		c.evictions++
+	}
+}
+
+// Do is the convenience form of Lookup: on Miss it runs fill and
+// settles the flight; on Wait it blocks for the filler's value. The
+// returned Outcome tells which path was taken.
+func (c *Cache) Do(ctx context.Context, key Key, fill func() (any, error)) (any, Outcome, error) {
+	v, f, o := c.Lookup(key)
+	switch o {
+	case Hit:
+		return v, Hit, nil
+	case Wait:
+		v, err := f.Wait(ctx)
+		return v, Wait, err
+	}
+	v, err := fill()
+	if err != nil {
+		f.Fail(err)
+		return nil, Miss, err
+	}
+	f.Fulfill(v)
+	return v, Miss, nil
+}
+
+// NoteRebind counts a hit that was served by entity re-binding.
+func (c *Cache) NoteRebind() {
+	c.mu.Lock()
+	c.rebinds++
+	c.mu.Unlock()
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Waits:     c.waits,
+		Evictions: c.evictions,
+		Rebinds:   c.rebinds,
+		Entries:   c.lru.Len(),
+	}
+}
+
+// Len returns the current entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -1,0 +1,264 @@
+package qcache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"nl2cm/internal/ontology"
+)
+
+func TestCanonicalizeAbstractsUniqueEntities(t *testing.T) {
+	onto := ontology.NewDemoOntology()
+	a := Canonicalize("Where do families eat near Delaware Park?", onto)
+	b := Canonicalize("Where do families eat near Central Park?", onto)
+	if a.Key != b.Key {
+		t.Fatalf("same-shape questions got different keys:\n  %q\n  %q", a.Key, b.Key)
+	}
+	if len(a.Entities) != 1 || len(b.Entities) != 1 {
+		t.Fatalf("entity slots = %d / %d, want 1 / 1", len(a.Entities), len(b.Entities))
+	}
+	if a.Entities[0].Term.Equal(b.Entities[0].Term) {
+		t.Fatalf("both questions bound the same entity %v", a.Entities[0].Term)
+	}
+	if a.Entities[0].Phrase != "Delaware Park" {
+		t.Errorf("phrase = %q, want %q", a.Entities[0].Phrase, "Delaware Park")
+	}
+}
+
+func TestCanonicalizeKeepsAmbiguousAndClassWordsLiteral(t *testing.T) {
+	onto := ontology.NewDemoOntology()
+	// "Buffalo" labels three cities: it must stay literal, because its
+	// resolution is feedback/dialogue-dependent.
+	s := Canonicalize("What should we visit in Buffalo?", onto)
+	if len(s.Entities) != 0 {
+		t.Fatalf("ambiguous mention was abstracted: %+v", s.Entities)
+	}
+	for _, w := range []string{"buffalo"} {
+		if !strings.Contains(s.Key, w) {
+			t.Errorf("shape key %q lost literal word %q", s.Key, w)
+		}
+	}
+	// Class words ("restaurant") are query structure, not slots.
+	s = Canonicalize("Which restaurant serves families?", onto)
+	if len(s.Entities) != 0 {
+		t.Fatalf("class word was abstracted: %+v", s.Entities)
+	}
+}
+
+func TestCanonicalizeGreedyLongestMention(t *testing.T) {
+	onto := ontology.NewDemoOntology()
+	s := Canonicalize("What is near Forest Hotel, Buffalo?", onto)
+	if len(s.Entities) != 1 {
+		t.Fatalf("entities = %+v, want the aliased hotel as one slot", s.Entities)
+	}
+	if s.Entities[0].Phrase != "Forest Hotel, Buffalo" {
+		t.Errorf("phrase = %q, want the full alias", s.Entities[0].Phrase)
+	}
+	// The marker records the token count (Forest Hotel , Buffalo = 4),
+	// so mentions with different token structures never share a shape.
+	if !strings.Contains(s.Key, "⟨e4⟩") {
+		t.Errorf("shape key %q lacks the 4-token marker", s.Key)
+	}
+}
+
+func TestCanonicalizeTokenCountSplitsShapes(t *testing.T) {
+	onto := ontology.NewDemoOntology()
+	two := Canonicalize("What is near Delaware Park?", onto)
+	one := Canonicalize("What is near Canalside?", onto)
+	if two.Key == one.Key {
+		t.Fatalf("2-token and 1-token mentions share shape %q; cached token sets would go stale", two.Key)
+	}
+}
+
+func TestBackendKeyCanonicalizes(t *testing.T) {
+	if got := BackendKey([]string{"sql", "cypher", "sql"}); got != "cypher,sql" {
+		t.Errorf("BackendKey = %q, want %q", got, "cypher,sql")
+	}
+	if got := BackendKey(nil); got != "" {
+		t.Errorf("BackendKey(nil) = %q, want empty", got)
+	}
+}
+
+func TestCacheHitMissEvict(t *testing.T) {
+	c := New(2)
+	ctx := context.Background()
+	fill := func(v string) func() (any, error) {
+		return func() (any, error) { return v, nil }
+	}
+	key := func(s string) Key { return Key{Shape: s} }
+
+	if _, o, _ := c.Do(ctx, key("a"), fill("A")); o != Miss {
+		t.Fatalf("first access = %v, want miss", o)
+	}
+	if v, o, _ := c.Do(ctx, key("a"), fill("wrong")); o != Hit || v.(string) != "A" {
+		t.Fatalf("second access = %v %v, want hit A", v, o)
+	}
+	c.Do(ctx, key("b"), fill("B"))
+	c.Do(ctx, key("c"), fill("C")) // evicts "a" (LRU tail)
+	if _, o, _ := c.Do(ctx, key("a"), fill("A2")); o != Miss {
+		t.Fatalf("evicted key came back as %v, want miss", o)
+	}
+	st := c.Stats()
+	if st.Evictions < 1 {
+		t.Errorf("evictions = %d, want ≥1", st.Evictions)
+	}
+	if st.Entries > 2 {
+		t.Errorf("entries = %d, want ≤ capacity 2", st.Entries)
+	}
+}
+
+func TestCacheEpochInvalidates(t *testing.T) {
+	c := New(8)
+	ctx := context.Background()
+	fill := func() (any, error) { return "v", nil }
+	if _, o, _ := c.Do(ctx, Key{Shape: "s", Epoch: 0}, fill); o != Miss {
+		t.Fatal("expected miss at epoch 0")
+	}
+	if _, o, _ := c.Do(ctx, Key{Shape: "s", Epoch: 0}, fill); o != Hit {
+		t.Fatal("expected hit at epoch 0")
+	}
+	if _, o, _ := c.Do(ctx, Key{Shape: "s", Epoch: 1}, fill); o != Miss {
+		t.Fatal("epoch bump did not invalidate the entry")
+	}
+}
+
+func TestSingleFlightDeduplicates(t *testing.T) {
+	c := New(8)
+	ctx := context.Background()
+	const workers = 16
+	var fills atomic.Int64
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]any, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-gate
+			v, _, err := c.Do(ctx, Key{Shape: "shared"}, func() (any, error) {
+				fills.Add(1)
+				return "computed", nil
+			})
+			if err != nil {
+				t.Errorf("worker %d: %v", i, err)
+			}
+			results[i] = v
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if n := fills.Load(); n != 1 {
+		t.Errorf("fill ran %d times for one key, want exactly 1", n)
+	}
+	for i, v := range results {
+		if v != "computed" {
+			t.Errorf("worker %d got %v", i, v)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits+st.Waits != workers-1 {
+		t.Errorf("stats = %+v, want 1 miss and %d hits+waits", st, workers-1)
+	}
+}
+
+func TestFailedFlightIsNotCached(t *testing.T) {
+	c := New(8)
+	ctx := context.Background()
+	boom := errors.New("boom")
+	if _, _, err := c.Do(ctx, Key{Shape: "s"}, func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, o, _ := c.Do(ctx, Key{Shape: "s"}, func() (any, error) { return "ok", nil }); o != Miss {
+		t.Fatalf("after a failed fill the next access = %v, want miss", o)
+	}
+}
+
+func TestFlightDoubleSettleIsSafe(t *testing.T) {
+	c := New(8)
+	_, f, o := c.Lookup(Key{Shape: "s"})
+	if o != Miss {
+		t.Fatal("expected miss")
+	}
+	f.Fulfill("v")
+	f.Fail(errors.New("late")) // deferred-cleanup pattern: must be a no-op
+	if v, _, o := c.Lookup(Key{Shape: "s"}); o != Hit || v.(string) != "v" {
+		t.Fatalf("entry lost after late Fail: %v %v", v, o)
+	}
+}
+
+// TestCacheStress hammers a small cache from many goroutines with
+// overlapping shape keys — concurrent hits, misses, waits and evictions
+// on the same keys. Run with -race; the invariant checked is that every
+// access returns the value computed for its key.
+func TestCacheStress(t *testing.T) {
+	c := New(4) // smaller than the key space: constant eviction pressure
+	ctx := context.Background()
+	const (
+		workers = 8
+		iters   = 400
+		shapes  = 10
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				shape := fmt.Sprintf("shape-%d", (w+i)%shapes)
+				want := "value-for-" + shape
+				v, _, err := c.Do(ctx, Key{Shape: shape}, func() (any, error) {
+					return want, nil
+				})
+				if err != nil {
+					t.Errorf("worker %d iter %d: %v", w, i, err)
+					return
+				}
+				if v.(string) != want {
+					t.Errorf("worker %d iter %d: got %v, want %v", w, i, v, want)
+					return
+				}
+				if i%7 == 0 {
+					c.NoteRebind()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if total := st.Hits + st.Misses + st.Waits; total != workers*iters {
+		t.Errorf("hits+misses+waits = %d, want %d", total, workers*iters)
+	}
+	if st.Entries > 4 {
+		t.Errorf("entries = %d, want ≤ capacity 4", st.Entries)
+	}
+}
+
+// TestSingleFlightWaiterCancellation: a waiter whose context ends while
+// the filler is still running gets its own context error, and the
+// filler's later Fulfill still lands in the cache.
+func TestSingleFlightWaiterCancellation(t *testing.T) {
+	c := New(8)
+	key := Key{Shape: "slow"}
+	_, owner, o := c.Lookup(key)
+	if o != Miss {
+		t.Fatal("expected miss")
+	}
+	_, waiterFlight, o := c.Lookup(key)
+	if o != Wait {
+		t.Fatalf("second lookup = %v, want wait", o)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := waiterFlight.Wait(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter got %v, want context.Canceled", err)
+	}
+	owner.Fulfill("done")
+	if v, _, o := c.Lookup(key); o != Hit || v.(string) != "done" {
+		t.Fatalf("after fulfill: %v %v, want hit done", v, o)
+	}
+}

@@ -118,6 +118,10 @@ func (r *Result) VarTerm(node int) (rdf.Term, bool) {
 type Feedback struct {
 	mu     sync.RWMutex
 	counts map[string]map[string]int
+	// version counts mutations. The plan cache keys entries on it, so a
+	// recorded answer (which can re-rank candidates in later lookups)
+	// implicitly invalidates every translation cached before it.
+	version uint64
 }
 
 // NewFeedback returns an empty store.
@@ -136,6 +140,16 @@ func (f *Feedback) Record(phrase string, entity rdf.Term) {
 		f.counts[key] = m
 	}
 	m[entity.Value()]++
+	f.version++
+}
+
+// Version returns the mutation count: it changes whenever recorded
+// feedback could change a translation, which makes it the cache-epoch
+// source for translation caching.
+func (f *Feedback) Version() uint64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.version
 }
 
 // MarshalJSON serializes the learned counts so feedback can persist
@@ -155,6 +169,7 @@ func (f *Feedback) UnmarshalJSON(data []byte) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.counts = counts
+	f.version++
 	return nil
 }
 

@@ -3,6 +3,7 @@ package sparql
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"nl2cm/internal/rdf"
@@ -273,57 +274,120 @@ func (s *aggState) result(a Aggregate) (rdf.Term, bool) {
 	return rdf.Term{}, false
 }
 
-func newAggStates(n int) []aggState {
-	states := make([]aggState, n)
-	for i := range states {
-		states[i].allInt = true
+// aggArena hands out per-group aggregate-state slices from chunked
+// blocks, so building many groups costs a handful of allocations instead
+// of one per group. Blocks are abandoned (not grown) when full, so
+// handed-out slices stay valid as more groups arrive.
+type aggArena struct {
+	n    int // states per group
+	buf  []aggState
+	used int
+}
+
+func newAggArena(n int) *aggArena { return &aggArena{n: n} }
+
+func (a *aggArena) take() []aggState {
+	if a.n == 0 {
+		return nil
 	}
-	return states
+	if len(a.buf)-a.used < a.n {
+		a.buf = make([]aggState, 256*a.n)
+		a.used = 0
+	}
+	s := a.buf[a.used : a.used+a.n : a.used+a.n]
+	a.used += a.n
+	for i := range s {
+		s[i].allInt = true
+	}
+	return s
+}
+
+// termArena is the same chunked allocator for per-group slot-row term
+// slices (the streaming evaluator's group representatives).
+type termArena struct {
+	w    int // row width
+	buf  []rdf.Term
+	used int
+}
+
+func newTermArena(w int) *termArena { return &termArena{w: w} }
+
+func (a *termArena) take() []rdf.Term {
+	if a.w == 0 {
+		return nil
+	}
+	if len(a.buf)-a.used < a.w {
+		a.buf = make([]rdf.Term, 256*a.w)
+		a.used = 0
+	}
+	s := a.buf[a.used : a.used+a.w : a.used+a.w]
+	a.used += a.w
+	return s
+}
+
+// groupSizeHint sizes the group map and emission-order slice: most
+// grouped queries collapse many rows per group, so a fraction of the row
+// count avoids both rehashing and gross over-allocation.
+func groupSizeHint(rows int) int {
+	hint := rows/8 + 1
+	if hint > 1024 {
+		hint = 1024
+	}
+	return hint
 }
 
 // refAggregate is the reference evaluator's grouping step over map-form
 // bindings. Groups emit in first-appearance order of their keys.
+//
+// The group key is assembled in a reused byte buffer and looked up via
+// groups[string(key)] — the compiler elides that conversion's
+// allocation — so only the first row of each group materializes a key
+// string. At 100k rows this removes one allocation per row.
 func refAggregate(spec *aggSpec, rows []Binding, env *Env) []Binding {
 	type group struct {
 		rep    Binding
 		states []aggState
 	}
-	var order []string
-	groups := map[string]*group{}
-	var sb strings.Builder
+	hint := groupSizeHint(len(rows))
+	// Groups live in a slice in first-appearance order; the map holds
+	// indexes into it, so no per-group pointer allocation and no separate
+	// emission-order slice are needed.
+	arr := make([]group, 0, hint)
+	groups := make(map[string]int32, hint)
+	states := newAggArena(len(spec.aggs))
+	var keyBuf []byte
 	for _, b := range rows {
-		sb.Reset()
+		keyBuf = keyBuf[:0]
 		for _, v := range spec.groupBy {
 			t, ok := b[v]
-			writeGroupKeyPart(&sb, t, ok)
+			keyBuf = appendGroupKeyPart(keyBuf, t, ok)
 		}
-		key := sb.String()
-		g := groups[key]
-		if g == nil {
-			rep := Binding{}
+		idx, ok := groups[string(keyBuf)]
+		if !ok {
+			rep := make(Binding, len(spec.groupBy)+len(spec.aggs))
 			for _, v := range spec.groupBy {
 				if t, ok := b[v]; ok {
 					rep[v] = t
 				}
 			}
-			g = &group{rep: rep, states: newAggStates(len(spec.aggs))}
-			groups[key] = g
-			order = append(order, key)
+			idx = int32(len(arr))
+			arr = append(arr, group{rep: rep, states: states.take()})
+			groups[string(keyBuf)] = idx
 		}
+		g := &arr[idx]
 		for i, a := range spec.aggs {
 			t, ok := b[a.Var]
 			g.states[i].add(a, t, ok)
 		}
 	}
-	if len(order) == 0 && len(spec.groupBy) == 0 {
+	if len(arr) == 0 && len(spec.groupBy) == 0 {
 		// A global aggregate over zero rows still produces one group.
-		groups[""] = &group{rep: Binding{}, states: newAggStates(len(spec.aggs))}
-		order = append(order, "")
+		arr = append(arr, group{rep: Binding{}, states: states.take()})
 	}
-	var out []Binding
-	for _, key := range order {
-		g := groups[key]
-		b := g.rep.Clone()
+	out := make([]Binding, 0, len(arr))
+	for gi := range arr {
+		g := &arr[gi]
+		b := g.rep
 		for i, a := range spec.aggs {
 			if t, ok := g.states[i].result(a); ok {
 				b[a.As] = t
@@ -419,16 +483,29 @@ func havingPass(having []Expr, b Vars, env *Env) bool {
 	return true
 }
 
-// writeGroupKeyPart appends one group-key component: a bound marker so
+// appendGroupKeyPart appends one group-key component: a bound marker so
 // an unbound variable can never collide with any bound value, then the
-// collision-free term encoding.
-func writeGroupKeyPart(sb *strings.Builder, t rdf.Term, bound bool) {
+// collision-free term encoding. The append-based form lets both grouping
+// paths reuse one buffer across rows instead of allocating a string per
+// row.
+func appendGroupKeyPart(buf []byte, t rdf.Term, bound bool) []byte {
 	if !bound {
-		sb.WriteByte('-')
-		return
+		return append(buf, '-')
 	}
-	sb.WriteByte('+')
-	writeTermKey(sb, t)
+	buf = append(buf, '+')
+	return appendTermKey(buf, t)
+}
+
+// appendTermKey appends the length-prefixed encoding of every term field
+// (the []byte counterpart of writeTermKey).
+func appendTermKey(buf []byte, t rdf.Term) []byte {
+	buf = append(buf, byte('0'+t.Kind()))
+	for _, part := range [3]string{t.Value(), t.Datatype(), t.Lang()} {
+		buf = strconv.AppendInt(buf, int64(len(part)), 10)
+		buf = append(buf, ':')
+		buf = append(buf, part...)
+	}
+	return buf
 }
 
 // aggregateRows is the streaming evaluator's grouping step over
@@ -456,23 +533,30 @@ func (e *exec) aggregateRows(spec *aggSpec, rows []row) []row {
 		}
 		argSlots[i] = slot
 	}
-	var order []string
-	groups := map[string]*group{}
-	var sb strings.Builder
+	hint := groupSizeHint(len(rows))
+	// Groups live in a slice in first-appearance order; the map holds
+	// indexes into it. Group representatives and aggregate states come
+	// from chunked arenas — with many small groups (the superlative-plan
+	// shape) the per-row and per-group allocations dominate the analytic
+	// path, so each is amortized over a chunk.
+	arr := make([]group, 0, hint)
+	groups := make(map[string]int32, hint)
+	states := newAggArena(len(spec.aggs))
+	terms := newTermArena(len(e.c.names))
+	var keyBuf []byte
 	for _, r := range rows {
-		sb.Reset()
+		keyBuf = keyBuf[:0]
 		for _, slot := range groupSlots {
 			var t rdf.Term
 			ok := false
 			if slot >= 0 {
 				t, ok = r.get(slot)
 			}
-			writeGroupKeyPart(&sb, t, ok)
+			keyBuf = appendGroupKeyPart(keyBuf, t, ok)
 		}
-		key := sb.String()
-		g := groups[key]
-		if g == nil {
-			rep := row{vals: make([]rdf.Term, len(e.c.names))}
+		idx, ok := groups[string(keyBuf)]
+		if !ok {
+			rep := row{vals: terms.take()}
 			for _, slot := range groupSlots {
 				if slot < 0 {
 					continue
@@ -482,10 +566,11 @@ func (e *exec) aggregateRows(spec *aggSpec, rows []row) []row {
 					rep.mask |= 1 << slot
 				}
 			}
-			g = &group{rep: rep, states: newAggStates(len(spec.aggs))}
-			groups[key] = g
-			order = append(order, key)
+			idx = int32(len(arr))
+			arr = append(arr, group{rep: rep, states: states.take()})
+			groups[string(keyBuf)] = idx
 		}
+		g := &arr[idx]
 		for i, a := range spec.aggs {
 			var t rdf.Term
 			ok := false
@@ -495,16 +580,12 @@ func (e *exec) aggregateRows(spec *aggSpec, rows []row) []row {
 			g.states[i].add(a, t, ok)
 		}
 	}
-	if len(order) == 0 && len(spec.groupBy) == 0 {
-		groups[""] = &group{
-			rep:    row{vals: make([]rdf.Term, len(e.c.names))},
-			states: newAggStates(len(spec.aggs)),
-		}
-		order = append(order, "")
+	if len(arr) == 0 && len(spec.groupBy) == 0 {
+		arr = append(arr, group{rep: row{vals: terms.take()}, states: states.take()})
 	}
-	var out []row
-	for _, key := range order {
-		g := groups[key]
+	out := make([]row, 0, len(arr))
+	for gi := range arr {
+		g := &arr[gi]
 		for i, a := range spec.aggs {
 			if t, ok := g.states[i].result(a); ok {
 				slot := e.c.slots[a.As]

@@ -32,6 +32,7 @@ import (
 	"nl2cm/internal/nlp"
 	"nl2cm/internal/oassisql"
 	"nl2cm/internal/ontology"
+	"nl2cm/internal/qcache"
 	"nl2cm/internal/qgen"
 	"nl2cm/internal/session"
 	"nl2cm/internal/verify"
@@ -86,11 +87,34 @@ const (
 	// StageCrowd attributes execution-side (crowd.Engine) failures and
 	// observer callbacks.
 	StageCrowd = core.StageCrowd
+	// StagePlanCache is the shape-keyed plan cache probe/rebind that can
+	// serve a translation without running the pipeline (Translator.Cache).
+	StagePlanCache = core.StagePlanCache
+	// StageQueue is the serving daemon's admission-control wait, recorded
+	// by cmd/nl2cmd ahead of the pipeline stages.
+	StageQueue = core.StageQueue
 )
 
 // NewTranslator builds a translator over an ontology with the default IX
 // patterns, vocabularies and composition defaults.
 func NewTranslator(onto *Ontology) *Translator { return core.New(onto) }
+
+// ---- Plan cache ----
+
+// PlanCache is the shape-keyed translation cache: install one on
+// Translator.Cache and repeated (or same-shape) non-interactive
+// questions are served from cached plans, re-binding entity slots
+// instead of re-running the pipeline. It is safe for concurrent use and
+// deduplicates concurrent misses of one shape (single-flight).
+type PlanCache = qcache.Cache
+
+// PlanCacheStats is a point-in-time snapshot of a PlanCache's counters
+// (hits, rebinds, misses, waits, evictions, entries).
+type PlanCacheStats = qcache.Stats
+
+// NewPlanCache builds a plan cache holding up to capacity shapes
+// (LRU-evicted beyond); capacity <= 0 uses qcache.DefaultCapacity.
+func NewPlanCache(capacity int) *PlanCache { return qcache.New(capacity) }
 
 // ---- Query language ----
 

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# bench_record.sh produces the repo's in-repo perf record for today: it
+# runs the P-series micro-benchmarks (go test -bench) and a full
+# cmd/loadgen run against a locally started daemon, then merges both
+# into one well-formed BENCH_<date>.json (or the file named by $1).
+# Requires jq.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out=${1:-BENCH_$(date +%F).json}
+addr=127.0.0.1:8097
+workdir=$(mktemp -d)
+daemon=
+cleanup() {
+  [ -n "$daemon" ] && kill "$daemon" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+benchcmd="go test -run '^$' -bench 'BenchmarkP8_JoinPlan|BenchmarkP9_ScaleLookup|BenchmarkP10_GroupBy' -benchmem ."
+echo "== micro-benchmarks: $benchcmd"
+go test -run '^$' -bench 'BenchmarkP8_JoinPlan|BenchmarkP9_ScaleLookup|BenchmarkP10_GroupBy' \
+  -benchmem . | tee "$workdir/bench.txt"
+
+# "BenchmarkP8_JoinPlan/triples=10000-8   123  165018 ns/op  42192 B/op  291 allocs/op"
+# → {"name": ..., "ns_per_op": ..., "bytes_per_op": ..., "allocs_per_op": ...}
+awk '/^Benchmark/ {
+  name = $1; sub(/^Benchmark/, "", name); sub(/-[0-9]+$/, "", name)
+  printf "{\"name\": \"%s\", \"ns_per_op\": %d, \"bytes_per_op\": %d, \"allocs_per_op\": %d}\n",
+    name, $3, $5, $7
+}' "$workdir/bench.txt" | jq -s . >"$workdir/benchmarks.json"
+
+echo "== loadgen against a live daemon"
+go build -o "$workdir/nl2cmd" ./cmd/nl2cmd
+go build -o "$workdir/loadgen" ./cmd/loadgen
+"$workdir/nl2cmd" -addr "$addr" &
+daemon=$!
+"$workdir/loadgen" -addr "http://$addr" \
+  -sessions "${SESSIONS:-200}" -requests "${REQUESTS:-5000}" \
+  -out "$workdir/serving.json"
+kill "$daemon" && wait "$daemon" 2>/dev/null || true
+daemon=
+
+jq -n \
+  --arg date "$(date +%F)" \
+  --arg go "$(go version | sed 's/^go version //')" \
+  --arg cpu "$(grep -m1 'model name' /proc/cpuinfo | sed 's/.*: //' || echo unknown)" \
+  --arg cmd "$benchcmd" \
+  --arg note "${NOTE:-}" \
+  --slurpfile benchmarks "$workdir/benchmarks.json" \
+  --slurpfile serving "$workdir/serving.json" \
+  '{date: $date, go: $go, cpu: $cpu, command: $cmd, note: $note,
+    benchmarks: $benchmarks[0], serving: $serving[0]}' >"$out"
+
+echo "record written to $out"
+jq '{date, serving: {throughput_rps: .serving.throughput_rps,
+     latency_ms: .serving.latency_ms, cache_hit_rate: .serving.cache_hit_rate,
+     cached_speedup: .serving.cached_speedup}}' "$out"

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# loadgen_smoke.sh boots a throwaway nl2cmd daemon, drives a short
+# repeated-question workload through cmd/loadgen, and asserts the
+# serving layer held up: every request served (no errors), nonzero
+# throughput, and a warm plan cache (>0% hit rate — on a repeated
+# workload most requests after the first pass must be hits). Requires
+# jq.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+addr=127.0.0.1:8098
+workdir=$(mktemp -d)
+daemon=
+cleanup() {
+  [ -n "$daemon" ] && kill "$daemon" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/nl2cmd" ./cmd/nl2cmd
+go build -o "$workdir/loadgen" ./cmd/loadgen
+
+"$workdir/nl2cmd" -addr "$addr" &
+daemon=$!
+
+"$workdir/loadgen" -addr "http://$addr" \
+  -sessions "${SESSIONS:-32}" -requests "${REQUESTS:-800}" \
+  -out "$workdir/record.json"
+
+throughput=$(jq .throughput_rps "$workdir/record.json")
+hitrate=$(jq .cache_hit_rate "$workdir/record.json")
+errors=$(jq .errors "$workdir/record.json")
+
+[ "$errors" -eq 0 ] || { echo "loadgen saw $errors errors" >&2; exit 1; }
+jq -e '.throughput_rps > 0' "$workdir/record.json" >/dev/null || {
+  echo "throughput $throughput not > 0" >&2
+  exit 1
+}
+jq -e '.cache_hit_rate > 0' "$workdir/record.json" >/dev/null || {
+  echo "cache hit rate $hitrate not > 0 on a repeated workload" >&2
+  exit 1
+}
+
+echo "loadgen smoke OK: ${throughput%%.*} req/s, hit rate $hitrate"
