@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check vet staticcheck build test race session-stress session-smoke loadgen-smoke bench bench-smoke bench-record fuzz-smoke emit-golden emit-golden-update agg-golden fmt
+.PHONY: all check vet staticcheck build test race session-stress session-smoke crowd-stress loadgen-smoke bench bench-smoke bench-record fuzz-smoke emit-golden emit-golden-update agg-golden fmt
 
 all: check
 
@@ -9,7 +9,7 @@ all: check
 # it), verify the per-backend golden emissions and the analytic path,
 # hammer the dialogue-session subsystem a few extra rounds, then smoke
 # the serving layer with a short load-generator run.
-check: vet staticcheck build race emit-golden agg-golden session-stress loadgen-smoke
+check: vet staticcheck build race emit-golden agg-golden session-stress crowd-stress loadgen-smoke
 
 vet:
 	$(GO) vet ./...
@@ -38,6 +38,15 @@ race:
 # expiry, eviction and 100 abandoned sessions.
 session-stress:
 	$(GO) test -race -count=3 -run 'TestSessionStress|TestAbandonedSessionsLeakNoGoroutines|TestConcurrentAnswersOneSession' ./internal/session/
+
+# crowd-stress exercises the crowd-scale subsystem under the race
+# detector: the streaming queue and sequential sampler (including the
+# cancellation/goroutine-leak and backpressure tests), the engine
+# wiring, and the corpus-wide differential against the exhaustive
+# engine.
+crowd-stress:
+	$(GO) test -race ./internal/crowdscale/ ./internal/crowd/
+	$(GO) test -race -run TestCrowdScaleDifferentialCorpus .
 
 # session-smoke curls a live daemon through one scripted dialogue
 # (requires curl and jq).

@@ -94,6 +94,7 @@ var experiments = []experiment{
 	{"E10", "Demo stage (iii): unsupported questions and tips", runE10},
 	{"E11", "§2.3: the example IX detection pattern", runE11},
 	{"E12", "Corpus-wide execution: engine workload and support cache", runE12},
+	{"E14", "Crowd mining at scale: sequential sampling vs exhaustive", runE14},
 	{"A1", "Ablation: pattern matching vs naive KB-mismatch detection", runA1},
 	{"A2", "Ablation: contribution of each IX pattern type", runA2},
 	{"A3", "Disambiguation feedback learning (§4.1)", runA3},
@@ -303,6 +304,102 @@ func runE12(e *env) string {
 		stats.CacheHits, stats.CacheMisses, 100*stats.HitRate())
 	b.WriteString("\nQueries over the same domain re-ask overlapping crowd questions; the\n" +
 		"memoized support cache answers those without re-sampling the crowd.\n")
+	return b.String()
+}
+
+func runE14(e *env) string {
+	// Corpus-wide: the streaming sequential-sampling executor (both
+	// stopping rules) against the exhaustive engine over identical
+	// crowds, then a million-member synthetic population.
+	const crowdSize = 1200
+	ctx := context.Background()
+	mk := func() *crowd.Engine {
+		c := nl2cm.NewCrowd(crowdSize, 7)
+		c.Truth = nl2cm.DemoTruth()
+		return nl2cm.NewEngine(e.onto, c)
+	}
+	oracle := mk()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Crowd of %d members; every supported corpus question executed on the\n", crowdSize)
+	b.WriteString("exhaustive engine and on the streaming executor under each stopping rule.\n\n")
+	b.WriteString("| rule | tasks | answers asked | % of fixed cost | early decided | agree with exhaustive |\n|---|---|---|---|---|---|\n")
+	for _, rule := range []struct {
+		name string
+		r    nl2cm.ScaleRule
+	}{{"exact", nl2cm.RuleExact}, {"confidence", nl2cm.RuleConfidence}} {
+		eng := mk()
+		x, err := nl2cm.NewScaleExecutor(eng.Crowd, nl2cm.ScaleConfig{Rule: rule.r})
+		if err != nil {
+			return "ERROR: " + err.Error()
+		}
+		agree := true
+		for _, q := range corpus.All() {
+			res, err := e.tr.Translate(ctx, q.Text, core.Options{})
+			if err != nil || !res.Verdict.Supported || res.Query == nil {
+				continue
+			}
+			want, err := oracle.Execute(ctx, res.Query)
+			if err != nil {
+				return "ERROR: " + err.Error()
+			}
+			eng.Scale = x
+			got, err := eng.Execute(ctx, res.Query)
+			if err != nil {
+				return "ERROR: " + err.Error()
+			}
+			for i := range want.Subclauses {
+				ws, gs := map[string]bool{}, map[string]bool{}
+				for _, t := range want.Subclauses[i].Significant() {
+					ws[t.Key] = true
+				}
+				for _, t := range got.Subclauses[i].Significant() {
+					gs[t.Key] = true
+				}
+				if len(ws) != len(gs) {
+					agree = false
+				}
+				for k := range ws {
+					if !gs[k] {
+						agree = false
+					}
+				}
+			}
+		}
+		st := x.Stats()
+		x.Close()
+		fixed := st.TasksDecided * crowdSize
+		fmt.Fprintf(&b, "| %s | %d | %d | %.1f%% | %d | %v |\n",
+			rule.name, st.TasksDecided, st.MemberAnswers,
+			100*float64(st.MemberAnswers)/float64(fixed), st.EarlyDecided, agree)
+	}
+	b.WriteString("\nA million-member synthetic population (skew 1, 2% spammers), 24 tasks\n")
+	b.WriteString("straddling a 0.35 threshold:\n\n")
+	b.WriteString("| mode | member answers | early decided |\n|---|---|---|\n")
+	keys := make([]string, 24)
+	truth := map[string]float64{}
+	for i := range keys {
+		keys[i] = fmt.Sprintf("[] visit Synth_Place_%02d", i)
+		truth[keys[i]] = 0.05 + 0.67*float64(i)/23
+	}
+	pop := &nl2cm.Population{N: 1_000_000, Seed: 7, Truth: truth, Skew: 1, SpamFraction: 0.02}
+	for _, mode := range []string{"fixed", "sequential"} {
+		x := nl2cm.NewScaleExecutorFrom(pop, nl2cm.ScaleConfig{})
+		var err error
+		if mode == "fixed" {
+			_, err = x.Supports(ctx, keys, 0)
+		} else {
+			_, err = x.DecideThreshold(ctx, keys, 0.35, 0)
+		}
+		if err != nil {
+			return "ERROR: " + err.Error()
+		}
+		st := x.Stats()
+		x.Close()
+		fmt.Fprintf(&b, "| %s | %d | %d |\n", mode, st.MemberAnswers, st.EarlyDecided)
+	}
+	b.WriteString("\nBoth rules reproduce the exhaustive engine's significant-fact sets; the\n" +
+		"sequential path asks only the fraction of answers shown above, and the\n" +
+		"confidence rule stays sublinear even at a million members.\n")
 	return b.String()
 }
 

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	nl2cmd [-addr :8080] [-timeout 30s]
+//	nl2cmd [-addr :8080] [-timeout 30s] [-crowd-size 100] [-crowd-seed 7] [-crowd-scale]
 //
 // Requests are served concurrently: the Translator and the crowd Engine
 // are safe for concurrent use, so no lock is held across a translation
@@ -70,6 +70,10 @@ type server struct {
 	eng     *nl2cm.Engine
 	timeout time.Duration
 
+	// scale is the streaming crowd executor when -crowd-scale is on; the
+	// server owns it and closes it on shutdown.
+	scale *nl2cm.ScaleExecutor
+
 	// adm is the admission limiter in front of every translation-serving
 	// endpoint (see admission.go).
 	adm *admission
@@ -116,6 +120,13 @@ type serverConfig struct {
 	// maxInflight / queueDepth parameterize the admission limiter.
 	maxInflight int
 	queueDepth  int
+
+	// crowdSize / crowdSeed configure the simulated crowd (defaults: the
+	// demo crowd, 100 members, seed 7); crowdScale routes crowd tasks
+	// through the streaming sequential-sampling executor.
+	crowdSize  int
+	crowdSeed  int64
+	crowdScale bool
 }
 
 // newServer builds the shared translator, engine and session manager,
@@ -136,9 +147,28 @@ func newServer(cfg serverConfig) (*server, error) {
 	if cfg.planCache != 0 {
 		tr.Cache = nl2cm.NewPlanCache(cfg.planCache)
 	}
+	if cfg.crowdSize <= 0 {
+		cfg.crowdSize = 100
+	}
+	if cfg.crowdSeed == 0 {
+		cfg.crowdSeed = 7
+	}
+	c := nl2cm.NewCrowd(cfg.crowdSize, cfg.crowdSeed)
+	c.Truth = nl2cm.DemoTruth()
+	eng := nl2cm.NewEngine(onto, c)
+	var scale *nl2cm.ScaleExecutor
+	if cfg.crowdScale {
+		x, err := nl2cm.NewScaleExecutor(c, nl2cm.ScaleConfig{})
+		if err != nil {
+			return nil, err
+		}
+		scale = x
+		eng.Scale = x
+	}
 	s := &server{
 		tr:           tr,
-		eng:          nl2cm.NewDemoEngine(onto),
+		eng:          eng,
+		scale:        scale,
 		timeout:      cfg.timeout,
 		adm:          newAdmission(cfg.maxInflight, cfg.queueDepth),
 		answerWait:   cfg.answerWait,
@@ -165,6 +195,15 @@ func (s *server) sessionDone(sess *session.Session) {
 		s.mu.Lock()
 		s.last = snap.Result
 		s.mu.Unlock()
+	}
+}
+
+// close releases server-owned resources: the dialogue sessions and,
+// when -crowd-scale is on, the streaming executor's worker pool.
+func (s *server) close() {
+	s.sess.Close()
+	if s.scale != nil {
+		s.scale.Close()
 	}
 }
 
@@ -207,6 +246,9 @@ func main() {
 	planCache := flag.Int("plan-cache", defaultPlanCache, "plan cache capacity in question shapes (0 disables caching)")
 	maxInflight := flag.Int("max-inflight", defaultMaxInflight, "max concurrent translations before requests queue")
 	queueDepth := flag.Int("queue-depth", defaultQueueDepth, "max requests queued for a translation slot before 429s")
+	crowdSize := flag.Int("crowd-size", 100, "simulated crowd population size")
+	crowdSeed := flag.Int64("crowd-seed", 7, "simulated crowd seed")
+	crowdScale := flag.Bool("crowd-scale", false, "stream crowd tasks through the sequential-sampling executor (early termination)")
 	flag.Parse()
 	s, err := newServer(serverConfig{
 		timeout:         *timeout,
@@ -217,6 +259,9 @@ func main() {
 		planCache:       *planCache,
 		maxInflight:     *maxInflight,
 		queueDepth:      *queueDepth,
+		crowdSize:       *crowdSize,
+		crowdSeed:       *crowdSeed,
+		crowdScale:      *crowdScale,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -259,7 +304,7 @@ func main() {
 	if err := srv.Shutdown(shCtx); err != nil {
 		log.Printf("shutdown: %v", err)
 	}
-	s.sess.Close()
+	s.close()
 	s.saveFeedback()
 }
 
@@ -664,6 +709,19 @@ pre{background:#f4f4f4;padding:1em;overflow-x:auto}
 {{range .Exec.Subclauses}}<tr><td>SATISFYING {{.Index}}</td><td>{{.Tasks}}</td><td>{{.Duration}}</td></tr>{{end}}
 </table>
 {{end}}
+<h2>Crowd engine</h2>
+{{with .Engine}}
+<p>{{.Executions}} executions · {{.TasksIssued}} crowd tasks ·
+support cache {{.SupportCacheHits}} hits / {{.SupportCacheMisses}} misses ·
+{{.CrowdSize}}-member crowd{{if .SampleSize}} (sample {{.SampleSize}}){{end}}.</p>
+{{with .Scale}}
+<p>Streaming executor: {{.Workers}} workers over {{.Population}} members ·
+{{.TasksDecided}} tasks decided ({{.EarlyDecided}} early, {{.FullySampled}} fully sampled) ·
+{{.MemberAnswers}} member answers asked, {{.AnswersSaved}} saved by early termination ·
+{{.BatchesDispatched}} batches, queue high water {{.QueueHighWater}} ·
+sampling states: {{.States}} cached, {{.StateHits}} hits / {{.StateMisses}} misses.</p>
+{{end}}
+{{end}}
 <h2>Plan cache</h2>
 {{with .PlanCache}}
 <p>{{.Entries}} cached shapes · {{.Hits}} hits ({{.Rebinds}} by entity
@@ -694,6 +752,7 @@ type adminData struct {
 	Last        *nl2cm.Result
 	Annotated   string
 	Exec        *engineStats
+	Engine      nl2cm.EngineStats
 	CacheHits   uint64
 	CacheMisses uint64
 	Sessions    session.Metrics
@@ -711,6 +770,7 @@ func (s *server) admin(w http.ResponseWriter, r *http.Request) {
 		d.Annotated = d.Last.AnnotatedQuery()
 	}
 	d.CacheHits, d.CacheMisses = s.eng.CacheStats()
+	d.Engine = s.eng.Stats()
 	if s.tr.Cache != nil {
 		st := s.tr.Cache.Stats()
 		d.PlanCache = &st
@@ -811,13 +871,19 @@ type statsResponse struct {
 	PlanCache *nl2cm.PlanCacheStats `json:"plan_cache,omitempty"`
 	Admission admissionStats        `json:"admission"`
 	Sessions  nl2cm.SessionMetrics  `json:"sessions"`
+	// Crowd is the execution engine's lifetime counters: executions,
+	// tasks asked, support-cache hits/misses, and — with -crowd-scale —
+	// the streaming executor's queue and early-termination metrics.
+	Crowd nl2cm.EngineStats `json:"crowd"`
 }
 
-// apiStats reports plan-cache, admission and session counters as JSON.
+// apiStats reports plan-cache, admission, session and crowd-engine
+// counters as JSON.
 func (s *server) apiStats(w http.ResponseWriter, r *http.Request) {
 	resp := statsResponse{
 		Admission: s.adm.stats(),
 		Sessions:  s.sess.Metrics(),
+		Crowd:     s.eng.Stats(),
 	}
 	if s.tr.Cache != nil {
 		st := s.tr.Cache.Stats()

@@ -363,3 +363,70 @@ func TestTranslateTimeout(t *testing.T) {
 		t.Fatalf("status = %d, want %d", rec.Code, http.StatusGatewayTimeout)
 	}
 }
+
+// The /api/stats crowd section: engine-lifetime counters, plus the
+// streaming-executor metrics when -crowd-scale is on.
+func TestAPIStatsCrowdSection(t *testing.T) {
+	s, err := newServer(serverConfig{crowdSize: 400, crowdSeed: 11, crowdScale: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.timeout = 0
+	t.Cleanup(s.close)
+	if s.eng.Scale == nil {
+		t.Fatal("crowdScale did not attach a scale executor")
+	}
+
+	postForm(t, s, s.execute, question)
+
+	rec := httptest.NewRecorder()
+	s.apiStats(rec, httptest.NewRequest("GET", "/api/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var resp statsResponse
+	if err := json.NewDecoder(rec.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Crowd.Executions != 1 || resp.Crowd.TasksIssued == 0 {
+		t.Errorf("crowd stats = %+v, want one execution with tasks", resp.Crowd)
+	}
+	if resp.Crowd.CrowdSize != 400 {
+		t.Errorf("crowd size = %d, want 400", resp.Crowd.CrowdSize)
+	}
+	if resp.Crowd.Scale == nil {
+		t.Fatal("crowd stats lack the scale section")
+	}
+	if resp.Crowd.Scale.TasksDecided == 0 || resp.Crowd.Scale.MemberAnswers == 0 {
+		t.Errorf("scale stats = %+v, want decided tasks and member answers", *resp.Crowd.Scale)
+	}
+	if resp.Crowd.Scale.Population != 400 {
+		t.Errorf("scale population = %d, want 400", resp.Crowd.Scale.Population)
+	}
+
+	// The admin page renders the same counters.
+	rec = httptest.NewRecorder()
+	s.admin(rec, httptest.NewRequest("GET", "/admin", nil))
+	if body := rec.Body.String(); !strings.Contains(body, "Crowd engine") || !strings.Contains(body, "Streaming executor") {
+		t.Error("admin page lacks the crowd engine / streaming executor sections")
+	}
+}
+
+// Without -crowd-scale the crowd section still reports the synchronous
+// engine's counters (and no scale subsection).
+func TestAPIStatsCrowdWithoutScale(t *testing.T) {
+	s := testServer(t)
+	postForm(t, s, s.execute, question)
+	rec := httptest.NewRecorder()
+	s.apiStats(rec, httptest.NewRequest("GET", "/api/stats", nil))
+	var resp statsResponse
+	if err := json.NewDecoder(rec.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Crowd.Scale != nil {
+		t.Error("scale section present without -crowd-scale")
+	}
+	if resp.Crowd.Executions != 1 || resp.Crowd.SupportCacheMisses == 0 {
+		t.Errorf("crowd stats = %+v", resp.Crowd)
+	}
+}

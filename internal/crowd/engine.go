@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"nl2cm/internal/core"
+	"nl2cm/internal/crowdscale"
 	"nl2cm/internal/oassisql"
 	"nl2cm/internal/ontology"
 	"nl2cm/internal/rdf"
@@ -42,14 +43,33 @@ type Engine struct {
 	// per subclause. An Observer shared across concurrent executions
 	// must be safe for concurrent use.
 	Observer core.Observer
+	// Scale, when non-nil, routes crowd tasks through the streaming
+	// crowdscale pipeline instead of the synchronous fan-out: answers
+	// stream in batches over a bounded queue and each task stops as soon
+	// as sequential sampling decides its significance. Build one with
+	// NewScaleExecutor (answers from the Crowd) or crowdscale.New over
+	// any Source (e.g. a million-member crowdscale.Population). The
+	// engine does not own the executor: callers Close it.
+	Scale *crowdscale.Executor
+	// ScaleExhaustive, with Scale set, disables early termination: every
+	// task is fully sampled through the queue (the fixed-sample baseline
+	// for differential tests and benchmarks).
+	ScaleExhaustive bool
 
 	// The support cache memoizes Crowd.Support per (fact key, effective
 	// sample size): repeated keys across subclauses and requests would
-	// otherwise pay the full O(population) aggregation each time.
+	// otherwise pay the full O(population) aggregation each time. The
+	// scale path bypasses it — the executor keeps its own resumable
+	// sampling states.
 	cacheMu sync.Mutex
 	cache   map[supportKey]float64
-	hits    atomic.Uint64
-	misses  atomic.Uint64
+
+	// Engine-lifetime counters: monotonic for the life of the process
+	// (ResetCache never rewinds them — see its contract).
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	execs  atomic.Uint64
+	tasks  atomic.Uint64
 }
 
 // supportKey keys one memoized support value.
@@ -64,19 +84,69 @@ func NewEngine(onto *ontology.Ontology, c *Crowd) *Engine {
 }
 
 // CacheStats returns the engine-lifetime support-cache hit and miss
-// counts (across all executions since construction or ResetCache).
+// counts. Counters are monotonic: they accumulate across every
+// execution since construction and survive ResetCache.
 func (e *Engine) CacheStats() (hits, misses uint64) {
 	return e.hits.Load(), e.misses.Load()
 }
 
-// ResetCache drops all memoized supports and zeroes the cache counters.
-// Call it after changing the crowd, its Truth, or SampleSize.
+// EngineStats is a snapshot of the engine-lifetime counters, shaped for
+// the daemon's /api/stats endpoint. All counts are monotonic per
+// process (ResetCache drops cached state, never counters), so deltas
+// between successive snapshots are meaningful.
+type EngineStats struct {
+	// Executions counts Execute calls that reached evaluation.
+	Executions uint64 `json:"executions"`
+	// TasksIssued counts crowd tasks generated across all executions.
+	TasksIssued uint64 `json:"tasks_issued"`
+	// SupportCacheHits / SupportCacheMisses count support-cache outcomes
+	// on the synchronous path (the scale path keeps its own states).
+	SupportCacheHits   uint64 `json:"support_cache_hits"`
+	SupportCacheMisses uint64 `json:"support_cache_misses"`
+	// CrowdSize and SampleSize describe the configured crowd.
+	CrowdSize  int `json:"crowd_size"`
+	SampleSize int `json:"sample_size,omitempty"`
+	// Scale carries the streaming executor's counters when the engine
+	// runs with one (queue depth, early-termination savings, …).
+	Scale *crowdscale.Stats `json:"scale,omitempty"`
+}
+
+// Stats snapshots the engine-lifetime counters. Safe for concurrent use
+// with Execute and ResetCache.
+func (e *Engine) Stats() EngineStats {
+	st := EngineStats{
+		Executions:         e.execs.Load(),
+		TasksIssued:        e.tasks.Load(),
+		SupportCacheHits:   e.hits.Load(),
+		SupportCacheMisses: e.misses.Load(),
+		SampleSize:         e.SampleSize,
+	}
+	if e.Crowd != nil {
+		st.CrowdSize = e.Crowd.Size
+	}
+	if e.Scale != nil {
+		s := e.Scale.Stats()
+		st.Scale = &s
+	}
+	return st
+}
+
+// ResetCache drops all memoized supports — and, when a scale executor
+// is attached, its resumable sampling states. Call it after changing
+// the crowd, its Truth, or SampleSize.
+//
+// Contract: counters (CacheStats, Stats) are engine-lifetime and
+// monotonic; ResetCache never rewinds them, so stats readers observe
+// monotone values across resets. Safe to call concurrently with
+// Execute — in-flight executions may still record hits against the old
+// cache they already read.
 func (e *Engine) ResetCache() {
 	e.cacheMu.Lock()
 	e.cache = nil
 	e.cacheMu.Unlock()
-	e.hits.Store(0)
-	e.misses.Store(0)
+	if e.Scale != nil {
+		e.Scale.Reset()
+	}
 }
 
 // Task is one crowd task: a ground data pattern posed to crowd members,
@@ -132,9 +202,16 @@ type Result struct {
 	// TasksIssued counts the crowd tasks generated.
 	TasksIssued int
 	// CacheHits and CacheMisses count support-cache outcomes during
-	// this execution (TasksIssued == CacheHits + CacheMisses).
+	// this execution (on the synchronous path, TasksIssued ==
+	// CacheHits + CacheMisses; the scale path bypasses the cache).
 	CacheHits   int
 	CacheMisses int
+	// Scale, when the engine ran with a streaming executor, holds the
+	// executor counter deltas attributable to this execution: member
+	// answers asked, answers early termination saved, batches, queue
+	// high water. Approximate when concurrent executions share the
+	// executor.
+	Scale *ScaleMetrics
 	// Elapsed is the execution's wall-clock time.
 	Elapsed time.Duration
 }
@@ -158,6 +235,11 @@ func (e *Engine) Execute(ctx context.Context, q *oassisql.Query) (*Result, error
 		return nil, fmt.Errorf("crowd: nil query")
 	}
 	start := time.Now()
+	e.execs.Add(1)
+	var scaleBefore crowdscale.Stats
+	if e.Scale != nil {
+		scaleBefore = e.Scale.Stats()
+	}
 	if e.Observer != nil {
 		e.Observer.StageStart(core.StageCrowd)
 	}
@@ -166,6 +248,10 @@ func (e *Engine) Execute(ctx context.Context, q *oassisql.Query) (*Result, error
 		e.Observer.StageEnd(core.StageCrowd, time.Since(start), err)
 	}
 	if res != nil {
+		if e.Scale != nil {
+			d := e.Scale.Stats().Delta(scaleBefore)
+			res.Scale = &d
+		}
 		res.Elapsed = time.Since(start)
 	}
 	return res, err
@@ -213,6 +299,7 @@ func (e *Engine) execute(ctx context.Context, q *oassisql.Query) (*Result, error
 		scRes.Duration = d
 		res.Subclauses = append(res.Subclauses, *scRes)
 		res.TasksIssued += len(scRes.Tasks)
+		e.tasks.Add(uint64(len(scRes.Tasks)))
 		surviving = kept
 	}
 	res.CacheHits = int(cnt.hits.Load())
@@ -298,23 +385,44 @@ func (e *Engine) evalSubclause(ctx context.Context, idx int, sc oassisql.Subclau
 		g.bindings = append(g.bindings, b)
 	}
 
-	if err := e.askCrowd(ctx, groups, cnt); err != nil {
-		return nil, nil, err
+	// Three support paths: the streaming sequential sampler (decides
+	// significance itself, on estimates), the streaming exhaustive
+	// baseline, and the synchronous memoized fan-out. groups are in
+	// first-appearance order here — the tie-break order both
+	// applySignificance and the sequential sampler guarantee.
+	sequential := e.Scale != nil && !e.ScaleExhaustive
+	switch {
+	case sequential:
+		if err := e.evalScale(ctx, idx, sc, groups); err != nil {
+			return nil, nil, err
+		}
+	case e.Scale != nil:
+		if err := e.scaleSupports(ctx, groups); err != nil {
+			return nil, nil, err
+		}
+	default:
+		if err := e.askCrowd(ctx, groups, cnt); err != nil {
+			return nil, nil, err
+		}
 	}
 	sort.SliceStable(groups, func(i, j int) bool { return groups[i].task.Support > groups[j].task.Support })
 
-	// Significance.
-	supports := make([]float64, len(groups))
-	for i, g := range groups {
-		supports[i] = g.task.Support
-	}
-	sig, err := applySignificance(idx, sc, supports)
-	if err != nil {
-		return nil, nil, err
+	// Significance (the sequential path already decided it per task).
+	if !sequential {
+		supports := make([]float64, len(groups))
+		for i, g := range groups {
+			supports[i] = g.task.Support
+		}
+		sig, err := applySignificance(idx, sc, supports)
+		if err != nil {
+			return nil, nil, err
+		}
+		for i, g := range groups {
+			g.task.Significant = sig[i]
+		}
 	}
 	var kept []sparql.Binding
-	for i, g := range groups {
-		g.task.Significant = sig[i]
+	for _, g := range groups {
 		scRes.Tasks = append(scRes.Tasks, g.task)
 		if g.task.Significant {
 			kept = append(kept, g.bindings...)

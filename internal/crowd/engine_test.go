@@ -297,9 +297,64 @@ func TestSupportCache(t *testing.T) {
 		t.Errorf("sample-size change: misses=%d tasks=%d, want all misses", r3.CacheMisses, r3.TasksIssued)
 	}
 
+	// ResetCache drops memoized supports but never rewinds the
+	// engine-lifetime counters (the monotonic-stats contract).
+	hBefore, mBefore := eng.CacheStats()
 	eng.ResetCache()
-	if h, m := eng.CacheStats(); h != 0 || m != 0 {
-		t.Errorf("after ResetCache: stats = (%d, %d), want zero", h, m)
+	if h, m := eng.CacheStats(); h != hBefore || m != mBefore {
+		t.Errorf("ResetCache rewound counters: (%d, %d) -> (%d, %d)", hBefore, mBefore, h, m)
+	}
+	r4, err := eng.Execute(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.CacheMisses != r4.TasksIssued {
+		t.Errorf("post-reset run: misses=%d tasks=%d, want all misses (cache dropped)", r4.CacheMisses, r4.TasksIssued)
+	}
+	if _, m := eng.CacheStats(); m != mBefore+uint64(r4.CacheMisses) {
+		t.Errorf("post-reset misses %d, want %d", m, mBefore+uint64(r4.CacheMisses))
+	}
+}
+
+// The monotonic-counter contract must hold under concurrent Execute and
+// ResetCache (run under -race in the crowd-stress gate).
+func TestResetCacheRaceSafe(t *testing.T) {
+	eng := demoEngine()
+	q := runningExampleQuery(t)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				eng.ResetCache()
+				eng.Stats()
+			}
+		}
+	}()
+	var lastExecs uint64
+	for i := 0; i < 10; i++ {
+		if _, err := eng.Execute(context.Background(), q); err != nil {
+			t.Fatal(err)
+		}
+		st := eng.Stats()
+		if st.Executions <= lastExecs {
+			t.Fatalf("Executions not monotonic: %d after %d", st.Executions, lastExecs)
+		}
+		lastExecs = st.Executions
+	}
+	close(stop)
+	wg.Wait()
+	st := eng.Stats()
+	if st.Executions != 10 {
+		t.Fatalf("Executions = %d, want 10", st.Executions)
+	}
+	if st.TasksIssued == 0 {
+		t.Fatal("TasksIssued not recorded")
 	}
 }
 

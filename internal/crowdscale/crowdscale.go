@@ -1,0 +1,221 @@
+// Package crowdscale scales the simulated-crowd execution layer to
+// populations of millions of members. It replaces the exhaustive
+// ask-everyone support computation of the crowd package with a streaming
+// task pipeline:
+//
+//   - an Executor owns a bounded task queue with a fixed worker pool;
+//     crowd tasks are dispatched as member-range batches and the bounded
+//     queue applies backpressure to producers,
+//   - incremental support aggregation early-terminates each task with
+//     sequential sampling: answers arrive batch by batch and a task
+//     stops as soon as its confidence interval decides the significance
+//     criterion (threshold comparison, or membership in the top-k via a
+//     racing argument), instead of asking a fixed sample,
+//   - a Source addresses the population lazily by (seed, member index) —
+//     no member profile is ever materialized, so a million-member crowd
+//     costs memory proportional to the sampling state, not the
+//     population,
+//   - Population is a synthetic million-profile generator with skew,
+//     spammer and taste-segment controls for scale experiments.
+//
+// Two stopping rules are available. RuleConfidence (the default) stops a
+// task once a Serfling-corrected Hoeffding interval around the running
+// mean excludes the decision boundary: sample cost is near-constant in
+// the population size when the true support is away from the boundary,
+// and falls back to full sampling when it is not, so decisions are
+// wrong only with probability <= Delta per check. RuleExact uses only
+// worst-case bounds (every unseen answer could be 0 or 1), which decides
+// later but is provably identical to exhaustive evaluation — the
+// differential-testing mode.
+//
+// Either way a task that reaches full sampling is decided exactly, so
+// results never degrade — early termination only removes work that
+// cannot change the outcome (RuleExact) or is overwhelmingly unlikely
+// to (RuleConfidence).
+package crowdscale
+
+import (
+	"errors"
+	"math"
+	"runtime"
+)
+
+// ErrClosed is returned by Decide/Supports calls on a closed Executor.
+var ErrClosed = errors.New("crowdscale: executor closed")
+
+// Source is a crowd population addressed lazily by member index: answers
+// are derived on demand, never stored. Implementations must be safe for
+// concurrent use and deterministic — the same (member, key) always
+// yields the same answer — so sequential sampling is reproducible and
+// exhaustive evaluation over the same source is a valid oracle.
+type Source interface {
+	// Size is the population size.
+	Size() int
+	// Batch fills out[i] with the answer of member from+i for the fact
+	// key, each in [0, 1]. Batching lets implementations amortize
+	// per-key work (hashing the key once per dispatch, not per member).
+	Batch(key string, from int, out []float64)
+}
+
+// Rule selects the sequential-sampling stopping rule.
+type Rule int
+
+const (
+	// RuleConfidence stops when a Hoeffding confidence interval (with
+	// Serfling's finite-population correction) around the running mean
+	// decides the criterion. Sublinear in the population size; wrong
+	// with probability <= Delta per boundary check.
+	RuleConfidence Rule = iota
+	// RuleExact stops only when the unseen remainder of the population
+	// cannot change the decision (worst-case bounds). Decisions are
+	// provably identical to exhaustive evaluation.
+	RuleExact
+)
+
+// Config tunes an Executor. The zero value is usable: every field has a
+// documented default.
+type Config struct {
+	// Workers is the size of the worker pool; 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueDepth bounds the task queue; producers sending beyond it
+	// block (backpressure). 0 means 4*Workers, minimum 16.
+	QueueDepth int
+	// InitialBatch is the first batch size per task; 0 means 64.
+	InitialBatch int
+	// GrowthFactor multiplies a task's batch size each round; values
+	// <= 1 mean 2.
+	GrowthFactor float64
+	// MaxBatch caps one dispatched batch; 0 means 8192.
+	MaxBatch int
+	// Rule is the stopping rule (default RuleConfidence).
+	Rule Rule
+	// Delta is the per-check error probability of RuleConfidence;
+	// 0 means 1e-9.
+	Delta float64
+	// MaxStates caps the sampling-state cache (per distinct fact key and
+	// effective population); beyond it states are ephemeral. 0 means
+	// 65536.
+	MaxStates int
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth > 0 {
+		return c.QueueDepth
+	}
+	d := 4 * c.workers()
+	if d < 16 {
+		d = 16
+	}
+	return d
+}
+
+func (c Config) initialBatch() int {
+	if c.InitialBatch > 0 {
+		return c.InitialBatch
+	}
+	return 64
+}
+
+func (c Config) growth() float64 {
+	if c.GrowthFactor > 1 {
+		return c.GrowthFactor
+	}
+	return 2
+}
+
+func (c Config) maxBatch() int {
+	if c.MaxBatch > 0 {
+		return c.MaxBatch
+	}
+	return 8192
+}
+
+func (c Config) delta() float64 {
+	if c.Delta > 0 {
+		return c.Delta
+	}
+	return 1e-9
+}
+
+func (c Config) maxStates() int {
+	if c.MaxStates > 0 {
+		return c.MaxStates
+	}
+	return 65536
+}
+
+// Decision is the outcome of one task's sequential sampling.
+type Decision struct {
+	// Key is the task's canonical fact key.
+	Key string
+	// Significant reports whether the task passed the criterion.
+	Significant bool
+	// Support is the running support estimate at stopping time; the
+	// exhaustive value when Exact.
+	Support float64
+	// Sampled is how many member answers back the decision (cumulative
+	// over the task's sampling state, which persists across calls).
+	Sampled int
+	// Exact reports that every member of the effective population was
+	// sampled, making Support the exhaustive value.
+	Exact bool
+}
+
+// Stats is a point-in-time snapshot of an Executor's counters. All
+// counters are monotonic for the life of the executor — Reset drops
+// sampling states but never rewinds counters.
+type Stats struct {
+	// TasksDecided counts significance decisions made.
+	TasksDecided uint64 `json:"tasks_decided"`
+	// BatchesDispatched counts non-empty batches run by workers.
+	BatchesDispatched uint64 `json:"batches_dispatched"`
+	// MemberAnswers counts individual member answers computed.
+	MemberAnswers uint64 `json:"member_answers"`
+	// AnswersSaved counts member answers a fixed-sample engine would
+	// have computed but sequential stopping avoided (population minus
+	// samples, accumulated per early decision that sampled this call).
+	AnswersSaved uint64 `json:"answers_saved"`
+	// EarlyDecided / FullySampled split decisions by whether sampling
+	// stopped before the full effective population.
+	EarlyDecided uint64 `json:"early_decided"`
+	FullySampled uint64 `json:"fully_sampled"`
+	// StateHits / StateMisses count sampling-state cache outcomes: a hit
+	// reuses answers accumulated by earlier decisions of the same key.
+	StateHits   uint64 `json:"state_hits"`
+	StateMisses uint64 `json:"state_misses"`
+	// States is the number of cached sampling states.
+	States int `json:"states"`
+	// QueueHighWater is the deepest observed task-queue backlog.
+	QueueHighWater int64 `json:"queue_high_water"`
+	// Workers and Population describe the executor's configuration.
+	Workers    int `json:"workers"`
+	Population int `json:"population"`
+}
+
+// Delta returns the counter difference s - prev, keeping the
+// configuration and gauge fields (States, QueueHighWater, Workers,
+// Population) at their current values.
+func (s Stats) Delta(prev Stats) Stats {
+	d := s
+	d.TasksDecided -= prev.TasksDecided
+	d.BatchesDispatched -= prev.BatchesDispatched
+	d.MemberAnswers -= prev.MemberAnswers
+	d.AnswersSaved -= prev.AnswersSaved
+	d.EarlyDecided -= prev.EarlyDecided
+	d.FullySampled -= prev.FullySampled
+	d.StateHits -= prev.StateHits
+	d.StateMisses -= prev.StateMisses
+	return d
+}
+
+func clamp01(v float64) float64 {
+	return math.Max(0, math.Min(1, v))
+}

@@ -1,0 +1,147 @@
+package crowdscale
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPopulationDeterministic(t *testing.T) {
+	p := &Population{N: 1000, Seed: 42, Skew: 1.5, SpamFraction: 0.1, Segments: 4, SegmentBias: 0.1}
+	q := &Population{N: 1000, Seed: 42, Skew: 1.5, SpamFraction: 0.1, Segments: 4, SegmentBias: 0.1}
+	a := make([]float64, 1000)
+	b := make([]float64, 1000)
+	for _, key := range []string{"likes(child,gymboree)", "visit(park)", "x"} {
+		p.Batch(key, 0, a)
+		q.Batch(key, 0, b)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("key %q member %d: %v != %v", key, i, a[i], b[i])
+			}
+			if a[i] < 0 || a[i] > 1 {
+				t.Fatalf("key %q member %d: answer %v out of [0,1]", key, i, a[i])
+			}
+			if got := p.Answer(i, key); got != a[i] {
+				t.Fatalf("Answer(%d) = %v, Batch gave %v", i, got, a[i])
+			}
+		}
+	}
+	r := &Population{N: 1000, Seed: 43}
+	r.Batch("x", 0, b)
+	p2 := &Population{N: 1000, Seed: 42}
+	p2.Batch("x", 0, a)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same > 100 {
+		t.Fatalf("different seeds produced %d/1000 identical answers", same)
+	}
+}
+
+func TestPopulationBatchOffsets(t *testing.T) {
+	p := &Population{N: 500, Seed: 7, SpamFraction: 0.2}
+	whole := make([]float64, 500)
+	p.Batch("k", 0, whole)
+	part := make([]float64, 100)
+	p.Batch("k", 250, part)
+	for i := range part {
+		if part[i] != whole[250+i] {
+			t.Fatalf("offset batch diverges at member %d", 250+i)
+		}
+	}
+	// Out-of-range members answer 0.
+	edge := make([]float64, 10)
+	p.Batch("k", 495, edge)
+	for i := 5; i < 10; i++ {
+		if edge[i] != 0 {
+			t.Fatalf("member %d beyond N answered %v", 495+i, edge[i])
+		}
+	}
+}
+
+func TestPopulationTruthMean(t *testing.T) {
+	p := &Population{N: 50000, Seed: 11, Truth: map[string]float64{"t": 0.5}}
+	buf := make([]float64, p.N)
+	p.Batch("t", 0, buf)
+	sum := 0.0
+	for _, v := range buf {
+		sum += v
+	}
+	if mean := sum / float64(p.N); math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("empirical mean %v far from truth 0.5", mean)
+	}
+	if got := p.Mean("t"); got != 0.5 {
+		t.Fatalf("Mean = %v, want 0.5", got)
+	}
+}
+
+func TestPopulationSpamFraction(t *testing.T) {
+	p := &Population{N: 100000, Seed: 3, SpamFraction: 0.25}
+	spam := 0
+	for i := 0; i < p.N; i++ {
+		if p.IsSpammer(i) {
+			spam++
+		}
+	}
+	if frac := float64(spam) / float64(p.N); math.Abs(frac-0.25) > 0.01 {
+		t.Fatalf("spammer fraction %v far from 0.25", frac)
+	}
+	if (&Population{N: 10, Seed: 3}).IsSpammer(0) {
+		t.Fatal("IsSpammer with zero SpamFraction")
+	}
+}
+
+func TestPopulationSkewLowersMeans(t *testing.T) {
+	flat := &Population{N: 10, Seed: 5}
+	skew := &Population{N: 10, Seed: 5, Skew: 2}
+	sumFlat, sumSkew := 0.0, 0.0
+	keys := 500
+	for i := 0; i < keys; i++ {
+		key := "pattern-" + string(rune('a'+i%26)) + "-" + string(rune('0'+i%10)) + "-" + string(rune('A'+(i/260)%26))
+		sumFlat += flat.Mean(key)
+		sumSkew += skew.Mean(key)
+	}
+	mf, ms := sumFlat/float64(keys), sumSkew/float64(keys)
+	if ms >= mf {
+		t.Fatalf("skewed mean-of-means %v not below flat %v", ms, mf)
+	}
+	if mf < 0.30 || mf > 0.40 {
+		t.Fatalf("flat mean-of-means %v outside expected [0.30, 0.40] around 0.35", mf)
+	}
+}
+
+func TestPopulationSegments(t *testing.T) {
+	p := &Population{N: 10000, Seed: 9, Segments: 4, SegmentBias: 0.2}
+	counts := make([]int, 4)
+	for i := 0; i < p.N; i++ {
+		s := p.Segment(i)
+		if s < 0 || s >= 4 {
+			t.Fatalf("segment %d out of range", s)
+		}
+		counts[s]++
+	}
+	for s, c := range counts {
+		if c < p.N/8 {
+			t.Fatalf("segment %d holds only %d/%d members", s, c, p.N)
+		}
+	}
+	// Per-segment empirical means differ when bias is on.
+	buf := make([]float64, p.N)
+	p.Truth = map[string]float64{"k": 0.5}
+	p.Batch("k", 0, buf)
+	segSum := make([]float64, 4)
+	for i, v := range buf {
+		segSum[p.Segment(i)] += v
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for s := range segSum {
+		m := segSum[s] / float64(counts[s])
+		lo = math.Min(lo, m)
+		hi = math.Max(hi, m)
+	}
+	if hi-lo < 0.02 {
+		t.Fatalf("segment means span only %v with bias 0.2", hi-lo)
+	}
+}

@@ -1,0 +1,342 @@
+package crowdscale
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Executor owns the streaming crowd-task pipeline: a bounded job queue
+// drained by a fixed worker pool, plus the per-task sampling states the
+// sequential sampler accumulates into. One Executor is shared across
+// executions (and engines); Decide and Supports calls are safe for
+// concurrent use, and the bounded queue applies backpressure to all of
+// them. Close shuts the pool down; after Close every call returns
+// ErrClosed.
+type Executor struct {
+	src Source
+	cfg Config
+
+	jobs      chan job
+	done      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+
+	// mu guards states and every taskState field.
+	mu     sync.Mutex
+	states map[stateKey]*taskState
+
+	// Monotonic counters (see Stats).
+	tasks, batches, answers, saved    atomic.Uint64
+	early, full, stateHits, stateMiss atomic.Uint64
+	queueHW                           atomic.Int64
+}
+
+// job asks a worker to answer members [from, to) of one task key and
+// fold the partial sum into the task's sampling state. reply is buffered
+// by the dispatching round so workers never block on it.
+type job struct {
+	key      string
+	st       *taskState
+	from, to int
+	reply    chan<- struct{}
+}
+
+// stateKey identifies one sampling state: the fact key under one
+// effective population size (engines with different SampleSize limits
+// must not share partial sums).
+type stateKey struct {
+	key  string
+	effN int
+}
+
+// taskState is the incremental support aggregation for one task:
+// sampled answers so far, their sum, the reserved (dispatched but
+// possibly unapplied) range end, and the next batch size. All fields
+// are guarded by Executor.mu; batches always extend the sampled prefix,
+// so "sampled == effN" means the support is exhaustive.
+type taskState struct {
+	sum      float64
+	sampled  int
+	reserved int
+	batch    int
+}
+
+// New builds an executor over the source and starts its worker pool.
+// Call Close when done with it.
+func New(src Source, cfg Config) *Executor {
+	x := &Executor{
+		src:    src,
+		cfg:    cfg,
+		jobs:   make(chan job, cfg.queueDepth()),
+		done:   make(chan struct{}),
+		states: make(map[stateKey]*taskState),
+	}
+	for w := 0; w < cfg.workers(); w++ {
+		x.wg.Add(1)
+		go x.worker()
+	}
+	return x
+}
+
+// Close stops the worker pool and waits for it to exit. Jobs still
+// queued are abandoned (their rounds observe ErrClosed). Close is
+// idempotent and safe to call concurrently with in-flight decisions.
+func (x *Executor) Close() {
+	x.closeOnce.Do(func() { close(x.done) })
+	x.wg.Wait()
+}
+
+// Reset drops all cached sampling states, so the next decision
+// resamples from scratch — call it after the source's answer behaviour
+// changes. Counters are monotonic and not rewound.
+func (x *Executor) Reset() {
+	x.mu.Lock()
+	x.states = make(map[stateKey]*taskState)
+	x.mu.Unlock()
+}
+
+// Population returns the source's population size.
+func (x *Executor) Population() int { return x.src.Size() }
+
+// Stats snapshots the executor's counters.
+func (x *Executor) Stats() Stats {
+	x.mu.Lock()
+	states := len(x.states)
+	x.mu.Unlock()
+	return Stats{
+		TasksDecided:      x.tasks.Load(),
+		BatchesDispatched: x.batches.Load(),
+		MemberAnswers:     x.answers.Load(),
+		AnswersSaved:      x.saved.Load(),
+		EarlyDecided:      x.early.Load(),
+		FullySampled:      x.full.Load(),
+		StateHits:         x.stateHits.Load(),
+		StateMisses:       x.stateMiss.Load(),
+		States:            states,
+		QueueHighWater:    x.queueHW.Load(),
+		Workers:           x.cfg.workers(),
+		Population:        x.src.Size(),
+	}
+}
+
+// worker drains the job queue until Close: compute the batch's answers,
+// fold the sum into the task state, signal the round.
+func (x *Executor) worker() {
+	defer x.wg.Done()
+	var buf []float64
+	for {
+		select {
+		case <-x.done:
+			return
+		case j := <-x.jobs:
+			if n := j.to - j.from; n > 0 {
+				if cap(buf) < n {
+					buf = make([]float64, n)
+				}
+				b := buf[:n]
+				x.src.Batch(j.key, j.from, b)
+				sum := 0.0
+				for _, v := range b {
+					sum += v
+				}
+				x.mu.Lock()
+				j.st.sum += sum
+				j.st.sampled += n
+				x.mu.Unlock()
+				x.answers.Add(uint64(n))
+				x.batches.Add(1)
+			}
+			j.reply <- struct{}{}
+		}
+	}
+}
+
+// enqueue submits one job, blocking under backpressure until a queue
+// slot frees, the context is cancelled, or the executor closes.
+func (x *Executor) enqueue(ctx context.Context, j job) error {
+	select {
+	case x.jobs <- j:
+	default:
+		select {
+		case x.jobs <- j:
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-x.done:
+			return ErrClosed
+		}
+	}
+	if q := int64(len(x.jobs)); q > x.queueHW.Load() {
+		// Benign race: HW is a gauge, last-writer-wins is fine.
+		x.queueHW.Store(q)
+	}
+	return nil
+}
+
+// state returns the sampling state for (key, effN), creating it on
+// demand. A hit means earlier decisions already accumulated answers for
+// the key. Beyond MaxStates new states are ephemeral (uncached).
+func (x *Executor) state(key string, effN int) *taskState {
+	k := stateKey{key: key, effN: effN}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if st, ok := x.states[k]; ok {
+		x.stateHits.Add(1)
+		return st
+	}
+	x.stateMiss.Add(1)
+	st := &taskState{}
+	if len(x.states) < x.cfg.maxStates() {
+		x.states[k] = st
+	}
+	return st
+}
+
+// round dispatches the next batch for every listed task and waits for
+// all of them to be applied. A task whose range is fully reserved (a
+// concurrent decision's batches are in flight) gets an empty job, so
+// the round still yields and re-checks. Abandoned rounds (cancellation)
+// leave their jobs to complete in the background — reply channels are
+// buffered, so workers never block on a gone round.
+func (x *Executor) round(ctx context.Context, keys []string, sts []*taskState, idxs []int, effN int) error {
+	reply := make(chan struct{}, len(idxs))
+	sent := 0
+	for _, i := range idxs {
+		st := sts[i]
+		x.mu.Lock()
+		from := st.reserved
+		b := st.batch
+		if b <= 0 {
+			b = x.cfg.initialBatch()
+		}
+		to := from + b
+		if to > effN {
+			to = effN
+		}
+		st.reserved = to
+		nb := int(float64(b) * x.cfg.growth())
+		if nb > x.cfg.maxBatch() {
+			nb = x.cfg.maxBatch()
+		}
+		st.batch = nb
+		x.mu.Unlock()
+		if err := x.enqueue(ctx, job{key: keys[i], st: st, from: from, to: to, reply: reply}); err != nil {
+			return err
+		}
+		sent++
+	}
+	for r := 0; r < sent; r++ {
+		select {
+		case <-reply:
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-x.done:
+			return ErrClosed
+		}
+	}
+	return nil
+}
+
+// effPop normalizes a caller's effective-population request against the
+// source size (<= 0 or too large means the whole population).
+func (x *Executor) effPop(effN int) int {
+	if n := x.src.Size(); effN <= 0 || effN > n {
+		return n
+	}
+	return effN
+}
+
+// Supports fully samples every key (resuming cached states) and returns
+// the exact supports — the fixed-sample oracle over the same source,
+// batched through the queue so even exhaustive evaluation of a
+// million-member population is parallel. Mainly used for differential
+// testing and fixed-vs-sequential benchmarks.
+func (x *Executor) Supports(ctx context.Context, keys []string, effN int) ([]float64, error) {
+	effN = x.effPop(effN)
+	out := make([]float64, len(keys))
+	if effN == 0 {
+		return out, nil
+	}
+	sts := make([]*taskState, len(keys))
+	for i, k := range keys {
+		sts[i] = x.state(k, effN)
+	}
+	chunk := x.cfg.maxBatch()
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Dispatch the remaining unreserved ranges in maxBatch chunks,
+		// at most pendingCap in flight per drain cycle. The cap is
+		// checked before reserving: a reserved range must always have a
+		// matching job, or sampling could never complete.
+		const pendingCap = 64
+		reply := make(chan struct{}, pendingCap)
+		sent := 0
+	dispatch:
+		for i, st := range sts {
+			for {
+				if sent == pendingCap {
+					break dispatch // drain this cycle before reserving more
+				}
+				x.mu.Lock()
+				from := st.reserved
+				to := from + chunk
+				if to > effN {
+					to = effN
+				}
+				st.reserved = to
+				x.mu.Unlock()
+				if to == from {
+					break
+				}
+				if err := x.enqueue(ctx, job{key: keys[i], st: st, from: from, to: to, reply: reply}); err != nil {
+					return nil, err
+				}
+				sent++
+			}
+		}
+		if sent == 0 {
+			// Everything reserved: either applied, or another call's jobs
+			// are in flight; enqueue one empty job per pending state to
+			// yield, then re-check.
+			x.mu.Lock()
+			var waiting []int
+			for i, st := range sts {
+				if st.sampled < effN {
+					waiting = append(waiting, i)
+				}
+			}
+			x.mu.Unlock()
+			if len(waiting) == 0 {
+				break
+			}
+			reply = make(chan struct{}, len(waiting))
+			for _, i := range waiting {
+				if err := x.enqueue(ctx, job{key: keys[i], st: sts[i], from: 0, to: 0, reply: reply}); err != nil {
+					return nil, err
+				}
+				sent++
+			}
+		}
+		for r := 0; r < sent; r++ {
+			select {
+			case <-reply:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-x.done:
+				return nil, ErrClosed
+			}
+		}
+	}
+	x.mu.Lock()
+	for i, st := range sts {
+		out[i] = st.sum / float64(effN)
+	}
+	x.mu.Unlock()
+	for range keys {
+		x.tasks.Add(1)
+		x.full.Add(1)
+	}
+	return out, nil
+}

@@ -1,0 +1,202 @@
+package crowdscale
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// slowSource answers 0.5 after a delay — constant answers keep the
+// interval straddling a 0.5 threshold until full sampling, so decisions
+// stay in flight long enough to cancel.
+type slowSource struct {
+	n     int
+	delay time.Duration
+}
+
+func (s *slowSource) Size() int { return s.n }
+func (s *slowSource) Batch(key string, from int, out []float64) {
+	time.Sleep(s.delay)
+	for i := range out {
+		out[i] = 0.5
+	}
+}
+
+func TestQueueCancelAndCloseNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	x := New(&slowSource{n: 1 << 20, delay: 2 * time.Millisecond},
+		Config{Workers: 2, QueueDepth: 2, InitialBatch: 8})
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := x.DecideThreshold(ctx, []string{"a", "b", "c", "d", "e", "f"}, 0.5, 0)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled decide returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("decide did not return after cancel")
+	}
+	x.Close()
+	x.Close() // idempotent
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after close", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestQueueClosedExecutorErrors(t *testing.T) {
+	x := New(&slowSource{n: 1000, delay: 0}, Config{Workers: 1})
+	x.Close()
+	if _, err := x.DecideThreshold(context.Background(), []string{"a"}, 0.5, 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("DecideThreshold after Close = %v, want ErrClosed", err)
+	}
+	if _, err := x.DecideTopK(context.Background(), []string{"a", "b"}, 1, true, 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("DecideTopK after Close = %v, want ErrClosed", err)
+	}
+	if _, err := x.Supports(context.Background(), []string{"a"}, 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Supports after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestQueueBackpressureCompletes(t *testing.T) {
+	// Queue depth 1 with one worker: producers must block and resume
+	// without deadlock.
+	p := &Population{N: 5000, Seed: 1, Truth: map[string]float64{"hot": 0.9, "cold": 0.1}}
+	x := New(p, Config{Workers: 1, QueueDepth: 1, InitialBatch: 16, Rule: RuleExact})
+	defer x.Close()
+	decs, err := x.DecideThreshold(context.Background(), []string{"hot", "cold", "k1", "k2", "k3"}, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !decs[0].Significant || decs[1].Significant {
+		t.Fatalf("hot/cold decided %v/%v", decs[0].Significant, decs[1].Significant)
+	}
+	if st := x.Stats(); st.QueueHighWater < 1 {
+		t.Fatalf("queue high water %d, want >= 1", st.QueueHighWater)
+	}
+}
+
+func TestQueueConcurrentDecidesAndReset(t *testing.T) {
+	p := &Population{N: 20000, Seed: 2}
+	x := New(p, Config{Workers: 4, QueueDepth: 8, InitialBatch: 64})
+	defer x.Close()
+	keys := []string{"a", "b", "c", "d", "e"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for r := 0; r < 5; r++ {
+				switch (g + r) % 4 {
+				case 0:
+					if _, err := x.DecideThreshold(ctx, keys, 0.4, 0); err != nil {
+						t.Error(err)
+					}
+				case 1:
+					if _, err := x.DecideTopK(ctx, keys, 2, true, 0); err != nil {
+						t.Error(err)
+					}
+				case 2:
+					if _, err := x.Supports(ctx, keys[:2], 1000); err != nil {
+						t.Error(err)
+					}
+				case 3:
+					x.Reset()
+					x.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := x.Stats()
+	if st.TasksDecided == 0 || st.MemberAnswers == 0 {
+		t.Fatalf("no work recorded: %+v", st)
+	}
+}
+
+func TestStatsMonotonicAcrossReset(t *testing.T) {
+	p := &Population{N: 2000, Seed: 4, Truth: map[string]float64{"k": 0.8}}
+	x := New(p, Config{Workers: 2})
+	defer x.Close()
+	if _, err := x.DecideThreshold(context.Background(), []string{"k"}, 0.5, 0); err != nil {
+		t.Fatal(err)
+	}
+	before := x.Stats()
+	if before.States != 1 || before.StateMisses != 1 {
+		t.Fatalf("unexpected pre-reset stats %+v", before)
+	}
+	x.Reset()
+	mid := x.Stats()
+	if mid.States != 0 {
+		t.Fatalf("reset kept %d states", mid.States)
+	}
+	if mid.TasksDecided != before.TasksDecided || mid.MemberAnswers != before.MemberAnswers {
+		t.Fatalf("reset rewound counters: %+v -> %+v", before, mid)
+	}
+	if _, err := x.DecideThreshold(context.Background(), []string{"k"}, 0.5, 0); err != nil {
+		t.Fatal(err)
+	}
+	after := x.Stats()
+	if after.StateMisses != before.StateMisses+1 {
+		t.Fatalf("post-reset decide should re-create the state: %+v", after)
+	}
+	if after.MemberAnswers <= mid.MemberAnswers {
+		t.Fatal("post-reset decide resampled nothing")
+	}
+}
+
+func TestStateCacheResume(t *testing.T) {
+	p := &Population{N: 100000, Seed: 6, Truth: map[string]float64{"k": 0.9}}
+	x := New(p, Config{Workers: 2})
+	defer x.Close()
+	ctx := context.Background()
+	if _, err := x.DecideThreshold(ctx, []string{"k"}, 0.5, 0); err != nil {
+		t.Fatal(err)
+	}
+	mid := x.Stats()
+	// Same key, same criterion: the cached state already decides it.
+	decs, err := x.DecideThreshold(ctx, []string{"k"}, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := x.Stats()
+	if after.MemberAnswers != mid.MemberAnswers {
+		t.Fatalf("repeat decision sampled %d extra answers", after.MemberAnswers-mid.MemberAnswers)
+	}
+	if after.StateHits != mid.StateHits+1 {
+		t.Fatalf("state hits %d -> %d, want +1", mid.StateHits, after.StateHits)
+	}
+	if !decs[0].Significant {
+		t.Fatal("cached state flipped the decision")
+	}
+}
+
+func TestMaxStatesEphemeral(t *testing.T) {
+	p := &Population{N: 100, Seed: 8}
+	x := New(p, Config{Workers: 1, MaxStates: 2})
+	defer x.Close()
+	ctx := context.Background()
+	if _, err := x.DecideThreshold(ctx, []string{"a", "b", "c", "d"}, 0.5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st := x.Stats(); st.States > 2 {
+		t.Fatalf("state cache grew to %d past MaxStates 2", st.States)
+	}
+}

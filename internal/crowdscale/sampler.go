@@ -1,0 +1,223 @@
+package crowdscale
+
+import (
+	"context"
+	"fmt"
+	"math"
+)
+
+// bounds returns the interval [lo, hi] certainly (RuleExact) or with
+// high probability (RuleConfidence) containing the task's exhaustive
+// support over effN members, given the sampling state. Caller holds
+// x.mu. At full sampling the interval collapses to the exact value.
+func (x *Executor) bounds(st *taskState, effN int) (lo, hi float64) {
+	n := st.sampled
+	if n >= effN {
+		v := st.sum / float64(effN)
+		return v, v
+	}
+	if n == 0 {
+		return 0, 1
+	}
+	// Worst-case envelope: every unseen answer could be 0 or 1.
+	lo = st.sum / float64(effN)
+	hi = (st.sum + float64(effN-n)) / float64(effN)
+	if x.cfg.Rule == RuleConfidence {
+		// Hoeffding around the running mean with Serfling's correction
+		// for sampling without replacement: rho = 1 - (n-1)/N. The
+		// confidence interval can only tighten the worst-case envelope.
+		mean := st.sum / float64(n)
+		rho := 1 - float64(n-1)/float64(effN)
+		eps := math.Sqrt(rho * math.Log(2/x.cfg.delta()) / (2 * float64(n)))
+		if l := mean - eps; l > lo {
+			lo = l
+		}
+		if h := mean + eps; h < hi {
+			hi = h
+		}
+	}
+	return lo, hi
+}
+
+// finish records one decision into dec and the counters. Caller holds
+// x.mu.
+func (x *Executor) finish(dec *Decision, st *taskState, effN int, sig bool) {
+	dec.Significant = sig
+	dec.Sampled = st.sampled
+	if effN == 0 || st.sampled >= effN {
+		dec.Exact = true
+		if effN > 0 {
+			dec.Support = st.sum / float64(effN)
+		}
+		x.full.Add(1)
+	} else {
+		dec.Support = st.sum / float64(st.sampled)
+		x.early.Add(1)
+		x.saved.Add(uint64(effN - st.sampled))
+	}
+	x.tasks.Add(1)
+}
+
+// DecideThreshold decides, for each fact key, whether its support over
+// the first effN members is >= thr — the exhaustive criterion — by
+// sequential sampling: batches stream through the task queue and each
+// key stops as soon as its interval excludes thr (or it is fully
+// sampled). Keys are decided independently; the returned decisions are
+// index-aligned with keys.
+func (x *Executor) DecideThreshold(ctx context.Context, keys []string, thr float64, effN int) ([]Decision, error) {
+	effN = x.effPop(effN)
+	decs := make([]Decision, len(keys))
+	sts := make([]*taskState, len(keys))
+	for i, k := range keys {
+		decs[i].Key = k
+		sts[i] = x.state(k, effN)
+	}
+	active := make([]int, 0, len(keys))
+	for i := range keys {
+		active = append(active, i)
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Decide what the current states already settle (a cached state
+		// may decide a key with no sampling at all).
+		x.mu.Lock()
+		undecided := active[:0]
+		for _, i := range active {
+			st := sts[i]
+			lo, hi := x.bounds(st, effN)
+			switch {
+			case effN == 0:
+				x.finish(&decs[i], st, effN, 0 >= thr)
+			case lo >= thr:
+				x.finish(&decs[i], st, effN, true)
+			case hi < thr:
+				x.finish(&decs[i], st, effN, false)
+			default:
+				undecided = append(undecided, i)
+			}
+		}
+		active = undecided
+		x.mu.Unlock()
+		if len(active) == 0 {
+			return decs, nil
+		}
+		if err := x.round(ctx, keys, sts, active, effN); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// beforeSurely reports that task j certainly precedes task i in the
+// final significance order: descending support (ascending when !desc),
+// ties resolved by the incoming order (lower index first) — exactly the
+// stable sort the exhaustive path applies. With RuleConfidence bounds
+// "certainly" is "with high probability".
+func beforeSurely(lo, hi []float64, j, i int, desc bool) bool {
+	if desc {
+		if lo[j] > hi[i] {
+			return true
+		}
+		return lo[j] >= hi[i] && j < i
+	}
+	if hi[j] < lo[i] {
+		return true
+	}
+	return hi[j] <= lo[i] && j < i
+}
+
+// DecideTopK decides which keys rank in the top k by support over the
+// first effN members (bottom k when !desc), under the exhaustive
+// tie-breaking rule (first-appearance order). It races the tasks:
+// batches stream in rounds and a task is settled once at most k-1
+// others can possibly precede it (in) or at least k surely do (out);
+// only tasks whose uncertainty still blocks a decision keep sampling.
+// Keys must be in first-appearance order and are assumed distinct.
+func (x *Executor) DecideTopK(ctx context.Context, keys []string, k int, desc bool, effN int) ([]Decision, error) {
+	effN = x.effPop(effN)
+	m := len(keys)
+	decs := make([]Decision, m)
+	sts := make([]*taskState, m)
+	for i, key := range keys {
+		decs[i].Key = key
+		sts[i] = x.state(key, effN)
+	}
+	decided := make([]bool, m)
+	lo := make([]float64, m)
+	hi := make([]float64, m)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		x.mu.Lock()
+		for i := range keys {
+			lo[i], hi[i] = x.bounds(sts[i], effN)
+		}
+		// Settle every task the current bounds decide.
+		remaining := 0
+		for i := range keys {
+			if decided[i] {
+				continue
+			}
+			sure, possible := 0, 0
+			for j := range keys {
+				if j == i {
+					continue
+				}
+				if beforeSurely(lo, hi, j, i, desc) {
+					sure++
+					possible++
+				} else if !beforeSurely(lo, hi, i, j, desc) {
+					possible++
+				}
+			}
+			switch {
+			case k <= 0 || sure >= k:
+				x.finish(&decs[i], sts[i], effN, false)
+				decided[i] = true
+			case possible <= k-1:
+				x.finish(&decs[i], sts[i], effN, true)
+				decided[i] = true
+			default:
+				remaining++
+			}
+		}
+		if remaining == 0 {
+			x.mu.Unlock()
+			return decs, nil
+		}
+		// Sample every unfinished task that is undecided or whose
+		// interval overlaps an undecided one (its uncertainty blocks the
+		// decision). Any uncertain pair has at least one unfinished,
+		// overlapping member, so this set is never empty while tasks
+		// remain undecided.
+		var sample []int
+		for i := range keys {
+			if sts[i].sampled >= effN || effN == 0 {
+				continue
+			}
+			relevant := !decided[i]
+			if !relevant {
+				for u := range keys {
+					if !decided[u] && !(hi[i] < lo[u] || hi[u] < lo[i]) {
+						relevant = true
+						break
+					}
+				}
+			}
+			if relevant {
+				sample = append(sample, i)
+			}
+		}
+		x.mu.Unlock()
+		if len(sample) == 0 {
+			// Cannot happen: undecided tasks with fully-sampled bounds
+			// are settled exactly above. Guard against looping forever.
+			return nil, fmt.Errorf("crowdscale: top-%d race stalled with %d undecided tasks", k, remaining)
+		}
+		if err := x.round(ctx, keys, sts, sample, effN); err != nil {
+			return nil, err
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"nl2cm/internal/core"
 	"nl2cm/internal/corpus"
 	"nl2cm/internal/crowd"
+	"nl2cm/internal/crowdscale"
 	"nl2cm/internal/emit"
 	"nl2cm/internal/interact"
 	"nl2cm/internal/ix"
@@ -221,6 +222,67 @@ func NewDemoEngine(onto *Ontology) *Engine {
 	c := crowd.NewCrowd(100, 7)
 	c.Truth = crowd.DemoTruth()
 	return crowd.NewEngine(onto, c)
+}
+
+// DemoTruth returns the curated latent truth behind the demonstration
+// crowd (the paper's running-example answer distribution).
+func DemoTruth() map[string]float64 { return crowd.DemoTruth() }
+
+// ---- Crowd mining at scale ----
+
+// ScaleExecutor is the streaming crowd-task pipeline: a bounded task
+// queue with a worker pool, incremental support aggregation, and
+// sequential-sampling early termination. Attach one to Engine.Scale to
+// replace the synchronous fan-out; Close it when done.
+type ScaleExecutor = crowdscale.Executor
+
+// ScaleConfig tunes a ScaleExecutor (workers, queue depth, batch
+// growth, stopping rule); the zero value uses documented defaults.
+type ScaleConfig = crowdscale.Config
+
+// ScaleRule selects the sequential-sampling stopping rule.
+type ScaleRule = crowdscale.Rule
+
+// The stopping rules: RuleConfidence (Hoeffding/Serfling interval,
+// sublinear sample cost) and RuleExact (worst-case bounds, decisions
+// provably identical to exhaustive evaluation).
+const (
+	RuleConfidence = crowdscale.RuleConfidence
+	RuleExact      = crowdscale.RuleExact
+)
+
+// ScaleSource is a lazily-addressed crowd population: answers derive
+// from (member index, fact key) on demand and are never stored.
+type ScaleSource = crowdscale.Source
+
+// ScaleStats snapshots a ScaleExecutor's monotonic counters (tasks,
+// batches, member answers, early-termination savings, queue depth).
+type ScaleStats = crowdscale.Stats
+
+// ScaleMetrics is the per-execution counter delta attached to
+// ExecResult.Scale when the engine runs with a ScaleExecutor.
+type ScaleMetrics = crowd.ScaleMetrics
+
+// EngineStats is the engine-lifetime counter snapshot (executions,
+// tasks, support cache, optional scale section) served by /api/stats.
+type EngineStats = crowd.EngineStats
+
+// Population is a synthetic crowd of arbitrary size with skew, spammer
+// and taste-segment controls; members are derived lazily from (Seed,
+// member, key), so a million-member population occupies no memory.
+type Population = crowdscale.Population
+
+// NewScaleExecutor builds a streaming executor whose answers come from
+// the crowd (its members, truth, noise and spammers). The crowd must
+// not use TrimFraction — sequential bounds hold for plain means only.
+func NewScaleExecutor(c *Crowd, cfg ScaleConfig) (*ScaleExecutor, error) {
+	return crowd.NewScaleExecutor(c, cfg)
+}
+
+// NewScaleExecutorFrom builds a streaming executor over any lazy
+// population source (e.g. a *Population).
+func NewScaleExecutorFrom(src ScaleSource, cfg ScaleConfig) *ScaleExecutor {
+	return crowdscale.New(src, cfg)
 }
 
 // ---- Interaction ----

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # bench_record.sh produces the repo's in-repo perf record for today: it
-# runs the P-series micro-benchmarks (go test -bench) and a full
-# cmd/loadgen run against a locally started daemon, then merges both
+# runs the P-series micro-benchmarks (go test -bench), a full
+# cmd/loadgen run against a locally started daemon, and a cmd/crowdbench
+# run over a million-member synthetic population, then merges all three
 # into one well-formed BENCH_<date>.json (or the file named by $1).
 # Requires jq.
 set -euo pipefail
@@ -17,9 +18,9 @@ cleanup() {
 }
 trap cleanup EXIT
 
-benchcmd="go test -run '^$' -bench 'BenchmarkP8_JoinPlan|BenchmarkP9_ScaleLookup|BenchmarkP10_GroupBy' -benchmem ."
+benchcmd="go test -run '^$' -bench 'BenchmarkP8_JoinPlan|BenchmarkP9_ScaleLookup|BenchmarkP10_GroupBy|BenchmarkP11_CrowdScale' -benchmem ."
 echo "== micro-benchmarks: $benchcmd"
-go test -run '^$' -bench 'BenchmarkP8_JoinPlan|BenchmarkP9_ScaleLookup|BenchmarkP10_GroupBy' \
+go test -run '^$' -bench 'BenchmarkP8_JoinPlan|BenchmarkP9_ScaleLookup|BenchmarkP10_GroupBy|BenchmarkP11_CrowdScale' \
   -benchmem . | tee "$workdir/bench.txt"
 
 # "BenchmarkP8_JoinPlan/triples=10000-8   123  165018 ns/op  42192 B/op  291 allocs/op"
@@ -41,6 +42,10 @@ daemon=$!
 kill "$daemon" && wait "$daemon" 2>/dev/null || true
 daemon=
 
+echo "== crowdbench over a million-member population"
+go build -o "$workdir/crowdbench" ./cmd/crowdbench
+"$workdir/crowdbench" -members "${CROWD_MEMBERS:-1000000}" -out "$workdir/crowd.json"
+
 jq -n \
   --arg date "$(date +%F)" \
   --arg go "$(go version | sed 's/^go version //')" \
@@ -49,10 +54,13 @@ jq -n \
   --arg note "${NOTE:-}" \
   --slurpfile benchmarks "$workdir/benchmarks.json" \
   --slurpfile serving "$workdir/serving.json" \
+  --slurpfile crowd "$workdir/crowd.json" \
   '{date: $date, go: $go, cpu: $cpu, command: $cmd, note: $note,
-    benchmarks: $benchmarks[0], serving: $serving[0]}' >"$out"
+    benchmarks: $benchmarks[0], serving: $serving[0], crowd: $crowd[0]}' >"$out"
 
 echo "record written to $out"
 jq '{date, serving: {throughput_rps: .serving.throughput_rps,
      latency_ms: .serving.latency_ms, cache_hit_rate: .serving.cache_hit_rate,
-     cached_speedup: .serving.cached_speedup}}' "$out"
+     cached_speedup: .serving.cached_speedup},
+     crowd: {members: .crowd.members, savings_pct: .crowd.sequential_savings_pct,
+     speedup_x: .crowd.sequential_speedup_x, all_modes_agree: .crowd.all_modes_agree}}' "$out"
