@@ -48,6 +48,16 @@ var ErrClosed = errors.New("crowdscale: executor closed")
 // concurrent use and deterministic — the same (member, key) always
 // yields the same answer — so sequential sampling is reproducible and
 // exhaustive evaluation over the same source is a valid oracle.
+//
+// RuleConfidence additionally requires that answers be independent of
+// member index (index-exchangeable): the sampler reads a prefix of the
+// index order and treats it as a without-replacement draw from the
+// population, so a source whose answers trend with member index (e.g.
+// members sorted by enthusiasm) makes confidence decisions
+// systematically wrong, not Delta-wrong. Derive member behaviour by
+// hashing the index, as Population does, or pre-shuffle the index
+// order. RuleExact uses only worst-case bounds and is correct for any
+// deterministic source.
 type Source interface {
 	// Size is the population size.
 	Size() int
@@ -159,7 +169,9 @@ type Decision struct {
 	// Significant reports whether the task passed the criterion.
 	Significant bool
 	// Support is the running support estimate at stopping time; the
-	// exhaustive value when Exact.
+	// exhaustive value when Exact, and 0 when the decision needed no
+	// samples at all (Sampled == 0 — e.g. top-k membership with k at
+	// least the number of tasks is settled structurally).
 	Support float64
 	// Sampled is how many member answers back the decision (cumulative
 	// over the task's sampling state, which persists across calls).
@@ -183,8 +195,13 @@ type Stats struct {
 	// have computed but sequential stopping avoided (population minus
 	// samples, accumulated per early decision that sampled this call).
 	AnswersSaved uint64 `json:"answers_saved"`
-	// EarlyDecided / FullySampled split decisions by whether sampling
-	// stopped before the full effective population.
+	// EarlyDecided counts decisions where sequential stopping ended
+	// sampling early in the deciding call; FullySampled counts
+	// decisions backed by the fully sampled effective population. Early
+	// decisions answered purely from a cached state (no sampling in the
+	// call) add to neither, so EarlyDecided and AnswersSaved measure
+	// real stopping work rather than cache hits; TasksDecided can
+	// therefore exceed EarlyDecided + FullySampled.
 	EarlyDecided uint64 `json:"early_decided"`
 	FullySampled uint64 `json:"fully_sampled"`
 	// StateHits / StateMisses count sampling-state cache outcomes: a hit

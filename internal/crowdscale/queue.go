@@ -52,14 +52,58 @@ type stateKey struct {
 
 // taskState is the incremental support aggregation for one task:
 // sampled answers so far, their sum, the reserved (dispatched but
-// possibly unapplied) range end, and the next batch size. All fields
-// are guarded by Executor.mu; batches always extend the sampled prefix,
-// so "sampled == effN" means the support is exhaustive.
+// possibly unapplied) range end, the next batch size, and any reserved
+// ranges whose enqueue failed (gaps). All fields are guarded by
+// Executor.mu. Every reserved member is either covered by an enqueued
+// job (workers will apply it) or recorded in gaps (the next dispatch
+// re-covers it), so ranges never overlap and "sampled == effN" still
+// means the support is exhaustive.
 type taskState struct {
 	sum      float64
 	sampled  int
 	reserved int
 	batch    int
+	gaps     [][2]int
+}
+
+// reserve returns the next member range to dispatch, capped at limit
+// members: a gap left by a failed enqueue if one is pending, else an
+// extension of the reserved frontier. frontier reports which; from == to
+// means everything up to effN is already reserved. Caller holds
+// Executor.mu and must pair a failed enqueue of the range with
+// unreserve.
+func (st *taskState) reserve(limit, effN int) (from, to int, frontier bool) {
+	if n := len(st.gaps); n > 0 {
+		g := st.gaps[n-1]
+		st.gaps = st.gaps[:n-1]
+		return g[0], g[1], false
+	}
+	from = st.reserved
+	to = from + limit
+	if to > effN {
+		to = effN
+	}
+	st.reserved = to
+	return from, to, true
+}
+
+// unreserve rolls back a reservation whose job never made it onto the
+// queue, so the range is dispatched again later instead of poisoning the
+// state (a reserved range with no job would keep sampled below effN
+// forever). If the frontier is still where reserve left it the range is
+// un-reserved in place (reported true); otherwise later reservations
+// exist beyond it and the range is recorded as a gap. Caller holds
+// Executor.mu.
+func (st *taskState) unreserve(from, to int) bool {
+	if to <= from {
+		return false
+	}
+	if st.reserved == to {
+		st.reserved = from
+		return true
+	}
+	st.gaps = append(st.gaps, [2]int{from, to})
+	return false
 }
 
 // New builds an executor over the source and starts its worker pool.
@@ -196,31 +240,35 @@ func (x *Executor) state(key string, effN int) *taskState {
 // all of them to be applied. A task whose range is fully reserved (a
 // concurrent decision's batches are in flight) gets an empty job, so
 // the round still yields and re-checks. Abandoned rounds (cancellation)
-// leave their jobs to complete in the background — reply channels are
-// buffered, so workers never block on a gone round.
+// leave their enqueued jobs to complete in the background — reply
+// channels are buffered, so workers never block on a gone round — while
+// a reservation whose enqueue failed is rolled back so the range is
+// re-dispatched rather than lost.
 func (x *Executor) round(ctx context.Context, keys []string, sts []*taskState, idxs []int, effN int) error {
 	reply := make(chan struct{}, len(idxs))
 	sent := 0
 	for _, i := range idxs {
 		st := sts[i]
 		x.mu.Lock()
-		from := st.reserved
 		b := st.batch
 		if b <= 0 {
 			b = x.cfg.initialBatch()
 		}
-		to := from + b
-		if to > effN {
-			to = effN
+		from, to, frontier := st.reserve(b, effN)
+		if frontier {
+			nb := int(float64(b) * x.cfg.growth())
+			if nb > x.cfg.maxBatch() {
+				nb = x.cfg.maxBatch()
+			}
+			st.batch = nb
 		}
-		st.reserved = to
-		nb := int(float64(b) * x.cfg.growth())
-		if nb > x.cfg.maxBatch() {
-			nb = x.cfg.maxBatch()
-		}
-		st.batch = nb
 		x.mu.Unlock()
 		if err := x.enqueue(ctx, job{key: keys[i], st: st, from: from, to: to, reply: reply}); err != nil {
+			x.mu.Lock()
+			if st.unreserve(from, to) && frontier {
+				st.batch = b
+			}
+			x.mu.Unlock()
 			return err
 		}
 		sent++
@@ -266,10 +314,12 @@ func (x *Executor) Supports(ctx context.Context, keys []string, effN int) ([]flo
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		// Dispatch the remaining unreserved ranges in maxBatch chunks,
-		// at most pendingCap in flight per drain cycle. The cap is
-		// checked before reserving: a reserved range must always have a
-		// matching job, or sampling could never complete.
+		// Dispatch the remaining unreserved ranges (gaps first) in
+		// maxBatch chunks, at most pendingCap in flight per drain cycle.
+		// The cap is checked before reserving, and a failed enqueue
+		// rolls its reservation back: a reserved range must always have
+		// a matching job or a recorded gap, or sampling could never
+		// complete.
 		const pendingCap = 64
 		reply := make(chan struct{}, pendingCap)
 		sent := 0
@@ -280,17 +330,15 @@ func (x *Executor) Supports(ctx context.Context, keys []string, effN int) ([]flo
 					break dispatch // drain this cycle before reserving more
 				}
 				x.mu.Lock()
-				from := st.reserved
-				to := from + chunk
-				if to > effN {
-					to = effN
-				}
-				st.reserved = to
+				from, to, _ := st.reserve(chunk, effN)
 				x.mu.Unlock()
 				if to == from {
 					break
 				}
 				if err := x.enqueue(ctx, job{key: keys[i], st: st, from: from, to: to, reply: reply}); err != nil {
+					x.mu.Lock()
+					st.unreserve(from, to)
+					x.mu.Unlock()
 					return nil, err
 				}
 				sent++

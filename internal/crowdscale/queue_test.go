@@ -60,6 +60,61 @@ func TestQueueCancelAndCloseNoGoroutineLeak(t *testing.T) {
 	}
 }
 
+// TestCancelledEnqueueDoesNotPoisonState drives decisions into enqueue
+// failures (tiny full queue + cancelled contexts) and then checks the
+// shared sampling states are still completable: a reservation whose
+// enqueue failed must be rolled back or re-dispatched, or the key could
+// never reach full sampling and every later decision on it would hang.
+func TestCancelledEnqueueDoesNotPoisonState(t *testing.T) {
+	// Constant 0.5 answers against threshold 0.5 decide only at full
+	// sampling, so the follow-up decide must cover every member —
+	// including any range a cancelled round reserved but never ran.
+	src := &slowSource{n: 3000, delay: time.Millisecond}
+	x := New(src, Config{Workers: 1, QueueDepth: 1, InitialBatch: 8, Rule: RuleExact})
+	defer x.Close()
+	keys := []string{"a", "b", "c", "d", "e", "f"}
+	for round := 0; round < 3; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		errc := make(chan error, 1)
+		go func() {
+			_, err := x.DecideThreshold(ctx, keys, 0.5, 0)
+			errc <- err
+		}()
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+		select {
+		case err := <-errc:
+			if err != nil && !errors.Is(err, context.Canceled) {
+				t.Fatalf("cancelled decide returned %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("cancelled decide did not return")
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	decs, err := x.DecideThreshold(ctx, keys, 0.5, 0)
+	if err != nil {
+		t.Fatalf("post-cancel decide on the same keys failed: %v", err)
+	}
+	for _, d := range decs {
+		if !d.Significant || !d.Exact {
+			t.Fatalf("key %s decided %+v, want exact significant at support 0.5", d.Key, d)
+		}
+	}
+	// Exhaustive supports double as an overlap check: a re-dispatched
+	// range applied twice would push the mean above 0.5.
+	sup, err := x.Supports(ctx, keys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sup {
+		if s != 0.5 {
+			t.Fatalf("key %s support %v after cancellations, want exactly 0.5", keys[i], s)
+		}
+	}
+}
+
 func TestQueueClosedExecutorErrors(t *testing.T) {
 	x := New(&slowSource{n: 1000, delay: 0}, Config{Workers: 1})
 	x.Close()
@@ -185,6 +240,20 @@ func TestStateCacheResume(t *testing.T) {
 	}
 	if !decs[0].Significant {
 		t.Fatal("cached state flipped the decision")
+	}
+	// A cache-hit decision that sampled nothing must not inflate the
+	// early-termination savings: those counters measure sampling work
+	// actually avoided in the deciding call.
+	if after.TasksDecided != mid.TasksDecided+1 {
+		t.Fatalf("tasks decided %d -> %d, want +1", mid.TasksDecided, after.TasksDecided)
+	}
+	if after.AnswersSaved != mid.AnswersSaved || after.EarlyDecided != mid.EarlyDecided {
+		t.Fatalf("cache-hit decision moved savings: saved %d -> %d, early %d -> %d",
+			mid.AnswersSaved, after.AnswersSaved, mid.EarlyDecided, after.EarlyDecided)
+	}
+	// The first decide did sample: it must have recorded its savings.
+	if mid.EarlyDecided != 1 || mid.AnswersSaved == 0 {
+		t.Fatalf("sampling decide recorded no savings: %+v", mid)
 	}
 }
 

@@ -26,6 +26,9 @@ func (x *Executor) bounds(st *taskState, effN int) (lo, hi float64) {
 		// Hoeffding around the running mean with Serfling's correction
 		// for sampling without replacement: rho = 1 - (n-1)/N. The
 		// confidence interval can only tighten the worst-case envelope.
+		// Sound only under the Source contract's index-exchangeability
+		// requirement — the sampled prefix must look like a random
+		// without-replacement draw.
 		mean := st.sum / float64(n)
 		rho := 1 - float64(n-1)/float64(effN)
 		eps := math.Sqrt(rho * math.Log(2/x.cfg.delta()) / (2 * float64(n)))
@@ -39,9 +42,12 @@ func (x *Executor) bounds(st *taskState, effN int) (lo, hi float64) {
 	return lo, hi
 }
 
-// finish records one decision into dec and the counters. Caller holds
-// x.mu.
-func (x *Executor) finish(dec *Decision, st *taskState, effN int, sig bool) {
+// finish records one decision into dec and the counters. entry is the
+// state's sampled count when the deciding call started: early/saved are
+// only accumulated when the call sampled beyond it, so cache-hit
+// decisions that dispatched nothing never inflate the savings. Caller
+// holds x.mu.
+func (x *Executor) finish(dec *Decision, st *taskState, effN, entry int, sig bool) {
 	dec.Significant = sig
 	dec.Sampled = st.sampled
 	if effN == 0 || st.sampled >= effN {
@@ -51,9 +57,13 @@ func (x *Executor) finish(dec *Decision, st *taskState, effN int, sig bool) {
 		}
 		x.full.Add(1)
 	} else {
-		dec.Support = st.sum / float64(st.sampled)
-		x.early.Add(1)
-		x.saved.Add(uint64(effN - st.sampled))
+		if st.sampled > 0 {
+			dec.Support = st.sum / float64(st.sampled)
+		}
+		if st.sampled > entry {
+			x.early.Add(1)
+			x.saved.Add(uint64(effN - st.sampled))
+		}
 	}
 	x.tasks.Add(1)
 }
@@ -72,6 +82,12 @@ func (x *Executor) DecideThreshold(ctx context.Context, keys []string, thr float
 		decs[i].Key = k
 		sts[i] = x.state(k, effN)
 	}
+	entry := make([]int, len(keys))
+	x.mu.Lock()
+	for i, st := range sts {
+		entry[i] = st.sampled
+	}
+	x.mu.Unlock()
 	active := make([]int, 0, len(keys))
 	for i := range keys {
 		active = append(active, i)
@@ -89,11 +105,11 @@ func (x *Executor) DecideThreshold(ctx context.Context, keys []string, thr float
 			lo, hi := x.bounds(st, effN)
 			switch {
 			case effN == 0:
-				x.finish(&decs[i], st, effN, 0 >= thr)
+				x.finish(&decs[i], st, effN, entry[i], 0 >= thr)
 			case lo >= thr:
-				x.finish(&decs[i], st, effN, true)
+				x.finish(&decs[i], st, effN, entry[i], true)
 			case hi < thr:
-				x.finish(&decs[i], st, effN, false)
+				x.finish(&decs[i], st, effN, entry[i], false)
 			default:
 				undecided = append(undecided, i)
 			}
@@ -143,6 +159,12 @@ func (x *Executor) DecideTopK(ctx context.Context, keys []string, k int, desc bo
 		decs[i].Key = key
 		sts[i] = x.state(key, effN)
 	}
+	entry := make([]int, m)
+	x.mu.Lock()
+	for i, st := range sts {
+		entry[i] = st.sampled
+	}
+	x.mu.Unlock()
 	decided := make([]bool, m)
 	lo := make([]float64, m)
 	hi := make([]float64, m)
@@ -174,10 +196,10 @@ func (x *Executor) DecideTopK(ctx context.Context, keys []string, k int, desc bo
 			}
 			switch {
 			case k <= 0 || sure >= k:
-				x.finish(&decs[i], sts[i], effN, false)
+				x.finish(&decs[i], sts[i], effN, entry[i], false)
 				decided[i] = true
 			case possible <= k-1:
-				x.finish(&decs[i], sts[i], effN, true)
+				x.finish(&decs[i], sts[i], effN, entry[i], true)
 				decided[i] = true
 			default:
 				remaining++

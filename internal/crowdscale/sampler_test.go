@@ -149,6 +149,33 @@ func TestDecideTopKMatchesOracle(t *testing.T) {
 	}
 }
 
+func TestDecideTopKZeroSampleSupportFinite(t *testing.T) {
+	// k >= number of tasks settles membership structurally before any
+	// sampling; the support estimate must be a finite 0, not 0/0.
+	p := &Population{N: 1000, Seed: 17}
+	x := New(p, Config{Workers: 1})
+	defer x.Close()
+	decs, err := x.DecideTopK(context.Background(), []string{"a", "b"}, 5, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range decs {
+		if !d.Significant {
+			t.Fatalf("key %s not in top-5 of 2", d.Key)
+		}
+		if d.Sampled != 0 {
+			t.Fatalf("key %s sampled %d for a structural decision", d.Key, d.Sampled)
+		}
+		if math.IsNaN(d.Support) || d.Support != 0 {
+			t.Fatalf("key %s zero-sample support %v, want 0", d.Key, d.Support)
+		}
+	}
+	st := x.Stats()
+	if st.EarlyDecided != 0 || st.AnswersSaved != 0 {
+		t.Fatalf("structural decisions counted as early-termination savings: %+v", st)
+	}
+}
+
 // constSource answers a fixed value per key: exact ties force the top-k
 // race down to full sampling and the stable first-appearance tie-break.
 type constSource struct {
