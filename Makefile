@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check vet staticcheck build test race session-stress session-smoke crowd-stress loadgen-smoke bench bench-smoke bench-record fuzz-smoke emit-golden emit-golden-update agg-golden fmt
+.PHONY: all check vet staticcheck build test race session-stress session-smoke crowd-stress store-stress loadgen-smoke bench bench-smoke bench-record fuzz-smoke emit-golden emit-golden-update agg-golden fmt
 
 all: check
 
@@ -9,7 +9,7 @@ all: check
 # it), verify the per-backend golden emissions and the analytic path,
 # hammer the dialogue-session subsystem a few extra rounds, then smoke
 # the serving layer with a short load-generator run.
-check: vet staticcheck build race emit-golden agg-golden session-stress crowd-stress loadgen-smoke
+check: vet staticcheck build race emit-golden agg-golden session-stress crowd-stress store-stress loadgen-smoke
 
 vet:
 	$(GO) vet ./...
@@ -47,6 +47,14 @@ session-stress:
 crowd-stress:
 	$(GO) test -race ./internal/crowdscale/ ./internal/crowd/
 	$(GO) test -race -run TestCrowdScaleDifferentialCorpus .
+
+# store-stress hammers the epoch-snapshot store under the race
+# detector: concurrent writers publishing epochs while readers hold and
+# render old snapshots, the randomized sharded-vs-flat differential,
+# and the cache-invalidation epoch tests on top of it.
+store-stress:
+	$(GO) test -race -count=3 -run 'TestShardedSnapshotStableUnderConcurrentPublish|TestShardedOldSnapshotSurvivesDeleteAll|TestShardedDifferentialFlat' ./internal/rdf/
+	$(GO) test -race -run 'TestDataEpochInvalidatesCachedPlans|TestDeletedEntityNeverResurrectedFromCache' ./internal/core/
 
 # session-smoke curls a live daemon through one scripted dialogue
 # (requires curl and jq).

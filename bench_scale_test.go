@@ -11,6 +11,7 @@ import (
 
 	"nl2cm/internal/ontology"
 	"nl2cm/internal/qgen"
+	"nl2cm/internal/rdf"
 	"nl2cm/internal/sparql"
 )
 
@@ -83,6 +84,44 @@ func BenchmarkP9_ScaleLookup(b *testing.B) {
 // questions take: a grouped COUNT over every near-edge in the store,
 // ordered descending on the alias with LIMIT 1 — the "which group is
 // biggest" plan shape, dominated by grouping and the typed sort.
+// BenchmarkP12_SnapshotRead prices the epoch-snapshot refactor's read
+// path: the same two-pattern join evaluated against a flat single-map
+// Store and against a published ShardedStore snapshot holding identical
+// triples. The acceptance bar is snapshot reads within ~10% of flat —
+// the per-pattern cost added by sharding is one hash and, for
+// subject-unbound patterns, a loop over (mostly empty) shards.
+func BenchmarkP12_SnapshotRead(b *testing.B) {
+	for _, triples := range []int{10_000, 100_000} {
+		onto := synthFor(triples)
+		snap := onto.Snapshot()
+		flat := rdf.NewStore()
+		for _, t := range snap.All() {
+			flat.MustAdd(t)
+		}
+		q, err := sparql.Parse(fmt.Sprintf(`SELECT $x $y WHERE {
+			$x <%sinstanceOf> <%sclass7> .
+			$x <%snear> $y
+		}`, ontology.NS, ontology.NS, ontology.NS))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, src := range []struct {
+			name string
+			s    sparql.Source
+		}{{"flat", flat}, {"snapshot", snap}} {
+			b.Run(fmt.Sprintf("src=%s/triples=%d", src.name, triples), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					rows, err := sparql.Eval(q, src.s, nil)
+					if err != nil || len(rows) == 0 {
+						b.Fatalf("eval failed: %v (%d rows)", err, len(rows))
+					}
+				}
+			})
+		}
+	}
+}
+
 func BenchmarkP10_GroupBy(b *testing.B) {
 	for _, triples := range []int{10_000, 100_000} {
 		b.Run(fmt.Sprintf("triples=%d", triples), func(b *testing.B) {

@@ -13,6 +13,12 @@
 // the first pass over a question shape the daemon's plan cache serves
 // hits; loadgen splits latencies by the daemon's X-Plan-Cache header to
 // show the cold-vs-cached gap directly.
+//
+// With -mutate-rate > 0, workers interleave POST /api/store write
+// batches with the translation traffic. Every batch publishes a new
+// store epoch, which invalidates all cached plans, so this mode
+// measures the hit-rate degradation and epoch churn a mutating data
+// plane inflicts on the serving path.
 package main
 
 import (
@@ -41,6 +47,8 @@ func main() {
 	out := flag.String("out", "", "write the run record as JSON to this file")
 	note := flag.String("note", "", "free-form note stored in the JSON record")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+	mutateRate := flag.Float64("mutate-rate", 0,
+		"fraction of requests preceded by a store write batch (0 disables; each batch publishes a new data epoch)")
 	flag.Parse()
 
 	questions := corpusQuestions()
@@ -54,8 +62,9 @@ func main() {
 	}
 	before, _ := fetchStats(client, *addr)
 
-	run := drive(client, *addr, questions, *backend, *sessions, *requests)
+	run := drive(client, *addr, questions, *backend, *sessions, *requests, *mutateRate)
 	after, _ := fetchStats(client, *addr)
+	run.MutateRate = *mutateRate
 	run.finish(before, after)
 
 	run.print(os.Stdout)
@@ -108,6 +117,10 @@ type serverStats struct {
 		Admitted int64 `json:"admitted"`
 		Rejected int64 `json:"rejected"`
 	} `json:"admission"`
+	Store struct {
+		Epoch   uint64 `json:"epoch"`
+		Triples int    `json:"triples"`
+	} `json:"store"`
 }
 
 func fetchStats(client *http.Client, addr string) (*serverStats, error) {
@@ -134,22 +147,36 @@ type sample struct {
 
 // runResult aggregates a whole run.
 type runResult struct {
-	Samples  []sample
-	Elapsed  time.Duration
-	Errors   int
-	Shed     int
-	ByOut    map[string][]time.Duration // end-to-end latency per outcome
-	ByOutTr  map[string][]time.Duration // server translation time per outcome
-	HitRate  float64                    // server-side, from /api/stats deltas
-	ShedRate float64
+	Samples    []sample
+	Elapsed    time.Duration
+	Errors     int
+	Shed       int
+	ByOut      map[string][]time.Duration // end-to-end latency per outcome
+	ByOutTr    map[string][]time.Duration // server translation time per outcome
+	HitRate    float64                    // server-side, from /api/stats deltas
+	ShedRate   float64
+	MutateRate float64
+	Mutations  int64  // store write batches issued
+	MutErrors  int64  // store write batches that failed
+	EpochChurn uint64 // store epochs published during the run
 }
 
 // drive issues the load: sessions workers pull request indices from a
 // shared counter and replay the question list round-robin, so every
-// shape goes cold exactly once and repeats afterwards.
-func drive(client *http.Client, addr string, questions []string, backend string, sessions, requests int) *runResult {
+// shape goes cold exactly once and repeats afterwards. With mutateRate
+// > 0, every k-th request (k ≈ 1/rate) is preceded by a store write
+// batch, so plan-cache epochs churn while translations are in flight.
+func drive(client *http.Client, addr string, questions []string, backend string, sessions, requests int, mutateRate float64) *runResult {
 	var next atomic.Int64
+	every := 0
+	if mutateRate > 0 {
+		every = int(1 / mutateRate)
+		if every < 1 {
+			every = 1
+		}
+	}
 	samples := make([]sample, requests)
+	res := &runResult{Samples: samples}
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < sessions; w++ {
@@ -161,12 +188,44 @@ func drive(client *http.Client, addr string, questions []string, backend string,
 				if i >= requests {
 					return
 				}
+				if every > 0 && i%every == 0 {
+					seq := atomic.AddInt64(&res.Mutations, 1) - 1
+					if err := mutate(client, addr, seq); err != nil {
+						atomic.AddInt64(&res.MutErrors, 1)
+					}
+				}
 				samples[i] = issue(client, addr, questions[i%len(questions)], backend)
 			}
 		}()
 	}
 	wg.Wait()
-	return &runResult{Samples: samples, Elapsed: time.Since(start)}
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// mutate posts one self-cleaning store batch: insert a unique churn
+// triple and delete the previous one, so epochs advance without the
+// store growing past one extra triple per in-flight mutator.
+func mutate(client *http.Client, addr string, seq int64) error {
+	const ns = "http://nl2cm.org/onto/"
+	churn := func(n int64) string {
+		return fmt.Sprintf("<%sChurn_%d> <%snear> <%sChurn_Hub> .", ns, n, ns, ns)
+	}
+	req := map[string]string{"insert": churn(seq)}
+	if seq > 0 {
+		req["delete"] = churn(seq - 1)
+	}
+	body, _ := json.Marshal(req)
+	resp, err := client.Post(addr+"/api/store", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("store: status %d", resp.StatusCode)
+	}
+	return nil
 }
 
 // issue sends one translation request and classifies the response.
@@ -220,6 +279,9 @@ func (r *runResult) finish(before, after *serverStats) {
 		if total := hits + misses; total > 0 {
 			r.HitRate = float64(hits) / float64(total)
 		}
+	}
+	if before != nil && after != nil && after.Store.Epoch > before.Store.Epoch {
+		r.EpochChurn = after.Store.Epoch - before.Store.Epoch
 	}
 }
 
@@ -293,6 +355,10 @@ func (r *runResult) print(w io.Writer) {
 	if r.HitRate > 0 {
 		fmt.Fprintf(w, "server-side cache hit rate: %.1f%%\n", 100*r.HitRate)
 	}
+	if r.Mutations > 0 || r.EpochChurn > 0 {
+		fmt.Fprintf(w, "store churn: %d write batches (%d failed), %d epochs published\n",
+			r.Mutations, r.MutErrors, r.EpochChurn)
+	}
 	cold, cached := r.coldMedian(), r.cachedMedian()
 	if cold > 0 && cached > 0 {
 		fmt.Fprintf(w, "median translation time: cold %v vs cached %v (%.1fx)\n",
@@ -318,6 +384,10 @@ type record struct {
 	ColdP50Ms  float64            `json:"cold_p50_ms"`
 	HitP50Ms   float64            `json:"cached_p50_ms"`
 	Speedup    float64            `json:"cached_speedup"`
+	MutateRate float64            `json:"mutate_rate,omitempty"`
+	Mutations  int64              `json:"mutations,omitempty"`
+	MutErrors  int64              `json:"mutation_errors,omitempty"`
+	EpochChurn uint64             `json:"epoch_churn,omitempty"`
 }
 
 func (r *runResult) writeJSON(path, note, addr string, sessions int, backend string) error {
@@ -340,8 +410,12 @@ func (r *runResult) writeJSON(path, note, addr string, sessions int, backend str
 			"p99": ms(percentile(served, 99)),
 			"max": ms(percentile(served, 100)),
 		},
-		Outcomes: map[string]int{},
-		HitRate:  r.HitRate,
+		Outcomes:   map[string]int{},
+		HitRate:    r.HitRate,
+		MutateRate: r.MutateRate,
+		Mutations:  r.Mutations,
+		MutErrors:  r.MutErrors,
+		EpochChurn: r.EpochChurn,
 	}
 	for o, ds := range r.ByOut {
 		rec.Outcomes[o] = len(ds)

@@ -31,6 +31,8 @@
 //	GET    /admin                 admin trace, engine and session metrics
 //	GET    /corpus                the demo question corpus, one-click translation
 //	POST   /api/translate         JSON API: {"question": "...", "backend": "sql"}
+//	POST   /api/store             apply an N-Triples insert/delete batch to the knowledge store
+//	GET    /api/stats             plan-cache, admission, session, crowd and store counters
 //	GET    /api/backends          the registered backend dialects and their capabilities
 //	POST   /api/session           start a dialogue session
 //	GET    /api/session/{id}      poll a session
@@ -316,6 +318,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /admin", s.admin)
 	mux.HandleFunc("GET /corpus", s.corpus)
 	mux.HandleFunc("POST /api/translate", s.admit(s.apiTranslate))
+	mux.HandleFunc("POST /api/store", s.apiStore)
 	mux.HandleFunc("GET /api/backends", s.apiBackends)
 	mux.HandleFunc("GET /api/stats", s.apiStats)
 	mux.HandleFunc("POST /api/session", s.apiSessionStart)
@@ -875,15 +878,32 @@ type statsResponse struct {
 	// tasks asked, support-cache hits/misses, and — with -crowd-scale —
 	// the streaming executor's queue and early-termination metrics.
 	Crowd nl2cm.EngineStats `json:"crowd"`
+	// Store describes the knowledge store's current published snapshot.
+	Store storeStats `json:"store"`
 }
 
-// apiStats reports plan-cache, admission, session and crowd-engine
-// counters as JSON.
+// storeStats is the /api/stats knowledge-store section: the published
+// snapshot's epoch, its total triple count, and the per-shard sizes
+// (hash-partitioned by subject, so skew here means subject hot spots).
+type storeStats struct {
+	Epoch   uint64 `json:"epoch"`
+	Triples int    `json:"triples"`
+	Shards  []int  `json:"shards"`
+}
+
+// apiStats reports plan-cache, admission, session, crowd-engine and
+// knowledge-store counters as JSON.
 func (s *server) apiStats(w http.ResponseWriter, r *http.Request) {
+	sn := s.tr.Onto.Snapshot()
 	resp := statsResponse{
 		Admission: s.adm.stats(),
 		Sessions:  s.sess.Metrics(),
 		Crowd:     s.eng.Stats(),
+		Store: storeStats{
+			Epoch:   sn.Epoch(),
+			Triples: sn.Len(),
+			Shards:  sn.ShardSizes(),
+		},
 	}
 	if s.tr.Cache != nil {
 		st := s.tr.Cache.Stats()
@@ -891,6 +911,60 @@ func (s *server) apiStats(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		log.Printf("api encode: %v", err)
+	}
+}
+
+// storeRequest is the POST /api/store payload: N-Triples text to delete
+// and insert as one atomic batch (deletes apply first). An invalid line
+// or a non-ground insert rejects the whole batch.
+type storeRequest struct {
+	Insert string `json:"insert,omitempty"`
+	Delete string `json:"delete,omitempty"`
+}
+
+// storeResponse reports what one batch did and the epoch it published.
+type storeResponse struct {
+	Added   int    `json:"added"`
+	Removed int    `json:"removed"`
+	Epoch   uint64 `json:"epoch"`
+}
+
+// apiStore applies an insert/delete batch to the shared knowledge
+// store. The new epoch is visible to every subsequent request: cached
+// plans from older epochs become unreachable and the ontology's label
+// index re-derives, so an inserted entity resolves on the next query.
+func (s *server) apiStore(w http.ResponseWriter, r *http.Request) {
+	var req storeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var batch nl2cm.StoreBatch
+	var err error
+	if req.Delete != "" {
+		if batch.Delete, err = nl2cm.ParseTriples(strings.NewReader(req.Delete)); err != nil {
+			http.Error(w, "delete: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	if req.Insert != "" {
+		if batch.Insert, err = nl2cm.ParseTriples(strings.NewReader(req.Insert)); err != nil {
+			http.Error(w, "insert: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	if len(batch.Insert) == 0 && len(batch.Delete) == 0 {
+		http.Error(w, "empty batch: provide insert and/or delete N-Triples", http.StatusBadRequest)
+		return
+	}
+	added, removed, epoch, err := s.tr.Onto.Store.Apply(batch)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(storeResponse{Added: added, Removed: removed, Epoch: epoch}); err != nil {
 		log.Printf("api encode: %v", err)
 	}
 }

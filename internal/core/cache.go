@@ -30,15 +30,27 @@ func (t *Translator) cacheable(opt Options) bool {
 	return t.Cache != nil && opt.Interactor == nil && len(opt.Policy.Ask) == 0
 }
 
-// epoch returns the cache epoch: the feedback store's version, so any
-// recorded disambiguation feedback (which can re-rank entity candidates
-// and change a translation) makes every previously cached plan
-// unreachable.
+// epoch returns the feedback cache epoch: the feedback store's version,
+// so any recorded disambiguation feedback (which can re-rank entity
+// candidates and change a translation) makes every previously cached
+// plan unreachable.
 func (t *Translator) epoch() uint64 {
 	if t.Generator == nil || t.Generator.Feedback == nil {
 		return 0
 	}
 	return t.Generator.Feedback.Version()
+}
+
+// dataEpoch returns the knowledge-base epoch: the store snapshot's
+// publication counter. Every write batch publishes a new epoch, so
+// cached plans are invalidated by data changes exactly as by feedback
+// changes — a rebind-served hit can never resurrect an entity deleted
+// in a newer epoch.
+func (t *Translator) dataEpoch() uint64 {
+	if t.Onto == nil {
+		return 0
+	}
+	return t.Onto.Epoch()
 }
 
 // translateCached serves one translation through the plan cache:
@@ -60,9 +72,10 @@ func (t *Translator) translateCached(ctx context.Context, question string, opt O
 
 	shape := qcache.Canonicalize(question, t.Onto)
 	key := qcache.Key{
-		Shape:    shape.Key,
-		Backends: qcache.BackendKey(opt.Backends),
-		Epoch:    t.epoch(),
+		Shape:     shape.Key,
+		Backends:  qcache.BackendKey(opt.Backends),
+		Epoch:     t.epoch(),
+		DataEpoch: t.dataEpoch(),
 	}
 	v, flight, outcome := t.Cache.Lookup(key)
 
@@ -100,7 +113,7 @@ func (t *Translator) translateCached(ctx context.Context, question string, opt O
 		if opt.Trace {
 			res.Trace = append(res.Trace, Stage{
 				Module:   StagePlanCache,
-				Output:   fmt.Sprintf("miss — cached under shape %q", shape.Key),
+				Output:   fmt.Sprintf("miss — cached under shape %q, data epoch %d", shape.Key, key.DataEpoch),
 				Duration: probe,
 			})
 		}
@@ -137,7 +150,7 @@ func (t *Translator) serveHit(question string, shape qcache.Shape, entry *cacheE
 		if opt.Trace {
 			res.Trace = []Stage{{
 				Module:   StagePlanCache,
-				Output:   fmt.Sprintf("hit (exact) — shape %q", shape.Key),
+				Output:   fmt.Sprintf("hit (exact) — shape %q, data epoch %d", shape.Key, old.DataEpoch),
 				Duration: time.Since(start),
 			}}
 		} else {
@@ -182,6 +195,7 @@ func (t *Translator) serveHit(question string, shape qcache.Shape, entry *cacheE
 
 	res := &Result{
 		Question:         question,
+		DataEpoch:        old.DataEpoch,
 		Verdict:          old.Verdict,
 		Graph:            g,
 		IXs:              old.IXs,
@@ -208,8 +222,8 @@ func (t *Translator) serveHit(question string, shape qcache.Shape, entry *cacheE
 	if opt.Trace {
 		res.Trace = []Stage{{
 			Module: StagePlanCache,
-			Output: fmt.Sprintf("hit (rebound %d entity slot(s)) — shape %q, from %q",
-				len(sub), shape.Key, old.Question),
+			Output: fmt.Sprintf("hit (rebound %d entity slot(s)) — shape %q, data epoch %d, from %q",
+				len(sub), shape.Key, old.DataEpoch, old.Question),
 			Duration: time.Since(start),
 		}}
 	}

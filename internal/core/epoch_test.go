@@ -1,0 +1,111 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"nl2cm/internal/ontology"
+	"nl2cm/internal/qcache"
+	"nl2cm/internal/rdf"
+)
+
+// TestDataEpochInvalidatesCachedPlans asserts the serving-epoch half of
+// the cache contract: a store write batch publishes a new data epoch,
+// after which a question whose shape is cached must be re-translated
+// cold instead of served from the pre-write plan.
+func TestDataEpochInvalidatesCachedPlans(t *testing.T) {
+	onto := ontology.NewDemoOntology()
+	tr := New(onto)
+	tr.Cache = qcache.New(64)
+	ctx := context.Background()
+	const q = "Where do families eat near Delaware Park?"
+
+	res1, err := tr.Translate(ctx, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.CacheOutcome != "miss" {
+		t.Fatalf("first translation outcome = %q, want miss", res1.CacheOutcome)
+	}
+	res2, err := tr.Translate(ctx, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.CacheOutcome != "hit" {
+		t.Fatalf("repeat outcome = %q, want hit", res2.CacheOutcome)
+	}
+	if res2.DataEpoch != res1.DataEpoch {
+		t.Fatalf("hit served under epoch %d, cached at %d", res2.DataEpoch, res1.DataEpoch)
+	}
+
+	// Any write batch moves the data epoch; the cached plan for this
+	// shape must become unreachable even though feedback never changed.
+	if _, _, _, err := onto.Store.Apply(rdf.Batch{Insert: []rdf.Triple{
+		rdf.T(ontology.E("Epoch_Test_Entity"), ontology.PredLabel, rdf.NewLiteral("Epoch Test Entity")),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	res3, err := tr.Translate(ctx, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.CacheOutcome != "miss" {
+		t.Fatalf("post-write outcome = %q, want miss (data epoch must invalidate)", res3.CacheOutcome)
+	}
+	if res3.DataEpoch <= res2.DataEpoch {
+		t.Fatalf("data epoch did not advance: %d then %d", res2.DataEpoch, res3.DataEpoch)
+	}
+}
+
+// TestDeletedEntityNeverResurrectedFromCache caches a plan whose shape
+// slot binds an entity, deletes that entity's label in a newer epoch,
+// and asserts no cache-served path re-binds to the dead term: the
+// follow-up translation runs cold against the new epoch, where the
+// phrase no longer resolves to the deleted entity.
+func TestDeletedEntityNeverResurrectedFromCache(t *testing.T) {
+	onto := ontology.NewDemoOntology()
+	tr := New(onto)
+	tr.Cache = qcache.New(64)
+	ctx := context.Background()
+	park := ontology.E("Delaware_Park")
+	const q = "Which restaurants are near Delaware Park?"
+
+	res1, err := tr.Translate(ctx, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.CacheOutcome != "miss" {
+		t.Fatalf("first translation outcome = %q, want miss", res1.CacheOutcome)
+	}
+	refersTo := func(res *Result, term rdf.Term) bool {
+		if res.Plan == nil {
+			return false
+		}
+		for _, p := range res.Plan.Where {
+			if p.Triple.S.Equal(term) || p.Triple.O.Equal(term) {
+				return true
+			}
+		}
+		return false
+	}
+	if !refersTo(res1, park) {
+		t.Skipf("fixture drift: plan does not bind %v", park)
+	}
+
+	if _, removed, _, err := onto.Store.Apply(rdf.Batch{Delete: []rdf.Triple{
+		rdf.T(park, ontology.PredLabel, rdf.NewLiteral("Delaware Park")),
+	}}); err != nil || removed != 1 {
+		t.Fatalf("Apply delete = %d, %v", removed, err)
+	}
+
+	res2, err := tr.Translate(ctx, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.CacheOutcome == "hit" || res2.CacheOutcome == "rebound" {
+		t.Fatalf("outcome = %q after entity deletion, want a cold path", res2.CacheOutcome)
+	}
+	if refersTo(res2, park) {
+		t.Fatalf("deleted entity %v resurrected in post-delete plan", park)
+	}
+}

@@ -103,6 +103,11 @@ type Result struct {
 	// plan with re-bound entity slots), or "" when the request bypassed
 	// the cache (no cache installed, or an interactive request).
 	CacheOutcome string
+	// DataEpoch is the knowledge-base epoch this translation was served
+	// against (the store snapshot's publication counter). Cache-served
+	// results carry the epoch they were computed under, which the cache
+	// key guarantees equals the serving epoch.
+	DataEpoch uint64
 	// Trace holds the admin-mode intermediate outputs.
 	Trace []Stage
 	// Interactions is the recorded dialogue transcript.
@@ -222,7 +227,7 @@ func (t *Translator) Translate(ctx context.Context, question string, opt Options
 // translate is the always-cold pipeline: the seven Figure-2 stages plus
 // the optional backend emitter.
 func (t *Translator) translate(ctx context.Context, question string, opt Options) (*Result, error) {
-	res := &Result{Question: question}
+	res := &Result{Question: question, DataEpoch: t.dataEpoch()}
 	st := &stageRunner{ctx: ctx, opt: opt, res: res}
 
 	// Record the dialogue when tracing.

@@ -258,9 +258,13 @@ func (e *Engine) Execute(ctx context.Context, q *oassisql.Query) (*Result, error
 }
 
 func (e *Engine) execute(ctx context.Context, q *oassisql.Query) (*Result, error) {
+	// Pin one store snapshot for the whole execution: the WHERE
+	// evaluation and the open-variable expansion below must agree on
+	// one epoch even while the daemon applies write batches.
+	snap := e.Onto.Snapshot()
 	// 1. WHERE against the ontology.
 	whereQ := &sparql.Query{Where: q.Where.Triples, Filters: q.Where.Filters, Limit: -1}
-	bindings, err := sparql.Eval(whereQ, e.Onto.Store, nil)
+	bindings, err := sparql.Eval(whereQ, snap, nil)
 	if err != nil {
 		return nil, fmt.Errorf("crowd: evaluating WHERE: %w", err)
 	}
@@ -288,7 +292,7 @@ func (e *Engine) execute(ctx context.Context, q *oassisql.Query) (*Result, error
 			e.Observer.StageStart(stage)
 		}
 		scStart := time.Now()
-		scRes, kept, err := e.evalSubclause(ctx, i, sc, surviving, cnt)
+		scRes, kept, err := e.evalSubclause(ctx, i, sc, surviving, cnt, snap)
 		d := time.Since(scStart)
 		if e.Observer != nil {
 			e.Observer.StageEnd(stage, d, err)
@@ -355,8 +359,8 @@ type taskGroup struct {
 // the crowd (one task per distinct ground fact-set, evaluated on the
 // worker pool), applies the significance criterion and returns the
 // surviving bindings.
-func (e *Engine) evalSubclause(ctx context.Context, idx int, sc oassisql.Subclause, bindings []sparql.Binding, cnt *execCounters) (*SubclauseResult, []sparql.Binding, error) {
-	expanded, err := e.expandOpenVars(sc, bindings)
+func (e *Engine) evalSubclause(ctx context.Context, idx int, sc oassisql.Subclause, bindings []sparql.Binding, cnt *execCounters, snap *rdf.Snapshot) (*SubclauseResult, []sparql.Binding, error) {
+	expanded, err := e.expandOpenVars(sc, bindings, snap)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -566,7 +570,7 @@ var verbDomains = map[string]string{
 // the pattern's habit verb when one is known — capped at OpenVarLimit.
 // Boundness is decided per binding: after OPTIONAL/UNION upstream, some
 // rows may bind a pattern variable while others leave it open.
-func (e *Engine) expandOpenVars(sc oassisql.Subclause, bindings []sparql.Binding) ([]sparql.Binding, error) {
+func (e *Engine) expandOpenVars(sc oassisql.Subclause, bindings []sparql.Binding, snap *rdf.Snapshot) ([]sparql.Binding, error) {
 	pvars := sc.Pattern.Vars()
 	if len(bindings) == 0 {
 		bindings = []sparql.Binding{{}}
@@ -590,7 +594,7 @@ func (e *Engine) expandOpenVars(sc oassisql.Subclause, bindings []sparql.Binding
 	if limit <= 0 {
 		limit = 50
 	}
-	entities := e.candidateEntities(sc, limit)
+	entities := e.candidateEntities(sc, limit, snap)
 	var out []sparql.Binding
 	for _, b := range bindings {
 		var open []string
@@ -625,15 +629,16 @@ func (e *Engine) expandOpenVars(sc oassisql.Subclause, bindings []sparql.Binding
 
 // candidateEntities returns the entities an open variable ranges over:
 // the verb's domain class when known, otherwise everything with an
-// instanceOf fact, capped at limit.
-func (e *Engine) candidateEntities(sc oassisql.Subclause, limit int) []rdf.Term {
+// instanceOf fact, capped at limit. All reads run against the
+// execution's pinned snapshot.
+func (e *Engine) candidateEntities(sc oassisql.Subclause, limit int, snap *rdf.Snapshot) []rdf.Term {
 	var entities []rdf.Term
 	if class, ok := e.patternDomain(sc); ok {
-		entities = e.Onto.InstancesOf(class)
+		entities = e.Onto.InstancesOfAt(snap, class)
 	}
 	if len(entities) == 0 {
 		seen := map[rdf.Term]bool{}
-		e.Onto.Store.MatchFunc(rdf.T(rdf.NewVar("s"), ontology.PredInstanceOf, rdf.NewVar("c")), func(t rdf.Triple) bool {
+		snap.MatchFunc(rdf.T(rdf.NewVar("s"), ontology.PredInstanceOf, rdf.NewVar("c")), func(t rdf.Triple) bool {
 			if !seen[t.S] && !e.Onto.IsClass(t.S) {
 				seen[t.S] = true
 				entities = append(entities, t.S)

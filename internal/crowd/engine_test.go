@@ -102,7 +102,7 @@ func TestExpandOpenVarsHeterogeneousBindings(t *testing.T) {
 		{"x": ontology.E("Delaware_Park"), "y": ontology.E("Fall")},
 		{}, // open row
 	}
-	out, err := eng.expandOpenVars(sc, bindings)
+	out, err := eng.expandOpenVars(sc, bindings, eng.Onto.Snapshot())
 	if err != nil {
 		t.Fatal(err)
 	}

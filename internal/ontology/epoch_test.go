@@ -1,0 +1,105 @@
+package ontology
+
+import (
+	"testing"
+
+	"nl2cm/internal/rdf"
+)
+
+// TestInsertedCityResolvesImmediately is the staleness regression test:
+// a city inserted through a raw store batch (no AddEntity registration)
+// must be resolvable by ResolveEntity, Lookup and Label on the very
+// next call, because the label index re-derives per store epoch instead
+// of being frozen at construction.
+func TestInsertedCityResolvesImmediately(t *testing.T) {
+	o := NewDemoOntology()
+	if _, ok := o.ResolveEntity("Newville"); ok {
+		t.Fatal("Newville resolved before insertion")
+	}
+
+	newCity := E("Newville")
+	city := E("City")
+	_, _, _, err := o.Store.Apply(rdf.Batch{Insert: []rdf.Triple{
+		rdf.T(newCity, PredLabel, rdf.NewLiteral("Newville")),
+		rdf.T(newCity, PredInstanceOf, city),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got, ok := o.ResolveEntity("Newville")
+	if !ok || !got.Equal(newCity) {
+		t.Fatalf("ResolveEntity after insert = %v, %v; want %v, true", got, ok, newCity)
+	}
+	if l := o.Label(newCity); l != "Newville" {
+		t.Fatalf("Label after insert = %q, want %q", l, "Newville")
+	}
+	cands := o.Lookup("Newville")
+	if len(cands) != 1 || !cands[0].Term.Equal(newCity) {
+		t.Fatalf("Lookup after insert = %v, want exactly the new city", cands)
+	}
+	if cands[0].IsClass {
+		t.Fatal("inserted instance classified as class")
+	}
+
+	// Deletion is symmetric: removing the label triples must stop the
+	// phrase from resolving in the next epoch.
+	if _, removed, _, err := o.Store.Apply(rdf.Batch{Delete: []rdf.Triple{
+		rdf.T(newCity, PredLabel, rdf.NewLiteral("Newville")),
+	}}); err != nil || removed != 1 {
+		t.Fatalf("Apply delete = %d, %v", removed, err)
+	}
+	if _, ok := o.ResolveEntity("Newville"); ok {
+		t.Fatal("Newville still resolves after its label was deleted")
+	}
+	if l := o.Label(newCity); l != "Newville" && l != newCity.Local() {
+		t.Fatalf("Label after delete = %q", l)
+	}
+}
+
+// TestInsertedClassMembershipDerives checks the class side of the
+// per-epoch rebuild: a term appearing as an instanceOf object in a
+// batch counts as a class immediately.
+func TestInsertedClassMembershipDerives(t *testing.T) {
+	o := NewDemoOntology()
+	vineyard := E("Vineyard")
+	napa := E("Napa_Vineyard")
+	if o.IsClass(vineyard) {
+		t.Fatal("Vineyard is a class before insertion")
+	}
+	if _, _, _, err := o.Store.Apply(rdf.Batch{Insert: []rdf.Triple{
+		rdf.T(vineyard, PredLabel, rdf.NewLiteral("vineyard")),
+		rdf.T(napa, PredLabel, rdf.NewLiteral("Napa Vineyard")),
+		rdf.T(napa, PredInstanceOf, vineyard),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if !o.IsClass(vineyard) {
+		t.Fatal("Vineyard not a class after an instanceOf batch")
+	}
+	if o.IsClass(napa) {
+		t.Fatal("instance misclassified as class")
+	}
+	// A class phrase must not resolve as an entity slot.
+	if _, ok := o.ResolveEntity("vineyard"); ok {
+		t.Fatal("class phrase resolved as entity")
+	}
+	if got, ok := o.ResolveEntity("Napa Vineyard"); !ok || !got.Equal(napa) {
+		t.Fatalf("ResolveEntity(Napa Vineyard) = %v, %v", got, ok)
+	}
+}
+
+// TestAliasAfterLookupInvalidates ensures registration-state changes
+// (not only store epochs) refresh the derived index: an Alias added
+// after the index was first built must be visible to the next Lookup.
+func TestAliasAfterLookupInvalidates(t *testing.T) {
+	o := NewDemoOntology()
+	if _, ok := o.ResolveEntity("Entertainment Capital"); ok {
+		t.Fatal("alias resolved before registration")
+	}
+	o.Alias(E("Las_Vegas"), "Entertainment Capital")
+	got, ok := o.ResolveEntity("Entertainment Capital")
+	if !ok || !got.Equal(E("Las_Vegas")) {
+		t.Fatalf("ResolveEntity after Alias = %v, %v; want Las_Vegas", got, ok)
+	}
+}

@@ -32,26 +32,12 @@ func ReadNTriples(name string, r io.Reader) (*Ontology, error) {
 		return nil, fmt.Errorf("ontology: importing %s: %w", name, err)
 	}
 	o := New(name)
-	classes := map[rdf.Term]bool{}
 	for _, t := range triples {
 		o.Store.MustAdd(t)
-		switch t.P {
-		case PredSubClassOf:
-			classes[t.S] = true
-			classes[t.O] = true
-		case PredInstanceOf:
-			classes[t.O] = true
-		}
 	}
-	for c := range classes {
-		o.classes[c] = true
-	}
-	// Rebuild the label index.
-	for _, t := range triples {
-		if t.P == PredLabel && t.O.IsLiteral() {
-			o.index(t.O.Value(), t.S)
-		}
-	}
+	// Class membership and the label index derive from the store per
+	// epoch (subClassOf participation, instanceOf objects, <label>
+	// literals); nothing to reconstruct here.
 	registerStandardRelations(o)
 	return o, nil
 }
@@ -79,35 +65,35 @@ type Stats struct {
 	Labels   int
 }
 
-// Summary computes ontology statistics.
+// Summary computes ontology statistics over one pinned epoch.
 func (o *Ontology) Summary() Stats {
+	snap := o.Snapshot()
+	d := o.idx()
 	entities := map[rdf.Term]bool{}
-	o.Store.MatchFunc(rdf.T(rdf.NewVar("s"), PredInstanceOf, rdf.NewVar("c")), func(t rdf.Triple) bool {
-		if !o.classes[t.S] {
+	snap.MatchFunc(rdf.T(rdf.NewVar("s"), PredInstanceOf, rdf.NewVar("c")), func(t rdf.Triple) bool {
+		if !d.classes[t.S] {
 			entities[t.S] = true
 		}
 		return true
 	})
-	labels := 0
-	for range o.labels {
-		labels++
-	}
 	return Stats{
 		Name:     o.Name,
-		Triples:  o.Store.Len(),
-		Classes:  len(o.Classes()),
+		Triples:  snap.Len(),
+		Classes:  len(d.classes),
 		Entities: len(entities),
-		Labels:   labels,
+		Labels:   len(d.labels),
 	}
 }
 
 // Entities returns all non-class subjects with an instanceOf fact,
 // sorted.
 func (o *Ontology) Entities() []rdf.Term {
+	snap := o.Snapshot()
+	d := o.idx()
 	seen := map[rdf.Term]bool{}
 	var out []rdf.Term
-	o.Store.MatchFunc(rdf.T(rdf.NewVar("s"), PredInstanceOf, rdf.NewVar("c")), func(t rdf.Triple) bool {
-		if !o.classes[t.S] && !seen[t.S] {
+	snap.MatchFunc(rdf.T(rdf.NewVar("s"), PredInstanceOf, rdf.NewVar("c")), func(t rdf.Triple) bool {
+		if !d.classes[t.S] && !seen[t.S] {
 			seen[t.S] = true
 			out = append(out, t.S)
 		}

@@ -14,12 +14,14 @@
 //     slots. Two questions with equal shape keys differ only in which
 //     entities they name.
 //
-//   - Cache is a size-bounded LRU keyed on (shape, backend set, epoch)
-//     with single-flight deduplication: concurrent misses on one key
-//     run the underlying computation once, and everyone waits for it.
-//     The epoch is the caller's invalidation lever — keying it to the
-//     disambiguation-feedback version drops every cached plan the
-//     moment learned feedback could change a translation.
+//   - Cache is a size-bounded LRU keyed on (shape, backend set,
+//     feedback epoch, data epoch) with single-flight deduplication:
+//     concurrent misses on one key run the underlying computation once,
+//     and everyone waits for it. The epochs are the caller's
+//     invalidation levers — the feedback epoch drops every cached plan
+//     the moment learned feedback could change a translation, and the
+//     data epoch (the store snapshot's publication counter) drops them
+//     the moment the knowledge base itself changes.
 //
 // The cache stores opaque values (any): the core package owns the
 // Result type and would otherwise be a dependency cycle.
@@ -143,14 +145,20 @@ type Key struct {
 	Shape string
 	// Backends is the requested backend set (BackendKey).
 	Backends string
-	// Epoch versions the world the entry was computed in; bumping it
-	// (e.g. on a feedback-store change) makes every older entry
-	// unreachable.
+	// Epoch versions the learned state the entry was computed under;
+	// bumping it (e.g. on a feedback-store change) makes every older
+	// entry unreachable.
 	Epoch uint64
+	// DataEpoch versions the knowledge-base snapshot the entry was
+	// computed against (rdf.Snapshot.Epoch). A store write batch
+	// publishes a new epoch, so cached plans — including rebind-served
+	// hits — can never resurrect entities deleted in a newer epoch or
+	// miss ones inserted since.
+	DataEpoch uint64
 }
 
 func (k Key) internal() string {
-	return fmt.Sprintf("%d|%s|%s", k.Epoch, k.Backends, k.Shape)
+	return fmt.Sprintf("%d|%d|%s|%s", k.Epoch, k.DataEpoch, k.Backends, k.Shape)
 }
 
 // Outcome classifies one cache access.

@@ -127,6 +127,31 @@ func TestCacheEpochInvalidates(t *testing.T) {
 	}
 }
 
+func TestCacheDataEpochInvalidates(t *testing.T) {
+	c := New(8)
+	ctx := context.Background()
+	fill := func() (any, error) { return "v", nil }
+	if _, o, _ := c.Do(ctx, Key{Shape: "s", Epoch: 1, DataEpoch: 3}, fill); o != Miss {
+		t.Fatal("expected miss at data epoch 3")
+	}
+	if _, o, _ := c.Do(ctx, Key{Shape: "s", Epoch: 1, DataEpoch: 3}, fill); o != Hit {
+		t.Fatal("expected hit at data epoch 3")
+	}
+	// A store write publishes a new data epoch: the cached plan must not
+	// be reachable anymore, independent of the feedback epoch.
+	if _, o, _ := c.Do(ctx, Key{Shape: "s", Epoch: 1, DataEpoch: 4}, fill); o != Miss {
+		t.Fatal("data-epoch bump did not invalidate the entry")
+	}
+	// The two epoch axes must not collide in the internal key: feedback
+	// epoch 34 with data epoch 0 is distinct from 3 with 40, etc.
+	if _, o, _ := c.Do(ctx, Key{Shape: "s", Epoch: 13, DataEpoch: 4}, fill); o != Miss {
+		t.Fatal("expected miss for unseen (epoch, data-epoch) pair")
+	}
+	if _, o, _ := c.Do(ctx, Key{Shape: "s", Epoch: 1, DataEpoch: 34}, fill); o != Miss {
+		t.Fatal("epoch axes collided in the internal key")
+	}
+}
+
 func TestSingleFlightDeduplicates(t *testing.T) {
 	c := New(8)
 	ctx := context.Background()

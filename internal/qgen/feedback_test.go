@@ -1,11 +1,13 @@
 package qgen
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"nl2cm/internal/ontology"
+	"nl2cm/internal/rdf"
 )
 
 func TestFeedbackSaveLoadRoundTrip(t *testing.T) {
@@ -89,5 +91,36 @@ func TestRankCandidatesDegreeTieBreak(t *testing.T) {
 	// With no feedback, the best-connected Buffalo (NY) ranks first.
 	if cands[0].Term != ontology.E("Buffalo,_NY") {
 		t.Errorf("top = %v, want Buffalo,_NY", cands[0].Term)
+	}
+}
+
+// TestRankCandidatesDegreeTracksStoreEpoch is the degree-staleness
+// regression test: candidate degrees are recomputed per call against
+// the current snapshot, so facts inserted through a store batch shift
+// the popularity ranking immediately.
+func TestRankCandidatesDegreeTracksStoreEpoch(t *testing.T) {
+	onto := ontology.NewDemoOntology()
+	g := New(onto)
+	wy := ontology.E("Buffalo,_WY")
+	before := g.RankCandidates("Buffalo")
+	if len(before) < 3 {
+		t.Fatalf("candidates = %d", len(before))
+	}
+	if before[0].Term == wy {
+		t.Fatal("Buffalo,_WY already top-ranked; fixture changed")
+	}
+	// Make Wyoming's Buffalo by far the best-connected: its degree must
+	// dominate on the next call, without rebuilding the generator.
+	var batch rdf.Batch
+	for i := 0; i < 200; i++ {
+		batch.Insert = append(batch.Insert,
+			rdf.T(wy, ontology.PredNear, ontology.E(fmt.Sprintf("WY_Place_%d", i))))
+	}
+	if _, _, _, err := onto.Store.Apply(batch); err != nil {
+		t.Fatal(err)
+	}
+	after := g.RankCandidates("Buffalo")
+	if len(after) == 0 || after[0].Term != wy {
+		t.Errorf("top after degree batch = %v, want Buffalo,_WY", after[0].Term)
 	}
 }

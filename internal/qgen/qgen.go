@@ -560,14 +560,16 @@ func (r *run) lookup(lemma, lower string) []ontology.Candidate {
 // ranking: the default reading of "Buffalo" is the well-known city.
 func (g *Generator) RankCandidates(phrase string) []ontology.Candidate {
 	cands := g.Onto.Lookup(phrase)
-	// Degrees are precomputed once per candidate: the comparator runs
-	// O(n log n) times, and each degree probe takes the store's read lock.
+	// Degrees are recomputed per call against one pinned snapshot: the
+	// comparator runs O(n log n) times, every probe sees the same epoch,
+	// and facts inserted a batch ago already count toward popularity.
+	snap := g.Onto.Snapshot()
 	degrees := make([]int, len(cands))
 	for i := range cands {
 		cands[i].Score += g.Feedback.Boost(phrase, cands[i].Term)
 		t := cands[i].Term
-		degrees[i] = g.Onto.Store.CountMatch(rdf.T(t, rdf.NewVar("p"), rdf.NewVar("o"))) +
-			g.Onto.Store.CountMatch(rdf.T(rdf.NewVar("s"), rdf.NewVar("p"), t))
+		degrees[i] = snap.CountMatch(rdf.T(t, rdf.NewVar("p"), rdf.NewVar("o"))) +
+			snap.CountMatch(rdf.T(rdf.NewVar("s"), rdf.NewVar("p"), t))
 	}
 	idx := make([]int, len(cands))
 	for i := range idx {

@@ -1,0 +1,169 @@
+package rdf
+
+// shardBuilder accumulates one epoch's mutations for a single shard.
+// It starts as a shallow clone of the base shardData — maps are
+// copied, posting slices are shared — and copies each posting slice
+// the first time it is touched this epoch ("owned"), so a batch that
+// mutates k keys pays O(k) slice copies while untouched postings keep
+// sharing memory with every older snapshot. freeze converts the
+// builder into the immutable shardData for the next epoch.
+type shardBuilder struct {
+	data shardData
+	// owned* record which posting slices have been copied this epoch
+	// and may be mutated in place from now on.
+	ownedSubj map[uint32]bool
+	ownedPred map[uint32]bool
+	ownedObj  map[uint32]bool
+	ownedSP   map[uint64]bool
+	ownedPO   map[uint64]bool
+	ownedOS   map[uint64]bool
+}
+
+func newShardBuilder(base *shardData) *shardBuilder {
+	b := &shardBuilder{
+		data: shardData{
+			pos:    make(map[ids3]int, len(base.pos)),
+			trips:  append([]ids3(nil), base.trips...),
+			bySubj: clonePostings(base.bySubj),
+			byPred: clonePostings(base.byPred),
+			byObj:  clonePostings(base.byObj),
+			bySP:   cloneIDs(base.bySP),
+			byPO:   cloneIDs(base.byPO),
+			byOS:   cloneIDs(base.byOS),
+		},
+		ownedSubj: map[uint32]bool{},
+		ownedPred: map[uint32]bool{},
+		ownedObj:  map[uint32]bool{},
+		ownedSP:   map[uint64]bool{},
+		ownedPO:   map[uint64]bool{},
+		ownedOS:   map[uint64]bool{},
+	}
+	for k, i := range base.pos {
+		b.data.pos[k] = i
+	}
+	return b
+}
+
+// clonePostings shallow-copies a posting map: new map, shared slices.
+func clonePostings(m map[uint32][]uint64) map[uint32][]uint64 {
+	out := make(map[uint32][]uint64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// cloneIDs shallow-copies a pair-index map: new map, shared slices.
+func cloneIDs(m map[uint64][]uint32) map[uint64][]uint32 {
+	out := make(map[uint64][]uint32, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// ownPacked ensures m[key] is a private copy this epoch and returns it.
+func ownPacked(m map[uint32][]uint64, owned map[uint32]bool, key uint32) []uint64 {
+	l := m[key]
+	if !owned[key] {
+		l = append(make([]uint64, 0, len(l)+1), l...)
+		owned[key] = true
+	}
+	return l
+}
+
+// ownID ensures m[key] is a private copy this epoch and returns it.
+func ownID(m map[uint64][]uint32, owned map[uint64]bool, key uint64) []uint32 {
+	l := m[key]
+	if !owned[key] {
+		l = append(make([]uint32, 0, len(l)+1), l...)
+		owned[key] = true
+	}
+	return l
+}
+
+// dropPacked64 swap-deletes one occurrence of v from l.
+func dropPacked64(l []uint64, v uint64) []uint64 {
+	for i, x := range l {
+		if x == v {
+			l[i] = l[len(l)-1]
+			return l[:len(l)-1]
+		}
+	}
+	return l
+}
+
+// dropID32 swap-deletes one occurrence of v from l.
+func dropID32(l []uint32, v uint32) []uint32 {
+	for i, x := range l {
+		if x == v {
+			l[i] = l[len(l)-1]
+			return l[:len(l)-1]
+		}
+	}
+	return l
+}
+
+// add buffers an insert and reports whether the triple was absent.
+func (b *shardBuilder) add(k ids3) bool {
+	if _, ok := b.data.pos[k]; ok {
+		return false
+	}
+	d := &b.data
+	d.pos[k] = len(d.trips)
+	d.trips = append(d.trips, k)
+	d.bySubj[k.s] = append(ownPacked(d.bySubj, b.ownedSubj, k.s), pack(k.p, k.o))
+	d.byPred[k.p] = append(ownPacked(d.byPred, b.ownedPred, k.p), pack(k.o, k.s))
+	d.byObj[k.o] = append(ownPacked(d.byObj, b.ownedObj, k.o), pack(k.s, k.p))
+	d.bySP[pack(k.s, k.p)] = append(ownID(d.bySP, b.ownedSP, pack(k.s, k.p)), k.o)
+	d.byPO[pack(k.p, k.o)] = append(ownID(d.byPO, b.ownedPO, pack(k.p, k.o)), k.s)
+	d.byOS[pack(k.o, k.s)] = append(ownID(d.byOS, b.ownedOS, pack(k.o, k.s)), k.p)
+	return true
+}
+
+// remove buffers a delete and reports whether the triple was present.
+func (b *shardBuilder) remove(k ids3) bool {
+	d := &b.data
+	i, ok := d.pos[k]
+	if !ok {
+		return false
+	}
+	last := len(d.trips) - 1
+	d.trips[i] = d.trips[last]
+	d.pos[d.trips[i]] = i
+	d.trips = d.trips[:last]
+	delete(d.pos, k)
+	setPacked(d.bySubj, k.s, dropPacked64(ownPacked(d.bySubj, b.ownedSubj, k.s), pack(k.p, k.o)))
+	setPacked(d.byPred, k.p, dropPacked64(ownPacked(d.byPred, b.ownedPred, k.p), pack(k.o, k.s)))
+	setPacked(d.byObj, k.o, dropPacked64(ownPacked(d.byObj, b.ownedObj, k.o), pack(k.s, k.p)))
+	setID(d.bySP, pack(k.s, k.p), dropID32(ownID(d.bySP, b.ownedSP, pack(k.s, k.p)), k.o))
+	setID(d.byPO, pack(k.p, k.o), dropID32(ownID(d.byPO, b.ownedPO, pack(k.p, k.o)), k.s))
+	setID(d.byOS, pack(k.o, k.s), dropID32(ownID(d.byOS, b.ownedOS, pack(k.o, k.s)), k.p))
+	return true
+}
+
+// setPacked stores a posting slice back, deleting emptied keys so map
+// size tracks live postings.
+func setPacked(m map[uint32][]uint64, key uint32, l []uint64) {
+	if len(l) == 0 {
+		delete(m, key)
+	} else {
+		m[key] = l
+	}
+}
+
+// setID stores a pair-index slice back, deleting emptied keys.
+func setID(m map[uint64][]uint32, key uint64, l []uint32) {
+	if len(l) == 0 {
+		delete(m, key)
+	} else {
+		m[key] = l
+	}
+}
+
+// freeze releases the builder's data as the next epoch's immutable
+// shard.
+func (b *shardBuilder) freeze() *shardData {
+	d := b.data
+	return &d
+}

@@ -1,0 +1,85 @@
+package rdf
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestShardedDifferentialFlat pins the sharded snapshot's Match and
+// CountMatch against the flat Store as oracle: the same randomized
+// add/remove history is applied to both, then every bound-position
+// combination is probed with randomized patterns and must agree
+// exactly (as sets; result order is unspecified for both).
+func TestShardedDifferentialFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	term := func(prefix string, n int) Term {
+		return NewIRI(fmt.Sprintf("http://ex.org/%s%d", prefix, rng.Intn(n)))
+	}
+	randTriple := func() Triple {
+		return T(term("s", 40), term("p", 6), term("o", 25))
+	}
+
+	for round := 0; round < 20; round++ {
+		flat := NewStore()
+		sharded := NewShardedStore(1 << rng.Intn(4)) // 1, 2, 4 or 8 shards
+		live := []Triple{}
+		for op := 0; op < 400; op++ {
+			if rng.Intn(4) == 0 && len(live) > 0 {
+				i := rng.Intn(len(live))
+				tr := live[i]
+				live = append(live[:i], live[i+1:]...)
+				fok := flat.Remove(tr)
+				sok := sharded.Remove(tr)
+				if fok != sok {
+					t.Fatalf("round %d op %d: Remove(%v) flat=%v sharded=%v", round, op, tr, fok, sok)
+				}
+			} else {
+				tr := randTriple()
+				fok, _ := flat.Add(tr)
+				sok, _ := sharded.Add(tr)
+				if fok != sok {
+					t.Fatalf("round %d op %d: Add(%v) flat=%v sharded=%v", round, op, tr, fok, sok)
+				}
+				if fok {
+					live = append(live, tr)
+				}
+			}
+		}
+
+		snap := sharded.Snapshot()
+		if flat.Len() != snap.Len() {
+			t.Fatalf("round %d: Len flat=%d sharded=%d", round, flat.Len(), snap.Len())
+		}
+		// All 8 bound-position combinations, with terms drawn from the
+		// live alphabet (so some patterns hit, some miss) plus an
+		// always-unknown term.
+		for probe := 0; probe < 200; probe++ {
+			s, p, o := Term(NewVar("s")), Term(NewVar("p")), Term(NewVar("o"))
+			if probe&1 != 0 {
+				s = term("s", 41)
+			}
+			if probe&2 != 0 {
+				p = term("p", 7)
+			}
+			if probe&4 != 0 {
+				o = term("o", 26)
+			}
+			pat := T(s, p, o)
+			if fc, sc := flat.CountMatch(pat), snap.CountMatch(pat); fc != sc {
+				t.Fatalf("round %d: CountMatch(%v) flat=%d sharded=%d", round, pat, fc, sc)
+			}
+			fm, sm := flat.Match(pat), snap.Match(pat)
+			SortTriples(fm)
+			SortTriples(sm)
+			if len(fm) != len(sm) {
+				t.Fatalf("round %d: Match(%v) flat=%d sharded=%d results", round, pat, len(fm), len(sm))
+			}
+			for i := range fm {
+				if fm[i] != sm[i] {
+					t.Fatalf("round %d: Match(%v)[%d] flat=%v sharded=%v", round, pat, i, fm[i], sm[i])
+				}
+			}
+		}
+	}
+}

@@ -143,7 +143,12 @@ func dropID(m map[uint64][]uint32, key uint64, v uint32) {
 }
 
 // Remove deletes a triple and reports whether it was present. Interned
-// term IDs are retained; only the posting lists shrink.
+// term IDs are intentionally retained — only the posting lists shrink.
+// IDs are dense array indexes into the dictionary's append-only table
+// and may still be referenced by concurrent readers' dict snapshots,
+// so reclaiming them would require a stop-the-world renumber; a store
+// that churns the same vocabulary re-uses the retained IDs at zero
+// cost.
 func (s *Store) Remove(t Triple) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -219,6 +219,72 @@ func TestStoreRemovePreservesOthers(t *testing.T) {
 	}
 }
 
+// TestStoreRemoveHeavyLenAndDictRetention drives the store through a
+// remove-heavy churn cycle: Len must track exactly through interleaved
+// adds/removes, every index must agree after draining to empty, and
+// the dictionary must retain all interned IDs (intentional: IDs are
+// dense array indexes and are never reused).
+func TestStoreRemoveHeavyLenAndDictRetention(t *testing.T) {
+	s := NewStore()
+	var all []Triple
+	for i := 0; i < 250; i++ {
+		all = append(all, T(iri(fmt.Sprintf("s%d", i%50)), iri(fmt.Sprintf("p%d", i%5)), iri(fmt.Sprintf("o%d", i))))
+	}
+	for _, tr := range all {
+		s.MustAdd(tr)
+	}
+	dictLen := s.Dict().Len()
+	r := rand.New(rand.NewSource(7))
+	live := append([]Triple(nil), all...)
+	// Remove 80% in random order, spot-checking Len each step.
+	for len(live) > 50 {
+		i := r.Intn(len(live))
+		victim := live[i]
+		live = append(live[:i], live[i+1:]...)
+		if !s.Remove(victim) {
+			t.Fatalf("Remove(%v) = false for live triple", victim)
+		}
+		if s.Remove(victim) {
+			t.Fatalf("double Remove(%v) = true", victim)
+		}
+		if s.Len() != len(live) {
+			t.Fatalf("Len = %d, want %d", s.Len(), len(live))
+		}
+	}
+	// The survivors are fully queryable through every index shape.
+	for _, tr := range live {
+		if !s.Contains(tr) {
+			t.Fatalf("survivor missing: %v", tr)
+		}
+		if got := s.CountMatch(T(tr.S, tr.P, NewVar("o"))); got < 1 {
+			t.Fatalf("CountMatch SP for %v = %d", tr, got)
+		}
+	}
+	if got := s.CountMatch(T(NewVar("s"), NewVar("p"), NewVar("o"))); got != len(live) {
+		t.Fatalf("CountMatch all = %d, want %d", got, len(live))
+	}
+	// Drain to empty, then rebuild: IDs are reused from the dict, not
+	// reallocated.
+	for _, tr := range live {
+		s.Remove(tr)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len after drain = %d, want 0", s.Len())
+	}
+	if got := len(s.All()); got != 0 {
+		t.Fatalf("All after drain = %d triples", got)
+	}
+	if s.Dict().Len() != dictLen {
+		t.Fatalf("dict changed across removes: %d -> %d", dictLen, s.Dict().Len())
+	}
+	for _, tr := range all {
+		s.MustAdd(tr)
+	}
+	if s.Len() != len(all) || s.Dict().Len() != dictLen {
+		t.Fatalf("rebuild: Len=%d dict=%d, want %d, %d", s.Len(), s.Dict().Len(), len(all), dictLen)
+	}
+}
+
 func TestGraphAddRemoveOrder(t *testing.T) {
 	g := NewGraph()
 	t1 := T(iri("a"), iri("p"), iri("b"))

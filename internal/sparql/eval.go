@@ -17,6 +17,18 @@ type Source interface {
 	MatchFunc(pattern rdf.Triple, fn func(rdf.Triple) bool)
 }
 
+// pin resolves a mutable source to an immutable point-in-time view when
+// the source supports it (*rdf.ShardedStore does). Both evaluators pin
+// once at query start, so planning and every join step of one query see
+// a single epoch even while write batches publish concurrently;
+// mid-query reads never mix epochs.
+func pin(src Source) Source {
+	if s, ok := src.(interface{ Snapshot() *rdf.Snapshot }); ok {
+		return s.Snapshot()
+	}
+	return src
+}
+
 // Eval evaluates the query against the source and returns the solution
 // bindings, projected, filtered, ordered and limited per the query.
 //
@@ -33,6 +45,7 @@ func Eval(q *Query, src Source, env *Env) ([]Binding, error) {
 	if src == nil {
 		return nil, fmt.Errorf("sparql: nil source")
 	}
+	src = pin(src)
 	spec, err := aggregationSpec(q)
 	if err != nil {
 		return nil, err

@@ -14,6 +14,7 @@ import (
 // semantics, and the fallback for queries with more distinct pattern
 // variables than the slotted row representation supports.
 func EvalReference(q *Query, src Source, env *Env) ([]Binding, error) {
+	src = pin(src)
 	spec, err := aggregationSpec(q)
 	if err != nil {
 		return nil, err

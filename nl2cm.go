@@ -35,6 +35,7 @@ import (
 	"nl2cm/internal/ontology"
 	"nl2cm/internal/qcache"
 	"nl2cm/internal/qgen"
+	"nl2cm/internal/rdf"
 	"nl2cm/internal/session"
 	"nl2cm/internal/verify"
 )
@@ -187,6 +188,30 @@ func EncyclopedicOntology() *Ontology { return ontology.NewEncyclopedicOntology(
 func ReadOntology(name string, r io.Reader) (*Ontology, error) {
 	return ontology.ReadNTriples(name, r)
 }
+
+// ---- Knowledge store ----
+
+// TripleStore is the epoch-snapshot sharded RDF store backing every
+// Ontology: writes batch under a single writer and publish immutable
+// snapshots; readers pin one snapshot and never observe a half-applied
+// batch.
+type TripleStore = rdf.ShardedStore
+
+// StoreSnapshot is an immutable view of the triple store at one epoch.
+// All read methods on a snapshot answer from the same published state
+// no matter how many batches commit concurrently.
+type StoreSnapshot = rdf.Snapshot
+
+// StoreBatch is one atomic store mutation: deletes apply before
+// inserts, and the whole batch is rejected if any insert is non-ground.
+type StoreBatch = rdf.Batch
+
+// StoreTriple is one (subject, predicate, object) fact.
+type StoreTriple = rdf.Triple
+
+// ParseTriples parses N-Triples text into triples suitable for a
+// StoreBatch.
+func ParseTriples(r io.Reader) ([]StoreTriple, error) { return rdf.ParseNTriples(r) }
 
 // ---- Crowd execution ----
 

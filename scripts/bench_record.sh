@@ -18,9 +18,9 @@ cleanup() {
 }
 trap cleanup EXIT
 
-benchcmd="go test -run '^$' -bench 'BenchmarkP8_JoinPlan|BenchmarkP9_ScaleLookup|BenchmarkP10_GroupBy|BenchmarkP11_CrowdScale' -benchmem ."
+benchcmd="go test -run '^$' -bench 'BenchmarkP8_JoinPlan|BenchmarkP9_ScaleLookup|BenchmarkP10_GroupBy|BenchmarkP11_CrowdScale|BenchmarkP12_SnapshotRead' -benchmem ."
 echo "== micro-benchmarks: $benchcmd"
-go test -run '^$' -bench 'BenchmarkP8_JoinPlan|BenchmarkP9_ScaleLookup|BenchmarkP10_GroupBy|BenchmarkP11_CrowdScale' \
+go test -run '^$' -bench 'BenchmarkP8_JoinPlan|BenchmarkP9_ScaleLookup|BenchmarkP10_GroupBy|BenchmarkP11_CrowdScale|BenchmarkP12_SnapshotRead' \
   -benchmem . | tee "$workdir/bench.txt"
 
 # "BenchmarkP8_JoinPlan/triples=10000-8   123  165018 ns/op  42192 B/op  291 allocs/op"

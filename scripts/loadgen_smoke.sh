@@ -42,3 +42,28 @@ jq -e '.cache_hit_rate > 0' "$workdir/record.json" >/dev/null || {
 }
 
 echo "loadgen smoke OK: ${throughput%%.*} req/s, hit rate $hitrate"
+
+# Second pass: interleave store writes with the traffic. Every write
+# batch publishes a new epoch, so the run must show epoch churn, no
+# failed mutations, and still zero translation errors.
+"$workdir/loadgen" -addr "http://$addr" \
+  -sessions "${SESSIONS:-32}" -requests "${MUTATE_REQUESTS:-400}" \
+  -mutate-rate "${MUTATE_RATE:-0.05}" \
+  -out "$workdir/mutate.json"
+
+jq -e '.errors == 0' "$workdir/mutate.json" >/dev/null || {
+  echo "mutating run saw errors: $(jq .errors "$workdir/mutate.json")" >&2
+  exit 1
+}
+jq -e '(.mutation_errors // 0) == 0' "$workdir/mutate.json" >/dev/null || {
+  echo "store writes failed: $(jq .mutation_errors "$workdir/mutate.json")" >&2
+  exit 1
+}
+jq -e '.mutations > 0 and .epoch_churn > 0' "$workdir/mutate.json" >/dev/null || {
+  echo "no epoch churn recorded under -mutate-rate" >&2
+  exit 1
+}
+
+echo "mutate smoke OK: $(jq .mutations "$workdir/mutate.json") writes, \
+$(jq .epoch_churn "$workdir/mutate.json") epochs, \
+hit rate $(jq .cache_hit_rate "$workdir/mutate.json")"
